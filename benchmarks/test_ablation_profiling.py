@@ -1,0 +1,92 @@
+"""Profiling-budget ablation bench (Section 6.1's ~100-run choice).
+
+Regenerates the threshold-quality sweep and validates it end to end on
+the decoder substrate: perplexity with 1-run, 10-run, and 100-run
+thresholds must be indistinguishable by ~10 runs — the basis for the
+paper's claim that offline profiling is a negligible one-time cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import save_result
+
+from repro.baselines.oaken_adapter import OakenKVQuantizer
+from repro.core.config import OakenConfig
+from repro.data.corpus import build_corpus, calibration_corpus
+from repro.experiments.ablation_profiling import (
+    format_profiling_ablation,
+    run_profiling_ablation,
+)
+from repro.experiments.common import TextTable
+from repro.models.config import get_model
+from repro.models.transformer import DecoderModel, KVTransformBundle
+
+
+def test_profiling_budget_sweep(benchmark, results_dir):
+    points = benchmark(run_profiling_ablation)
+    save_result(
+        results_dir, "ablation_profiling",
+        format_profiling_ablation(points),
+    )
+    by_budget = {p.num_runs: p for p in points}
+    assert by_budget[100].threshold_deviation < (
+        by_budget[1].threshold_deviation
+    )
+    assert by_budget[200].sqnr_db == pytest.approx(
+        by_budget[100].sqnr_db, abs=0.25
+    )
+
+
+def test_profiling_budget_perplexity(benchmark, results_dir):
+    decoder = DecoderModel(get_model("llama2-7b"))
+    eval_tokens = build_corpus(decoder, "wikitext2", batch=4, length=96)
+    calibration = calibration_corpus(decoder, batch=12, length=96)
+    layer_kv = decoder.collect_layer_kv(calibration)
+    config = OakenConfig()
+
+    def bundle_with_budget(budget: int) -> KVTransformBundle:
+        """Fit per-layer quantizers on only `budget` calibration rows.
+
+        Each calibration "run" is one batch slice of the collected
+        layer KV, mirroring the paper's per-inference observations.
+        """
+        key_fns, value_fns = [], []
+        for keys, values in layer_kv:
+            rows = max(8, (keys.shape[0] * budget) // 100)
+            kq = OakenKVQuantizer("key", config).fit([keys[:rows]])
+            vq = OakenKVQuantizer("value", config).fit([values[:rows]])
+            key_fns.append(kq.roundtrip)
+            value_fns.append(vq.roundtrip)
+        return KVTransformBundle(key_fns=key_fns, value_fns=value_fns)
+
+    budgets = (1, 10, 100)
+    bundles = {b: bundle_with_budget(b) for b in budgets}
+    perplexities = {}
+    for budget in budgets:
+        if budget == 100:
+            perplexities[budget] = benchmark.pedantic(
+                decoder.perplexity, args=(eval_tokens,),
+                kwargs={"kv_transforms": bundles[budget]},
+                iterations=1, rounds=1,
+            )
+        else:
+            perplexities[budget] = decoder.perplexity(
+                eval_tokens, kv_transforms=bundles[budget]
+            )
+
+    table = TextTable(
+        ["budget (% of calibration)", "perplexity"],
+        title="Decoder perplexity vs offline profiling budget",
+    )
+    for budget in budgets:
+        table.add_row([budget, perplexities[budget]])
+    save_result(
+        results_dir, "ablation_profiling_perplexity", table.render()
+    )
+    # By a 10% calibration slice the perplexity is already within 2%
+    # of the full budget (Observation 2's input-insensitivity).
+    assert perplexities[10] == pytest.approx(
+        perplexities[100], rel=0.02
+    )
+    assert perplexities[1] < perplexities[100] * 1.10

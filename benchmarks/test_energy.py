@@ -1,0 +1,30 @@
+"""Benchmark: tokens/joule extension experiment.
+
+Quantifies the paper's cost-efficiency argument (222.7 W accelerator vs
+400 W GPU) as energy per generated token at the Figure 11 operating
+points.
+"""
+
+from conftest import save_result
+
+from repro.experiments.energy import format_energy, run_energy
+
+
+def test_energy_efficiency(benchmark, results_dir):
+    rows = benchmark(run_energy)
+    save_result(results_dir, "energy", format_energy(rows))
+    at_256 = {r.system: r for r in rows if r.batch == 256}
+    # Oaken-LPDDR: best tokens/joule among systems that survive 256.
+    alive = {
+        name: row for name, row in at_256.items() if not row.oom
+    }
+    best = max(alive.values(), key=lambda r: r.tokens_per_joule)
+    assert best.system == "oaken-lpddr"
+    # And the efficiency gap over vLLM exceeds the throughput gap
+    # (lower power multiplies the win).
+    vllm = alive["vllm"]
+    oaken = alive["oaken-lpddr"]
+    assert (
+        oaken.tokens_per_joule / vllm.tokens_per_joule
+        > oaken.tokens_per_s / vllm.tokens_per_s
+    )

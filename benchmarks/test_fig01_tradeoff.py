@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 1 (bandwidth/capacity trade-off)."""
+
+from conftest import save_result
+
+from repro.experiments.fig01 import format_fig01, run_fig01
+
+
+def test_fig01_tradeoff(benchmark, results_dir):
+    points = benchmark(run_fig01)
+    save_result(results_dir, "fig01_tradeoff", format_fig01(points))
+    by_system = {p.system: p for p in points}
+    # Oaken-LPDDR occupies the high-capacity, high-effective-bandwidth
+    # corner the paper's scatter highlights.
+    assert by_system["oaken-lpddr"].effective_capacity_gb == max(
+        p.effective_capacity_gb for p in points
+    )
+    assert by_system["oaken-lpddr"].throughput_tokens_per_s > (
+        by_system["vllm"].throughput_tokens_per_s
+    )

@@ -1,0 +1,27 @@
+"""Benchmark regenerating Figure 3 (utilization characterization)."""
+
+from conftest import save_result
+
+from repro.experiments.common import TextTable
+from repro.experiments.fig03 import (
+    format_fig03,
+    run_fig03,
+    run_fig03_phases,
+)
+
+
+def test_fig03_op_utilization(benchmark, results_dir):
+    rows = benchmark(run_fig03)
+    phases = run_fig03_phases()
+    phase_table = TextTable(["phase", "batch", "utilization_%"])
+    for p in phases:
+        phase_table.add_row([p.phase, p.batch, p.utilization_percent])
+    save_result(
+        results_dir,
+        "fig03_utilization",
+        format_fig03(rows) + "\n\nphases (a/b)\n" + phase_table.render(),
+    )
+    by_op = {r.op: r for r in rows}
+    # The paper's point: underutilization comes from MHA.
+    assert by_op["mha"].utilization_percent < 1.0
+    assert by_op["ffn"].utilization_percent > 10.0

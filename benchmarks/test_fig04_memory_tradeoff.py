@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 4 (HBM-NPU vs LPDDR-NPU)."""
+
+from conftest import save_result
+
+from repro.experiments.fig04 import format_fig04, run_fig04
+
+
+def test_fig04_memory_tradeoff(benchmark, results_dir):
+    rows = benchmark(run_fig04)
+    save_result(results_dir, "fig04_memory_tradeoff", format_fig04(rows))
+    opt = [r for r in rows if r.model == "opt-30b"]
+    llama = [r for r in rows if r.model == "llama2-13b"]
+    # OPT-30B overflows the HBM NPU at larger batches; LPDDR scales.
+    assert any(r.hbm_oom for r in opt)
+    assert not any(r.lpddr_oom for r in opt)
+    # Where HBM fits, its bandwidth wins.
+    assert all(
+        r.hbm_tokens_per_s > r.lpddr_tokens_per_s
+        for r in llama if not r.hbm_oom
+    )

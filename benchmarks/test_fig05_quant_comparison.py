@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 5 (memory breakdown + quant compare)."""
+
+from conftest import save_result
+
+from repro.experiments.fig05 import (
+    format_fig05,
+    run_fig05_memory,
+    run_fig05_quant,
+)
+
+
+def test_fig05_memory_and_quant(benchmark, results_dir):
+    quant_rows = benchmark(run_fig05_quant)
+    memory_rows = run_fig05_memory()
+    save_result(
+        results_dir, "fig05_quant_comparison",
+        format_fig05(memory_rows, quant_rows),
+    )
+    # (a) the KV cache grows to dominate memory (paper: 94% at 256).
+    assert memory_rows[-1].kv_share_percent > 85.0
+    # (b) KV quantization out-scales weight-only quantization.
+    final = {r.batch: r for r in quant_rows}[128]
+    assert final.kv_quant_tokens_per_s > (
+        1.5 * final.weight_quant_tokens_per_s
+    )

@@ -1,0 +1,41 @@
+"""Benchmark regenerating Figure 11 (the main throughput grid)."""
+
+from conftest import save_result
+
+from repro.experiments.fig11 import (
+    format_fig11,
+    run_fig11,
+    speedup_at_batch,
+)
+
+
+def test_fig11_throughput_grid(benchmark, results_dir):
+    cells = benchmark(run_fig11)
+    save_result(results_dir, "fig11_throughput", format_fig11(cells))
+
+    vllm_speedups = speedup_at_batch(cells, "oaken-lpddr", "vllm", 256)
+    qserve_speedups = speedup_at_batch(
+        cells, "oaken-lpddr", "qserve-gpu", 256
+    )
+    # Paper headline: 1.79x over vLLM, 1.58x over QServe at batch 256
+    # (averages).  The reproduction must show Oaken-LPDDR clearly ahead
+    # of vLLM and ahead of QServe on the models that reach 256.  The
+    # one paper-documented exception is Mixtral, whose GQA+MoE shape
+    # mutes KV-quantization gains ("little to no performance gain").
+    assert vllm_speedups and qserve_speedups
+    dense = {
+        m: s for m, s in vllm_speedups.items() if m != "mixtral-8x7b"
+    }
+    mean_vllm = sum(dense.values()) / len(dense)
+    assert mean_vllm > 1.4
+    assert all(s >= 1.0 for s in qserve_speedups.values())
+    if "mixtral-8x7b" in vllm_speedups:
+        assert vllm_speedups["mixtral-8x7b"] > 0.85
+
+    # HBM platforms cannot reach batch 256 on non-GQA models.
+    oom_at_256 = {
+        (c.model, c.system)
+        for c in cells if c.batch == 256 and c.oom
+    }
+    assert ("llama2-7b", "oaken-hbm") in oom_at_256
+    assert ("llama2-7b", "tender") in oom_at_256

@@ -1,0 +1,43 @@
+"""Benchmark regenerating Figure 12 (trade-off + latency breakdown)."""
+
+from conftest import save_result
+
+from repro.experiments.fig12 import (
+    format_fig12,
+    run_fig12a,
+    run_fig12b,
+)
+
+
+def test_fig12a_accuracy_tradeoff(benchmark, results_dir):
+    tradeoff = benchmark.pedantic(
+        run_fig12a, kwargs={"eval_batch": 4}, iterations=1, rounds=1
+    )
+    breakdown = run_fig12b()
+    save_result(
+        results_dir, "fig12_tradeoff", format_fig12(tradeoff, breakdown)
+    )
+    by_ratio = {
+        (r.outer_percent, r.middle_percent, r.inner_percent): r
+        for r in tradeoff
+    }
+    # The paper default (4/90/6) sits near 4.8 effective bits.
+    default = by_ratio[(4, 90, 6)]
+    assert 4.7 < default.effective_bits < 5.0
+    # More outlier budget (higher bits) never hurts much: the largest
+    # budget must be at least as accurate as the smallest.
+    smallest = min(tradeoff, key=lambda r: r.effective_bits)
+    assert default.perplexity <= smallest.perplexity * 1.02
+
+
+def test_fig12b_latency_breakdown(benchmark, results_dir):
+    rows = benchmark(run_fig12b)
+    by_key = {(r.system, r.batch): r for r in rows}
+    oaken = by_key[("oaken-lpddr", 64)]
+    # Paper: quantization 1.29% / dequantization 3.23% of latency at
+    # batch 64, both overlapped; Oaken-GPU pays a large exposed cost.
+    assert oaken.quant_share_percent < 3.0
+    assert oaken.dequant_share_percent < 8.0
+    assert by_key[("oaken-gpu", 64)].dequant_share_percent > 15.0
+    # Oaken's attention runs much faster than LPU's FP16 attention.
+    assert oaken.attn_s < 0.5 * by_key[("lpu", 64)].attn_s

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 13 (sequence-length sensitivity)."""
+
+from conftest import save_result
+
+from repro.experiments.fig13 import format_fig13, run_fig13
+
+
+def test_fig13_sequence_length(benchmark, results_dir):
+    cells = benchmark(run_fig13)
+    save_result(results_dir, "fig13_seqlen", format_fig13(cells))
+    by_key = {(c.system, c.total_length): c for c in cells}
+    # Short sequences: GPU systems lead on compute.
+    assert by_key[("qserve-gpu", 1024)].tokens_per_s > (
+        by_key[("oaken-lpddr", 1024)].tokens_per_s
+    )
+    # Long sequences: only Oaken-LPDDR completes 32K.
+    assert not by_key[("oaken-lpddr", 32768)].oom
+    assert by_key[("qserve-gpu", 32768)].oom
+    assert by_key[("tender", 32768)].oom
+    assert by_key[("lpu", 32768)].oom

@@ -1,0 +1,34 @@
+"""Benchmark regenerating Figure 14 (real-world trace throughput)."""
+
+from conftest import save_result
+
+from repro.experiments.fig14 import format_fig14, run_fig14
+
+
+def test_fig14_trace_throughput(benchmark, results_dir):
+    cells = benchmark.pedantic(
+        run_fig14, kwargs={"num_requests": 192}, iterations=1, rounds=1
+    )
+    save_result(results_dir, "fig14_traces", format_fig14(cells))
+    by_key = {
+        (c.trace, c.model, c.system, c.batch): c for c in cells
+    }
+
+    # KV quantization gain over the FP16 NPU grows with batch and is
+    # present on both traces (paper Section 6.2).
+    for trace in ("conversation", "burstgpt"):
+        oaken = by_key[(trace, "llama2-13b", "oaken-lpddr", 128)]
+        lpu = by_key[(trace, "llama2-13b", "lpu", 128)]
+        assert oaken.tokens_per_s > 1.15 * lpu.tokens_per_s
+
+    # Tender's systolic padding hurts it on ragged trace batches.
+    tender = by_key[("conversation", "llama2-13b", "tender", 64)]
+    vllm = by_key[("conversation", "llama2-13b", "vllm", 64)]
+    assert tender.tokens_per_s < vllm.tokens_per_s
+
+    # Mixtral rows exclude Oaken-HBM and QServe, as in the paper.
+    mixtral_systems = {
+        c.system for c in cells if c.model == "mixtral-8x7b"
+    }
+    assert "oaken-hbm" not in mixtral_systems
+    assert "qserve-gpu" not in mixtral_systems

@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the quantization kernels themselves.
+
+These time the software implementation of Oaken's online path (the
+hardware does this in streaming engines; the numbers here document the
+numpy substrate's own throughput and catch performance regressions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import create_method
+from repro.core.config import OakenConfig
+from repro.core.quantizer import OakenQuantizer
+
+from conftest import save_result
+from repro.experiments.common import TextTable
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((512, 512))
+    x[:, ::37] *= 10.0
+    return x
+
+
+@pytest.fixture(scope="module")
+def quantizer(matrix):
+    return OakenQuantizer.from_samples([matrix], OakenConfig())
+
+
+def test_kernel_oaken_quantize(benchmark, matrix, quantizer):
+    encoded = benchmark(quantizer.quantize, matrix)
+    assert encoded.num_tokens == matrix.shape[0]
+
+
+def test_kernel_oaken_dequantize(benchmark, matrix, quantizer):
+    encoded = quantizer.quantize(matrix)
+    restored = benchmark(quantizer.dequantize, encoded)
+    assert restored.shape == matrix.shape
+
+
+def test_kernel_oaken_roundtrip(benchmark, matrix, quantizer):
+    restored = benchmark(quantizer.roundtrip, matrix)
+    assert np.isfinite(restored).all()
+
+
+@pytest.mark.parametrize(
+    "method", ["kvquant", "kivi", "qserve", "atom", "tender"]
+)
+def test_kernel_baseline_roundtrip(benchmark, matrix, method):
+    fitted = create_method(method, "key").fit([matrix])
+    restored = benchmark(fitted.roundtrip, matrix)
+    assert restored.shape == matrix.shape
+
+
+def test_kernel_throughput_summary(results_dir, matrix, quantizer):
+    """Record elements/second of each method's software round-trip."""
+    import time
+
+    table = TextTable(["method", "Melem/s"])
+    methods = ["oaken", "kvquant", "kivi", "qserve", "atom", "tender"]
+    for name in methods:
+        fitted = create_method(name, "key").fit([matrix])
+        start = time.perf_counter()
+        rounds = 3
+        for _ in range(rounds):
+            fitted.roundtrip(matrix)
+        elapsed = time.perf_counter() - start
+        rate = rounds * matrix.size / elapsed / 1e6
+        table.add_row([name, rate])
+    save_result(results_dir, "kernel_throughput", table.render())

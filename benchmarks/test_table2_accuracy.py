@@ -1,0 +1,48 @@
+"""Benchmark regenerating Table 2 (accuracy grid).
+
+The full eight-model grid takes minutes on the numpy substrate, so the
+benchmark covers a representative subset (one model per family); the
+``examples/accuracy_table.py`` script runs the complete grid.
+"""
+
+from conftest import save_result
+
+from repro.experiments.table2 import (
+    format_table2,
+    run_table2,
+    summarize_table2,
+)
+
+BENCH_MODELS = ("llama2-7b", "opt-6.7b", "mistral-7b", "mixtral-8x7b")
+
+
+def test_table2_accuracy(benchmark, results_dir):
+    results = benchmark.pedantic(
+        run_table2,
+        kwargs={
+            "models": BENCH_MODELS,
+            "eval_batch": 5,
+            "qa_items": 32,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    save_result(results_dir, "table2_accuracy", format_table2(results))
+
+    summary = {s.method: s for s in summarize_table2(results)}
+    # FP16 is the reference: zero deltas.
+    assert abs(summary["fp16"].mean_perplexity_increase_percent) < 1e-9
+    # Every quantizer costs some perplexity; Tender costs the most
+    # (the paper's coarse-grained loser).
+    quantized = [m for m in summary if m != "fp16"]
+    for method in quantized:
+        assert summary[method].mean_perplexity_increase_percent > 0
+    assert summary["tender"].mean_perplexity_increase_percent == max(
+        summary[m].mean_perplexity_increase_percent for m in quantized
+    )
+    # Oaken sits with the outlier-aware group, well below the coarse
+    # methods, at ~4.8 effective bits (paper bottom rows).
+    assert summary["oaken"].mean_perplexity_increase_percent < (
+        summary["qserve"].mean_perplexity_increase_percent
+    )
+    assert 4.6 < summary["oaken"].mean_effective_bits < 5.1

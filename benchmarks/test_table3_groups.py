@@ -1,0 +1,33 @@
+"""Benchmark regenerating Table 3 (group-count ablation)."""
+
+from conftest import save_result
+
+from repro.experiments.table3 import format_table3, run_table3
+
+
+def test_table3_group_ablation(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        run_table3, kwargs={"eval_batch": 4}, iterations=1, rounds=1
+    )
+    save_result(results_dir, "table3_groups", format_table3(rows))
+    by_key = {(r.ratio_spec, r.outlier_bits): r for r in rows}
+
+    default = by_key[("4/90/6", 5)]
+    # The paper's sweet spot: ~4.8 effective bits.
+    assert 4.7 < default.effective_bits < 5.0
+    # Two-group configs keep the same storage cost.
+    assert abs(by_key[("90/10", 5)].effective_bits
+               - default.effective_bits) < 0.05
+    # 4..5-group configs at 5-bit outliers pad records to 16 bits
+    # (~5.6 effective), while 4-bit outliers restore ~4.8.
+    assert by_key[("4/90/3/3", 5)].effective_bits > 5.4
+    assert by_key[("4/90/3/3", 4)].effective_bits < 5.0
+    # Dropping the outer group (inner-only "90/10") hurts accuracy
+    # badly: large-magnitude outliers skew the middle-group scale.
+    assert by_key[("90/10", 5)].perplexity > (
+        1.1 * default.perplexity
+    )
+    # Extra groups buy little accuracy relative to their storage cost.
+    assert by_key[("2/2/90/3/3", 5)].perplexity > (
+        0.95 * default.perplexity
+    )

@@ -1,0 +1,32 @@
+"""Benchmark regenerating Table 4 (area/power) plus its ablation."""
+
+from conftest import save_result
+
+from repro.core.config import OakenConfig
+from repro.experiments.table4 import format_table4, run_table4
+
+
+def test_table4_area(benchmark, results_dir):
+    configs = (
+        OakenConfig(),
+        OakenConfig.from_ratio_string("2/2/90/3/3"),
+        OakenConfig(outlier_bits=4),
+    )
+    labels = ("4/90/6 (paper default)", "2/2/90/3/3", "4-bit outliers")
+    results = benchmark.pedantic(
+        run_table4, kwargs={"configs": configs, "labels": labels},
+        iterations=1, rounds=1,
+    )
+    save_result(results_dir, "table4_area", format_table4(results))
+
+    default = results[0]
+    assert abs(default.oaken_overhead_percent - 8.21) < 0.05
+    assert abs(default.accelerator_power_w - 222.7) < 0.1
+    assert abs(default.power_saving_vs_a100_percent - 44.3) < 0.1
+    # More groups cost more engine area; narrower codes cost less.
+    assert results[1].oaken_overhead_percent > (
+        default.oaken_overhead_percent
+    )
+    assert results[2].oaken_overhead_percent < (
+        default.oaken_overhead_percent
+    )

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Run the full ablation study of Oaken's design choices.
+
+Covers the Table 3 group sweep plus the ablations DESIGN.md calls out:
+group-shift on/off, fused vs naive encoding, offline thresholds vs
+online topK, per-layer vs pooled thresholds, and the long-context
+degradation extension.
+
+Run:
+  python examples/ablation_study.py
+  python examples/ablation_study.py --model opt-6.7b
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.baselines.oaken_adapter import OakenKVQuantizer
+from repro.core.config import OakenConfig
+from repro.core.quantizer import OakenQuantizer
+from repro.core.thresholds import profile_thresholds
+from repro.data.corpus import build_corpus, calibration_corpus
+from repro.eval.longcontext import run_long_context
+from repro.experiments.common import TextTable
+from repro.experiments.table3 import format_table3, run_table3
+from repro.models.config import get_model
+from repro.models.transformer import DecoderModel, KVTransformBundle
+
+
+def bundle_for(config, layer_kv):
+    key_fns, value_fns = [], []
+    for keys, values in layer_kv:
+        key_fns.append(
+            OakenKVQuantizer("key", config).fit([keys]).roundtrip
+        )
+        value_fns.append(
+            OakenKVQuantizer("value", config).fit([values]).roundtrip
+        )
+    return KVTransformBundle(key_fns=key_fns, value_fns=value_fns)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="llama2-7b")
+    parser.add_argument("--eval-batch", type=int, default=4)
+    args = parser.parse_args()
+
+    start = time.time()
+    spec = get_model(args.model)
+    model = DecoderModel(spec)
+    eval_tokens = build_corpus(
+        model, "wikitext2", batch=args.eval_batch, length=96
+    )
+    calibration = calibration_corpus(model, batch=4, length=96)
+    layer_kv = model.collect_layer_kv(calibration)
+
+    print(f"=== Table 3: group-count sweep ({args.model}) ===")
+    print(format_table3(run_table3(args.model,
+                                   eval_batch=args.eval_batch)))
+
+    print("\n=== design-choice ablations ===")
+    table = TextTable(["variant", "perplexity"])
+    variants = {
+        "paper default (shift + fused)": OakenConfig(),
+        "group-shift off": OakenConfig(group_shift=False),
+        "naive 23-bit sparse records": OakenConfig(
+            fused_encoding=False
+        ),
+    }
+    for label, config in variants.items():
+        bundle = bundle_for(config, layer_kv)
+        table.add_row(
+            [label, model.perplexity(eval_tokens, kv_transforms=bundle)]
+        )
+    # Pooled (anti-Observation-1) thresholds.
+    pooled = np.concatenate(
+        [np.concatenate([k.ravel(), v.ravel()]) for k, v in layer_kv]
+    )
+    shared = OakenQuantizer(
+        OakenConfig(), profile_thresholds([pooled], OakenConfig())
+    )
+    pooled_bundle = KVTransformBundle(
+        key_fns=[shared.roundtrip] * len(layer_kv),
+        value_fns=[shared.roundtrip] * len(layer_kv),
+    )
+    table.add_row(
+        [
+            "single pooled thresholds",
+            model.perplexity(eval_tokens, kv_transforms=pooled_bundle),
+        ]
+    )
+    print(table.render())
+
+    print("\n=== long-context degradation (extension) ===")
+    long_table = TextTable(
+        ["context", "fp_tail_ppl", "oaken_tail_ppl", "increase_%"]
+    )
+    for row in run_long_context(model, lengths=(64, 128, 192),
+                                tail=24, batch=2):
+        long_table.add_row(
+            [
+                row.context_length,
+                row.fp_tail_perplexity,
+                row.quantized_tail_perplexity,
+                100.0 * row.relative_increase,
+            ]
+        )
+    print(long_table.render())
+    print(f"\ndone in {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Table 2 accuracy grid (full or subset).
+
+Evaluates every KV quantization method (FP16 reference, KVQuant, KIVI,
+Tender, Atom, QServe, Oaken) on the sim-model zoo: Wikitext2-analogue
+perplexity, three zero-shot tasks, and effective bitwidth at the paper
+models' KV widths.
+
+Run:
+  python examples/accuracy_table.py                  # 2-model subset
+  python examples/accuracy_table.py --full           # all 8 models
+  python examples/accuracy_table.py --models llama2-7b opt-6.7b
+"""
+
+import argparse
+import time
+
+from repro.experiments.table2 import (
+    TABLE2_MODELS,
+    format_table2,
+    run_table2,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--models", nargs="+", default=None,
+        help="zoo model names (default: llama2-7b, opt-6.7b)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="evaluate all eight paper models (several minutes)",
+    )
+    parser.add_argument(
+        "--qa-items", type=int, default=48,
+        help="items per zero-shot task",
+    )
+    parser.add_argument(
+        "--eval-batch", type=int, default=6,
+        help="perplexity corpus sequences",
+    )
+    args = parser.parse_args()
+
+    if args.full:
+        models = TABLE2_MODELS
+    elif args.models:
+        models = tuple(args.models)
+    else:
+        models = ("llama2-7b", "opt-6.7b")
+
+    print(f"evaluating models: {', '.join(models)}")
+    start = time.time()
+    results = run_table2(
+        models=models,
+        eval_batch=args.eval_batch,
+        qa_items=args.qa_items,
+    )
+    print(format_table2(results))
+    print(f"\ndone in {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Batched-serving throughput study (the paper's Figures 11 and 13).
+
+Sweeps batch size and sequence length across the serving systems
+(GPU baselines, Tender, LPU, Oaken-HBM/LPDDR) on the analytic hardware
+model, printing the throughput grids and the headline speedups.
+
+Run:
+  python examples/serving_throughput.py
+  python examples/serving_throughput.py --model llama2-70b
+  python examples/serving_throughput.py --seq-sweep
+"""
+
+import argparse
+
+from repro.experiments.fig11 import (
+    FIG11_MODELS,
+    format_fig11,
+    run_fig11,
+    speedup_at_batch,
+)
+from repro.experiments.fig13 import format_fig13, run_fig13
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--model", default=None,
+        help="single model to sweep (default: all six paper models)",
+    )
+    parser.add_argument(
+        "--seq-sweep", action="store_true",
+        help="also run the Figure 13 sequence-length sweep",
+    )
+    parser.add_argument(
+        "--input-tokens", type=int, default=1024,
+        help="prompt length per request",
+    )
+    parser.add_argument(
+        "--output-tokens", type=int, default=1024,
+        help="generated length per request",
+    )
+    args = parser.parse_args()
+
+    models = (args.model,) if args.model else FIG11_MODELS
+    cells = run_fig11(
+        models=models,
+        input_tokens=args.input_tokens,
+        output_tokens=args.output_tokens,
+    )
+    print("=== Figure 11: throughput grid (tokens/sec) ===\n")
+    print(format_fig11(cells))
+
+    vllm = speedup_at_batch(cells, "oaken-lpddr", "vllm", 256)
+    qserve = speedup_at_batch(cells, "oaken-lpddr", "qserve-gpu", 256)
+    print("\nOaken-LPDDR speedups at batch 256:")
+    for model in sorted(vllm):
+        qserve_text = (
+            f"{qserve[model]:.2f}x" if model in qserve else "n/a"
+        )
+        print(f"  {model:>14}: {vllm[model]:.2f}x over vLLM, "
+              f"{qserve_text} over QServe")
+
+    if args.seq_sweep:
+        print("\n=== Figure 13: sequence-length sweep "
+              "(llama2-13b, batch 16) ===\n")
+        print(format_fig13(run_fig13()))
+
+
+if __name__ == "__main__":
+    main()

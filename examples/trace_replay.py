@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Replay Azure-style inference traces through the serving simulator.
+
+Two modes, matching the paper's Figure 14 methodology and a richer
+open-loop variant:
+
+* synthesized closed batches (the paper's measurement protocol),
+* open-loop continuous batching with arrival times, reporting latency
+  percentiles alongside throughput.
+
+Run:
+  python examples/trace_replay.py
+  python examples/trace_replay.py --trace burstgpt --model mixtral-8x7b
+  python examples/trace_replay.py --open-loop --batch 64
+"""
+
+import argparse
+
+from repro.data.traces import generate_trace, trace_summary
+from repro.experiments.common import TextTable
+from repro.experiments.fig14 import systems_for_model
+from repro.hardware.overheads import get_system
+from repro.models.config import get_model
+from repro.serving.simulator import (
+    simulate_synthesized_batches,
+    simulate_trace,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", default="conversation",
+                        choices=("conversation", "burstgpt"))
+    parser.add_argument("--model", default="llama2-13b")
+    parser.add_argument("--requests", type=int, default=192)
+    parser.add_argument("--batch", type=int, default=None,
+                        help="single batch size (default: 16..128 sweep)")
+    parser.add_argument("--open-loop", action="store_true",
+                        help="open-loop replay with arrival times")
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    trace = generate_trace(
+        args.trace, num_requests=args.requests, seed=args.seed,
+        max_tokens=4096,
+    )
+    summary = trace_summary(trace)
+    print(f"trace {args.trace}: {summary['requests']} requests, "
+          f"mean input {summary['mean_input']:.0f} tokens, "
+          f"mean output {summary['mean_output']:.0f} tokens, "
+          f"arrival CV^2 {summary['arrival_cv2']:.2f}")
+
+    arch = get_model(args.model).arch
+    systems = systems_for_model(args.model)
+    batches = (args.batch,) if args.batch else (16, 32, 64, 128)
+
+    if args.open_loop:
+        table = TextTable(
+            ["system", "batch", "tok/s", "mean_lat_s", "p95_lat_s"]
+        )
+        for batch in batches:
+            for name in systems:
+                report = simulate_trace(
+                    get_system(name), arch, trace, batch
+                )
+                if report.oom:
+                    table.add_row([name, batch, "OOM", "-", "-"])
+                else:
+                    table.add_row([
+                        name, batch,
+                        f"{report.generation_throughput:.0f}",
+                        report.mean_latency_s,
+                        report.p95_latency_s,
+                    ])
+        print("\nopen-loop replay (continuous batching):")
+    else:
+        table = TextTable(["system", "batch", "tok/s"])
+        for batch in batches:
+            for name in systems:
+                report = simulate_synthesized_batches(
+                    get_system(name), arch, trace, batch
+                )
+                cell = (
+                    "OOM" if report.oom
+                    else f"{report.generation_throughput:.0f}"
+                )
+                table.add_row([name, batch, cell])
+        print("\nsynthesized closed batches (Figure 14 protocol):")
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

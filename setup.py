@@ -1,0 +1,11 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package.
+
+The environment is offline; pip's PEP 517 editable path requires
+``bdist_wheel`` which is unavailable, so this legacy shim lets
+``pip install -e . --no-use-pep517`` (and plain ``python setup.py
+develop``) install the package.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""KV-cache quantization baselines the paper compares against.
+
+Each baseline is a from-scratch implementation of the *KV-cache path* of
+the corresponding published system, at the 4-bit operating point the
+paper evaluates ("All quantization-based baselines employ 4-bit KV
+cache-only quantization"):
+
+=============  ==========================================================
+``fp16``       The unquantized original (vLLM's FP16 cache).
+``kvquant``    KVQuant: per-channel keys / per-token values with online
+               topK outlier isolation; outliers kept exact in a sparse
+               FP16 layout (highest fidelity, highest online cost).
+``kivi``       KIVI: per-channel grouped key quantization, per-token
+               values, and an FP16 residual window of recent tokens.
+``qserve``     QServe: SmoothQuant-style static channel equalization
+               followed by per-token group quantization.
+``atom``       Atom: calibrated channel reordering, then per-token
+               quantization over contiguous reordered channel groups.
+``tender``     Tender: magnitude-sorted channel groups with power-of-two
+               scale ratios enabling cheap implicit requantization.
+``oaken``      Oaken itself, adapted to the same interface.
+=============  ==========================================================
+
+All of them expose :class:`~repro.baselines.base.KVCacheQuantizer`:
+``fit`` on offline calibration samples, ``roundtrip`` a [T, D] matrix
+(the lossy transform attention sees), and ``footprint`` for storage
+accounting.  The hardware overhead each method pays online (sorting,
+reordering, mixed-precision math) is modelled separately in
+:mod:`repro.hardware.overheads`.
+"""
+
+from repro.baselines.atom import AtomQuantizer
+from repro.baselines.base import KVCacheQuantizer
+from repro.baselines.fp16 import FP16Baseline
+from repro.baselines.kivi import KIVIQuantizer
+from repro.baselines.kvquant import KVQuantQuantizer
+from repro.baselines.oaken_adapter import OakenKVQuantizer
+from repro.baselines.qserve import QServeQuantizer
+from repro.baselines.registry import (
+    BASELINE_NAMES,
+    available_methods,
+    create_method,
+)
+from repro.baselines.tender import TenderQuantizer
+
+__all__ = [
+    "AtomQuantizer",
+    "BASELINE_NAMES",
+    "FP16Baseline",
+    "KIVIQuantizer",
+    "KVCacheQuantizer",
+    "KVQuantQuantizer",
+    "OakenKVQuantizer",
+    "QServeQuantizer",
+    "TenderQuantizer",
+    "available_methods",
+    "create_method",
+]

@@ -1,0 +1,110 @@
+"""Common interface for all KV-cache quantization methods.
+
+The evaluation harness treats every method as a lossy transform on a
+token-major [T, D] matrix (one decoder layer's keys or values), with an
+optional offline calibration step.  Keys and values get independent
+quantizer instances because several methods treat them differently
+(KVQuant and KIVI quantize keys per channel but values per token).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.quant.metrics import StorageFootprint
+
+
+class KVCacheQuantizer(abc.ABC):
+    """Abstract lossy KV transform with storage accounting.
+
+    Attributes:
+        name: short method identifier (registry key).
+        tensor_kind: ``"key"`` or ``"value"`` — several methods pick a
+            different quantization axis per kind.
+    """
+
+    #: Registry key, overridden by subclasses.
+    name: str = "abstract"
+
+    #: Whether this method quantizes keys before rotary embedding
+    #: (KVQuant does; see KVTransformBundle.pre_rope_keys).
+    pre_rope_keys: bool = False
+
+    def __init__(self, tensor_kind: str = "key"):
+        if tensor_kind not in ("key", "value"):
+            raise ValueError(
+                f"tensor_kind must be 'key' or 'value', got {tensor_kind!r}"
+            )
+        self.tensor_kind = tensor_kind
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # calibration
+    # ------------------------------------------------------------------
+
+    def fit(self, samples: Sequence[np.ndarray]) -> "KVCacheQuantizer":
+        """Offline calibration on sample [T, D] tensors.
+
+        Methods without an offline phase (e.g. KIVI, which is
+        tuning-free) accept any input and ignore it.  Returns ``self``
+        for chaining.
+        """
+        self._calibrate(samples)
+        self._fitted = True
+        return self
+
+    def _calibrate(self, samples: Sequence[np.ndarray]) -> None:
+        """Subclass hook; default is calibration-free."""
+
+    @property
+    def requires_calibration(self) -> bool:
+        """Whether :meth:`fit` must run before :meth:`roundtrip`."""
+        return False
+
+    def _check_ready(self) -> None:
+        if self.requires_calibration and not self._fitted:
+            raise RuntimeError(
+                f"{self.name} requires fit() before quantization"
+            )
+
+    # ------------------------------------------------------------------
+    # the lossy transform
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        """Quantize then dequantize a [T, D] matrix.
+
+        This is the transform the attention computation observes when
+        reading the KV cache back from memory.
+        """
+
+    # ------------------------------------------------------------------
+    # storage accounting
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def footprint(self, values: np.ndarray) -> StorageFootprint:
+        """Bit-level storage accounting for ``values`` under this method."""
+
+    def effective_bitwidth(self, values: np.ndarray) -> float:
+        """Bits per element for ``values`` (Table 2's storage metric)."""
+        return self.footprint(values).effective_bitwidth
+
+    def analytic_bitwidth(self, dim: int, tokens: Optional[int] = None) -> float:
+        """Closed-form bits/element estimate at steady state.
+
+        Used by the hardware simulator for byte accounting without
+        materializing tensors.  The default evaluates :meth:`footprint`
+        on a standard-normal probe, which is exact for methods whose
+        footprint is data-independent.
+        """
+        probe_tokens = tokens if tokens is not None else 1024
+        rng = np.random.default_rng(1234)
+        probe = rng.standard_normal((probe_tokens, dim))
+        if self.requires_calibration and not self._fitted:
+            self.fit([probe])
+        return self.footprint(probe).effective_bitwidth

@@ -1,0 +1,30 @@
+"""The FP16 (no KV quantization) baseline — vLLM's storage layout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import KVCacheQuantizer
+from repro.quant.metrics import StorageFootprint
+
+
+class FP16Baseline(KVCacheQuantizer):
+    """Stores the KV cache exactly as IEEE half precision.
+
+    The only loss is the float32 -> float16 cast, which is what the
+    original serving systems (vLLM on A100) incur.
+    """
+
+    name = "fp16"
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(values))
+        return x.astype(np.float16).astype(np.float32)
+
+    def footprint(self, values: np.ndarray) -> StorageFootprint:
+        x = np.atleast_2d(np.asarray(values))
+        return StorageFootprint(
+            element_count=x.size,
+            dense_bits=float(x.size * 16),
+            breakdown={"dense_codes": float(x.size * 16)},
+        )

@@ -1,0 +1,63 @@
+"""Oaken adapted to the common baseline interface.
+
+Wraps :class:`repro.core.quantizer.OakenQuantizer` so the evaluation
+harness can sweep Oaken next to the baselines.  ``fit`` runs the offline
+threshold profiling; ``roundtrip`` runs the online path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import KVCacheQuantizer
+from repro.core.config import OakenConfig
+from repro.core.quantizer import OakenQuantizer
+from repro.core.thresholds import profile_thresholds
+from repro.quant.metrics import StorageFootprint
+
+
+class OakenKVQuantizer(KVCacheQuantizer):
+    """Oaken behind the :class:`KVCacheQuantizer` interface.
+
+    Args:
+        tensor_kind: ``"key"`` or ``"value"`` (Oaken treats both with
+            the same per-token algorithm but profiles them separately).
+        config: Oaken configuration; defaults to the paper's 4/90/6.
+    """
+
+    name = "oaken"
+
+    def __init__(
+        self,
+        tensor_kind: str = "key",
+        config: Optional[OakenConfig] = None,
+    ):
+        super().__init__(tensor_kind)
+        self.config = config if config is not None else OakenConfig()
+        self._quantizer: Optional[OakenQuantizer] = None
+
+    @property
+    def requires_calibration(self) -> bool:
+        return True
+
+    def _calibrate(self, samples: Sequence[np.ndarray]) -> None:
+        thresholds = profile_thresholds(samples, self.config)
+        self._quantizer = OakenQuantizer(self.config, thresholds)
+
+    @property
+    def quantizer(self) -> OakenQuantizer:
+        """The underlying fitted :class:`OakenQuantizer`."""
+        if self._quantizer is None:
+            raise RuntimeError("oaken requires fit() before quantization")
+        return self._quantizer
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        self._check_ready()
+        return self.quantizer.roundtrip(np.atleast_2d(values))
+
+    def footprint(self, values: np.ndarray) -> StorageFootprint:
+        self._check_ready()
+        encoded = self.quantizer.quantize(np.atleast_2d(values))
+        return encoded.footprint()

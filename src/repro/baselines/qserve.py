@@ -1,0 +1,127 @@
+"""QServe baseline (Lin et al., 2024) — KV4 path reimplementation.
+
+QServe quantizes the KV cache to 4 bits per token with *static channel
+equalization*: a SmoothQuant-style per-channel scaling computed offline
+from calibration data flattens the channel-magnitude disparity before a
+coarse per-token quantization.  There is no per-value outlier handling —
+that is why it is fast (no sorting, no sparse path, effective bitwidth
+~4.25) and why its accuracy trails the outlier-aware methods, which is
+the trade-off the Oaken paper highlights.
+
+Implementation:
+
+* ``fit`` computes per-channel equalization scales
+  ``s_d = max_t |x_td| ** alpha`` (alpha = 0.5, SmoothQuant's default
+  migration strength) from calibration tensors,
+* ``roundtrip`` divides by the scales, quantizes per token in channel
+  groups of ``group_size`` with asymmetric min/max, dequantizes, and
+  multiplies the scales back.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import KVCacheQuantizer
+from repro.quant.metrics import StorageFootprint
+
+
+class QServeQuantizer(KVCacheQuantizer):
+    """Statically equalized per-token group quantization.
+
+    Args:
+        tensor_kind: ``"key"`` or ``"value"`` (same treatment; the
+            equalization scales differ because they are fit per tensor).
+        bits: code bitwidth (4 in the paper's comparison).
+        group_size: channels per quantization group (QServe-style 128).
+        alpha: SmoothQuant migration strength in [0, 1].
+    """
+
+    name = "qserve"
+
+    def __init__(
+        self,
+        tensor_kind: str = "key",
+        bits: int = 4,
+        group_size: int = 128,
+        alpha: float = 0.5,
+    ):
+        super().__init__(tensor_kind)
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        self.bits = bits
+        self.group_size = group_size
+        self.alpha = alpha
+        self._scales: np.ndarray = np.ones(0)
+
+    @property
+    def requires_calibration(self) -> bool:
+        return True
+
+    def _calibrate(self, samples: Sequence[np.ndarray]) -> None:
+        maxima = None
+        for sample in samples:
+            x = np.atleast_2d(np.asarray(sample, dtype=np.float64))
+            channel_max = np.abs(x).max(axis=0)
+            maxima = (
+                channel_max
+                if maxima is None
+                else np.maximum(maxima, channel_max)
+            )
+        if maxima is None:
+            raise ValueError("QServe calibration needs at least one sample")
+        scales = np.power(np.maximum(maxima, 1e-8), self.alpha)
+        # Normalize so the average channel is unscaled.
+        self._scales = scales / np.exp(np.mean(np.log(scales)))
+
+    # ------------------------------------------------------------------
+
+    def _per_token_group_roundtrip(self, x: np.ndarray) -> np.ndarray:
+        tokens, dim = x.shape
+        out = np.empty_like(x)
+        levels = 2.0**self.bits - 1.0
+        for start in range(0, dim, self.group_size):
+            stop = min(start + self.group_size, dim)
+            block = x[:, start:stop]
+            lo = block.min(axis=1, keepdims=True)
+            hi = block.max(axis=1, keepdims=True)
+            span = np.maximum(hi - lo, 1e-12)
+            sigma = levels / span
+            codes = np.clip(np.round((block - lo) * sigma), 0, levels)
+            out[:, start:stop] = codes / sigma + lo
+        return out
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        self._check_ready()
+        x = np.atleast_2d(np.asarray(values, dtype=np.float64))
+        if self._scales.shape[0] != x.shape[1]:
+            raise ValueError(
+                f"calibrated for dim {self._scales.shape[0]}, "
+                f"got {x.shape[1]}"
+            )
+        equalized = x / self._scales[None, :]
+        restored = self._per_token_group_roundtrip(equalized)
+        return (restored * self._scales[None, :]).astype(np.float32)
+
+    def footprint(self, values: np.ndarray) -> StorageFootprint:
+        x = np.atleast_2d(np.asarray(values, dtype=np.float64))
+        tokens, dim = x.shape
+        dense_bits = float(x.size * self.bits)
+        groups_per_token = -(-dim // self.group_size)
+        # One (scale, zero) FP16 pair per token per group; the static
+        # channel-equalization vector is shared by the whole cache and
+        # is negligible, but we count it once.
+        metadata_bits = float(
+            tokens * groups_per_token * 2 * 16 + dim * 16
+        )
+        return StorageFootprint(
+            element_count=x.size,
+            dense_bits=dense_bits,
+            metadata_bits=metadata_bits,
+            breakdown={
+                "dense_codes": dense_bits,
+                "scales": metadata_bits,
+            },
+        )

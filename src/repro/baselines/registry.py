@@ -1,0 +1,65 @@
+"""Registry mapping method names to quantizer factories.
+
+The evaluation harness and the benchmarks refer to methods by the names
+used in the paper's tables (``fp16``, ``kvquant``, ``kivi``, ``qserve``,
+``atom``, ``tender``, ``oaken``); this module turns those names into
+per-tensor quantizer instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.baselines.atom import AtomQuantizer
+from repro.baselines.base import KVCacheQuantizer
+from repro.baselines.fp16 import FP16Baseline
+from repro.baselines.kivi import KIVIQuantizer
+from repro.baselines.kvquant import KVQuantQuantizer
+from repro.baselines.oaken_adapter import OakenKVQuantizer
+from repro.baselines.qserve import QServeQuantizer
+from repro.baselines.tender import TenderQuantizer
+
+_FACTORIES: Dict[str, Callable[[str], KVCacheQuantizer]] = {
+    "fp16": lambda kind: FP16Baseline(kind),
+    "kvquant": lambda kind: KVQuantQuantizer(kind),
+    "kivi": lambda kind: KIVIQuantizer(kind),
+    "qserve": lambda kind: QServeQuantizer(kind),
+    "atom": lambda kind: AtomQuantizer(kind),
+    "tender": lambda kind: TenderQuantizer(kind),
+    "oaken": lambda kind: OakenKVQuantizer(kind),
+}
+
+#: Method names in the order the paper's Table 2 lists them.
+BASELINE_NAMES: Tuple[str, ...] = (
+    "fp16",
+    "kvquant",
+    "kivi",
+    "tender",
+    "atom",
+    "qserve",
+    "oaken",
+)
+
+
+def available_methods() -> Tuple[str, ...]:
+    """All registered method names."""
+    return tuple(_FACTORIES)
+
+
+def create_method(name: str, tensor_kind: str = "key") -> KVCacheQuantizer:
+    """Instantiate a quantizer by registry name.
+
+    Args:
+        name: one of :func:`available_methods`.
+        tensor_kind: ``"key"`` or ``"value"``.
+
+    Returns:
+        A fresh, unfitted quantizer instance.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(tensor_kind)

@@ -1,0 +1,130 @@
+"""Tender baseline (Lee et al., 2024) — KV-cache path reimplementation.
+
+Tender decomposes a tensor along channels into groups whose calibrated
+scales are constrained to **powers of two of a shared base scale**.
+That constraint is the whole point of the design: rescaling between
+groups becomes a bit-shift, so accumulating across groups needs no
+floating-point requantization ("runtime requantization" via implicit
+shifts, with channels grouped by indirect indexing).
+
+The accuracy consequence — reproduced here — is the coarsest
+quantization of the compared methods: group scales can be off from the
+ideal by up to 2x (they are rounded to the nearest power of two), group
+boundaries are calibrated offline and shared across all tokens, and
+there is no outlier path at all.  This is why Tender shows the largest
+accuracy loss in Table 2, including occasional failures on MoE models
+(the paper reports NaN for Mixtral-8x7B).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import KVCacheQuantizer
+from repro.quant.metrics import StorageFootprint
+
+
+class TenderQuantizer(KVCacheQuantizer):
+    """Magnitude-grouped channels with power-of-two scale ratios.
+
+    Args:
+        tensor_kind: ``"key"`` or ``"value"``.
+        bits: code bitwidth (4 in the paper's comparison).
+        num_groups: number of channel decomposition groups.
+    """
+
+    name = "tender"
+
+    def __init__(
+        self,
+        tensor_kind: str = "key",
+        bits: int = 4,
+        num_groups: int = 8,
+    ):
+        super().__init__(tensor_kind)
+        if num_groups < 1:
+            raise ValueError("num_groups must be >= 1")
+        self.bits = bits
+        self.num_groups = num_groups
+        self._group_of_channel: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._group_scale: np.ndarray = np.zeros(0)
+
+    @property
+    def requires_calibration(self) -> bool:
+        return True
+
+    def _calibrate(self, samples: Sequence[np.ndarray]) -> None:
+        total = None
+        count = 0
+        for sample in samples:
+            x = np.atleast_2d(np.asarray(sample, dtype=np.float64))
+            mags = np.abs(x).max(axis=0)
+            total = mags if total is None else np.maximum(total, mags)
+            count += 1
+        if total is None:
+            raise ValueError("Tender calibration needs at least one sample")
+        dim = total.shape[0]
+        order = np.argsort(total)
+        groups = min(self.num_groups, dim)
+        # Equal-population channel groups in magnitude order (the
+        # indirect-indexing grouping), with a power-of-two scale ladder.
+        self._group_of_channel = np.zeros(dim, dtype=np.int64)
+        bounds = np.linspace(0, dim, groups + 1).astype(int)
+        base_scale = None
+        scales = np.zeros(groups)
+        for g in range(groups):
+            members = order[bounds[g]:bounds[g + 1]]
+            self._group_of_channel[members] = g
+            group_max = float(total[members].max()) if members.size else 1.0
+            group_max = max(group_max, 1e-8)
+            if base_scale is None:
+                base_scale = group_max
+                scales[g] = group_max
+            else:
+                # Scale ratios constrained to powers of two of the base.
+                exponent = np.round(np.log2(group_max / base_scale))
+                scales[g] = base_scale * 2.0**exponent
+        self._group_scale = scales
+
+    # ------------------------------------------------------------------
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        self._check_ready()
+        x = np.atleast_2d(np.asarray(values, dtype=np.float64))
+        if self._group_of_channel.shape[0] != x.shape[1]:
+            raise ValueError(
+                f"calibrated for dim {self._group_of_channel.shape[0]}, "
+                f"got {x.shape[1]}"
+            )
+        # Symmetric quantization with the static per-group scale: codes
+        # in [-(2^(b-1)-1), 2^(b-1)-1], scale fixed offline (this is
+        # what makes requantization a shift, and what loses accuracy).
+        half_levels = 2.0 ** (self.bits - 1) - 1.0
+        channel_scale = self._group_scale[self._group_of_channel]
+        step = channel_scale / half_levels
+        codes = np.clip(
+            np.round(x / step[None, :]), -half_levels, half_levels
+        )
+        return (codes * step[None, :]).astype(np.float32)
+
+    def footprint(self, values: np.ndarray) -> StorageFootprint:
+        x = np.atleast_2d(np.asarray(values, dtype=np.float64))
+        tokens, dim = x.shape
+        dense_bits = float(x.size * self.bits)
+        # Static metadata only: group membership (indirect index table,
+        # 16 bits/channel) + one FP16 scale and shift exponent per
+        # group.  Nothing scales with tokens, hence the low effective
+        # bitwidth (~4.07 in Table 2).
+        groups = min(self.num_groups, dim)
+        metadata_bits = float(dim * 16 + groups * (16 + 8))
+        return StorageFootprint(
+            element_count=x.size,
+            dense_bits=dense_bits,
+            metadata_bits=metadata_bits,
+            breakdown={
+                "dense_codes": dense_bits,
+                "static_tables": metadata_bits,
+            },
+        )

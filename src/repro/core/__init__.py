@@ -1,0 +1,71 @@
+"""Oaken's online-offline hybrid KV cache quantization (the paper's core).
+
+The algorithm (paper Section 4) has three components, each implemented in
+its own module:
+
+``thresholds``
+    Offline outlier-threshold profiling: topK statistics collected over
+    ~100 sample inferences are averaged into four (or more) per-layer
+    group thresholds.  Online, only threshold comparisons are needed —
+    no sorting.
+``grouping``
+    Splitting each per-token KV vector into outer / middle / inner
+    quantization groups using the offline thresholds (Eq. 1), with
+    support for the generalized multi-band configurations of Table 3.
+``quantizer``
+    Group-shift quantization (Eq. 4): outer and middle groups are
+    shifted by their thresholds into a narrow range around zero, then
+    uniformly quantized (middle: 4-bit dense codes, outlier bands:
+    5-bit = 1 side bit + 4 magnitude bits).
+``encoding``
+    Fused dense-and-sparse encoding: outliers zero their dense slot and
+    re-use those 4 bits for the low bits of the outlier code; an 8-bit
+    aligned COO record stores the 6-bit index, group bit(s), and the
+    remaining code bit.
+``kvcache``
+    A paged, per-layer quantized KV cache built on the quantizer,
+    mirroring what the hardware MMU manages.
+
+Typical use::
+
+    from repro.core import OakenConfig, OakenQuantizer, OfflineProfiler
+
+    profiler = OfflineProfiler(OakenConfig())
+    for sample in calibration_batches:
+        profiler.observe(sample)          # [tokens, kv_dim] float array
+    quantizer = OakenQuantizer(OakenConfig(), profiler.finalize())
+    encoded = quantizer.quantize(kv)      # online, threshold-only
+    restored = quantizer.dequantize(encoded)
+"""
+
+from repro.core.config import OakenConfig
+from repro.core.encoding import EncodedKV, sparse_record_bits
+from repro.core.grouping import GroupPartition, GroupThresholds, assign_groups
+from repro.core.kvcache import LayerKVCache, QuantizedKVCache
+from repro.core.persistence import load_profile, save_profile
+from repro.core.quantizer import OakenQuantizer
+from repro.core.serialization import (
+    deserialize,
+    serialize,
+    serialized_nbytes,
+)
+from repro.core.thresholds import OfflineProfiler, profile_thresholds
+
+__all__ = [
+    "EncodedKV",
+    "GroupPartition",
+    "GroupThresholds",
+    "LayerKVCache",
+    "OakenConfig",
+    "OakenQuantizer",
+    "OfflineProfiler",
+    "QuantizedKVCache",
+    "assign_groups",
+    "deserialize",
+    "load_profile",
+    "profile_thresholds",
+    "save_profile",
+    "serialize",
+    "serialized_nbytes",
+    "sparse_record_bits",
+]

@@ -1,0 +1,155 @@
+"""Fused dense-and-sparse encoding (paper Section 4.5).
+
+Prior dense-and-sparse schemes store each outlier as a full-precision
+sparse entry: 16 value bits + 6 index bits + 1 group bit = 23 bits.
+Oaken's fused encoding observes that after an outlier is removed from
+the dense matrix its 4-bit dense slot is zeroed and *unused*, so the low
+4 bits of the quantized 5-bit outlier code are embedded there.  The
+sparse COO record then only needs 6 index bits, group bit(s), and the
+one remaining code bit ("sign" bit) — 8 bits, byte-aligned, which is
+what lets the MMU manage sparse pages with fixed-width entries.
+
+:class:`EncodedKV` is the in-memory equivalent of what the hardware
+writes to device memory, and :func:`sparse_record_bits` /
+:func:`EncodedKV.footprint` reproduce the paper's effective-bitwidth
+accounting (Table 2 bottom rows and Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import OakenConfig
+from repro.core.grouping import GroupThresholds
+from repro.quant.metrics import StorageFootprint
+
+
+def sparse_record_bits(config: OakenConfig) -> int:
+    """Bits per sparse COO record, after alignment padding.
+
+    Fused encoding: ``index_bits + group_id_bits + record_code_bits``
+    rounded up to a multiple of 8, where ``record_code_bits`` is the
+    part of the outlier code that does not fit in the 4-bit dense slot
+    (1 bit for 5-bit outliers, 0 for 4-bit outliers).  This reproduces
+    Table 3's accounting: the 3-group/5-bit default is 6+1+1 = 8 bits;
+    4..5-group/5-bit configurations need 2 group bits, giving 9 bits
+    padded to 16; 4-bit outliers drop back to 8.
+
+    Naive (non-fused) encoding: a full 16-bit value plus index and group
+    bits — the 23-bit records of prior work.
+    """
+    if config.fused_encoding:
+        code_bits = max(0, config.outlier_bits - config.inlier_bits)
+        raw = config.index_bits + config.group_id_bits + code_bits
+        return ((raw + 7) // 8) * 8
+    return 16 + config.index_bits + config.group_id_bits
+
+
+@dataclass
+class EncodedKV:
+    """A quantized [T, D] KV tensor in Oaken's storage layout.
+
+    Token-major: row ``t`` is the KV vector of token ``t`` (the paper
+    quantizes per token, over the newly generated key/value vector).
+
+    Attributes:
+        config: the quantizer configuration that produced this tensor.
+        thresholds: the offline thresholds used for grouping/shifting.
+        shape: original (T, D).
+        dense_codes: [T, D] uint8; middle-group codes, with outlier
+            slots holding the fused low bits of their outlier code (or
+            zero when fused encoding is off).
+        middle_lo / middle_hi: [T] float32 per-token middle-group scale
+            bounds (stored as FP16-rounded values, like the hardware).
+        band_lo / band_hi: [T, num_sparse_bands] float32 per-token
+            per-band magnitude scale bounds.
+        sparse_token / sparse_pos / sparse_band: flat int arrays, one
+            entry per outlier, in (token, position) stream order — the
+            COO payload.
+        sparse_extra: per-outlier record code bits (the "sign" bit for
+            5-bit outliers; unused for 4-bit).
+        sparse_side: per-outlier side flag (True = positive side of the
+            band).  Physically this is carried by ``sparse_extra`` or
+            the fused nibble; kept explicit here for clarity.
+        sparse_mag_code: per-outlier magnitude code (the fused nibble's
+            payload plus any record bits, already assembled).
+        sparse_fp16: exact FP16 outlier values when fused encoding is
+            disabled (the 23-bit naive layout); ``None`` otherwise.
+    """
+
+    config: OakenConfig
+    thresholds: GroupThresholds
+    shape: tuple
+    dense_codes: np.ndarray
+    middle_lo: np.ndarray
+    middle_hi: np.ndarray
+    band_lo: np.ndarray
+    band_hi: np.ndarray
+    sparse_token: np.ndarray
+    sparse_pos: np.ndarray
+    sparse_band: np.ndarray
+    sparse_side: np.ndarray
+    sparse_mag_code: np.ndarray
+    sparse_fp16: Optional[np.ndarray] = None
+    _cached_footprint: Optional[StorageFootprint] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def num_tokens(self) -> int:
+        return self.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.shape[1]
+
+    @property
+    def num_outliers(self) -> int:
+        return int(self.sparse_token.size)
+
+    def outliers_of_token(self, token: int) -> np.ndarray:
+        """Indices into the sparse arrays belonging to ``token``."""
+        return np.nonzero(self.sparse_token == token)[0]
+
+    def footprint(self) -> StorageFootprint:
+        """Bit-exact storage accounting (the Table 2/3 metric).
+
+        Dense bits cover every element at ``inlier_bits``; sparse bits
+        cover one aligned record per outlier; metadata bits cover the
+        per-token per-group FP16 scale bounds (2 scalars for the middle
+        group plus 2 per sparse band).
+        """
+        if self._cached_footprint is not None:
+            return self._cached_footprint
+        elements = self.num_tokens * self.dim
+        dense_bits = float(elements * self.config.inlier_bits)
+        record = sparse_record_bits(self.config)
+        sparse_bits = float(self.num_outliers * record)
+        scalars_per_token = 2 + 2 * self.config.num_sparse_bands
+        metadata_bits = float(
+            self.num_tokens * scalars_per_token * self.config.scale_bits
+        )
+        footprint = StorageFootprint(
+            element_count=elements,
+            dense_bits=dense_bits,
+            sparse_bits=sparse_bits,
+            metadata_bits=metadata_bits,
+            breakdown={
+                "dense_codes": dense_bits,
+                "sparse_records": sparse_bits,
+                "scales": metadata_bits,
+            },
+        )
+        self._cached_footprint = footprint
+        return footprint
+
+    def effective_bitwidth(self) -> float:
+        """Bits per original element including scale metadata."""
+        return self.footprint().effective_bitwidth
+
+    def nbytes(self) -> float:
+        """Total storage in bytes."""
+        return self.footprint().total_bytes

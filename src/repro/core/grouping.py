@@ -1,0 +1,218 @@
+"""Group assignment from offline thresholds (paper Eq. 1, generalized).
+
+Oaken separates each per-token KV vector into one dense *middle* group
+and a set of sparse bands:
+
+* **outer bands** hold the largest-magnitude values.  Band ``j`` lies
+  between two two-sided value quantiles; the outermost band is the most
+  extreme tail mass.  Each band's inner edge (``lo_j``, ``hi_j``) doubles
+  as its group-shift offset.
+* **inner bands** hold the smallest-magnitude values around zero,
+  delimited by magnitude quantiles.  The innermost band touches zero and
+  needs no shift.
+
+With a single outer and a single inner band this degenerates exactly to
+Eq. 1 of the paper with thresholds (T_lo_outer, T_lo_inner, T_hi_inner,
+T_hi_outer); the generalization covers the Table 3 group-count ablation.
+
+Online group assignment is a handful of vectorized threshold
+comparisons — this is the whole point of the offline-online hybrid: the
+expensive topK/sort happens offline, the online path is O(n) compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: Group id of the dense middle group in partition label arrays.
+MIDDLE_GROUP = -1
+
+
+@dataclass(frozen=True)
+class GroupThresholds:
+    """Offline-profiled thresholds for one (layer, tensor-kind) pair.
+
+    Attributes:
+        outer_lo: per-band lower (negative-side) value thresholds,
+            outermost band first.  ``outer_lo[j]`` is the inner edge of
+            outer band ``j`` on the negative side.
+        outer_hi: per-band upper (positive-side) value thresholds,
+            outermost band first.
+        inner_mag: per-band magnitude boundaries, ordered from the band
+            adjacent to the middle group down to the innermost band.
+            ``inner_mag[j]`` is the *outer* magnitude edge of inner band
+            ``j``; the inner edge is ``inner_mag[j + 1]`` (0 for the
+            innermost band).
+    """
+
+    outer_lo: Tuple[float, ...]
+    outer_hi: Tuple[float, ...]
+    inner_mag: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.outer_lo) != len(self.outer_hi):
+            raise ValueError("outer_lo and outer_hi must align")
+        # Outer thresholds widen monotonically from band 0 outward:
+        # lo_0 <= lo_1 <= ... is false -- outermost first means
+        # lo_0 is the MOST extreme: lo_0 <= lo_1 <= ... <= 0.
+        for j in range(1, len(self.outer_lo)):
+            if self.outer_lo[j] < self.outer_lo[j - 1]:
+                raise ValueError("outer_lo must be non-decreasing")
+            if self.outer_hi[j] > self.outer_hi[j - 1]:
+                raise ValueError("outer_hi must be non-increasing")
+        for j in range(1, len(self.inner_mag)):
+            if self.inner_mag[j] > self.inner_mag[j - 1]:
+                raise ValueError("inner_mag must be non-increasing")
+        if self.inner_mag and self.inner_mag[0] < 0:
+            raise ValueError("inner magnitudes must be non-negative")
+
+    @property
+    def num_outer_bands(self) -> int:
+        return len(self.outer_lo)
+
+    @property
+    def num_inner_bands(self) -> int:
+        return len(self.inner_mag)
+
+    @property
+    def num_sparse_bands(self) -> int:
+        return self.num_outer_bands + self.num_inner_bands
+
+    def as_eq1_tuple(self) -> Tuple[float, float, float, float]:
+        """Return (T_lo_outer, T_lo_inner, T_hi_inner, T_hi_outer).
+
+        Only defined for the paper's canonical single-outer,
+        single-inner configuration.
+        """
+        if self.num_outer_bands != 1 or self.num_inner_bands != 1:
+            raise ValueError(
+                "Eq. 1 tuple only exists for the 3-group configuration"
+            )
+        return (
+            self.outer_lo[0],
+            -self.inner_mag[0],
+            self.inner_mag[0],
+            self.outer_hi[0],
+        )
+
+    def band_shift_edges(self, band: int) -> Tuple[float, float]:
+        """Signed (negative-side, positive-side) shift offsets of a band.
+
+        Outer band ``j`` shifts positive values by ``outer_hi[j]`` and
+        negative values by ``outer_lo[j]``.  Inner band ``j`` shifts by
+        its *inner* magnitude edge (the boundary closer to zero), which
+        is 0 for the innermost band.
+        """
+        if band < 0 or band >= self.num_sparse_bands:
+            raise IndexError(f"band {band} out of range")
+        if band < self.num_outer_bands:
+            return (self.outer_lo[band], self.outer_hi[band])
+        inner_index = band - self.num_outer_bands
+        if inner_index + 1 < self.num_inner_bands:
+            edge = self.inner_mag[inner_index + 1]
+        else:
+            edge = 0.0
+        return (-edge, edge)
+
+    def middle_shift_edges(self) -> Tuple[float, float]:
+        """Group-shift offsets of the middle group.
+
+        The middle group shifts toward zero by the outermost inner-band
+        magnitude edge (``T_i_lo`` / ``T_i_hi`` in the paper); with no
+        inner bands the middle group touches zero and needs no shift.
+        """
+        if self.num_inner_bands:
+            edge = self.inner_mag[0]
+            return (-edge, edge)
+        return (0.0, 0.0)
+
+
+@dataclass
+class GroupPartition:
+    """Result of assigning every element of a [T, D] tensor to a group.
+
+    Attributes:
+        labels: int array of shape [T, D]; ``MIDDLE_GROUP`` (-1) marks
+            the dense middle group, values ``0..num_sparse_bands-1``
+            name sparse bands (outer bands first, outermost = 0).
+        thresholds: the thresholds the assignment was derived from.
+    """
+
+    labels: np.ndarray
+    thresholds: GroupThresholds
+
+    def band_mask(self, band: int) -> np.ndarray:
+        """Boolean mask of elements in sparse band ``band``."""
+        return self.labels == band
+
+    @property
+    def middle_mask(self) -> np.ndarray:
+        """Boolean mask of dense middle-group elements."""
+        return self.labels == MIDDLE_GROUP
+
+    @property
+    def outlier_mask(self) -> np.ndarray:
+        """Boolean mask of all sparse-path elements."""
+        return self.labels != MIDDLE_GROUP
+
+    def outlier_fraction(self) -> float:
+        """Observed fraction of values routed to the sparse path."""
+        if self.labels.size == 0:
+            return 0.0
+        return float(np.mean(self.outlier_mask))
+
+    def band_counts(self) -> np.ndarray:
+        """Element count per sparse band."""
+        bands = self.thresholds.num_sparse_bands
+        counts = np.zeros(bands, dtype=np.int64)
+        for band in range(bands):
+            counts[band] = int(np.count_nonzero(self.labels == band))
+        return counts
+
+
+def assign_groups(
+    values: np.ndarray, thresholds: GroupThresholds
+) -> GroupPartition:
+    """Assign each element of ``values`` to its quantization group.
+
+    This is the online half of the hybrid scheme: pure threshold
+    comparisons, no sorting (the paper's decomposer module).
+
+    Args:
+        values: float array of shape [T, D] (token-major KV rows).
+        thresholds: offline-profiled group thresholds.
+
+    Returns:
+        A :class:`GroupPartition` labelling every element.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    labels = np.full(x.shape, MIDDLE_GROUP, dtype=np.int8)
+
+    # Outer bands, outermost first.  Band j owns values beyond its inner
+    # edge that were not claimed by a more extreme band.
+    claimed = np.zeros(x.shape, dtype=bool)
+    for band in range(thresholds.num_outer_bands):
+        lo = thresholds.outer_lo[band]
+        hi = thresholds.outer_hi[band]
+        in_band = ((x > hi) | (x < lo)) & ~claimed
+        labels[in_band] = band
+        claimed |= in_band
+
+    # Inner bands: nested magnitude shells around zero.  Band j (offset
+    # by the outer band count) owns |x| <= inner_mag[j] not claimed by a
+    # band closer to zero; iterate innermost first so shells nest.
+    magnitude = np.abs(x)
+    inner_claimed = np.zeros(x.shape, dtype=bool)
+    for j in range(thresholds.num_inner_bands - 1, -1, -1):
+        band = thresholds.num_outer_bands + j
+        in_shell = (magnitude <= thresholds.inner_mag[j]) & ~inner_claimed
+        # Values already placed in an outer band stay there (can only
+        # happen with pathological overlapping thresholds).
+        in_shell &= ~claimed
+        labels[in_shell] = band
+        inner_claimed |= in_shell
+
+    return GroupPartition(labels=labels, thresholds=thresholds)

@@ -1,0 +1,165 @@
+"""Paged quantized KV cache built on the Oaken quantizer.
+
+This is the software twin of what the accelerator's MMU manages: per
+layer, keys and values are appended token by token (or in prefill-sized
+chunks), stored in Oaken's encoded layout, and read back (dequantized)
+for attention.  The serving simulator uses the byte accounting; the
+model substrate uses the reconstruction path.
+
+The cache is append-only within a sequence, mirroring autoregressive
+generation: ``append`` quantizes only newly generated vectors ("Oaken
+performs per-token quantization ... focusing only on the key-value
+vector newly generated in each attention layer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import OakenConfig
+from repro.core.encoding import EncodedKV
+from repro.core.quantizer import OakenQuantizer
+
+
+@dataclass
+class LayerKVCache:
+    """Quantized keys and values of one decoder layer for one sequence.
+
+    Attributes:
+        key_quantizer: Oaken quantizer fitted for this layer's keys.
+        value_quantizer: Oaken quantizer fitted for this layer's values.
+    """
+
+    key_quantizer: OakenQuantizer
+    value_quantizer: OakenQuantizer
+    _key_chunks: List[EncodedKV] = field(default_factory=list)
+    _value_chunks: List[EncodedKV] = field(default_factory=list)
+    _length: int = 0
+
+    @property
+    def length(self) -> int:
+        """Number of cached token positions."""
+        return self._length
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Quantize and append newly generated KV rows.
+
+        Args:
+            keys: [t, D] new key vectors (t >= 1).
+            values: [t, D] new value vectors, same shape as ``keys``.
+        """
+        keys = np.atleast_2d(keys)
+        values = np.atleast_2d(values)
+        if keys.shape != values.shape:
+            raise ValueError(
+                f"key/value shape mismatch: {keys.shape} vs {values.shape}"
+            )
+        self._key_chunks.append(self.key_quantizer.quantize(keys))
+        self._value_chunks.append(self.value_quantizer.quantize(values))
+        self._length += keys.shape[0]
+
+    def read(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Dequantize the full cached (keys, values) history.
+
+        Returns:
+            ``(keys, values)`` float32 arrays of shape [length, D].
+        """
+        if not self._key_chunks:
+            raise RuntimeError("cache is empty")
+        keys = np.concatenate(
+            [self.key_quantizer.dequantize(c) for c in self._key_chunks]
+        )
+        values = np.concatenate(
+            [self.value_quantizer.dequantize(c) for c in self._value_chunks]
+        )
+        return keys, values
+
+    def nbytes(self) -> float:
+        """Total encoded storage of this layer's cache in bytes."""
+        total = 0.0
+        for chunk in self._key_chunks + self._value_chunks:
+            total += chunk.nbytes()
+        return total
+
+    def effective_bitwidth(self) -> float:
+        """Observed bits/element across all cached chunks."""
+        elements = 0
+        bits = 0.0
+        for chunk in self._key_chunks + self._value_chunks:
+            fp = chunk.footprint()
+            elements += fp.element_count
+            bits += fp.total_bits
+        if elements == 0:
+            return 0.0
+        return bits / elements
+
+
+class QuantizedKVCache:
+    """Whole-model quantized KV cache: one :class:`LayerKVCache` per layer.
+
+    Args:
+        key_quantizers: per-layer key quantizers (index = layer).
+        value_quantizers: per-layer value quantizers.
+    """
+
+    def __init__(
+        self,
+        key_quantizers: List[OakenQuantizer],
+        value_quantizers: List[OakenQuantizer],
+    ):
+        if len(key_quantizers) != len(value_quantizers):
+            raise ValueError("need one key and one value quantizer per layer")
+        self.layers: List[LayerKVCache] = [
+            LayerKVCache(key_quantizer=kq, value_quantizer=vq)
+            for kq, vq in zip(key_quantizers, value_quantizers)
+        ]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def length(self) -> int:
+        """Cached sequence length (identical across layers)."""
+        if not self.layers:
+            return 0
+        return self.layers[0].length
+
+    def append(
+        self, layer: int, keys: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Append new KV rows to ``layer``'s cache."""
+        self.layers[layer].append(keys, values)
+
+    def read(self, layer: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Dequantized (keys, values) history of ``layer``."""
+        return self.layers[layer].read()
+
+    def nbytes(self) -> float:
+        """Total encoded bytes across all layers."""
+        return sum(layer.nbytes() for layer in self.layers)
+
+    def effective_bitwidth(self) -> float:
+        """Storage-weighted bits/element across all layers."""
+        elements = 0
+        bits = 0.0
+        for layer in self.layers:
+            for chunk in layer._key_chunks + layer._value_chunks:
+                fp = chunk.footprint()
+                elements += fp.element_count
+                bits += fp.total_bits
+        if elements == 0:
+            return 0.0
+        return bits / elements
+
+    def summary(self) -> Dict[str, float]:
+        """Small reporting dict used by examples and benchmarks."""
+        return {
+            "layers": float(self.num_layers),
+            "tokens": float(self.length),
+            "bytes": self.nbytes(),
+            "effective_bitwidth": self.effective_bitwidth(),
+        }

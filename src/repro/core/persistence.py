@@ -1,0 +1,129 @@
+"""JSON persistence for offline profiling artifacts.
+
+The offline phase produces two deployment artifacts: the configuration
+and the per-layer per-tensor thresholds.  The paper's flow profiles
+once per model ("the overhead is negligible" because it is one-time);
+persisting the result is what makes it one-time.  The format is plain
+JSON so the artifacts are diffable and auditable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Tuple
+
+from repro.core.config import OakenConfig
+from repro.core.grouping import GroupThresholds
+
+#: Format tag embedded in every profile document.
+FORMAT = "oaken-profile-v1"
+
+
+def config_to_dict(config: OakenConfig) -> dict:
+    """Plain-dict form of a configuration."""
+    return {
+        "outer_ratios": list(config.outer_ratios),
+        "middle_ratio": config.middle_ratio,
+        "inner_ratios": list(config.inner_ratios),
+        "inlier_bits": config.inlier_bits,
+        "outlier_bits": config.outlier_bits,
+        "group_shift": config.group_shift,
+        "fused_encoding": config.fused_encoding,
+        "index_bits": config.index_bits,
+        "scale_bits": config.scale_bits,
+        "profile_samples": config.profile_samples,
+    }
+
+
+def config_from_dict(data: dict) -> OakenConfig:
+    """Inverse of :func:`config_to_dict`."""
+    return OakenConfig(
+        outer_ratios=tuple(data["outer_ratios"]),
+        middle_ratio=data["middle_ratio"],
+        inner_ratios=tuple(data["inner_ratios"]),
+        inlier_bits=data["inlier_bits"],
+        outlier_bits=data["outlier_bits"],
+        group_shift=data["group_shift"],
+        fused_encoding=data["fused_encoding"],
+        index_bits=data["index_bits"],
+        scale_bits=data["scale_bits"],
+        profile_samples=data["profile_samples"],
+    )
+
+
+def thresholds_to_dict(thresholds: GroupThresholds) -> dict:
+    """Plain-dict form of one threshold set."""
+    return {
+        "outer_lo": list(thresholds.outer_lo),
+        "outer_hi": list(thresholds.outer_hi),
+        "inner_mag": list(thresholds.inner_mag),
+    }
+
+
+def thresholds_from_dict(data: dict) -> GroupThresholds:
+    """Inverse of :func:`thresholds_to_dict`."""
+    return GroupThresholds(
+        outer_lo=tuple(data["outer_lo"]),
+        outer_hi=tuple(data["outer_hi"]),
+        inner_mag=tuple(data["inner_mag"]),
+    )
+
+
+def save_profile(
+    config: OakenConfig,
+    layer_thresholds: Dict[Tuple[int, str], GroupThresholds],
+    model_name: str = "",
+) -> str:
+    """Serialize a whole model's offline profile to a JSON string.
+
+    Args:
+        config: the configuration profiled for.
+        layer_thresholds: (layer index, "key"|"value") -> thresholds.
+        model_name: optional model identifier.
+
+    Returns:
+        JSON text.
+    """
+    entries = []
+    for (layer, kind), thresholds in sorted(layer_thresholds.items()):
+        if kind not in ("key", "value"):
+            raise ValueError(f"bad tensor kind {kind!r}")
+        entries.append(
+            {
+                "layer": layer,
+                "kind": kind,
+                "thresholds": thresholds_to_dict(thresholds),
+            }
+        )
+    return json.dumps(
+        {
+            "format": FORMAT,
+            "model": model_name,
+            "config": config_to_dict(config),
+            "layers": entries,
+        },
+        indent=2,
+    )
+
+
+def load_profile(
+    text: str,
+) -> Tuple[OakenConfig, Dict[Tuple[int, str], GroupThresholds], str]:
+    """Inverse of :func:`save_profile`.
+
+    Returns:
+        ``(config, layer_thresholds, model_name)``.
+    """
+    data = json.loads(text)
+    if data.get("format") != FORMAT:
+        raise ValueError(
+            f"not an oaken profile (format={data.get('format')!r})"
+        )
+    config = config_from_dict(data["config"])
+    thresholds = {
+        (entry["layer"], entry["kind"]): thresholds_from_dict(
+            entry["thresholds"]
+        )
+        for entry in data["layers"]
+    }
+    return config, thresholds, data.get("model", "")

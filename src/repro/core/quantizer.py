@@ -1,0 +1,314 @@
+"""Oaken's group-shift quantizer (paper Sections 4.3-4.5, Eq. 4).
+
+The quantizer combines the three algorithmic components:
+
+1. values are partitioned into groups with offline thresholds
+   (:mod:`repro.core.grouping`),
+2. the outer and middle groups are *group-shifted* by their thresholds
+   so each group spans a narrow range near zero, then uniformly
+   quantized with online per-token min/max scales
+   (:mod:`repro.quant.uniform`),
+3. the result is laid out with the fused dense-and-sparse encoding
+   (:mod:`repro.core.encoding`).
+
+Outlier codes are ``outlier_bits`` wide and decompose into one *side*
+bit (which side of the band the value came from — positive or negative)
+plus ``outlier_bits - 1`` magnitude bits.  Group-shift turns each band
+into a non-negative magnitude distribution starting at zero, so the
+side bit fully disambiguates reconstruction: there is no sign-recovery
+ambiguity even for values just past a threshold.  The dense middle
+group has no spare bit, so its (small, near-zero) shift is recovered
+from the sign of the reconstructed shifted value; the worst-case error
+of that recovery is bounded by the inner threshold, which is by
+construction one of the smallest magnitudes in the tensor.
+
+Everything here is vectorized over a [T, D] token-major matrix; the
+per-token semantics are identical to quantizing each newly generated
+KV vector as it streams out of the attention layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import OakenConfig
+from repro.core.encoding import EncodedKV, sparse_record_bits
+from repro.core.grouping import (
+    GroupThresholds,
+    assign_groups,
+)
+from repro.core.thresholds import profile_thresholds
+
+#: Guard below which a quantization range is treated as degenerate.
+_EPS = 1e-12
+
+
+def _fp16_round(values: np.ndarray) -> np.ndarray:
+    """Round scale scalars to FP16 precision, as the hardware stores them."""
+    return np.asarray(values, dtype=np.float16).astype(np.float64)
+
+
+def _rowwise_encode(
+    shifted: np.ndarray,
+    mask: np.ndarray,
+    bits: int,
+) -> tuple:
+    """Per-row uniform quantization of ``shifted`` restricted to ``mask``.
+
+    Returns ``(codes, lo, hi)`` where ``codes`` is a full [T, D] uint8
+    matrix (garbage outside ``mask``), and ``lo`` / ``hi`` are the
+    FP16-rounded per-row scale bounds.
+    """
+    lo = np.min(np.where(mask, shifted, np.inf), axis=1)
+    hi = np.max(np.where(mask, shifted, -np.inf), axis=1)
+    empty = ~mask.any(axis=1)
+    lo = np.where(empty, 0.0, lo)
+    hi = np.where(empty, 0.0, hi)
+    lo = _fp16_round(lo)
+    hi = _fp16_round(hi)
+    span = hi - lo
+    sigma = np.where(span > _EPS, (2.0**bits - 1.0) / np.maximum(span, _EPS), 1.0)
+    codes = np.round((shifted - lo[:, None]) * sigma[:, None])
+    codes = np.clip(codes, 0, 2**bits - 1).astype(np.uint8)
+    return codes, lo, hi
+
+
+def _rowwise_decode(
+    codes: np.ndarray, lo: np.ndarray, hi: np.ndarray, bits: int
+) -> np.ndarray:
+    """Inverse of :func:`_rowwise_encode` over the full matrix."""
+    span = hi - lo
+    sigma = np.where(span > _EPS, (2.0**bits - 1.0) / np.maximum(span, _EPS), 1.0)
+    return codes.astype(np.float64) / sigma[:, None] + lo[:, None]
+
+
+class OakenQuantizer:
+    """Quantize/dequantize per-token KV vectors with Oaken's algorithm.
+
+    Args:
+        config: algorithm hyper-parameters (group ratios, bitwidths,
+            feature toggles).
+        thresholds: offline-profiled group thresholds for the tensor
+            this quantizer will serve (one quantizer per layer per
+            key/value tensor, per Observation 1).
+    """
+
+    def __init__(self, config: OakenConfig, thresholds: GroupThresholds):
+        if thresholds.num_outer_bands != config.num_outer_bands:
+            raise ValueError(
+                "thresholds have a different outer band count than config"
+            )
+        if thresholds.num_inner_bands != config.num_inner_bands:
+            raise ValueError(
+                "thresholds have a different inner band count than config"
+            )
+        self.config = config
+        self.thresholds = thresholds
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Sequence[np.ndarray],
+        config: Optional[OakenConfig] = None,
+    ) -> "OakenQuantizer":
+        """Profile thresholds offline from samples and build a quantizer."""
+        cfg = config if config is not None else OakenConfig()
+        return cls(cfg, profile_thresholds(samples, cfg))
+
+    # ------------------------------------------------------------------
+    # quantization
+    # ------------------------------------------------------------------
+
+    def quantize(self, values: np.ndarray) -> EncodedKV:
+        """Quantize a [T, D] token-major KV matrix.
+
+        Args:
+            values: float array; each row is one token's key or value
+                vector.
+
+        Returns:
+            The :class:`~repro.core.encoding.EncodedKV` storage layout.
+        """
+        x = np.atleast_2d(np.asarray(values, dtype=np.float64))
+        if x.ndim != 2:
+            raise ValueError(f"expected a [T, D] matrix, got shape {x.shape}")
+        cfg = self.config
+        thr = self.thresholds
+        partition = assign_groups(x, thr)
+        labels = partition.labels
+
+        # --- dense middle group -------------------------------------------------
+        mid_lo_edge, mid_hi_edge = thr.middle_shift_edges()
+        if cfg.group_shift:
+            shifted_mid = np.where(x > 0, x - mid_hi_edge, x - mid_lo_edge)
+        else:
+            shifted_mid = x
+        middle_mask = partition.middle_mask
+        dense_codes, middle_lo, middle_hi = _rowwise_encode(
+            shifted_mid, middle_mask, cfg.inlier_bits
+        )
+        dense_codes = np.where(middle_mask, dense_codes, 0).astype(np.uint8)
+
+        # --- sparse bands -------------------------------------------------------
+        num_bands = cfg.num_sparse_bands
+        tokens = x.shape[0]
+        band_lo = np.zeros((tokens, num_bands), dtype=np.float64)
+        band_hi = np.zeros((tokens, num_bands), dtype=np.float64)
+        mag_bits = cfg.outlier_bits - 1
+        # Per-element magnitude code and side flag, defined on band slots.
+        mag_code_matrix = np.zeros(x.shape, dtype=np.uint8)
+        side_matrix = np.zeros(x.shape, dtype=bool)
+        for band in range(num_bands):
+            mask = labels == band
+            lo_edge, hi_edge = thr.band_shift_edges(band)
+            if cfg.group_shift:
+                magnitude = np.where(x > 0, x - hi_edge, lo_edge - x)
+                side = x > 0
+            else:
+                # Ablation: quantize raw band values; "side" carries the
+                # code MSB instead of a geometric side.
+                magnitude = x
+                side = np.zeros(x.shape, dtype=bool)
+            bits = mag_bits if cfg.group_shift else cfg.outlier_bits
+            codes, lo, hi = _rowwise_encode(magnitude, mask, bits)
+            band_lo[:, band] = lo
+            band_hi[:, band] = hi
+            mag_code_matrix = np.where(mask, codes, mag_code_matrix)
+            side_matrix = np.where(mask, side, side_matrix)
+
+        # --- COO stream ---------------------------------------------------------
+        outlier_mask = partition.outlier_mask
+        sparse_token, sparse_pos = np.nonzero(outlier_mask)
+        sparse_band = labels[sparse_token, sparse_pos].astype(np.int16)
+        sparse_side = side_matrix[sparse_token, sparse_pos]
+        sparse_mag = mag_code_matrix[sparse_token, sparse_pos]
+
+        sparse_fp16 = None
+        if cfg.fused_encoding:
+            # Embed the low `inlier_bits` of each outlier code into its
+            # zeroed dense slot.  For 5-bit outliers that is the full
+            # 4-bit magnitude; the side bit travels in the COO record.
+            # For 4-bit outliers the side bit rides in the nibble too.
+            if cfg.group_shift:
+                full_code = (
+                    sparse_side.astype(np.uint16) << mag_bits
+                ) | sparse_mag.astype(np.uint16)
+            else:
+                full_code = sparse_mag.astype(np.uint16)
+            nibble = full_code & ((1 << cfg.inlier_bits) - 1)
+            dense_codes[sparse_token, sparse_pos] = nibble.astype(np.uint8)
+        else:
+            # Naive 23-bit layout: exact FP16 outliers, dense slot zeroed.
+            sparse_fp16 = x[sparse_token, sparse_pos].astype(np.float16)
+            dense_codes[sparse_token, sparse_pos] = 0
+
+        return EncodedKV(
+            config=cfg,
+            thresholds=thr,
+            shape=x.shape,
+            dense_codes=dense_codes,
+            middle_lo=middle_lo.astype(np.float32),
+            middle_hi=middle_hi.astype(np.float32),
+            band_lo=band_lo.astype(np.float32),
+            band_hi=band_hi.astype(np.float32),
+            sparse_token=sparse_token.astype(np.int64),
+            sparse_pos=sparse_pos.astype(np.int64),
+            sparse_band=sparse_band,
+            sparse_side=sparse_side,
+            sparse_mag_code=sparse_mag.astype(np.uint8),
+            sparse_fp16=sparse_fp16,
+        )
+
+    # ------------------------------------------------------------------
+    # dequantization
+    # ------------------------------------------------------------------
+
+    def dequantize(self, encoded: EncodedKV) -> np.ndarray:
+        """Reconstruct a float32 [T, D] matrix from the encoded layout."""
+        cfg = self.config
+        thr = self.thresholds
+        # Middle group: decode everything, then overwrite outlier slots.
+        shifted = _rowwise_decode(
+            encoded.dense_codes,
+            encoded.middle_lo.astype(np.float64),
+            encoded.middle_hi.astype(np.float64),
+            cfg.inlier_bits,
+        )
+        mid_lo_edge, mid_hi_edge = thr.middle_shift_edges()
+        if cfg.group_shift:
+            out = np.where(shifted >= 0, shifted + mid_hi_edge,
+                           shifted + mid_lo_edge)
+        else:
+            out = shifted
+
+        token = encoded.sparse_token
+        pos = encoded.sparse_pos
+        if token.size:
+            if encoded.sparse_fp16 is not None:
+                out[token, pos] = encoded.sparse_fp16.astype(np.float64)
+            else:
+                band = encoded.sparse_band.astype(np.int64)
+                lo = encoded.band_lo.astype(np.float64)[token, band]
+                hi = encoded.band_hi.astype(np.float64)[token, band]
+                mag_bits = cfg.outlier_bits - 1
+                bits = mag_bits if cfg.group_shift else cfg.outlier_bits
+                span = hi - lo
+                sigma = np.where(
+                    span > _EPS,
+                    (2.0**bits - 1.0) / np.maximum(span, _EPS),
+                    1.0,
+                )
+                mag = encoded.sparse_mag_code.astype(np.float64) / sigma + lo
+                if cfg.group_shift:
+                    lo_edges = np.empty(cfg.num_sparse_bands)
+                    hi_edges = np.empty(cfg.num_sparse_bands)
+                    for b in range(cfg.num_sparse_bands):
+                        lo_edges[b], hi_edges[b] = thr.band_shift_edges(b)
+                    restored = np.where(
+                        encoded.sparse_side,
+                        hi_edges[band] + mag,
+                        lo_edges[band] - mag,
+                    )
+                else:
+                    restored = mag
+                out[token, pos] = restored
+
+        return out.astype(np.float32)
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        """Quantize then dequantize — the lossy transform seen by attention."""
+        return self.dequantize(self.quantize(values))
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def expected_effective_bitwidth(self, dim: int) -> float:
+        """Analytic bits/element at the configured outlier ratio.
+
+        Used by the hardware simulator, which needs byte counts without
+        materializing tensors: dense codes at ``inlier_bits``, one
+        aligned sparse record per expected outlier, and the per-token
+        scale scalars amortized over ``dim`` elements.
+        """
+        cfg = self.config
+        record = sparse_record_bits(cfg)
+        scalars = 2 + 2 * cfg.num_sparse_bands
+        return (
+            cfg.inlier_bits
+            + cfg.outlier_ratio * record
+            + scalars * cfg.scale_bits / dim
+        )
+
+
+def expected_effective_bitwidth(config: OakenConfig, dim: int) -> float:
+    """Module-level convenience mirror of the method above."""
+    record = sparse_record_bits(config)
+    scalars = 2 + 2 * config.num_sparse_bands
+    return (
+        config.inlier_bits
+        + config.outlier_ratio * record
+        + scalars * config.scale_bits / dim
+    )

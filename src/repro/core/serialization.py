@@ -1,0 +1,280 @@
+"""Bit-exact serialization of the fused dense-and-sparse layout.
+
+:class:`~repro.core.encoding.EncodedKV` keeps codes in convenient numpy
+arrays; this module lowers them to the actual byte stream the hardware
+would write to device memory — packed 4-bit dense nibbles, 8/16-bit
+aligned sparse COO records (6-bit chunk-local index + group bits + the
+spill code bit), and FP16 scale words — and restores them losslessly.
+
+Besides providing persistence, the round-trip *proves* the storage
+accounting: ``serialize(encoded)`` produces exactly the byte count the
+:class:`~repro.quant.metrics.StorageFootprint` predicts (up to the
+documented per-section alignment padding), which the tests assert.
+
+Layout (little-endian):
+
+====================  ====================================================
+header (32 bytes)     magic, version, tokens, dim, config fingerprint,
+                      outlier count
+dense section         tokens x dim nibbles packed LSB-first
+chunk counts          uint8 record count per (token, 64-wide chunk) —
+                      the per-chunk transfer sizes the MMU's sparse
+                      management table holds; chunk membership of each
+                      record is implied by these counts, which is why
+                      the records themselves only need 6 index bits
+sparse section        one aligned record per outlier, stream order
+scale section         FP16 middle lo/hi + per-band lo/hi per token
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.config import OakenConfig
+from repro.core.encoding import EncodedKV, sparse_record_bits
+from repro.core.grouping import GroupThresholds
+from repro.quant.bitpack import pack_bits, packed_nbytes, unpack_bits
+
+#: File magic ("OAKN") and format version.
+_MAGIC = 0x4F414B4E
+_VERSION = 2
+
+_HEADER = struct.Struct("<IHHIIHHxxxxxxxxxxxx")  # 32 bytes
+
+
+class SerializationError(ValueError):
+    """Raised for malformed byte streams."""
+
+
+def _config_fingerprint(config: OakenConfig) -> int:
+    """16-bit fingerprint binding a stream to its configuration."""
+    value = (
+        config.inlier_bits
+        + 31 * config.outlier_bits
+        + 131 * config.num_outer_bands
+        + 523 * config.num_inner_bands
+        + 2053 * int(config.fused_encoding)
+        + 4099 * int(config.group_shift)
+    )
+    return value & 0xFFFF
+
+
+def _record_fields(config: OakenConfig) -> Tuple[int, int, int]:
+    """(index_bits, group_bits, code_bits) inside one sparse record."""
+    code_bits = max(0, config.outlier_bits - config.inlier_bits)
+    return config.index_bits, config.group_id_bits, code_bits
+
+
+def serialize(encoded: EncodedKV) -> bytes:
+    """Lower an :class:`EncodedKV` to its device byte stream.
+
+    Only the fused encoding is serializable (the naive FP16-outlier
+    layout is a baseline, not a storage format of this system).
+    """
+    config = encoded.config
+    if not config.fused_encoding:
+        raise SerializationError(
+            "only the fused dense-and-sparse layout is serializable"
+        )
+    tokens, dim = encoded.shape
+    if tokens >= 2**32 or dim >= 2**16:
+        raise SerializationError("tensor too large for the header")
+
+    header = _HEADER.pack(
+        _MAGIC,
+        _VERSION,
+        _config_fingerprint(config),
+        tokens,
+        dim,
+        encoded.num_outliers & 0xFFFF,
+        (encoded.num_outliers >> 16) & 0xFFFF,
+    )
+
+    # Dense nibbles, row-major.
+    dense = pack_bits(
+        encoded.dense_codes.ravel(), config.inlier_bits
+    ).tobytes()
+
+    # Per-(token, chunk) record counts: the sparse management table's
+    # transfer sizes.  With these, records themselves need only the
+    # 6-bit chunk-local index.
+    chunk = config.chunk_size
+    max_chunks = -(-dim // chunk)
+    chunk_id = (encoded.sparse_pos // chunk).astype(np.int64)
+    flat_chunk = encoded.sparse_token * max_chunks + chunk_id
+    counts = np.bincount(
+        flat_chunk, minlength=tokens * max_chunks
+    )
+    if counts.size and int(counts.max()) > 255:
+        raise SerializationError("more than 255 records in one chunk")
+    counts_bytes = counts.astype("<u1").tobytes()
+
+    # Sparse records: chunk-local index | band | side/code bit, packed
+    # at the aligned record width.
+    index_bits, group_bits, code_bits = _record_fields(config)
+    record_width = sparse_record_bits(config)
+    local_index = (encoded.sparse_pos % chunk).astype(np.uint32)
+    payload_bits = index_bits + group_bits + code_bits
+    if payload_bits > record_width:
+        raise SerializationError(
+            f"record needs {payload_bits} bits, format allows "
+            f"{record_width}"
+        )
+    records = local_index
+    shift = index_bits
+    records = records | (
+        encoded.sparse_band.astype(np.uint32) << shift
+    )
+    shift += group_bits
+    if code_bits:
+        records = records | (
+            encoded.sparse_side.astype(np.uint32) << shift
+        )
+    sparse = pack_bits(records, record_width).tobytes()
+
+    scales = np.concatenate(
+        [
+            encoded.middle_lo.astype("<f2").ravel(),
+            encoded.middle_hi.astype("<f2").ravel(),
+            encoded.band_lo.astype("<f2").ravel(),
+            encoded.band_hi.astype("<f2").ravel(),
+        ]
+    ).tobytes()
+
+    return header + dense + counts_bytes + sparse + scales
+
+
+def deserialize(
+    blob: bytes, config: OakenConfig, thresholds: GroupThresholds
+) -> EncodedKV:
+    """Restore an :class:`EncodedKV` from :func:`serialize` output.
+
+    Args:
+        blob: the byte stream.
+        config: the configuration the stream was produced with (checked
+            against the header fingerprint).
+        thresholds: the offline thresholds of the producing quantizer
+            (scales travel in the stream; thresholds are model
+            metadata, stored once per deployment, not per tensor).
+    """
+    if len(blob) < _HEADER.size:
+        raise SerializationError("truncated header")
+    (
+        magic, version, fingerprint, tokens, dim, outliers_lo,
+        outliers_hi,
+    ) = _HEADER.unpack_from(blob, 0)
+    if magic != _MAGIC:
+        raise SerializationError("bad magic")
+    if version != _VERSION:
+        raise SerializationError(f"unsupported version {version}")
+    if fingerprint != _config_fingerprint(config):
+        raise SerializationError(
+            "stream was produced with a different configuration"
+        )
+    num_outliers = outliers_lo | (outliers_hi << 16)
+
+    offset = _HEADER.size
+    dense_nbytes = packed_nbytes(tokens * dim, config.inlier_bits)
+    dense_codes = unpack_bits(
+        np.frombuffer(blob, dtype=np.uint8, count=dense_nbytes,
+                      offset=offset),
+        config.inlier_bits,
+        tokens * dim,
+    ).astype(np.uint8).reshape(tokens, dim)
+    offset += dense_nbytes
+
+    chunk = config.chunk_size
+    max_chunks = -(-dim // chunk)
+    counts = np.frombuffer(
+        blob, dtype="<u1", count=tokens * max_chunks, offset=offset
+    ).astype(np.int64)
+    offset += tokens * max_chunks
+    if int(counts.sum()) != num_outliers:
+        raise SerializationError("record counts disagree with header")
+
+    index_bits, group_bits, code_bits = _record_fields(config)
+    record_width = sparse_record_bits(config)
+    sparse_nbytes = packed_nbytes(num_outliers, record_width)
+    records = unpack_bits(
+        np.frombuffer(blob, dtype=np.uint8, count=sparse_nbytes,
+                      offset=offset),
+        record_width,
+        num_outliers,
+    ).astype(np.uint32)
+    offset += sparse_nbytes
+
+    local_index = records & ((1 << index_bits) - 1)
+    shift = index_bits
+    band = (records >> shift) & ((1 << group_bits) - 1)
+    shift += group_bits
+    if code_bits:
+        side = ((records >> shift) & 1).astype(bool)
+    else:
+        side = np.zeros(num_outliers, dtype=bool)
+
+    # Token and chunk membership come from the management-table counts.
+    flat_ids = np.repeat(np.arange(tokens * max_chunks), counts)
+    sparse_token = flat_ids // max_chunks
+    chunk_id = flat_ids % max_chunks
+    sparse_pos = chunk_id * chunk + local_index.astype(np.int64)
+
+    bands = config.num_sparse_bands
+    scale_count = tokens * (2 + 2 * bands)
+    scales = np.frombuffer(
+        blob, dtype="<f2", count=scale_count, offset=offset
+    ).astype(np.float32)
+    offset += 2 * scale_count
+    middle_lo = scales[:tokens]
+    middle_hi = scales[tokens : 2 * tokens]
+    band_lo = scales[2 * tokens : 2 * tokens + tokens * bands].reshape(
+        tokens, bands
+    )
+    band_hi = scales[2 * tokens + tokens * bands :].reshape(
+        tokens, bands
+    )
+
+    # Recover the magnitude codes from the fused dense nibbles.
+    mag_bits = config.outlier_bits - 1
+    nibbles = dense_codes[sparse_token, sparse_pos].astype(np.uint16)
+    if config.group_shift and config.outlier_bits <= config.inlier_bits:
+        # Side bit rides inside the nibble (4-bit outliers).
+        side = (nibbles >> mag_bits).astype(bool)
+        mag_code = nibbles & ((1 << mag_bits) - 1)
+    else:
+        mag_code = nibbles
+
+    return EncodedKV(
+        config=config,
+        thresholds=thresholds,
+        shape=(tokens, dim),
+        dense_codes=dense_codes,
+        middle_lo=middle_lo,
+        middle_hi=middle_hi,
+        band_lo=band_lo,
+        band_hi=band_hi,
+        sparse_token=sparse_token,
+        sparse_pos=sparse_pos,
+        sparse_band=band.astype(np.int16),
+        sparse_side=side,
+        sparse_mag_code=mag_code.astype(np.uint8),
+        sparse_fp16=None,
+    )
+
+
+def serialized_nbytes(encoded: EncodedKV) -> int:
+    """Exact stream size without materializing it."""
+    config = encoded.config
+    tokens, dim = encoded.shape
+    max_chunks = -(-dim // config.chunk_size)
+    total = _HEADER.size
+    total += packed_nbytes(tokens * dim, config.inlier_bits)
+    total += tokens * max_chunks
+    total += packed_nbytes(
+        encoded.num_outliers, sparse_record_bits(config)
+    )
+    total += 2 * tokens * (2 + 2 * config.num_sparse_bands)
+    return total

@@ -1,0 +1,33 @@
+"""Synthetic datasets and serving traces.
+
+Substitutes for the paper's evaluation data (see DESIGN.md):
+
+* :mod:`repro.data.corpus` — self-consistent token corpora standing in
+  for Wikitext2/PIQA/Winogrande/Hellaswag text: sequences are sampled
+  from the FP model itself, making the model "perfectly trained" on the
+  corpus distribution so perplexity has a meaningful floor.
+* :mod:`repro.data.qa_tasks` — binary-choice zero-shot tasks with
+  controllable difficulty, for the Table 2 accuracy columns.
+* :mod:`repro.data.traces` — synthetic Azure-style inference traces
+  (*Conversation*: short outputs; *BurstGPT*: long outputs, bursty
+  arrivals) for the Figure 14 experiments.
+"""
+
+from repro.data.corpus import DATASETS, build_corpus, dataset_profile
+from repro.data.qa_tasks import QABatch, build_qa_batch
+from repro.data.traces import (
+    TRACE_NAMES,
+    TraceRequest,
+    generate_trace,
+)
+
+__all__ = [
+    "DATASETS",
+    "QABatch",
+    "TRACE_NAMES",
+    "TraceRequest",
+    "build_corpus",
+    "build_qa_batch",
+    "dataset_profile",
+    "generate_trace",
+]

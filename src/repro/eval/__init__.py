@@ -1,0 +1,38 @@
+"""Accuracy evaluation: perplexity, zero-shot scoring, KV statistics.
+
+* :mod:`repro.eval.zeroshot` — conditional likelihood scoring of
+  binary-choice tasks.
+* :mod:`repro.eval.distribution` — the KV distribution measurements of
+  Figure 6 (per-layer ranges, dataset insensitivity, channel
+  concentration of the top values).
+* :mod:`repro.eval.harness` — the Table 2 accuracy harness: fits every
+  method per layer per tensor, then measures perplexity, zero-shot
+  accuracy, and effective bitwidth side by side.
+"""
+
+from repro.eval.distribution import (
+    channel_concentration,
+    dataset_range_consistency,
+    layer_kv_ranges,
+    top_value_positions,
+)
+from repro.eval.harness import (
+    AccuracyResult,
+    build_method_bundle,
+    evaluate_method,
+    run_accuracy_harness,
+)
+from repro.eval.zeroshot import conditional_log_likelihood, score_qa_batch
+
+__all__ = [
+    "AccuracyResult",
+    "build_method_bundle",
+    "channel_concentration",
+    "conditional_log_likelihood",
+    "dataset_range_consistency",
+    "evaluate_method",
+    "layer_kv_ranges",
+    "run_accuracy_harness",
+    "score_qa_batch",
+    "top_value_positions",
+]

@@ -1,0 +1,103 @@
+"""Long-context accuracy extension experiment.
+
+The paper's Figure 13 shows Oaken's *throughput* advantage growing with
+sequence length; this extension measures the *accuracy* side: does
+quantization error accumulate as contexts grow?  For each context
+length, perplexity of the final segment (the last ``tail`` positions,
+whose predictions attend over the whole context) is measured with and
+without the quantized cache.
+
+Expected behaviour (and what the test asserts): the relative
+degradation stays roughly flat in context length — Oaken's per-token
+quantization has no error-feedback path through the cache during
+teacher-forced scoring, so longer contexts mean *more* quantized values
+but not *worse* ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.corpus import calibration_corpus
+from repro.eval.harness import build_method_bundle
+from repro.models.generation import generate_tokens
+from repro.models.ops import log_softmax
+from repro.models.transformer import DecoderModel, KVTransformBundle
+
+
+@dataclass
+class LongContextRow:
+    """Tail perplexity at one context length."""
+
+    context_length: int
+    fp_tail_perplexity: float
+    quantized_tail_perplexity: float
+
+    @property
+    def relative_increase(self) -> float:
+        """Quantized/FP tail perplexity ratio minus one."""
+        return (
+            self.quantized_tail_perplexity / self.fp_tail_perplexity
+            - 1.0
+        )
+
+
+def tail_perplexity(
+    model: DecoderModel,
+    tokens: np.ndarray,
+    tail: int,
+    kv_transforms: Optional[KVTransformBundle] = None,
+) -> float:
+    """Perplexity over only the last ``tail`` predicted positions."""
+    tokens = np.atleast_2d(tokens)
+    logits = model.forward(tokens, kv_transforms=kv_transforms)
+    logprobs = log_softmax(logits[:, :-1, :], axis=-1)
+    picked = np.take_along_axis(
+        logprobs, tokens[:, 1:, None], axis=-1
+    )[..., 0]
+    tail_ll = picked[:, -tail:]
+    return float(np.exp(-tail_ll.mean()))
+
+
+def run_long_context(
+    model: DecoderModel,
+    method: str = "oaken",
+    lengths: Sequence[int] = (64, 128, 256),
+    tail: int = 32,
+    batch: int = 3,
+) -> List[LongContextRow]:
+    """Measure tail perplexity across context lengths.
+
+    Args:
+        model: FP decoder model.
+        method: quantization method (registry name).
+        lengths: total context lengths to evaluate.
+        tail: scored positions at the end of each context.
+        batch: sequences per length.
+
+    Returns:
+        One row per context length.
+    """
+    calibration = calibration_corpus(model, batch=3, length=64)
+    fitted = build_method_bundle(model, method, calibration)
+    bundle = fitted.bundle()
+    rows: List[LongContextRow] = []
+    for length in lengths:
+        tokens = generate_tokens(
+            model, batch=batch, length=length, seed=1000 + length
+        )
+        rows.append(
+            LongContextRow(
+                context_length=length,
+                fp_tail_perplexity=tail_perplexity(
+                    model, tokens, tail
+                ),
+                quantized_tail_perplexity=tail_perplexity(
+                    model, tokens, tail, kv_transforms=bundle
+                ),
+            )
+        )
+    return rows

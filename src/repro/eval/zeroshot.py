@@ -1,0 +1,65 @@
+"""Zero-shot binary-choice scoring by conditional likelihood.
+
+The standard zero-shot protocol of the paper's QA datasets: for each
+item, compute log P(continuation | context) for every candidate and
+pick the argmax.  Accuracy is the fraction of items where the correct
+candidate wins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.qa_tasks import QABatch
+from repro.models.ops import log_softmax
+from repro.models.transformer import DecoderModel, KVTransformBundle
+
+
+def conditional_log_likelihood(
+    model: DecoderModel,
+    context: np.ndarray,
+    continuation: np.ndarray,
+    kv_transforms: Optional[KVTransformBundle] = None,
+) -> np.ndarray:
+    """Sum log P(continuation | context), batched.
+
+    Args:
+        model: decoder model.
+        context: [N, C] int tokens.
+        continuation: [N, L] int tokens.
+        kv_transforms: optional lossy KV transforms.
+
+    Returns:
+        float array [N].
+    """
+    context = np.atleast_2d(np.asarray(context, dtype=np.int64))
+    continuation = np.atleast_2d(np.asarray(continuation, dtype=np.int64))
+    if context.shape[0] != continuation.shape[0]:
+        raise ValueError("batch size mismatch between context/continuation")
+    full = np.concatenate([context, continuation], axis=1)
+    logits = model.forward(full, kv_transforms=kv_transforms)
+    c = context.shape[1]
+    # Position c-1 predicts the first continuation token, etc.
+    predict = log_softmax(logits[:, c - 1 : -1, :], axis=-1)
+    picked = np.take_along_axis(
+        predict, continuation[..., None], axis=-1
+    )[..., 0]
+    return picked.sum(axis=1)
+
+
+def score_qa_batch(
+    model: DecoderModel,
+    batch: QABatch,
+    kv_transforms: Optional[KVTransformBundle] = None,
+) -> float:
+    """Zero-shot accuracy (%) on a binary-choice batch."""
+    ll_correct = conditional_log_likelihood(
+        model, batch.context, batch.correct, kv_transforms
+    )
+    ll_distractor = conditional_log_likelihood(
+        model, batch.context, batch.distractor, kv_transforms
+    )
+    wins = ll_correct > ll_distractor
+    return float(100.0 * np.mean(wins))

@@ -1,0 +1,26 @@
+"""One module per paper figure/table (the reproduction index).
+
+Every module exposes a ``run_*`` function returning structured rows
+plus a ``format_*`` helper that renders the same rows as the text table
+the benchmarks print.  DESIGN.md maps each experiment id to its
+module; EXPERIMENTS.md records paper-vs-measured outcomes.
+
+=========  =====================================================
+Figure 1   :mod:`repro.experiments.fig01` (trade-off scatter)
+Figure 3   :mod:`repro.experiments.fig03` (utilization)
+Figure 4   :mod:`repro.experiments.fig04` (HBM vs LPDDR NPU)
+Figure 5   :mod:`repro.experiments.fig05` (memory + quant compare)
+Figure 6   :mod:`repro.experiments.fig06` (KV distributions)
+Figure 11  :mod:`repro.experiments.fig11` (main throughput grid)
+Figure 12  :mod:`repro.experiments.fig12` (trade-off + breakdown)
+Figure 13  :mod:`repro.experiments.fig13` (sequence-length sweep)
+Figure 14  :mod:`repro.experiments.fig14` (trace benchmarks)
+Table 2    :mod:`repro.experiments.table2` (accuracy grid)
+Table 3    :mod:`repro.experiments.table3` (group-count ablation)
+Table 4    :mod:`repro.experiments.table4` (area/power)
+=========  =====================================================
+"""
+
+from repro.experiments.common import TextTable
+
+__all__ = ["TextTable"]

@@ -1,0 +1,174 @@
+"""Profiling-budget ablation: how many offline runs do thresholds need?
+
+Section 6.1 states Oaken's offline profiling takes "only about a
+hundred inferences" and that the overhead is negligible.  This
+experiment quantifies that choice: thresholds are profiled from N
+calibration runs (N swept over decades), and each budget is scored by
+
+* **threshold deviation** — mean relative distance of the N-run
+  thresholds from a converged reference (profiled with far more runs),
+  expected to shrink like 1/sqrt(N) since the deployed thresholds are
+  run averages;
+* **reconstruction quality** — SQNR of the resulting quantizer on
+  held-out KV data, expected to plateau well before N = 100;
+* **profiling cost** — total values sorted offline (the one-time
+  O(n log n) the hybrid scheme buys out of the serving path).
+
+The KV synthesizer mirrors the paper's observed distribution: gaussian
+bulk, a few high-magnitude channels (Observation 3), and per-run prompt
+variation (the noise offline averaging suppresses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import OakenConfig
+from repro.core.quantizer import OakenQuantizer
+from repro.core.thresholds import OfflineProfiler, profile_thresholds
+from repro.experiments.common import TextTable
+from repro.quant.metrics import signal_to_quantization_noise
+
+#: Profiling budgets swept (runs averaged into the thresholds).
+DEFAULT_BUDGETS = (1, 2, 5, 10, 25, 50, 100, 200)
+
+#: Calibration runs used for the converged reference thresholds.
+_REFERENCE_RUNS = 512
+
+
+@dataclass
+class ProfilingPoint:
+    """One profiling-budget measurement.
+
+    Attributes:
+        num_runs: calibration runs averaged into the thresholds.
+        threshold_deviation: mean relative deviation of every boundary
+            from the converged reference (mean over trials).
+        deviation_std: trial-to-trial std of the deviation.
+        sqnr_db: reconstruction SQNR on held-out KV (mean over trials).
+        profiled_values: total scalars the offline topK sorted.
+    """
+
+    num_runs: int
+    threshold_deviation: float
+    deviation_std: float
+    sqnr_db: float
+    profiled_values: int
+
+
+def synthesize_kv_run(
+    rng: np.random.Generator,
+    tokens: int = 96,
+    dim: int = 128,
+    outlier_channels: Sequence[int] = (5, 40, 77, 101),
+) -> np.ndarray:
+    """One profiling run's KV matrix with Observation-3 structure.
+
+    Each run gets its own prompt-dependent scale jitter (±10%), the
+    variation the offline averaging is meant to smooth out.
+    """
+    x = rng.standard_normal((tokens, dim))
+    x[:, list(outlier_channels)] *= 12.0
+    return x * rng.uniform(0.9, 1.1)
+
+
+def _deviation(
+    thresholds, reference
+) -> float:
+    """Mean relative boundary distance between two threshold sets."""
+    pairs: List[Tuple[float, float]] = list(
+        zip(thresholds.outer_lo, reference.outer_lo)
+    )
+    pairs += list(zip(thresholds.outer_hi, reference.outer_hi))
+    pairs += list(zip(thresholds.inner_mag, reference.inner_mag))
+    deviations = [
+        abs(observed - ref) / max(abs(ref), 1e-9)
+        for observed, ref in pairs
+    ]
+    return float(np.mean(deviations))
+
+
+def run_profiling_ablation(
+    budgets: Sequence[int] = DEFAULT_BUDGETS,
+    trials: int = 5,
+    config: OakenConfig = None,
+    seed: int = 2025,
+) -> List[ProfilingPoint]:
+    """Sweep profiling budgets and score each against the reference.
+
+    Args:
+        budgets: run counts to evaluate.
+        trials: independent calibration draws per budget (error bars).
+        config: quantizer configuration (paper default when None).
+        seed: base RNG seed.
+
+    Returns:
+        One :class:`ProfilingPoint` per budget.
+    """
+    cfg = config if config is not None else OakenConfig()
+    rng = np.random.default_rng(seed)
+
+    reference = profile_thresholds(
+        [synthesize_kv_run(rng) for _ in range(_REFERENCE_RUNS)], cfg
+    )
+    held_out = synthesize_kv_run(
+        np.random.default_rng(seed + 999), tokens=256
+    )
+    run_values = synthesize_kv_run(rng).size
+
+    points: List[ProfilingPoint] = []
+    for budget in budgets:
+        deviations = []
+        sqnrs = []
+        for trial in range(trials):
+            trial_rng = np.random.default_rng(
+                seed + 31 * budget + trial
+            )
+            profiler = OfflineProfiler(cfg)
+            for _ in range(budget):
+                profiler.observe(synthesize_kv_run(trial_rng))
+            thresholds = profiler.finalize()
+            deviations.append(_deviation(thresholds, reference))
+            quantizer = OakenQuantizer(cfg, thresholds)
+            sqnrs.append(
+                signal_to_quantization_noise(
+                    held_out, quantizer.roundtrip(held_out)
+                )
+            )
+        points.append(
+            ProfilingPoint(
+                num_runs=budget,
+                threshold_deviation=float(np.mean(deviations)),
+                deviation_std=float(np.std(deviations)),
+                sqnr_db=float(np.mean(sqnrs)),
+                profiled_values=budget * run_values,
+            )
+        )
+    return points
+
+
+def format_profiling_ablation(points: List[ProfilingPoint]) -> str:
+    """Render the sweep as a table."""
+    table = TextTable(
+        ["runs", "thr_deviation", "±std", "SQNR_dB", "values_sorted"],
+        title="Offline profiling budget vs threshold quality",
+    )
+    for point in points:
+        table.add_row(
+            [
+                point.num_runs,
+                f"{point.threshold_deviation:.4f}",
+                f"{point.deviation_std:.4f}",
+                f"{point.sqnr_db:.2f}",
+                point.profiled_values,
+            ]
+        )
+    table.add_note(
+        "deviation shrinks ~1/sqrt(N); SQNR plateaus well before the "
+        "paper's ~100-run budget — the one-time offline cost buys the "
+        "O(n log n) sort out of the serving path"
+    )
+    return table.render()

@@ -1,0 +1,61 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class TextTable:
+    """Minimal fixed-width text table renderer for benchmark output.
+
+    Usage::
+
+        table = TextTable(["system", "batch", "tok/s"])
+        table.add_row(["oaken-lpddr", 256, 2740.1])
+        print(table.render())
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+        self.title = title
+        self.notes: List[str] = []
+
+    def add_note(self, note: str) -> None:
+        """Append a free-text footnote rendered below the table."""
+        self.notes.append(note)
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append a row; floats are rendered with 3 significant places."""
+        rendered: List[str] = []
+        for value in values:
+            if isinstance(value, float):
+                rendered.append(f"{value:.3f}")
+            else:
+                rendered.append(str(value))
+        if len(rendered) != len(self.headers):
+            raise ValueError(
+                f"row has {len(rendered)} cells, expected "
+                f"{len(self.headers)}"
+            )
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        """Render the table with right-aligned columns."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            "  ".join(h.rjust(widths[i]) for i, h in enumerate(self.headers))
+        ]
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        if self.title:
+            lines.insert(0, self.title)
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

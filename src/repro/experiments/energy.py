@@ -1,0 +1,96 @@
+"""Energy efficiency extension experiment (beyond the paper's tables).
+
+The paper reports board power (222.7 W vs the A100's 400 W TDP) but
+stops short of an energy-per-token comparison; this experiment closes
+that gap using the simulated throughput and each platform's power:
+
+    tokens/joule = throughput (tokens/s) / power (W)
+
+Expected shape: Oaken-LPDDR wins on both axes at large batch (more
+tokens per second from *less* power), which is the paper's
+cost-efficiency argument quantified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.experiments.common import TextTable
+from repro.hardware.overheads import get_system
+from repro.hardware.perf import simulate_generation_run
+from repro.models.config import get_model
+
+#: Systems compared (one representative per platform class).
+ENERGY_SYSTEMS = (
+    "vllm",
+    "qserve-gpu",
+    "tender",
+    "lpu",
+    "oaken-lpddr",
+    "oaken-hbm",
+)
+
+
+@dataclass
+class EnergyRow:
+    """Energy efficiency of one system at one batch size."""
+
+    system: str
+    batch: int
+    tokens_per_s: float
+    power_w: float
+    tokens_per_joule: float
+    oom: bool
+
+
+def run_energy(
+    model: str = "llama2-13b",
+    batches: Sequence[int] = (16, 64, 256),
+    systems: Sequence[str] = ENERGY_SYSTEMS,
+) -> List[EnergyRow]:
+    """Compute tokens/joule across systems and batch sizes."""
+    arch = get_model(model).arch
+    rows: List[EnergyRow] = []
+    for batch in batches:
+        for name in systems:
+            system = get_system(name)
+            device = system.device_for(arch)
+            run = simulate_generation_run(system, arch, batch)
+            efficiency = (
+                run.tokens_per_s / device.tdp_watts
+                if not run.oom
+                else 0.0
+            )
+            rows.append(
+                EnergyRow(
+                    system=name,
+                    batch=batch,
+                    tokens_per_s=run.tokens_per_s,
+                    power_w=device.tdp_watts,
+                    tokens_per_joule=efficiency,
+                    oom=run.oom,
+                )
+            )
+    return rows
+
+
+def format_energy(rows: List[EnergyRow]) -> str:
+    """Render the energy table."""
+    table = TextTable(
+        ["system", "batch", "tok/s", "power_W", "tok/J"]
+    )
+    for row in rows:
+        if row.oom:
+            table.add_row([row.system, row.batch, "OOM", row.power_w, "-"])
+        else:
+            table.add_row(
+                [
+                    row.system,
+                    row.batch,
+                    f"{row.tokens_per_s:.0f}",
+                    row.power_w,
+                    row.tokens_per_joule,
+                ]
+            )
+    return table.render()

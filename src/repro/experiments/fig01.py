@@ -1,0 +1,102 @@
+"""Figure 1 — effective bandwidth / capacity trade-off scatter.
+
+The paper positions every solution class on a plane of *effective*
+bandwidth (how fast KV data can be consumed, counting compression) and
+*effective* capacity (how much KV data fits, counting compression),
+colored by achieved throughput.  We reproduce the quantitative version:
+for each serving system, effective bandwidth/capacity are the physical
+figures scaled by ``16 / kv_bits``, and the throughput column is the
+simulated Llama2-7B batch-256 run.
+
+The expected shape: Oaken-LPDDR sits alone in the
+high-bandwidth-AND-high-capacity corner, GPU+quantization solutions
+gain bandwidth but stay capacity-poor, PIM-like bandwidth boosters (not
+simulated here) trade the other way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.experiments.common import TextTable
+from repro.hardware.overheads import get_system
+from repro.hardware.perf import simulate_generation_run
+from repro.models.config import get_model
+
+#: Systems plotted in the scatter.
+FIG01_SYSTEMS = (
+    "vllm",
+    "kvquant-gpu",
+    "kivi-gpu",
+    "qserve-gpu",
+    "tender",
+    "lpu",
+    "oaken-hbm",
+    "oaken-lpddr",
+)
+
+
+@dataclass
+class TradeoffPoint:
+    """One system's position on the trade-off plane."""
+
+    system: str
+    effective_bandwidth_gbps: float
+    effective_capacity_gb: float
+    throughput_tokens_per_s: float
+
+
+def run_fig01(
+    model: str = "llama2-7b",
+    batches: Sequence[int] = (16, 32, 64, 128, 256),
+    systems: Sequence[str] = FIG01_SYSTEMS,
+) -> List[TradeoffPoint]:
+    """Compute the trade-off scatter points.
+
+    The throughput colour of the paper's scatter is each solution's
+    best achievable rate, so we take the max over the batch sweep
+    (capacity-limited platforms peak before 256 and then OOM).
+    """
+    arch = get_model(model).arch
+    points: List[TradeoffPoint] = []
+    for name in systems:
+        system = get_system(name)
+        device = system.device_for(arch)
+        kv_bits = system.kv_bits(arch)
+        compression = 16.0 / kv_bits
+        best = 0.0
+        for batch in batches:
+            run = simulate_generation_run(system, arch, batch)
+            if not run.oom:
+                best = max(best, run.tokens_per_s)
+        points.append(
+            TradeoffPoint(
+                system=name,
+                effective_bandwidth_gbps=(
+                    device.memory.bandwidth_gbps * compression
+                ),
+                effective_capacity_gb=(
+                    device.memory.capacity_gb * compression
+                ),
+                throughput_tokens_per_s=best,
+            )
+        )
+    return points
+
+
+def format_fig01(points: List[TradeoffPoint]) -> str:
+    """Render Figure 1's scatter as a table."""
+    table = TextTable(
+        ["system", "eff_bw_GB/s", "eff_cap_GB", "throughput_tok/s"]
+    )
+    for point in points:
+        table.add_row(
+            [
+                point.system,
+                point.effective_bandwidth_gbps,
+                point.effective_capacity_gb,
+                point.throughput_tokens_per_s,
+            ]
+        )
+    return table.render()

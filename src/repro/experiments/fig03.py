@@ -1,0 +1,179 @@
+"""Figure 3 — utilization characterization of batched LLM inference.
+
+Part (c) of the figure measures per-operation GPU utilization during
+the batched generation phase of Llama2-13B and shows that
+underutilization comes almost entirely from the multi-head-attention
+operations.  We reproduce it from the performance model: each decoder
+operation's utilization is its FLOPs divided by (its latency x peak
+FLOPs).  Batchable operations (QKV generation, FFN) reuse weights and
+run near the compute roofline; MHA is memory-bound on un-batchable KV
+reads and utilizes a tiny fraction of the cores.
+
+Parts (a)/(b) are reproduced as phase utilization: the prefill phase
+runs compute-bound (high utilization) while the generation phase is
+bandwidth-bound (low), for single and batched requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.common import TextTable
+from repro.hardware.overheads import get_system
+from repro.models.config import ArchShape, get_model
+
+
+@dataclass
+class OpUtilization:
+    """Utilization of one decoder operation during generation."""
+
+    op: str
+    utilization_percent: float
+    latency_fraction_percent: float
+
+
+def _op_rows(
+    arch: ArchShape, batch: int, context: int, system_name: str
+) -> List[OpUtilization]:
+    system = get_system(system_name)
+    device = system.device_for(arch)
+    kv_bits = system.kv_bits(arch)
+
+    d = arch.d_model
+    q_dim = arch.n_heads * arch.head_dim
+    # Per-layer weight bytes and flops of each op class.
+    ops: Dict[str, Dict[str, float]] = {}
+    ops["input_ln"] = {
+        "flops": 4.0 * d * batch * arch.n_layers,
+        "bytes": 2.0 * d * 2 * arch.n_layers,
+    }
+    qkv_weights = d * (q_dim + 2 * arch.kv_dim) * 2.0 * arch.n_layers
+    ops["qkv_gen"] = {
+        "flops": 2.0 * d * (q_dim + 2 * arch.kv_dim) * batch * arch.n_layers,
+        "bytes": qkv_weights,
+    }
+    kv_read = (
+        batch
+        * arch.attended_length(context)
+        * arch.kv_bytes_per_token(kv_bits)
+    )
+    ops["mha"] = {
+        "flops": arch.flops_per_token_attn(context) * batch,
+        "bytes": kv_read,
+    }
+    proj_weights = q_dim * d * 2.0 * arch.n_layers
+    ops["post_ln_proj"] = {
+        "flops": (2.0 * q_dim * d * batch + 4.0 * d * batch) * arch.n_layers,
+        "bytes": proj_weights,
+    }
+    ffn_matrices = 3 if arch.gated_ffn else 2
+    ffn_weights = (
+        ffn_matrices * d * arch.d_ffn
+        * min(arch.experts_per_token, arch.n_experts)
+        * 2.0 * arch.n_layers
+    )
+    ops["ffn"] = {
+        "flops": (
+            2.0 * ffn_matrices * d * arch.d_ffn
+            * min(arch.experts_per_token, arch.n_experts)
+            * batch * arch.n_layers
+        ),
+        "bytes": ffn_weights,
+    }
+
+    latencies = {}
+    for name, op in ops.items():
+        t_compute = op["flops"] / device.effective_flops
+        if name == "mha":
+            t_memory = device.attention_read_time_s(op["bytes"])
+        else:
+            t_memory = device.weight_stream_time_s(op["bytes"])
+        latencies[name] = max(t_compute, t_memory)
+    total = sum(latencies.values())
+
+    rows: List[OpUtilization] = []
+    for name, op in ops.items():
+        util = 100.0 * op["flops"] / (latencies[name] * device.peak_flops)
+        rows.append(
+            OpUtilization(
+                op=name,
+                utilization_percent=util,
+                latency_fraction_percent=100.0 * latencies[name] / total,
+            )
+        )
+    return rows
+
+
+def run_fig03(
+    model: str = "llama2-13b",
+    batch: int = 64,
+    context: int = 1024,
+    system: str = "vllm",
+) -> List[OpUtilization]:
+    """Per-operation utilization during batched generation (Fig 3c)."""
+    arch = get_model(model).arch
+    return _op_rows(arch, batch, context, system)
+
+
+@dataclass
+class PhaseUtilization:
+    """Compute utilization of a whole inference phase (Fig 3a/b)."""
+
+    phase: str
+    batch: int
+    utilization_percent: float
+
+
+def run_fig03_phases(
+    model: str = "llama2-13b",
+    context: int = 1024,
+    system: str = "vllm",
+) -> List[PhaseUtilization]:
+    """Prefill vs generation utilization, single and batched (Fig 3a/b)."""
+    arch = get_model(model).arch
+    sys = get_system(system)
+    device = sys.device_for(arch)
+    rows: List[PhaseUtilization] = []
+    for batch in (1, 64):
+        # Prefill: all prompt tokens in flight, compute-bound.
+        prefill_flops = (
+            arch.flops_per_token_nonattn()
+            + arch.flops_per_token_attn(context // 2)
+        ) * batch * context
+        t_prefill = max(
+            prefill_flops / device.effective_flops,
+            device.weight_stream_time_s(arch.weight_bytes(16.0)),
+        )
+        rows.append(
+            PhaseUtilization(
+                phase="prefill",
+                batch=batch,
+                utilization_percent=100.0
+                * prefill_flops
+                / (t_prefill * device.peak_flops),
+            )
+        )
+        ops = _op_rows(arch, batch, context, system)
+        # Generation utilization: latency-weighted mean across ops.
+        total_latency = sum(o.latency_fraction_percent for o in ops)
+        util = sum(
+            o.utilization_percent * o.latency_fraction_percent
+            for o in ops
+        ) / total_latency
+        rows.append(
+            PhaseUtilization(
+                phase="generation", batch=batch, utilization_percent=util
+            )
+        )
+    return rows
+
+
+def format_fig03(rows: List[OpUtilization]) -> str:
+    """Render Figure 3(c) as a table."""
+    table = TextTable(["op", "utilization_%", "latency_share_%"])
+    for row in rows:
+        table.add_row(
+            [row.op, row.utilization_percent, row.latency_fraction_percent]
+        )
+    return table.render()

@@ -1,0 +1,79 @@
+"""Figure 4 — HBM-NPU vs LPDDR-NPU throughput across batch sizes.
+
+The motivation study: a Llama2-13B-class model favours the HBM NPU (its
+bandwidth wins while everything fits), but OPT-30B at batch >= ~12
+overflows the 80 GB HBM ("OOM") while the 256 GB LPDDR NPU keeps
+scaling — capacity beats bandwidth for big models and batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.experiments.common import TextTable
+from repro.hardware.overheads import get_system
+from repro.hardware.perf import simulate_generation_run
+from repro.models.config import get_model
+
+#: Batch sweep of the figure.
+FIG04_BATCHES = (1, 4, 8, 12, 16, 24, 32)
+
+
+@dataclass
+class Fig04Row:
+    """Throughput of both NPU variants at one (model, batch) point."""
+
+    model: str
+    batch: int
+    hbm_tokens_per_s: float
+    hbm_oom: bool
+    lpddr_tokens_per_s: float
+    lpddr_oom: bool
+
+
+def run_fig04(
+    models: Tuple[str, str] = ("llama2-13b", "opt-30b"),
+    batches: Sequence[int] = FIG04_BATCHES,
+    input_tokens: int = 1024,
+    output_tokens: int = 1024,
+) -> List[Fig04Row]:
+    """Sweep batch size on the two memory variants of the NPU."""
+    rows: List[Fig04Row] = []
+    hbm = get_system("lpu-hbm")
+    lpddr = get_system("lpu")
+    for model in models:
+        arch = get_model(model).arch
+        for batch in batches:
+            hbm_run = simulate_generation_run(
+                hbm, arch, batch, input_tokens, output_tokens
+            )
+            lpddr_run = simulate_generation_run(
+                lpddr, arch, batch, input_tokens, output_tokens
+            )
+            rows.append(
+                Fig04Row(
+                    model=model,
+                    batch=batch,
+                    hbm_tokens_per_s=hbm_run.tokens_per_s,
+                    hbm_oom=hbm_run.oom,
+                    lpddr_tokens_per_s=lpddr_run.tokens_per_s,
+                    lpddr_oom=lpddr_run.oom,
+                )
+            )
+    return rows
+
+
+def format_fig04(rows: List[Fig04Row]) -> str:
+    """Render Figure 4 as a table (OOM cells marked)."""
+    table = TextTable(["model", "batch", "HBM-NPU", "LPDDR-NPU"])
+    for row in rows:
+        table.add_row(
+            [
+                row.model,
+                row.batch,
+                "OOM" if row.hbm_oom else f"{row.hbm_tokens_per_s:.0f}",
+                "OOM" if row.lpddr_oom else f"{row.lpddr_tokens_per_s:.0f}",
+            ]
+        )
+    return table.render()

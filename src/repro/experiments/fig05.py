@@ -1,0 +1,136 @@
+"""Figure 5 — memory breakdown and weight- vs KV-quantization.
+
+Part (a): as batch size sweeps 1 -> 256, the Llama2-13B KV cache grows
+from a rounding error to ~94% of device memory while weights stay
+constant — the motivation for quantizing the *cache* rather than the
+weights.
+
+Part (b): on the LPDDR NPU, 4-bit weight-only quantization barely moves
+batched throughput (weights are read once per iteration regardless of
+batch), while 4-bit KV quantization gives large gains and keeps scaling
+to batches the FP16 cache cannot fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+from repro.experiments.common import TextTable
+from repro.hardware.overheads import PROFILES, ServingSystem, get_system
+from repro.hardware.perf import simulate_generation_run
+from repro.models.config import get_model
+
+#: Batch sweep of both subfigures.
+FIG05_BATCHES = (1, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass
+class MemoryRow:
+    """Figure 5(a): memory demand at one batch size."""
+
+    batch: int
+    weights_gb: float
+    kv_gb: float
+    kv_share_percent: float
+
+
+def run_fig05_memory(
+    model: str = "llama2-13b",
+    batches: Sequence[int] = FIG05_BATCHES,
+    context: int = 2048,
+) -> List[MemoryRow]:
+    """KV-vs-weights memory breakdown (FP16, no quantization)."""
+    arch = get_model(model).arch
+    weights_gb = arch.weight_bytes(16.0) / 1024.0**3
+    rows: List[MemoryRow] = []
+    for batch in batches:
+        kv_gb = (
+            batch * context * arch.kv_bytes_per_token(16.0) / 1024.0**3
+        )
+        rows.append(
+            MemoryRow(
+                batch=batch,
+                weights_gb=weights_gb,
+                kv_gb=kv_gb,
+                kv_share_percent=100.0 * kv_gb / (kv_gb + weights_gb),
+            )
+        )
+    return rows
+
+
+@dataclass
+class QuantComparisonRow:
+    """Figure 5(b): throughput of the three quantization strategies."""
+
+    batch: int
+    no_quant_tokens_per_s: float
+    no_quant_oom: bool
+    weight_quant_tokens_per_s: float
+    weight_quant_oom: bool
+    kv_quant_tokens_per_s: float
+    kv_quant_oom: bool
+
+
+def run_fig05_quant(
+    model: str = "llama2-13b",
+    batches: Sequence[int] = FIG05_BATCHES,
+) -> List[QuantComparisonRow]:
+    """No-quant vs 4-bit weight-only vs 4-bit KV-only on the LPDDR NPU."""
+    arch = get_model(model).arch
+    no_quant = get_system("lpu")
+    weight_quant = replace(no_quant, name="lpu-w4", weight_bits=4.25)
+    kv_quant = ServingSystem(
+        name="lpu-kv4",
+        device_small="lpu-lpddr",
+        device_large="lpu-lpddr",
+        profile=PROFILES["oaken-engine"],
+    )
+    rows: List[QuantComparisonRow] = []
+    for batch in batches:
+        base = simulate_generation_run(no_quant, arch, batch)
+        weight = simulate_generation_run(weight_quant, arch, batch)
+        kv = simulate_generation_run(kv_quant, arch, batch)
+        rows.append(
+            QuantComparisonRow(
+                batch=batch,
+                no_quant_tokens_per_s=base.tokens_per_s,
+                no_quant_oom=base.oom,
+                weight_quant_tokens_per_s=weight.tokens_per_s,
+                weight_quant_oom=weight.oom,
+                kv_quant_tokens_per_s=kv.tokens_per_s,
+                kv_quant_oom=kv.oom,
+            )
+        )
+    return rows
+
+
+def format_fig05(
+    memory_rows: List[MemoryRow],
+    quant_rows: List[QuantComparisonRow],
+) -> str:
+    """Render both subfigures as tables."""
+    table_a = TextTable(["batch", "weights_GB", "kv_GB", "kv_share_%"])
+    for row in memory_rows:
+        table_a.add_row(
+            [row.batch, row.weights_gb, row.kv_gb, row.kv_share_percent]
+        )
+    table_b = TextTable(
+        ["batch", "no_quant", "weight_quant", "kv_quant"]
+    )
+    for row in quant_rows:
+        table_b.add_row(
+            [
+                row.batch,
+                "OOM" if row.no_quant_oom else
+                f"{row.no_quant_tokens_per_s:.0f}",
+                "OOM" if row.weight_quant_oom else
+                f"{row.weight_quant_tokens_per_s:.0f}",
+                "OOM" if row.kv_quant_oom else
+                f"{row.kv_quant_tokens_per_s:.0f}",
+            ]
+        )
+    return (
+        "(a) memory breakdown\n" + table_a.render()
+        + "\n\n(b) quantization comparison\n" + table_b.render()
+    )

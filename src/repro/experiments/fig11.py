@@ -1,0 +1,148 @@
+"""Figure 11 — end-to-end throughput: 6 models x batch sweep x 8 systems.
+
+The headline performance result.  Expected shape (paper Section 6.2):
+
+* GPU baselines lead at small batches/models, then saturate when the
+  KV cache exhausts HBM capacity (flat curves).
+* Oaken-HBM is the fastest where everything fits, but OOMs on large
+  models/batches.
+* Oaken-LPDDR scales to batch 256 everywhere the model fits and ends
+  on top (paper: 1.79x over vLLM, 1.58x over QServe on average at 256).
+* Tender (HBM ASIC) OOMs like other HBM platforms; LPU (no
+  quantization) trails Oaken-LPDDR by the attention-read factor.
+* GQA models (Mistral/Mixtral) have small KV caches, so quantization
+  gains shrink — visible as compressed gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import TextTable
+from repro.hardware.overheads import get_system
+from repro.hardware.perf import simulate_generation_run
+from repro.models.config import get_model
+
+#: Figure legend order.
+FIG11_SYSTEMS = (
+    "vllm",
+    "kvquant-gpu",
+    "kivi-gpu",
+    "qserve-gpu",
+    "tender",
+    "lpu",
+    "oaken-lpddr",
+    "oaken-hbm",
+)
+
+#: The six models of the figure.
+FIG11_MODELS = (
+    "llama2-7b",
+    "llama2-13b",
+    "mistral-7b",
+    "opt-30b",
+    "mixtral-8x7b",
+    "llama2-70b",
+)
+
+#: Batch sweep of the figure.
+FIG11_BATCHES = (16, 32, 64, 128, 256)
+
+
+@dataclass
+class ThroughputCell:
+    """One (model, system, batch) grid cell."""
+
+    model: str
+    system: str
+    batch: int
+    tokens_per_s: float
+    oom: bool
+
+
+def systems_for_model(
+    model: str, systems: Sequence[str] = FIG11_SYSTEMS
+) -> Sequence[str]:
+    """Per-model system list: QServe lacks MoE support (Section 6.1),
+    so the Mixtral columns drop it, as in the paper's figures."""
+    if model == "mixtral-8x7b":
+        return tuple(s for s in systems if s != "qserve-gpu")
+    return tuple(systems)
+
+
+def run_fig11(
+    models: Sequence[str] = FIG11_MODELS,
+    systems: Sequence[str] = FIG11_SYSTEMS,
+    batches: Sequence[int] = FIG11_BATCHES,
+    input_tokens: int = 1024,
+    output_tokens: int = 1024,
+) -> List[ThroughputCell]:
+    """Run the full throughput grid (analytic, fast)."""
+    cells: List[ThroughputCell] = []
+    for model in models:
+        arch = get_model(model).arch
+        for batch in batches:
+            for name in systems_for_model(model, systems):
+                run = simulate_generation_run(
+                    get_system(name), arch, batch,
+                    input_tokens, output_tokens,
+                )
+                cells.append(
+                    ThroughputCell(
+                        model=model,
+                        system=name,
+                        batch=batch,
+                        tokens_per_s=run.tokens_per_s,
+                        oom=run.oom,
+                    )
+                )
+    return cells
+
+
+def speedup_at_batch(
+    cells: List[ThroughputCell],
+    numerator: str,
+    denominator: str,
+    batch: int,
+) -> Dict[str, float]:
+    """Per-model speedup of one system over another at a batch size."""
+    by_key = {
+        (c.model, c.system, c.batch): c for c in cells
+    }
+    out: Dict[str, float] = {}
+    for model in {c.model for c in cells}:
+        top = by_key.get((model, numerator, batch))
+        bottom = by_key.get((model, denominator, batch))
+        if (
+            top is None or bottom is None
+            or top.oom or bottom.oom
+            or bottom.tokens_per_s <= 0
+        ):
+            continue
+        out[model] = top.tokens_per_s / bottom.tokens_per_s
+    return out
+
+
+def format_fig11(cells: List[ThroughputCell]) -> str:
+    """Render the grid, one block per model."""
+    sections: List[str] = []
+    models = sorted({c.model for c in cells})
+    systems = [s for s in FIG11_SYSTEMS if any(c.system == s for c in cells)]
+    batches = sorted({c.batch for c in cells})
+    by_key = {(c.model, c.system, c.batch): c for c in cells}
+    for model in models:
+        table = TextTable(["batch"] + list(systems))
+        for batch in batches:
+            row: List[object] = [batch]
+            for system in systems:
+                cell = by_key.get((model, system, batch))
+                if cell is None:
+                    row.append("-")
+                elif cell.oom:
+                    row.append("OOM")
+                else:
+                    row.append(f"{cell.tokens_per_s:.0f}")
+            table.add_row(row)
+        sections.append(f"model {model}\n" + table.render())
+    return "\n\n".join(sections)

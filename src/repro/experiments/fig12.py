@@ -1,0 +1,180 @@
+"""Figure 12 — (a) accuracy/compression trade-off, (b) latency breakdown.
+
+Part (a) sweeps Oaken's group ratios on Llama2-7B: each configuration
+lands at (effective bits, Wikitext2 perplexity); the paper picks
+4%/90%/6% as a Pareto point at ~4.8 effective bits.
+
+Part (b) breaks end-to-end latency into non-attention / attention /
+quantization / dequantization for LPU (no quantization), Oaken's
+algorithm ported to GPU (long, exposed quant/dequant from warp
+divergence), and the Oaken accelerator (engines overlapped; the paper
+reports quantization at 1.29% and dequantization at 3.23% of latency
+at batch 64).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.config import OakenConfig
+from repro.data.corpus import build_corpus, calibration_corpus
+from repro.eval.harness import build_method_bundle
+from repro.experiments.common import TextTable
+from repro.baselines.oaken_adapter import OakenKVQuantizer
+from repro.baselines.base import KVCacheQuantizer
+from repro.core.quantizer import expected_effective_bitwidth
+from repro.hardware.overheads import get_system
+from repro.hardware.perf import generation_iteration
+from repro.models.config import get_model
+from repro.models.transformer import DecoderModel, KVTransformBundle
+
+#: Group-ratio sweep of Figure 12(a): (outer%, middle%, inner%).
+FIG12A_RATIOS = (
+    (2, 94, 4),
+    (4, 92, 4),
+    (4, 90, 6),
+    (6, 88, 6),
+    (6, 86, 8),
+    (8, 84, 8),
+    (10, 82, 8),
+)
+
+
+@dataclass
+class TradeoffRow:
+    """One configuration on the accuracy/compression plane."""
+
+    outer_percent: int
+    middle_percent: int
+    inner_percent: int
+    effective_bits: float
+    perplexity: float
+
+
+def run_fig12a(
+    model: str = "llama2-7b",
+    ratios: Sequence[Tuple[int, int, int]] = FIG12A_RATIOS,
+    eval_batch: int = 6,
+) -> List[TradeoffRow]:
+    """Sweep group ratios and measure perplexity + effective bits."""
+    spec = get_model(model)
+    decoder = DecoderModel(spec)
+    eval_tokens = build_corpus(decoder, "wikitext2", batch=eval_batch)
+    cal_tokens = calibration_corpus(decoder, batch=6, length=96)
+    kv = decoder.collect_layer_kv(cal_tokens)
+
+    rows: List[TradeoffRow] = []
+    for outer, middle, inner in ratios:
+        config = OakenConfig(
+            outer_ratios=(outer / 100.0,),
+            middle_ratio=middle / 100.0,
+            inner_ratios=(inner / 100.0,),
+        )
+        key_fns = []
+        value_fns = []
+        for keys, values in kv:
+            kq = OakenKVQuantizer("key", config).fit([keys])
+            vq = OakenKVQuantizer("value", config).fit([values])
+            key_fns.append(kq.roundtrip)
+            value_fns.append(vq.roundtrip)
+        bundle = KVTransformBundle(key_fns=key_fns, value_fns=value_fns)
+        perplexity = decoder.perplexity(eval_tokens, kv_transforms=bundle)
+        rows.append(
+            TradeoffRow(
+                outer_percent=outer,
+                middle_percent=middle,
+                inner_percent=inner,
+                effective_bits=expected_effective_bitwidth(
+                    config, spec.arch.kv_dim
+                ),
+                perplexity=perplexity,
+            )
+        )
+    return rows
+
+
+@dataclass
+class BreakdownRow:
+    """Figure 12(b): latency components for one (system, batch)."""
+
+    system: str
+    batch: int
+    nonattn_s: float
+    attn_s: float
+    quant_s: float
+    dequant_s: float
+    total_s: float
+    quant_share_percent: float
+    dequant_share_percent: float
+
+
+def run_fig12b(
+    model: str = "llama2-7b",
+    batches: Sequence[int] = (16, 32, 64),
+    context: int = 1024,
+) -> List[BreakdownRow]:
+    """Latency breakdown for LPU / Oaken-GPU / Oaken-LPDDR."""
+    arch = get_model(model).arch
+    rows: List[BreakdownRow] = []
+    for name in ("lpu", "oaken-gpu", "oaken-lpddr"):
+        system = get_system(name)
+        for batch in batches:
+            b = generation_iteration(system, arch, batch, context)
+            total = b.total_s
+            rows.append(
+                BreakdownRow(
+                    system=name,
+                    batch=batch,
+                    nonattn_s=b.nonattn_s,
+                    attn_s=b.attn_s,
+                    quant_s=b.quant_s,
+                    dequant_s=b.dequant_s,
+                    total_s=total,
+                    quant_share_percent=100.0 * b.quant_s / total,
+                    dequant_share_percent=100.0 * b.dequant_s / total,
+                )
+            )
+    return rows
+
+
+def format_fig12(
+    tradeoff: List[TradeoffRow], breakdown: List[BreakdownRow]
+) -> str:
+    """Render both subfigures as tables."""
+    table_a = TextTable(
+        ["outer_%", "middle_%", "inner_%", "eff_bits", "perplexity"]
+    )
+    for row in tradeoff:
+        table_a.add_row(
+            [
+                row.outer_percent,
+                row.middle_percent,
+                row.inner_percent,
+                row.effective_bits,
+                row.perplexity,
+            ]
+        )
+    table_b = TextTable(
+        [
+            "system", "batch", "nonattn_ms", "attn_ms", "quant_ms",
+            "dequant_ms", "quant_%", "dequant_%",
+        ]
+    )
+    for row in breakdown:
+        table_b.add_row(
+            [
+                row.system,
+                row.batch,
+                row.nonattn_s * 1e3,
+                row.attn_s * 1e3,
+                row.quant_s * 1e3,
+                row.dequant_s * 1e3,
+                row.quant_share_percent,
+                row.dequant_share_percent,
+            ]
+        )
+    return (
+        "(a) accuracy vs effective bits\n" + table_a.render()
+        + "\n\n(b) latency breakdown\n" + table_b.render()
+    )

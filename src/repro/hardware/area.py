@@ -1,0 +1,129 @@
+"""Area and power accounting (Table 4, TSMC 28nm).
+
+The paper synthesizes the accelerator at 1 GHz in TSMC 28nm and reports
+per-module areas; this model reproduces that accounting and lets the
+ablations perturb it: engine area scales with the number of
+quantization groups (more decomposer comparators, more min/max trees)
+and with code bitwidth.
+
+Calibration constants come straight from Table 4:
+
+======================  =========  ==========
+Module                  Area (mm2)  Share (%)
+======================  =========  ==========
+Matrix processing unit     0.908       22.86
+Vector processing unit     0.239        6.03
+Quantization engine        0.074        1.86
+Dequantization engine      0.252        6.35
+Compute core (total)       3.971      100.00
+======================  =========  ==========
+
+Power is modelled with a single effective power density calibrated so
+the full 256-core accelerator lands on the paper's 222.7 W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.config import OakenConfig
+
+#: Table 4 module areas in mm^2 (28nm, 1 GHz).
+MPU_AREA_MM2 = 0.908
+VPU_AREA_MM2 = 0.239
+QUANT_ENGINE_AREA_MM2 = 0.074
+DEQUANT_ENGINE_AREA_MM2 = 0.252
+CORE_AREA_MM2 = 3.971
+
+#: Everything in a core that is neither MPU/VPU nor an Oaken engine
+#: (control, register file, DMA, buffers).
+OTHER_AREA_MM2 = CORE_AREA_MM2 - (
+    MPU_AREA_MM2 + VPU_AREA_MM2 + QUANT_ENGINE_AREA_MM2
+    + DEQUANT_ENGINE_AREA_MM2
+)
+
+#: Accelerator-level calibration (Section 6.2: 222.7 W total).
+NUM_CORES = 256
+TOTAL_POWER_W = 222.7
+
+#: Reference group count the Table 4 engines were sized for.
+_REFERENCE_SPARSE_BANDS = 2
+
+#: Area growth per extra sparse band (comparators + min/max + scale
+#: datapath replicate per band).
+_BAND_AREA_FACTOR = 0.18
+
+
+@dataclass
+class AreaReport:
+    """Per-module area breakdown of one compute core.
+
+    Attributes:
+        areas_mm2: module name -> area.
+    """
+
+    areas_mm2: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def core_area_mm2(self) -> float:
+        return sum(self.areas_mm2.values())
+
+    def share(self, module: str) -> float:
+        """Module share of core area in percent."""
+        return 100.0 * self.areas_mm2[module] / self.core_area_mm2
+
+    @property
+    def oaken_overhead_percent(self) -> float:
+        """Share of core area added by Oaken's engines (paper: 8.21%)."""
+        engines = (
+            self.areas_mm2.get("quant_engine", 0.0)
+            + self.areas_mm2.get("dequant_engine", 0.0)
+        )
+        return 100.0 * engines / self.core_area_mm2
+
+
+class AreaModel:
+    """Area/power model parameterized by the Oaken configuration.
+
+    Args:
+        config: the quantizer configuration; group count and bitwidths
+            scale the engine areas.
+    """
+
+    def __init__(self, config: OakenConfig = OakenConfig()):
+        self.config = config
+
+    def _engine_scale(self) -> float:
+        extra_bands = self.config.num_sparse_bands - _REFERENCE_SPARSE_BANDS
+        scale = 1.0 + _BAND_AREA_FACTOR * extra_bands
+        # Wider codes widen the datapath slightly.
+        scale *= self.config.outlier_bits / 5.0 * 0.25 + 0.75
+        return max(scale, 0.5)
+
+    def core_report(self) -> AreaReport:
+        """Area breakdown of one compute core (Table 4 rows)."""
+        scale = self._engine_scale()
+        return AreaReport(
+            areas_mm2={
+                "matrix_processing_unit": MPU_AREA_MM2,
+                "vector_processing_unit": VPU_AREA_MM2,
+                "quant_engine": QUANT_ENGINE_AREA_MM2 * scale,
+                "dequant_engine": DEQUANT_ENGINE_AREA_MM2 * scale,
+                "other": OTHER_AREA_MM2,
+            }
+        )
+
+    def accelerator_area_mm2(self) -> float:
+        """Total compute-core area of the full accelerator."""
+        return self.core_report().core_area_mm2 * NUM_CORES
+
+    def accelerator_power_w(self) -> float:
+        """Estimated total power, scaled from the calibrated design."""
+        baseline_area = CORE_AREA_MM2 * NUM_CORES
+        density = TOTAL_POWER_W / baseline_area
+        return self.accelerator_area_mm2() * density
+
+    def power_saving_vs_gpu(self, gpu_tdp_w: float = 400.0) -> float:
+        """Power reduction vs a GPU TDP in percent (paper: 44.3%)."""
+        return 100.0 * (1.0 - self.accelerator_power_w() / gpu_tdp_w)

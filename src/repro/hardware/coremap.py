@@ -1,0 +1,120 @@
+"""Core-level occupancy model (Figure 3(a)/(b) at core granularity).
+
+The paper's Figure 3 sketches which compute cores are busy over time:
+prefill parallelizes one request's prompt tokens across many cores;
+generation gives each request's single token to one core, so occupancy
+equals min(batch, cores) and everything else idles.  Oaken's token-
+level batch scheduling (Section 5.3) is precisely the policy that
+raises generation occupancy by packing many requests' tokens.
+
+This module computes those occupancy timelines from first principles —
+tokens-to-cores assignment plus per-token work — and produces the
+utilization summaries the Figure 3 experiment renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.models.config import ArchShape
+
+
+@dataclass(frozen=True)
+class PhaseOccupancy:
+    """Core occupancy of one inference phase.
+
+    Attributes:
+        phase: ``"prefill"`` or ``"generation"``.
+        batch: concurrent requests.
+        busy_cores: cores doing useful work.
+        total_cores: cores available.
+        occupancy: busy fraction.
+        tokens_in_flight: tokens processed concurrently.
+    """
+
+    phase: str
+    batch: int
+    busy_cores: int
+    total_cores: int
+    occupancy: float
+    tokens_in_flight: int
+
+
+def prefill_occupancy(
+    arch: ArchShape,
+    batch: int,
+    prompt_tokens: int,
+    total_cores: int = 256,
+) -> PhaseOccupancy:
+    """Occupancy during prefill: prompt tokens fan out across cores."""
+    if batch < 1 or prompt_tokens < 1 or total_cores < 1:
+        raise ValueError("batch/prompt/cores must be positive")
+    tokens = batch * prompt_tokens
+    busy = min(total_cores, tokens)
+    return PhaseOccupancy(
+        phase="prefill",
+        batch=batch,
+        busy_cores=busy,
+        total_cores=total_cores,
+        occupancy=busy / total_cores,
+        tokens_in_flight=tokens,
+    )
+
+
+def generation_occupancy(
+    arch: ArchShape,
+    batch: int,
+    total_cores: int = 256,
+) -> PhaseOccupancy:
+    """Occupancy during generation: one token per request per core.
+
+    This is the paper's Figure 3(b) underutilization: without batching,
+    one request keeps exactly one core busy; Oaken's scheduler fills
+    cores with other requests' tokens.
+    """
+    if batch < 1 or total_cores < 1:
+        raise ValueError("batch/cores must be positive")
+    busy = min(total_cores, batch)
+    return PhaseOccupancy(
+        phase="generation",
+        batch=batch,
+        busy_cores=busy,
+        total_cores=total_cores,
+        occupancy=busy / total_cores,
+        tokens_in_flight=batch,
+    )
+
+
+def occupancy_timeline(
+    arch: ArchShape,
+    batch: int,
+    prompt_tokens: int,
+    output_tokens: int,
+    total_cores: int = 256,
+) -> List[PhaseOccupancy]:
+    """The Figure 3(a)/(b) timeline: prefill burst, generation tail.
+
+    Returns one entry per phase segment; durations are proportional to
+    token counts (the hardware-timing model in :mod:`perf` prices
+    them — this view is about *which cores* are busy, not how long).
+    """
+    timeline = [
+        prefill_occupancy(arch, batch, prompt_tokens, total_cores)
+    ]
+    if output_tokens > 0:
+        timeline.append(
+            generation_occupancy(arch, batch, total_cores)
+        )
+    return timeline
+
+
+def batching_occupancy_gain(
+    arch: ArchShape,
+    batch: int,
+    total_cores: int = 256,
+) -> float:
+    """Generation occupancy gain of batching vs a single request."""
+    single = generation_occupancy(arch, 1, total_cores).occupancy
+    batched = generation_occupancy(arch, batch, total_cores).occupancy
+    return batched / single

@@ -1,0 +1,76 @@
+"""Functional, bit-exact streaming models of the Figure 9 engines.
+
+Where :mod:`repro.hardware.engines` and :mod:`repro.hardware.pipeline`
+price the quantization/dequantization engines analytically, this
+package *implements* them structurally: every module in the paper's
+Figure 9 (decomposer, min/max finder, σ-calculator, inlier/outlier
+quantizers, zero-remove/zero-insert shifters, outlier index buffer,
+OR-merge concatenator) is a class processing element streams, and the
+test suite asserts the streamed bits equal the vectorized reference
+quantizer's output exactly — the same functional-equivalence check the
+authors ran between their RTL and their algorithm.
+
+Public API:
+
+* :class:`StreamingQuantEngine` / :class:`StreamingDequantEngine` —
+  the engines, returning ``(EncodedKV | matrix, CycleReport)``.
+* :class:`DatapathTiming` / :class:`DequantTiming` — lane widths,
+  clocks, and turnaround latencies.
+* :class:`CycleReport` — per-stage busy-cycle occupancy.
+"""
+
+from repro.hardware.datapath.adapter import EngineBackedQuantizer
+from repro.hardware.datapath.dequant_engine import (
+    DequantTiming,
+    StreamingDequantEngine,
+)
+from repro.hardware.datapath.dequant_stages import (
+    DequantScales,
+    InlierDequantizer,
+    OutlierDequantizer,
+    OutlierIndexBuffer,
+    ZeroInsertShifter,
+)
+from repro.hardware.datapath.quant_engine import (
+    DatapathTiming,
+    StreamingQuantEngine,
+)
+from repro.hardware.datapath.quant_stages import (
+    Decomposer,
+    FusedConcatenator,
+    GroupScale,
+    MinMaxFinder,
+    OutlierExtractor,
+    ScaleCalculator,
+)
+from repro.hardware.datapath.records import (
+    COORecord,
+    CycleReport,
+    RoutedElement,
+    StageActivity,
+    TokenQuantResult,
+)
+
+__all__ = [
+    "COORecord",
+    "CycleReport",
+    "EngineBackedQuantizer",
+    "DatapathTiming",
+    "Decomposer",
+    "DequantScales",
+    "DequantTiming",
+    "FusedConcatenator",
+    "GroupScale",
+    "InlierDequantizer",
+    "MinMaxFinder",
+    "OutlierDequantizer",
+    "OutlierExtractor",
+    "OutlierIndexBuffer",
+    "RoutedElement",
+    "ScaleCalculator",
+    "StageActivity",
+    "StreamingDequantEngine",
+    "StreamingQuantEngine",
+    "TokenQuantResult",
+    "ZeroInsertShifter",
+]

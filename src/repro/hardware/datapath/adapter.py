@@ -1,0 +1,83 @@
+"""Hardware-in-the-loop adapter: streaming engines behind the KV cache.
+
+:class:`EngineBackedQuantizer` exposes the same ``quantize`` /
+``dequantize`` surface as :class:`~repro.core.quantizer.OakenQuantizer`
+but routes every call through the structural Figure 9 engines,
+accumulating their cycle reports.  Dropping it into
+:class:`~repro.core.kvcache.QuantizedKVCache` (or the model substrate's
+quantized generation) runs the whole software stack on the hardware
+datapath — the system-level counterpart of the per-tensor equivalence
+tests, and the source of end-to-end engine cycle counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import OakenConfig
+from repro.core.encoding import EncodedKV
+from repro.core.grouping import GroupThresholds
+from repro.hardware.datapath.dequant_engine import (
+    DequantTiming,
+    StreamingDequantEngine,
+)
+from repro.hardware.datapath.quant_engine import (
+    DatapathTiming,
+    StreamingQuantEngine,
+)
+
+
+class EngineBackedQuantizer:
+    """Drop-in OakenQuantizer replacement backed by the engines.
+
+    Args:
+        config: quantizer hyper-parameters.
+        thresholds: offline-profiled thresholds.
+        quant_timing / dequant_timing: datapath physical parameters.
+
+    Attributes:
+        quant_cycles: engine cycles spent quantizing so far.
+        dequant_cycles: engine cycles spent dequantizing so far.
+    """
+
+    def __init__(
+        self,
+        config: OakenConfig,
+        thresholds: GroupThresholds,
+        quant_timing: Optional[DatapathTiming] = None,
+        dequant_timing: Optional[DequantTiming] = None,
+    ):
+        self.config = config
+        self.thresholds = thresholds
+        self._quant = StreamingQuantEngine(
+            config, thresholds, timing=quant_timing
+        )
+        self._dequant = StreamingDequantEngine(
+            config, thresholds, timing=dequant_timing
+        )
+        self.quant_cycles = 0
+        self.dequant_cycles = 0
+
+    def quantize(self, values: np.ndarray) -> EncodedKV:
+        """Stream a [T, D] matrix through the quantization engine."""
+        encoded, report = self._quant.quantize_matrix(values)
+        self.quant_cycles += report.total_cycles
+        return encoded
+
+    def dequantize(self, encoded: EncodedKV) -> np.ndarray:
+        """Stream an encoded tensor through the dequantization engine."""
+        matrix, report = self._dequant.dequantize_matrix(encoded)
+        self.dequant_cycles += report.total_cycles
+        return matrix
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        """Quantize then dequantize through both engines."""
+        return self.dequantize(self.quantize(values))
+
+    def engine_time_s(self, freq_ghz: float = 1.0) -> float:
+        """Wall-clock engine time accumulated so far."""
+        return (self.quant_cycles + self.dequant_cycles) / (
+            freq_ghz * 1e9
+        )

@@ -1,0 +1,187 @@
+"""The streaming dequantization engine (Figure 9b, end to end).
+
+:class:`StreamingDequantEngine` consumes an
+:class:`~repro.core.encoding.EncodedKV` the way the hardware reads it
+back from memory — token by token, dense pages alongside the token's
+sparse records — and reconstructs float rows that the unit tests assert
+are bit-identical to the vectorized
+:meth:`~repro.core.quantizer.OakenQuantizer.dequantize`.
+
+Unlike the quantization side, dequantization needs no per-token
+turnaround (scales stream in with the data), so the engine is a pure
+one-pass pipeline: initiation interval per token is
+``ceil(D / lanes)`` and sparse records ride along at one per cycle in
+the index buffer, which never becomes the bottleneck at the paper's
+outlier ratios (10% of D per token versus a D-element pass).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import OakenConfig
+from repro.core.encoding import EncodedKV
+from repro.core.grouping import GroupThresholds
+from repro.hardware.datapath.dequant_stages import (
+    DequantScales,
+    InlierDequantizer,
+    OutlierDequantizer,
+    OutlierIndexBuffer,
+    ZeroInsertShifter,
+)
+from repro.hardware.datapath.records import COORecord, CycleReport
+
+
+@dataclass(frozen=True)
+class DequantTiming:
+    """Physical parameters of the streaming dequantization datapath.
+
+    Wider than the quantization engine (it must keep pace with the
+    attention read stream), with a short fixed fill.
+    """
+
+    lanes: int = 128
+    freq_ghz: float = 1.0
+    fill_cycles: int = 16
+
+    def pass_cycles(self, dim: int) -> int:
+        """Cycles for one pass over a ``dim``-element token row."""
+        return max(1, math.ceil(dim / self.lanes))
+
+
+class StreamingDequantEngine:
+    """Element-streaming dequantization engine for one (layer, tensor).
+
+    Args:
+        config: quantizer hyper-parameters (must match the encoder's).
+        thresholds: offline thresholds (shift edges for reconstruction).
+        timing: lane width and clock of the datapath.
+    """
+
+    def __init__(
+        self,
+        config: OakenConfig,
+        thresholds: GroupThresholds,
+        timing: Optional[DequantTiming] = None,
+    ):
+        self.config = config
+        self.thresholds = thresholds
+        self.timing = timing if timing is not None else DequantTiming()
+        self._index_buffer = OutlierIndexBuffer()
+        self._shifter = ZeroInsertShifter(config)
+        self._inlier = InlierDequantizer(config, thresholds)
+        self._outlier = OutlierDequantizer(config, thresholds)
+
+    # ------------------------------------------------------------------
+
+    def _records_of_token(
+        self, encoded: EncodedKV, token: int
+    ) -> List[COORecord]:
+        """Materialize the COO records of one token from the layout."""
+        cfg = self.config
+        indices = encoded.outliers_of_token(token)
+        records = []
+        for i in indices:
+            pos = int(encoded.sparse_pos[i])
+            side = bool(encoded.sparse_side[i])
+            mag = int(encoded.sparse_mag_code[i])
+            fused = None
+            fp16 = None
+            if cfg.fused_encoding:
+                if cfg.group_shift:
+                    mag_bits = cfg.outlier_bits - 1
+                    full = (int(side) << mag_bits) | mag
+                else:
+                    full = mag
+                fused = full & ((1 << cfg.inlier_bits) - 1)
+            else:
+                fp16 = float(encoded.sparse_fp16[i])
+            records.append(
+                COORecord(
+                    position=pos,
+                    chunk=pos // cfg.chunk_size,
+                    index=pos % cfg.chunk_size,
+                    band=int(encoded.sparse_band[i]),
+                    side=side,
+                    mag_code=mag,
+                    fused_nibble=fused,
+                    fp16_value=fp16,
+                )
+            )
+        return records
+
+    def dequantize_token(
+        self,
+        encoded: EncodedKV,
+        token: int,
+        report: Optional[CycleReport] = None,
+    ) -> np.ndarray:
+        """Reconstruct one token row through the streaming datapath."""
+        cfg = self.config
+        dim = encoded.dim
+        scales = DequantScales(
+            middle_lo=float(encoded.middle_lo[token]),
+            middle_hi=float(encoded.middle_hi[token]),
+            band_lo=tuple(float(v) for v in encoded.band_lo[token]),
+            band_hi=tuple(float(v) for v in encoded.band_hi[token]),
+        )
+        records = self._records_of_token(encoded, token)
+        self._index_buffer.load(records)
+
+        row = np.zeros(dim, dtype=np.float64)
+        for position in range(dim):
+            slot = int(encoded.dense_codes[token, position])
+            record = self._index_buffer.lookup(position)
+            if record is None:
+                row[position] = self._inlier.decode(slot, scales)
+                continue
+            # Zero-insert path: reassemble the full outlier code from
+            # the fused nibble and the record's high bits, then decode.
+            if cfg.fused_encoding:
+                mag, side = self._shifter.reassemble_code(record, slot)
+            else:
+                mag, side = record.mag_code, record.side
+            row[position] = self._outlier.decode(
+                record.band, side, mag, scales,
+                fp16_value=record.fp16_value,
+            )
+
+        if report is not None:
+            pass_cycles = self.timing.pass_cycles(dim)
+            report.stage("zero_insert_shifter").record(
+                len(records), min(pass_cycles, len(records))
+            )
+            report.stage("inlier_dequantizer").record(dim, pass_cycles)
+            report.stage("outlier_dequantizer").record(
+                len(records), min(pass_cycles, len(records))
+            )
+        return row.astype(np.float32)
+
+    def dequantize_matrix(
+        self, encoded: EncodedKV
+    ) -> "tuple[np.ndarray, CycleReport]":
+        """Stream a whole encoded tensor back to float rows.
+
+        Returns:
+            ``(matrix, cycles)`` where ``matrix`` matches the vectorized
+            dequantizer bit for bit and ``cycles`` is the one-pass
+            pipeline timing.
+        """
+        tokens, dim = encoded.shape
+        report = CycleReport(tokens=tokens, elements=tokens * dim)
+        rows = [
+            self.dequantize_token(encoded, t, report=report)
+            for t in range(tokens)
+        ]
+        pass_cycles = self.timing.pass_cycles(dim)
+        report.total_cycles = (
+            self.timing.fill_cycles + tokens * pass_cycles
+        )
+        out = np.stack(rows, axis=0) if rows else np.zeros(
+            (0, dim), dtype=np.float32
+        )
+        return out, report

@@ -1,0 +1,194 @@
+"""Stages of the dequantization engine datapath (Figure 9b).
+
+The dequantization engine sits between device memory and the matrix
+unit and restores streamed KV history:
+
+* the **OutlierIndexBuffer** holds the sparse COO records of the token
+  currently streaming, keyed by position, so the zero-insert shifter
+  can realign them with the dense stream;
+* the **ZeroInsertShifter** walks the dense row and, at each position
+  owned by an outlier, re-expands the fused nibble + record bits into
+  the full outlier code (the inverse of the zero-remove compaction);
+* the **InlierDequantizer** and **OutlierDequantizer** undo Eq. 3 and
+  the group shift for their respective paths;
+* the final OR-merge forwards the reconstructed row to the matrix
+  unit.
+
+Bit-exactness with :meth:`repro.core.quantizer.OakenQuantizer.dequantize`
+is asserted by the unit tests; the scalar arithmetic here deliberately
+mirrors the vectorized reference operation for operation (same FP16
+scale domain, same degenerate-range guard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import OakenConfig
+from repro.core.grouping import GroupThresholds
+from repro.hardware.datapath.records import COORecord, scale_sigma
+
+
+class OutlierIndexBuffer:
+    """Per-token staging of sparse records, keyed by dense position.
+
+    Models the "Outlier Index Buffer" in Figure 9b: sparse pages of the
+    streaming token are fetched alongside the dense pages, and the
+    records wait here until the dense stream reaches their position.
+    """
+
+    def __init__(self):
+        self._by_position: Dict[int, COORecord] = {}
+
+    def load(self, records: Iterable[COORecord]) -> None:
+        """Stage one token's sparse records."""
+        self._by_position = {r.position: r for r in records}
+
+    def lookup(self, position: int) -> Optional[COORecord]:
+        """Record owning ``position``, if any."""
+        return self._by_position.get(position)
+
+    def __len__(self) -> int:
+        return len(self._by_position)
+
+
+@dataclass(frozen=True)
+class DequantScales:
+    """One token's decode-side scale set.
+
+    Attributes:
+        middle_lo / middle_hi: FP16 middle-group bounds as read back
+            from memory (float32 storage).
+        band_lo / band_hi: per-band magnitude bounds.
+    """
+
+    middle_lo: float
+    middle_hi: float
+    band_lo: Tuple[float, ...]
+    band_hi: Tuple[float, ...]
+
+
+class InlierDequantizer:
+    """Dense-path decode: Eq. 3 inverse plus the middle group un-shift."""
+
+    def __init__(self, config: OakenConfig, thresholds: GroupThresholds):
+        self.config = config
+        self._mid_lo_edge, self._mid_hi_edge = thresholds.middle_shift_edges()
+
+    def decode(self, code: int, scales: DequantScales) -> float:
+        """Reconstruct one dense slot's value from its stored code.
+
+        Matches the vectorized reference: every slot decodes through the
+        middle-group scale (outlier slots are later overwritten by the
+        sparse path), and the un-shift direction follows the sign of the
+        decoded shifted value.
+        """
+        lo = scales.middle_lo
+        hi = scales.middle_hi
+        sigma = scale_sigma(lo, hi, self.config.inlier_bits)
+        shifted = float(code) / sigma + lo
+        if not self.config.group_shift:
+            return shifted
+        if shifted >= 0:
+            return shifted + self._mid_hi_edge
+        return shifted + self._mid_lo_edge
+
+
+class OutlierDequantizer:
+    """Sparse-path decode: magnitude un-scale plus band un-shift."""
+
+    def __init__(self, config: OakenConfig, thresholds: GroupThresholds):
+        self.config = config
+        self.thresholds = thresholds
+
+    def decode(
+        self,
+        band: int,
+        side: bool,
+        mag_code: int,
+        scales: DequantScales,
+        fp16_value: Optional[float] = None,
+    ) -> float:
+        """Reconstruct one outlier's value.
+
+        ``mag_code`` and ``side`` come from the zero-insert shifter's
+        reassembly (fused nibble + record bits), so a decode through
+        this path also proves the fused encoding lost nothing.
+        """
+        cfg = self.config
+        if fp16_value is not None:
+            # Naive 23-bit layout: the record carries the exact value.
+            return float(fp16_value)
+        lo = scales.band_lo[band]
+        hi = scales.band_hi[band]
+        bits = cfg.outlier_bits - 1 if cfg.group_shift else cfg.outlier_bits
+        sigma = scale_sigma(lo, hi, bits)
+        magnitude = float(mag_code) / sigma + lo
+        if not cfg.group_shift:
+            return magnitude
+        lo_edge, hi_edge = self.thresholds.band_shift_edges(band)
+        if side:
+            return hi_edge + magnitude
+        return lo_edge - magnitude
+
+
+class ZeroInsertShifter:
+    """Re-expansion of the compacted sparse stream (Figure 9b).
+
+    Walks the dense row position by position; when the index buffer
+    owns the position, the fused nibble in the dense slot plus the
+    record's code bit(s) are reassembled into the full outlier code and
+    routed to the outlier dequantizer — the structural inverse of the
+    zero-remove shifter on the quantization side.
+    """
+
+    def __init__(self, config: OakenConfig):
+        self.config = config
+
+    def record_high_bits(self, record: COORecord) -> int:
+        """The code bits that travel in the COO record, not the slot.
+
+        With the paper's 4-bit slots and 5-bit codes this is exactly
+        the one side bit; narrower slots would carry more.
+        """
+        cfg = self.config
+        if cfg.group_shift:
+            mag_bits = cfg.outlier_bits - 1
+            full_code = (int(record.side) << mag_bits) | record.mag_code
+        else:
+            full_code = record.mag_code
+        return full_code >> cfg.inlier_bits
+
+    def reassemble_code(
+        self, record: COORecord, dense_slot: int
+    ) -> "tuple[int, bool]":
+        """Rebuild the full outlier code from nibble + record bits.
+
+        Returns ``(mag_code, side)``.  Raises ValueError when the fused
+        nibble read back from the dense slot disagrees with the record —
+        a corruption check the tests exercise.
+        """
+        cfg = self.config
+        if not cfg.fused_encoding:
+            return record.mag_code, record.side
+        if record.fused_nibble is not None and (
+            dense_slot != record.fused_nibble
+        ):
+            raise ValueError(
+                f"fused nibble mismatch at position {record.position}: "
+                f"dense slot holds {dense_slot}, record says "
+                f"{record.fused_nibble}"
+            )
+        high = self.record_high_bits(record)
+        full_code = (high << cfg.inlier_bits) | (
+            dense_slot & ((1 << cfg.inlier_bits) - 1)
+        )
+        if cfg.group_shift:
+            mag_bits = cfg.outlier_bits - 1
+            return full_code & ((1 << mag_bits) - 1), bool(
+                full_code >> mag_bits
+            )
+        return full_code & ((1 << cfg.outlier_bits) - 1), False

@@ -1,0 +1,268 @@
+"""The streaming quantization engine (Figure 9a, end to end).
+
+:class:`StreamingQuantEngine` wires the stage models of
+:mod:`repro.hardware.datapath.quant_stages` into the two-pass,
+double-buffered token pipeline the paper describes, and produces both:
+
+* the **bits** — an :class:`~repro.core.encoding.EncodedKV` that the
+  unit tests assert is identical to what the vectorized
+  :class:`~repro.core.quantizer.OakenQuantizer` emits, and
+* the **cycles** — a :class:`~repro.hardware.datapath.records.CycleReport`
+  with per-stage occupancy, the structural counterpart of the analytic
+  :class:`~repro.hardware.engines.QuantEngine` throughput model.
+
+Timing semantics: each token makes two passes over its ``D`` elements
+(range discovery, then quantization) with a fixed σ-calculator
+turnaround in between; tokens pipeline three deep (pass 1 of token
+*t+2* overlaps the σ-calculation of *t+1* and pass 2 of *t*), so the
+steady-state initiation interval is
+``max(ceil(D / lanes), scale_latency_cycles)`` — the lanes-per-cycle
+rate the analytic :class:`~repro.hardware.engines.QuantEngine` assumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import OakenConfig
+from repro.core.encoding import EncodedKV
+from repro.core.grouping import MIDDLE_GROUP, GroupThresholds
+from repro.hardware.datapath.quant_stages import (
+    Decomposer,
+    FusedConcatenator,
+    GroupScale,
+    MinMaxFinder,
+    OutlierExtractor,
+    ScaleCalculator,
+)
+from repro.hardware.datapath.records import (
+    CycleReport,
+    TokenQuantResult,
+)
+
+
+@dataclass(frozen=True)
+class DatapathTiming:
+    """Physical parameters of the streaming engine.
+
+    Attributes:
+        lanes: elements processed per cycle in each streaming pass.
+        freq_ghz: engine clock.
+        scale_latency_cycles: turnaround of the σ-calculator for one
+            token — every group has its own subtract/divide unit, so
+            this is a fixed latency, not per-group.
+    """
+
+    lanes: int = 32
+    freq_ghz: float = 1.0
+    scale_latency_cycles: int = 4
+
+    def pass_cycles(self, dim: int) -> int:
+        """Cycles for one streaming pass over a ``dim``-element token."""
+        return max(1, math.ceil(dim / self.lanes))
+
+
+class StreamingQuantEngine:
+    """Element-streaming quantization engine for one (layer, tensor) pair.
+
+    Args:
+        config: quantizer hyper-parameters.
+        thresholds: offline-profiled thresholds held in the engine's
+            control registers.
+        timing: lane width and clock of the datapath.
+    """
+
+    def __init__(
+        self,
+        config: OakenConfig,
+        thresholds: GroupThresholds,
+        timing: Optional[DatapathTiming] = None,
+    ):
+        if thresholds.num_outer_bands != config.num_outer_bands:
+            raise ValueError("thresholds/config outer band mismatch")
+        if thresholds.num_inner_bands != config.num_inner_bands:
+            raise ValueError("thresholds/config inner band mismatch")
+        self.config = config
+        self.thresholds = thresholds
+        self.timing = timing if timing is not None else DatapathTiming()
+        self._decomposer = Decomposer(config, thresholds)
+        self._scale_calc = ScaleCalculator(config)
+
+    # ------------------------------------------------------------------
+    # per-token functional path
+    # ------------------------------------------------------------------
+
+    def quantize_token(
+        self, vector: Sequence[float], report: Optional[CycleReport] = None
+    ) -> TokenQuantResult:
+        """Stream one token vector through the engine.
+
+        Args:
+            vector: the token's key or value vector (length ``D``).
+            report: optional cycle report to accumulate stage activity
+                into (the engine-level cycle math lives in
+                :meth:`quantize_matrix`).
+
+        Returns:
+            The fused dense row, COO stream, and per-group scales.
+        """
+        values = [float(v) for v in np.asarray(vector, dtype=np.float64)]
+        dim = len(values)
+        cfg = self.config
+        minmax = MinMaxFinder(cfg.num_sparse_bands)
+        extractor = OutlierExtractor(cfg)
+        concat = FusedConcatenator(dim, cfg)
+
+        # Pass 1: decompose + per-group range discovery.
+        routed = []
+        for position, value in enumerate(values):
+            element = self._decomposer.route(position, value)
+            minmax.update(element)
+            routed.append(element)
+
+        # Between passes: the sigma calculator prices each group.
+        scales = {}
+        groups = [MIDDLE_GROUP] + list(range(cfg.num_sparse_bands))
+        for group in groups:
+            lo, hi = minmax.range_of(group)
+            scales[group] = self._scale_calc.scale(group, lo, hi)
+
+        # Pass 2: quantize, extract sparse records, assemble dense row.
+        for element in routed:
+            scale = scales[element.group]
+            code = scale.encode(element.shifted)
+            if element.is_outlier:
+                record = extractor.emit(element, code)
+                if cfg.fused_encoding:
+                    concat.write_outlier(
+                        element.position, record.fused_nibble
+                    )
+            else:
+                concat.write_inlier(element.position, code)
+
+        if report is not None:
+            pass_cycles = self.timing.pass_cycles(dim)
+            report.stage("decomposer").record(dim, pass_cycles)
+            report.stage("minmax_finder").record(dim, pass_cycles)
+            report.stage("scale_calculator").record(
+                len(groups), self.timing.scale_latency_cycles
+            )
+            report.stage("quantizer").record(dim, pass_cycles)
+            # The shifter compacts in-line with pass 2: it is busy in
+            # every pass cycle whose lane group contains an outlier,
+            # bounded by the pass itself.
+            report.stage("zero_remove_shifter").record(
+                len(extractor.records),
+                min(pass_cycles, len(extractor.records)),
+            )
+
+        middle = scales[MIDDLE_GROUP]
+        return TokenQuantResult(
+            dense_codes=concat.merged(),
+            records=extractor.records,
+            middle_lo=middle.lo,
+            middle_hi=middle.hi,
+            band_lo=[scales[b].lo for b in range(cfg.num_sparse_bands)],
+            band_hi=[scales[b].hi for b in range(cfg.num_sparse_bands)],
+        )
+
+    # ------------------------------------------------------------------
+    # matrix-level drive + cycle math
+    # ------------------------------------------------------------------
+
+    def quantize_matrix(
+        self, values: np.ndarray
+    ) -> "tuple[EncodedKV, CycleReport]":
+        """Stream a [T, D] matrix token by token.
+
+        Returns:
+            ``(encoded, cycles)`` where ``encoded`` is bit-identical to
+            the vectorized quantizer's output and ``cycles`` carries the
+            double-buffered pipeline timing.
+        """
+        x = np.atleast_2d(np.asarray(values, dtype=np.float64))
+        if x.ndim != 2:
+            raise ValueError(f"expected a [T, D] matrix, got {x.shape}")
+        tokens, dim = x.shape
+        report = CycleReport(tokens=tokens, elements=tokens * dim)
+        results = [
+            self.quantize_token(x[t], report=report) for t in range(tokens)
+        ]
+        report.total_cycles = self._pipeline_cycles(tokens, dim)
+        return self._assemble(x.shape, results), report
+
+    def _pipeline_cycles(self, tokens: int, dim: int) -> int:
+        """Token-level three-stage pipeline timing.
+
+        Tokens are buffered three deep: while token *t* streams through
+        the quantize/emit pass, token *t+1* sits in the σ-calculator
+        and token *t+2* streams through decompose/min-max.  The
+        steady-state initiation interval is therefore the slowest of
+        the three stages, which for any realistic vector width is the
+        element pass itself — matching the analytic engine's
+        lanes-per-cycle rate.
+        """
+        if tokens <= 0:
+            return 0
+        timing = self.timing
+        pass_cycles = timing.pass_cycles(dim)
+        scale_cycles = timing.scale_latency_cycles
+        interval = max(pass_cycles, scale_cycles)
+        fill = pass_cycles + scale_cycles + pass_cycles
+        return fill + (tokens - 1) * interval
+
+    def _assemble(
+        self, shape: "tuple[int, int]", results: List[TokenQuantResult]
+    ) -> EncodedKV:
+        """Pack per-token results into the EncodedKV storage layout."""
+        cfg = self.config
+        tokens, dim = shape
+        bands = cfg.num_sparse_bands
+        dense = np.zeros((tokens, dim), dtype=np.uint8)
+        middle_lo = np.zeros(tokens, dtype=np.float64)
+        middle_hi = np.zeros(tokens, dtype=np.float64)
+        band_lo = np.zeros((tokens, bands), dtype=np.float64)
+        band_hi = np.zeros((tokens, bands), dtype=np.float64)
+        sparse_token: List[int] = []
+        sparse_pos: List[int] = []
+        sparse_band: List[int] = []
+        sparse_side: List[bool] = []
+        sparse_mag: List[int] = []
+        sparse_fp16: List[float] = []
+        for t, result in enumerate(results):
+            dense[t] = result.dense_codes
+            middle_lo[t] = result.middle_lo
+            middle_hi[t] = result.middle_hi
+            band_lo[t] = result.band_lo
+            band_hi[t] = result.band_hi
+            for record in result.records:
+                sparse_token.append(t)
+                sparse_pos.append(record.position)
+                sparse_band.append(record.band)
+                sparse_side.append(record.side)
+                sparse_mag.append(record.mag_code)
+                if record.fp16_value is not None:
+                    sparse_fp16.append(record.fp16_value)
+        fp16 = None
+        if not cfg.fused_encoding:
+            fp16 = np.array(sparse_fp16, dtype=np.float16)
+        return EncodedKV(
+            config=cfg,
+            thresholds=self.thresholds,
+            shape=(tokens, dim),
+            dense_codes=dense,
+            middle_lo=middle_lo.astype(np.float32),
+            middle_hi=middle_hi.astype(np.float32),
+            band_lo=band_lo.astype(np.float32),
+            band_hi=band_hi.astype(np.float32),
+            sparse_token=np.array(sparse_token, dtype=np.int64),
+            sparse_pos=np.array(sparse_pos, dtype=np.int64),
+            sparse_band=np.array(sparse_band, dtype=np.int16),
+            sparse_side=np.array(sparse_side, dtype=bool),
+            sparse_mag_code=np.array(sparse_mag, dtype=np.uint8),
+            sparse_fp16=fp16,
+        )

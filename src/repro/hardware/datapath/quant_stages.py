@@ -1,0 +1,254 @@
+"""Stages of the quantization engine datapath (Figure 9a).
+
+Each class models one hardware module from the paper's quantization
+engine, operating on scalar element streams rather than whole tensors —
+this is the *structural* counterpart of the vectorized algorithm in
+:mod:`repro.core.quantizer`, and the unit tests assert the two produce
+bit-identical codes.
+
+The engine wires them in two passes per token (the double-buffered
+token turnaround the analytic pipeline model assumes):
+
+1. **Decomposer** routes every element to its group and applies the
+   group shift, while the **MinMaxFinder** per group tracks the running
+   range.
+2. After the token has streamed once, the **ScaleCalculator** turns
+   each group's range into an FP16 (lo, hi, sigma) triple; the second
+   pass sends each element through the **inlier or outlier quantizer**
+   and the **OutlierExtractor** (zero-remove shifter) which compacts
+   sparse records, and the **FusedConcatenator** assembles the dense
+   row with embedded outlier nibbles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import OakenConfig
+from repro.core.grouping import MIDDLE_GROUP, GroupThresholds
+from repro.hardware.datapath.records import (
+    COORecord,
+    RoutedElement,
+    fp16_round,
+    scale_sigma,
+)
+
+
+class Decomposer:
+    """Threshold compare + group shift (module 1 in Figure 9a).
+
+    Holds the offline thresholds in its control registers and, per
+    element, performs the handful of compares that replace the online
+    topK of prior work, then subtracts the band edge (group shift).
+    """
+
+    def __init__(self, config: OakenConfig, thresholds: GroupThresholds):
+        self.config = config
+        self.thresholds = thresholds
+        self._mid_lo_edge, self._mid_hi_edge = thresholds.middle_shift_edges()
+
+    def classify(self, value: float) -> int:
+        """Group id of one element (scalar twin of ``assign_groups``)."""
+        thr = self.thresholds
+        # Outer bands, outermost first: the first band whose edges the
+        # value exceeds claims it.
+        for band in range(thr.num_outer_bands):
+            if value > thr.outer_hi[band] or value < thr.outer_lo[band]:
+                return band
+        # Inner shells, innermost first, so nested shells claim from
+        # the inside out.
+        magnitude = abs(value)
+        for j in range(thr.num_inner_bands - 1, -1, -1):
+            if magnitude <= thr.inner_mag[j]:
+                return thr.num_outer_bands + j
+        return MIDDLE_GROUP
+
+    def route(self, position: int, value: float) -> RoutedElement:
+        """Classify and group-shift one element."""
+        group = self.classify(value)
+        cfg = self.config
+        if group == MIDDLE_GROUP:
+            if cfg.group_shift:
+                shifted = (
+                    value - self._mid_hi_edge
+                    if value > 0
+                    else value - self._mid_lo_edge
+                )
+            else:
+                shifted = value
+            return RoutedElement(
+                position=position, group=group, shifted=shifted,
+                side=False, raw=value,
+            )
+        lo_edge, hi_edge = self.thresholds.band_shift_edges(group)
+        if cfg.group_shift:
+            side = value > 0
+            shifted = value - hi_edge if side else lo_edge - value
+        else:
+            side = False
+            shifted = value
+        return RoutedElement(
+            position=position, group=group, shifted=shifted,
+            side=side, raw=value,
+        )
+
+
+class MinMaxFinder:
+    """Running per-group min/max over one token (module 2 in Figure 9a).
+
+    One register pair per quantization group; reset between tokens.
+    """
+
+    def __init__(self, num_sparse_bands: int):
+        self.num_sparse_bands = num_sparse_bands
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear the range registers for a new token."""
+        self._lo: Dict[int, float] = {}
+        self._hi: Dict[int, float] = {}
+
+    def update(self, element: RoutedElement) -> None:
+        """Fold one routed element into its group's range."""
+        group = element.group
+        value = element.shifted
+        if group not in self._lo or value < self._lo[group]:
+            self._lo[group] = value
+        if group not in self._hi or value > self._hi[group]:
+            self._hi[group] = value
+
+    def range_of(self, group: int) -> Tuple[float, float]:
+        """(min, max) of a group; (0, 0) when the group saw no elements."""
+        if group not in self._lo:
+            return (0.0, 0.0)
+        return (self._lo[group], self._hi[group])
+
+
+@dataclass(frozen=True)
+class GroupScale:
+    """One group's quantization scale triple after FP16 rounding."""
+
+    lo: float
+    hi: float
+    sigma: float
+    bits: int
+
+    def encode(self, shifted: float) -> int:
+        """Quantize one group-shifted value to its integer code (Eq. 3)."""
+        code = float(np.round((shifted - self.lo) * self.sigma))
+        return int(np.clip(code, 0, 2**self.bits - 1))
+
+
+class ScaleCalculator:
+    """Per-group sigma computation (the σ-calculator in Figure 9a).
+
+    Runs once per token per group, between the two streaming passes.
+    Stores lo/hi at FP16 precision first — exactly what the hardware
+    writes alongside the data — then derives sigma from the rounded
+    bounds, matching the vectorized reference implementation.
+    """
+
+    def __init__(self, config: OakenConfig):
+        self.config = config
+
+    def group_bits(self, group: int) -> int:
+        """Code width of a group (inlier vs outlier path)."""
+        cfg = self.config
+        if group == MIDDLE_GROUP:
+            return cfg.inlier_bits
+        if cfg.group_shift:
+            return cfg.outlier_bits - 1
+        return cfg.outlier_bits
+
+    def scale(self, group: int, lo: float, hi: float) -> GroupScale:
+        """Turn one group's raw range into its FP16 scale triple."""
+        lo16 = fp16_round(lo)
+        hi16 = fp16_round(hi)
+        bits = self.group_bits(group)
+        return GroupScale(
+            lo=lo16, hi=hi16, sigma=scale_sigma(lo16, hi16, bits), bits=bits
+        )
+
+
+class OutlierExtractor:
+    """COO record assembly + zero-remove shifter (Figure 9a, module 3).
+
+    Consumes quantized outliers in position order and emits the
+    compacted sparse stream: the zero-remove shifter's job is exactly
+    this compaction — inliers produce no sparse traffic, so record
+    ``k`` sits at sparse offset ``k`` regardless of how far apart the
+    outliers were in the dense row.
+    """
+
+    def __init__(self, config: OakenConfig):
+        self.config = config
+        self._records: List[COORecord] = []
+
+    def reset(self) -> None:
+        """Start a new token's sparse stream."""
+        self._records = []
+
+    def emit(self, element: RoutedElement, mag_code: int) -> COORecord:
+        """Assemble and append the sparse record of one outlier."""
+        cfg = self.config
+        chunk = element.position // cfg.chunk_size
+        index = element.position % cfg.chunk_size
+        fused_nibble: Optional[int] = None
+        fp16_value: Optional[float] = None
+        if cfg.fused_encoding:
+            if cfg.group_shift:
+                mag_bits = cfg.outlier_bits - 1
+                full_code = (int(element.side) << mag_bits) | mag_code
+            else:
+                full_code = mag_code
+            fused_nibble = full_code & ((1 << cfg.inlier_bits) - 1)
+        else:
+            fp16_value = float(np.float16(element.raw))
+        record = COORecord(
+            position=element.position,
+            chunk=chunk,
+            index=index,
+            band=element.group,
+            side=element.side,
+            mag_code=mag_code,
+            fused_nibble=fused_nibble,
+            fp16_value=fp16_value,
+        )
+        self._records.append(record)
+        return record
+
+    @property
+    def records(self) -> List[COORecord]:
+        return list(self._records)
+
+
+class FusedConcatenator:
+    """Dense-row assembly with embedded outlier nibbles (the OR gate).
+
+    The inlier path writes middle-group codes; the outlier path writes
+    the fused nibble into the (zeroed) slot of each outlier.  Because
+    the two paths never write the same slot, a bitwise OR merges them —
+    which is how the hardware joins the streams.
+    """
+
+    def __init__(self, dim: int, config: OakenConfig):
+        self.config = config
+        self._inlier_row = np.zeros(dim, dtype=np.uint8)
+        self._outlier_row = np.zeros(dim, dtype=np.uint8)
+
+    def reset(self) -> None:
+        self._inlier_row[:] = 0
+        self._outlier_row[:] = 0
+
+    def write_inlier(self, position: int, code: int) -> None:
+        self._inlier_row[position] = code
+
+    def write_outlier(self, position: int, nibble: int) -> None:
+        self._outlier_row[position] = nibble
+
+    def merged(self) -> np.ndarray:
+        """OR-merge of the two paths — the fused dense row."""
+        return np.bitwise_or(self._inlier_row, self._outlier_row)

@@ -1,0 +1,189 @@
+"""Data carried between datapath stages (Figure 9 wire formats).
+
+The streaming engines in this package pass three kinds of payloads
+between stages:
+
+* :class:`RoutedElement` — one KV scalar after the decomposer, tagged
+  with its group and (for sparse bands) its group-shifted magnitude and
+  side.
+* :class:`COORecord` — one sparse outlier record exactly as the
+  zero-remove shifter emits it: chunk-local index bits, group id bits,
+  and the code bit(s) that did not fit in the fused dense nibble.
+* :class:`TokenQuantResult` — everything the engine writes back to
+  memory for one token: the fused dense nibble row, the COO stream,
+  and the per-group FP16 scale bounds.
+
+The cycle side is captured by :class:`StageActivity` /
+:class:`CycleReport`: per-stage busy-cycle counters plus the engine's
+end-to-end cycle count, which the tests check against the analytic
+pipeline model in :mod:`repro.hardware.pipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.grouping import MIDDLE_GROUP
+
+
+@dataclass(frozen=True)
+class RoutedElement:
+    """One scalar leaving the decomposer stage.
+
+    Attributes:
+        position: element index within the token vector.
+        group: ``MIDDLE_GROUP`` (-1) for the dense path, otherwise the
+            sparse band id (outer bands first, outermost = 0).
+        shifted: the group-shifted value handed to the quantization
+            path — the shifted inlier for the dense path, the band
+            magnitude for sparse paths (raw value when group-shift is
+            disabled).
+        side: True when the original value sat on the positive side of
+            its band (always False for the dense path and in the
+            no-group-shift ablation).
+        raw: the original FP16-domain value (kept for the naive
+            non-fused encoding, which stores outliers exactly).
+    """
+
+    position: int
+    group: int
+    shifted: float
+    side: bool
+    raw: float
+
+    @property
+    def is_outlier(self) -> bool:
+        """True when this element takes the sparse path."""
+        return self.group != MIDDLE_GROUP
+
+
+@dataclass(frozen=True)
+class COORecord:
+    """One aligned sparse record as written to the sparse page stream.
+
+    Attributes:
+        position: absolute element index within the token vector.
+        chunk: which ``2**index_bits``-element chunk the index addresses.
+        index: chunk-local index (the paper's 6 index bits).
+        band: sparse band id (the paper's group bit(s)).
+        side: the side/"sign" bit riding in the record.
+        mag_code: quantized magnitude code (full width, before fusion).
+        fused_nibble: the low ``inlier_bits`` of the full outlier code,
+            as embedded in the zeroed dense slot (None when fused
+            encoding is disabled).
+        fp16_value: exact FP16 value for the naive 23-bit layout (None
+            under fused encoding).
+    """
+
+    position: int
+    chunk: int
+    index: int
+    band: int
+    side: bool
+    mag_code: int
+    fused_nibble: Optional[int] = None
+    fp16_value: Optional[float] = None
+
+
+@dataclass
+class TokenQuantResult:
+    """Everything the quantization engine emits for one token.
+
+    Attributes:
+        dense_codes: [D] uint8 fused dense row (middle codes + embedded
+            outlier nibbles).
+        records: COO records in position stream order.
+        middle_lo / middle_hi: FP16-rounded middle-group scale bounds.
+        band_lo / band_hi: per-sparse-band FP16-rounded magnitude scale
+            bounds (length ``num_sparse_bands``).
+    """
+
+    dense_codes: np.ndarray
+    records: List[COORecord]
+    middle_lo: float
+    middle_hi: float
+    band_lo: List[float]
+    band_hi: List[float]
+
+    @property
+    def num_outliers(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class StageActivity:
+    """Busy-cycle accounting of one pipeline stage.
+
+    Attributes:
+        name: stage name (matches the Figure 9 module names).
+        busy_cycles: cycles the stage spent processing elements.
+        elements: elements that traversed the stage.
+    """
+
+    name: str
+    busy_cycles: int = 0
+    elements: int = 0
+
+    def record(self, elements: int, cycles: int) -> None:
+        """Accumulate one burst of work."""
+        self.elements += elements
+        self.busy_cycles += cycles
+
+
+@dataclass
+class CycleReport:
+    """End-to-end cycle accounting of one engine pass.
+
+    Attributes:
+        total_cycles: engine cycles from first element in to last
+            element out, including pipeline fill and the per-token
+            scale-calculation turnaround.
+        tokens: tokens processed.
+        elements: total elements processed.
+        stages: per-stage busy counters keyed by stage name.
+    """
+
+    total_cycles: int = 0
+    tokens: int = 0
+    elements: int = 0
+    stages: Dict[str, StageActivity] = field(default_factory=dict)
+
+    def stage(self, name: str) -> StageActivity:
+        """Fetch (or create) the activity counter of a stage."""
+        if name not in self.stages:
+            self.stages[name] = StageActivity(name)
+        return self.stages[name]
+
+    def time_s(self, freq_ghz: float) -> float:
+        """Wall-clock seconds at the given engine clock."""
+        return self.total_cycles / (freq_ghz * 1e9)
+
+    def occupancy(self) -> Dict[str, float]:
+        """Per-stage busy fraction of the total cycle count."""
+        if self.total_cycles <= 0:
+            return {name: 0.0 for name in self.stages}
+        return {
+            name: activity.busy_cycles / self.total_cycles
+            for name, activity in self.stages.items()
+        }
+
+
+def fp16_round(value: float) -> float:
+    """Round one scalar to FP16 precision, as the hardware stores scales."""
+    return float(np.float16(value))
+
+
+def scale_sigma(lo: float, hi: float, bits: int, eps: float = 1e-12) -> float:
+    """The uniform-quantization scale factor of Eq. 2 for one group.
+
+    Mirrors the vectorized ``_rowwise_encode`` guard: a degenerate span
+    (empty group or constant values) gets sigma 1.0 so codes collapse
+    to zero.
+    """
+    span = hi - lo
+    if span > eps:
+        return (2.0**bits - 1.0) / max(span, eps)
+    return 1.0

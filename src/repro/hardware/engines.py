@@ -1,0 +1,86 @@
+"""Timing models of the quantization/dequantization engines (Section 5.2).
+
+The engines live in the DMA unit of each compute core:
+
+* the **quantization engine** (Figure 9a) decomposes each newly
+  generated KV vector into groups, applies the group shift, finds
+  per-group min/max, quantizes, and emits the fused dense + sparse
+  stream.  It only ever touches the *current* token's KV, so its work
+  per iteration is tiny (batch x kv_dim elements).
+* the **dequantization engine** (Figure 9b) restores the streamed KV
+  history — zero-insert for sparse records, per-group scale multiply —
+  and therefore processes the same byte volume attention reads.
+
+Both are modelled as streaming pipelines: ``lanes`` elements per cycle
+per core at the core clock, with a fixed pipeline fill latency.  The
+paper's scheduling overlaps both with DMA and attention of other
+requests (Section 5.3); exposure logic lives in
+:mod:`repro.hardware.perf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QuantEngine:
+    """Streaming quantization engine model.
+
+    Attributes:
+        lanes: elements accepted per cycle per core.
+        freq_ghz: engine clock.
+        num_cores: cores (each with its own DMA engine).
+        pipeline_cycles: fill latency of the decompose/shift/minmax/
+            quantize pipeline.
+    """
+
+    lanes: int = 32
+    freq_ghz: float = 1.0
+    num_cores: int = 256
+    pipeline_cycles: int = 24
+
+    @property
+    def elements_per_second(self) -> float:
+        return self.lanes * self.freq_ghz * 1e9 * self.num_cores
+
+    def time_s(self, elements: int) -> float:
+        """Seconds to quantize ``elements`` KV scalars (all cores)."""
+        if elements <= 0:
+            return 0.0
+        fill = self.pipeline_cycles / (self.freq_ghz * 1e9)
+        return fill + elements / self.elements_per_second
+
+    def throughput_gbps(self, input_bits: float = 16.0) -> float:
+        """Input-side stream rate in GB/s."""
+        return self.elements_per_second * input_bits / 8.0 / 1e9
+
+
+@dataclass(frozen=True)
+class DequantEngine:
+    """Streaming dequantization engine model.
+
+    Wider than the quantization engine because it must keep up with
+    the full KV read bandwidth of attention (it sits between memory
+    and the matrix unit and must not become the bottleneck).
+    """
+
+    lanes: int = 128
+    freq_ghz: float = 1.0
+    num_cores: int = 256
+    pipeline_cycles: int = 16
+
+    @property
+    def elements_per_second(self) -> float:
+        return self.lanes * self.freq_ghz * 1e9 * self.num_cores
+
+    def time_s(self, elements: int) -> float:
+        """Seconds to dequantize ``elements`` KV scalars (all cores)."""
+        if elements <= 0:
+            return 0.0
+        fill = self.pipeline_cycles / (self.freq_ghz * 1e9)
+        return fill + elements / self.elements_per_second
+
+    def throughput_gbps(self, stored_bits: float = 4.82) -> float:
+        """Compressed-side stream rate in GB/s."""
+        return self.elements_per_second * stored_bits / 8.0 / 1e9

@@ -1,0 +1,344 @@
+"""Interconnect and memory-controller arbitration (Section 5.1).
+
+The paper's accelerator connects compute cores to memory controllers
+through an interconnect "optimized to maximize bandwidth utilization
+during memory read", with two very different traffic classes:
+
+* **weight reads** are striped across *all* controllers and broadcast
+  to every core — the batchable operations' saving grace: the byte is
+  read once no matter how many cores consume it;
+* **KV reads** are *private*: each core serves a different request, so
+  its KV pages must stream to that core alone, and cores contend for
+  whatever controllers own their pages;
+* **KV writes** are small (one token's KV per iteration) and ride a
+  simplified low-priority path.
+
+This module simulates that fabric at transaction granularity: each
+controller serves its queue one burst at a time, round-robin across
+cores, paying the memory model's per-transaction overhead.  It
+quantifies the two claims the architecture rests on:
+
+1. page-striped KV placement (what the MMU's sequential page layout
+   yields) approaches aggregate bandwidth, while skewed placement
+   collapses to a single controller's share, and
+2. burst-sized transfers amortize transaction overhead, while
+   scattered small reads (the un-paged strawman) do not.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.hardware.memory import MemorySpec
+
+
+class TrafficClass(Enum):
+    """The three kinds of traffic Section 5.1 distinguishes."""
+
+    WEIGHT_BROADCAST = "weight_broadcast"
+    KV_READ = "kv_read"
+    KV_WRITE = "kv_write"
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One arbitration grant as the controller sees it.
+
+    A grant covers up to ``bursts`` consecutive physical bursts from
+    the same stream — the controller pays the per-transaction overhead
+    once per burst, but arbitration switches streams only between
+    grants (keeping the simulation cheap without changing the
+    bandwidth math).
+
+    Attributes:
+        core: issuing compute core (-1 for broadcast weight reads,
+            which are not owned by any single core).
+        kind: traffic class.
+        nbytes: total payload bytes of the grant.
+        bursts: physical bursts aggregated in this grant.
+    """
+
+    core: int
+    kind: TrafficClass
+    nbytes: float
+    bursts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError("transaction must move a positive byte count")
+        if self.bursts < 1:
+            raise ValueError("a transaction covers at least one burst")
+
+
+@dataclass
+class ControllerState:
+    """Queues and clock of one memory controller."""
+
+    index: int
+    bandwidth_bytes_per_s: float
+    overhead_bytes: float
+    queues: Dict[int, Deque[Transaction]] = field(default_factory=dict)
+    clock_s: float = 0.0
+    busy_bytes: float = 0.0
+    transactions: int = 0
+
+    def enqueue(self, transaction: Transaction) -> None:
+        self.queues.setdefault(transaction.core, deque()).append(
+            transaction
+        )
+
+    def service_time_s(self, transaction: Transaction) -> float:
+        """Grant time: payload plus per-burst transaction overhead."""
+        effective = transaction.nbytes + (
+            transaction.bursts * self.overhead_bytes
+        )
+        return effective / self.bandwidth_bytes_per_s
+
+    @property
+    def pending(self) -> int:
+        return sum(len(q) for q in self.queues.values())
+
+
+@dataclass
+class FabricReport:
+    """Outcome of draining the fabric.
+
+    Attributes:
+        makespan_s: time until the last controller goes idle.
+        payload_bytes: useful bytes moved (excluding overhead).
+        effective_bandwidth_gbps: payload over makespan.
+        peak_bandwidth_gbps: aggregate controller peak.
+        controller_busy_s: per-controller busy time.
+        core_finish_s: per-core completion time of its last private
+            transaction (broadcast traffic excluded).
+        per_class_bytes: payload bytes by traffic class.
+    """
+
+    makespan_s: float
+    payload_bytes: float
+    effective_bandwidth_gbps: float
+    peak_bandwidth_gbps: float
+    controller_busy_s: List[float]
+    core_finish_s: Dict[int, float]
+    per_class_bytes: Dict[TrafficClass, float]
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Achieved fraction of aggregate peak bandwidth."""
+        if self.peak_bandwidth_gbps <= 0:
+            return 0.0
+        return self.effective_bandwidth_gbps / self.peak_bandwidth_gbps
+
+    def fairness_spread(self) -> float:
+        """Max/min per-core completion ratio (1.0 = perfectly fair)."""
+        finishes = [t for t in self.core_finish_s.values() if t > 0]
+        if len(finishes) < 2:
+            return 1.0
+        return max(finishes) / min(finishes)
+
+
+class MemoryFabric:
+    """Round-robin arbitrated controllers behind a broadcast fabric.
+
+    Args:
+        spec: the device memory (its bandwidth splits evenly across
+            controllers; its transaction overhead prices each burst).
+        num_controllers: memory channels (the paper's MC blocks).
+        burst_bytes: default burst size for sliced transfers.
+    """
+
+    def __init__(
+        self,
+        spec: MemorySpec,
+        num_controllers: int = 8,
+        burst_bytes: Optional[int] = None,
+        grant_bursts: int = 64,
+    ):
+        if num_controllers < 1:
+            raise ValueError("need at least one memory controller")
+        if grant_bursts < 1:
+            raise ValueError("grant_bursts must be >= 1")
+        self.spec = spec
+        self.num_controllers = num_controllers
+        self.grant_bursts = grant_bursts
+        self.burst_bytes = (
+            burst_bytes if burst_bytes is not None else spec.burst_bytes
+        )
+        share = spec.bandwidth_bytes_per_s / num_controllers
+        self._controllers = [
+            ControllerState(
+                index=i,
+                bandwidth_bytes_per_s=share,
+                overhead_bytes=float(spec.transaction_overhead_bytes),
+            )
+            for i in range(num_controllers)
+        ]
+        self._next_stripe = 0
+
+    # ------------------------------------------------------------------
+    # traffic injection
+    # ------------------------------------------------------------------
+
+    def add_weight_read(self, nbytes: float) -> None:
+        """Stripe one weight tensor read across all controllers.
+
+        The read is a broadcast: it costs each controller its slice
+        once, independent of how many cores consume the stream.
+        """
+        if nbytes <= 0:
+            return
+        slice_bytes = nbytes / self.num_controllers
+        for controller in self._controllers:
+            self._enqueue_sliced(
+                controller, -1, TrafficClass.WEIGHT_BROADCAST, slice_bytes
+            )
+
+    def add_kv_read(
+        self,
+        core: int,
+        nbytes: float,
+        striped: bool = True,
+        burst_bytes: Optional[float] = None,
+    ) -> None:
+        """Inject one core's private KV-history read.
+
+        Args:
+            core: the consuming compute core.
+            nbytes: total KV bytes this core must stream.
+            striped: True places pages round-robin across controllers
+                (the MMU's layout); False parks the whole stream on one
+                controller (the skewed-placement strawman).
+            burst_bytes: transfer granularity; small values model
+                scattered un-paged reads.
+        """
+        if nbytes <= 0:
+            return
+        if striped:
+            slice_bytes = nbytes / self.num_controllers
+            for controller in self._controllers:
+                self._enqueue_sliced(
+                    controller, core, TrafficClass.KV_READ, slice_bytes,
+                    burst_bytes=burst_bytes,
+                )
+        else:
+            controller = self._controllers[core % self.num_controllers]
+            self._enqueue_sliced(
+                controller, core, TrafficClass.KV_READ, nbytes,
+                burst_bytes=burst_bytes,
+            )
+
+    def add_kv_write(self, core: int, nbytes: float) -> None:
+        """Inject one core's (small) KV write-back for the new token."""
+        if nbytes <= 0:
+            return
+        controller = self._controllers[self._next_stripe]
+        self._next_stripe = (self._next_stripe + 1) % self.num_controllers
+        self._enqueue_sliced(
+            controller, core, TrafficClass.KV_WRITE, nbytes
+        )
+
+    def _enqueue_sliced(
+        self,
+        controller: ControllerState,
+        core: int,
+        kind: TrafficClass,
+        nbytes: float,
+        burst_bytes: Optional[float] = None,
+    ) -> None:
+        """Chop a stream into grant-sized transactions on one queue."""
+        burst = burst_bytes if burst_bytes is not None else self.burst_bytes
+        grant = burst * self.grant_bursts
+        remaining = nbytes
+        while remaining > 1e-9:
+            chunk = min(grant, remaining)
+            bursts = max(1, math.ceil(chunk / burst))
+            controller.enqueue(Transaction(core, kind, chunk, bursts))
+            remaining -= chunk
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+
+    def drain(self) -> FabricReport:
+        """Serve every queued transaction; return the fabric report.
+
+        Each controller round-robins across the cores with pending
+        transactions, one burst per grant — the arbitration that keeps
+        private KV streams from starving each other.
+        """
+        payload = 0.0
+        per_class: Dict[TrafficClass, float] = {
+            kind: 0.0 for kind in TrafficClass
+        }
+        core_finish: Dict[int, float] = {}
+        for controller in self._controllers:
+            order = sorted(controller.queues)
+            while controller.pending:
+                for core in order:
+                    queue = controller.queues.get(core)
+                    if not queue:
+                        continue
+                    transaction = queue.popleft()
+                    controller.clock_s += controller.service_time_s(
+                        transaction
+                    )
+                    controller.busy_bytes += transaction.nbytes
+                    controller.transactions += transaction.bursts
+                    payload += transaction.nbytes
+                    per_class[transaction.kind] += transaction.nbytes
+                    if transaction.core >= 0:
+                        finish = controller.clock_s
+                        if finish > core_finish.get(transaction.core, 0.0):
+                            core_finish[transaction.core] = finish
+
+        makespan = max(c.clock_s for c in self._controllers)
+        effective = payload / makespan / 1e9 if makespan > 0 else 0.0
+        return FabricReport(
+            makespan_s=makespan,
+            payload_bytes=payload,
+            effective_bandwidth_gbps=effective,
+            peak_bandwidth_gbps=self.spec.bandwidth_gbps,
+            controller_busy_s=[c.clock_s for c in self._controllers],
+            core_finish_s=core_finish,
+            per_class_bytes=per_class,
+        )
+
+
+def generation_fabric_report(
+    spec: MemorySpec,
+    batch: int,
+    kv_bytes_per_request: float,
+    weight_bytes: float,
+    num_controllers: int = 8,
+    striped: bool = True,
+    burst_bytes: Optional[float] = None,
+) -> FabricReport:
+    """One generation iteration's memory traffic through the fabric.
+
+    Convenience wrapper used by the bench: ``batch`` cores each stream
+    their private KV history while the shared weights broadcast once.
+
+    Args:
+        spec: device memory.
+        batch: concurrent requests (one core each).
+        kv_bytes_per_request: quantized KV history bytes per request.
+        weight_bytes: model weights streamed once per iteration.
+        num_controllers: memory channels.
+        striped: MMU page striping on/off.
+        burst_bytes: KV read granularity (None = full bursts).
+
+    Returns:
+        The drained :class:`FabricReport`.
+    """
+    fabric = MemoryFabric(spec, num_controllers=num_controllers)
+    fabric.add_weight_read(weight_bytes)
+    for core in range(batch):
+        fabric.add_kv_read(
+            core, kv_bytes_per_request, striped=striped,
+            burst_bytes=burst_bytes,
+        )
+    return fabric.drain()

@@ -1,0 +1,94 @@
+"""Device memory models: HBM vs LPDDR, bandwidth, capacity, bursts.
+
+Section 3.2 of the paper frames the whole design space as a trade-off
+between bandwidth (HBM: 2 TB/s, 80 GB) and capacity (LPDDR: 1.1 TB/s,
+256 GB).  This module carries those specs plus a simple burst-
+efficiency model: DRAM delivers peak bandwidth only for long contiguous
+transfers, and scattered small transfers pay per-transaction overhead —
+the cost the MMU's page layout exists to avoid (Section 5.2, challenge
+2: "burst access should be leveraged whenever possible").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1024.0**3
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """One device-memory configuration.
+
+    Attributes:
+        name: ``"HBM"`` or ``"LPDDR"``.
+        capacity_gb: usable capacity in GiB.
+        bandwidth_gbps: peak bandwidth in GB/s.
+        burst_bytes: transfer size achieving full efficiency.
+        transaction_overhead_bytes: fixed per-transaction cost expressed
+            as equivalent wasted bytes (row activation, protocol).
+    """
+
+    name: str
+    capacity_gb: float
+    bandwidth_gbps: float
+    burst_bytes: int = 1024
+    transaction_overhead_bytes: int = 64
+
+    @property
+    def capacity_bytes(self) -> float:
+        return self.capacity_gb * GB
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.bandwidth_gbps * 1e9
+
+    def burst_efficiency(self, transfer_bytes: float) -> float:
+        """Fraction of peak bandwidth achieved at a given transfer size.
+
+        Follows the standard transaction-overhead model:
+        ``size / (size + overhead)``, saturating at 1.0 for transfers
+        at or beyond the full burst size.
+        """
+        if transfer_bytes <= 0:
+            return 0.0
+        if transfer_bytes >= self.burst_bytes:
+            return float(
+                self.burst_bytes
+                / (self.burst_bytes + self.transaction_overhead_bytes)
+            )
+        return float(
+            transfer_bytes
+            / (transfer_bytes + self.transaction_overhead_bytes)
+        )
+
+    def read_time_s(
+        self, nbytes: float, transfer_bytes: float = 0.0
+    ) -> float:
+        """Seconds to move ``nbytes`` at the given access granularity.
+
+        ``transfer_bytes = 0`` means ideal long bursts.
+        """
+        if nbytes <= 0:
+            return 0.0
+        efficiency = (
+            self.burst_efficiency(transfer_bytes)
+            if transfer_bytes > 0
+            else self.burst_efficiency(self.burst_bytes)
+        )
+        return nbytes / (self.bandwidth_bytes_per_s * efficiency)
+
+    def fits(self, nbytes: float) -> bool:
+        """Whether ``nbytes`` fits in capacity."""
+        return nbytes <= self.capacity_bytes
+
+
+#: The paper's two memory configurations (Table 1 / Figure 4c).
+HBM_80GB = MemorySpec(name="HBM", capacity_gb=80.0, bandwidth_gbps=2000.0)
+LPDDR_256GB = MemorySpec(
+    name="LPDDR", capacity_gb=256.0, bandwidth_gbps=1100.0
+)
+#: Two pipeline-parallel A100s: doubled capacity, same per-stage
+#: bandwidth/compute (Section 6.1: "keep computation capability and
+#: memory bandwidth consistent, while scaling capacity to 160 GB").
+HBM_160GB = MemorySpec(name="HBM", capacity_gb=160.0, bandwidth_gbps=2000.0)

@@ -1,0 +1,255 @@
+"""Functional model of Oaken's memory management unit (Section 5.2).
+
+The MMU manages the quantized KV cache in device memory at page
+granularity with **two management tables**:
+
+* the *dense* table maps fixed-size dense-matrix entries (one per
+  token per layer per head) to physical addresses with constant
+  transfer sizes;
+* the *sparse* table maps variable-size COO records with per-entry
+  transfer sizes (the outlier count varies per token).
+
+Both tables share a single physical address space.  Key/value vectors
+of each (layer, head) stream into distinct page sequences so that the
+whole history of a head can later be read in **burst order** — the
+sequential write layout is what makes generation-phase reads contiguous
+and keeps bandwidth near peak (design challenge 2 in the paper).
+
+This model is *functional*: it tracks real page allocation, address
+translation, fragmentation, and produces the burst read schedule that
+:mod:`repro.hardware.memory` prices.  Unit tests assert the invariants
+(no double allocation, full reclamation, schedule contiguity).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class PageTableKind(enum.Enum):
+    """Which management table an entry belongs to."""
+
+    DENSE = "dense"
+    SPARSE = "sparse"
+
+
+@dataclass(frozen=True)
+class StreamKey:
+    """Identifies one KV stream: (sequence, layer, head, kind)."""
+
+    sequence: int
+    layer: int
+    head: int
+    kind: PageTableKind
+
+
+@dataclass
+class TableEntry:
+    """One management-table row: a token's physical placement.
+
+    Attributes:
+        token: token index within the stream.
+        physical_addr: byte address in device memory.
+        transfer_bytes: bytes to move for this entry (constant for
+            dense entries, variable for sparse).
+    """
+
+    token: int
+    physical_addr: int
+    transfer_bytes: int
+
+
+@dataclass
+class _Page:
+    """A physical page with a simple bump allocator."""
+
+    index: int
+    used: int = 0
+
+
+class OutOfPagesError(RuntimeError):
+    """Raised when the physical page pool is exhausted."""
+
+
+class MemoryManagementUnit:
+    """Page-based allocator with dense and sparse management tables.
+
+    Args:
+        capacity_bytes: physical memory under management.
+        page_bytes: page size (paper-style 4 KiB default).
+    """
+
+    def __init__(self, capacity_bytes: int, page_bytes: int = 4096):
+        if page_bytes <= 0:
+            raise ValueError("page_bytes must be positive")
+        self.page_bytes = page_bytes
+        self.num_pages = int(capacity_bytes // page_bytes)
+        if self.num_pages < 1:
+            raise ValueError("capacity smaller than one page")
+        self._free_pages: List[int] = list(range(self.num_pages - 1, -1, -1))
+        # Per-stream: open page plus the table of committed entries.
+        self._open_page: Dict[StreamKey, _Page] = {}
+        self._tables: Dict[StreamKey, List[TableEntry]] = {}
+        self._pages_of_stream: Dict[StreamKey, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def _take_page(self, key: StreamKey) -> _Page:
+        if not self._free_pages:
+            raise OutOfPagesError(
+                "physical page pool exhausted "
+                f"({self.num_pages} pages of {self.page_bytes} B)"
+            )
+        page = _Page(index=self._free_pages.pop())
+        self._open_page[key] = page
+        self._pages_of_stream.setdefault(key, []).append(page.index)
+        return page
+
+    def write_entry(
+        self,
+        sequence: int,
+        layer: int,
+        head: int,
+        kind: PageTableKind,
+        token: int,
+        nbytes: int,
+    ) -> TableEntry:
+        """Append one token's dense or sparse payload to its stream.
+
+        Entries of a stream are placed sequentially; a new page is
+        opened when the current one cannot hold the entry (entries do
+        not straddle pages, mirroring the aligned hardware layout).
+
+        Returns:
+            The committed :class:`TableEntry`.
+        """
+        if nbytes <= 0:
+            raise ValueError("entry size must be positive")
+        if nbytes > self.page_bytes:
+            raise ValueError(
+                f"entry of {nbytes} B exceeds page size {self.page_bytes}"
+            )
+        key = StreamKey(sequence, layer, head, kind)
+        page = self._open_page.get(key)
+        if page is None or page.used + nbytes > self.page_bytes:
+            page = self._take_page(key)
+        addr = page.index * self.page_bytes + page.used
+        page.used += nbytes
+        entry = TableEntry(
+            token=token, physical_addr=addr, transfer_bytes=nbytes
+        )
+        self._tables.setdefault(key, []).append(entry)
+        return entry
+
+    def append_token(
+        self,
+        sequence: int,
+        layer: int,
+        head: int,
+        token: int,
+        dense_bytes: int,
+        sparse_bytes: int,
+    ) -> Tuple[TableEntry, Optional[TableEntry]]:
+        """Write one token's dense entry and (optional) sparse records."""
+        dense = self.write_entry(
+            sequence, layer, head, PageTableKind.DENSE, token, dense_bytes
+        )
+        sparse = None
+        if sparse_bytes > 0:
+            sparse = self.write_entry(
+                sequence, layer, head, PageTableKind.SPARSE, token,
+                sparse_bytes,
+            )
+        return dense, sparse
+
+    def free_sequence(self, sequence: int) -> int:
+        """Release every page belonging to ``sequence``.
+
+        Returns:
+            Number of pages reclaimed.
+        """
+        reclaimed = 0
+        for key in [k for k in self._pages_of_stream if k.sequence == sequence]:
+            for page_index in self._pages_of_stream.pop(key):
+                self._free_pages.append(page_index)
+                reclaimed += 1
+            self._tables.pop(key, None)
+            self._open_page.pop(key, None)
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # translation and read scheduling
+    # ------------------------------------------------------------------
+
+    def lookup(
+        self,
+        sequence: int,
+        layer: int,
+        head: int,
+        kind: PageTableKind,
+        token: int,
+    ) -> TableEntry:
+        """Virtual-to-physical translation for one token entry."""
+        key = StreamKey(sequence, layer, head, kind)
+        for entry in self._tables.get(key, ()):
+            if entry.token == token:
+                return entry
+        raise KeyError(f"no entry for token {token} in stream {key}")
+
+    def read_schedule(
+        self, sequence: int, layer: int, head: int, kind: PageTableKind
+    ) -> List[Tuple[int, int]]:
+        """Burst read schedule for a whole stream.
+
+        Adjacent entries are merged into single (address, size) bursts;
+        because streams are written sequentially, the schedule
+        degenerates to roughly one burst per page — this contiguity is
+        what :func:`burst_count` quantifies and the tests assert.
+
+        Returns:
+            List of (physical address, transfer size) pairs.
+        """
+        key = StreamKey(sequence, layer, head, kind)
+        entries = self._tables.get(key, [])
+        schedule: List[Tuple[int, int]] = []
+        for entry in entries:
+            if schedule:
+                addr, size = schedule[-1]
+                if addr + size == entry.physical_addr:
+                    schedule[-1] = (addr, size + entry.transfer_bytes)
+                    continue
+            schedule.append((entry.physical_addr, entry.transfer_bytes))
+        return schedule
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def pages_in_use(self) -> int:
+        return self.num_pages - len(self._free_pages)
+
+    def bytes_stored(self) -> int:
+        """Total payload bytes across all tables."""
+        return sum(
+            entry.transfer_bytes
+            for entries in self._tables.values()
+            for entry in entries
+        )
+
+    def fragmentation(self) -> float:
+        """Fraction of allocated page space not holding payload."""
+        allocated = self.pages_in_use * self.page_bytes
+        if allocated == 0:
+            return 0.0
+        return 1.0 - self.bytes_stored() / allocated
+
+    def burst_count(
+        self, sequence: int, layer: int, head: int, kind: PageTableKind
+    ) -> int:
+        """Number of memory transactions to read a stream."""
+        return len(self.read_schedule(sequence, layer, head, kind))

@@ -1,0 +1,234 @@
+"""Discrete-event model of Section 5.3's overlap scheduling.
+
+The paper claims Oaken "hides latency by overlapping KV quantization
+and dequantization with DMA reads and attention computations from
+other requests".  The iteration-level perf model encodes that claim as
+a heuristic (engine time beyond ~the attention window is exposed);
+this module *derives* it by actually scheduling one generation
+iteration:
+
+* device memory serves every core's private KV read concurrently at a
+  fair round-robin share (the arbitration of
+  :mod:`repro.hardware.interconnect`), so all histories land together
+  at ``batch * kv_bytes / bandwidth``;
+* each core's **dequantization engine** streams alongside its DMA
+  share — it finishes at the later of "last byte arrived" and "engine
+  rate over the stream" (the streaming design of Figure 9b).  At any
+  realistic batch the per-core DMA share is far below the engine's
+  lane rate, which is exactly how the engine time disappears under the
+  DMA reads of the *other* requests;
+* **attention** on the core starts when its dequantized stream is
+  complete;
+* **quantization** of the newly generated token's KV and its (small)
+  write-back follow attention on the same core, exposed only through
+  the iteration's tail.
+
+The report separates the iteration makespan from an idealized run with
+free engines, so the *exposed* engine time — the quantity the paper's
+Figure 12(b) shows to be a single-digit percentage — is measured, not
+assumed.  The one regime where exposure is real is tiny batches, where
+a single core's DMA share exceeds its engine rate; that is also the
+regime the paper's batching argument says not to serve in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class OverlapConfig:
+    """Rates of the resources the iteration schedule shares.
+
+    Attributes:
+        memory_bandwidth_gbps: aggregate DMA read bandwidth.
+        dequant_gbps: per-core dequantization engine stream rate on the
+            compressed side (128 lanes x 1 GHz at ~4.82 stored
+            bits/element ~= 77 GB/s).
+        quant_gbps: per-core quantization engine stream rate on the
+            FP16 side (32 lanes x 1 GHz x 2 B = 64 GB/s).
+        write_bandwidth_gbps: write-back path rate (shared, but writes
+            are tiny and modelled per core).
+    """
+
+    memory_bandwidth_gbps: float = 990.0  # LPDDR at 90% efficiency
+    dequant_gbps: float = 77.0
+    quant_gbps: float = 64.0
+    write_bandwidth_gbps: float = 50.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "memory_bandwidth_gbps", "dequant_gbps", "quant_gbps",
+            "write_bandwidth_gbps",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One scheduled operation on one core's timeline."""
+
+    core: int
+    op: str
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class OverlapReport:
+    """Scheduled iteration vs the free-engine ideal.
+
+    Attributes:
+        makespan_s: iteration end with real engine rates.
+        ideal_makespan_s: iteration end with zero-cost engines.
+        exposed_s: engine time on the critical path
+            (``makespan - ideal``).
+        engine_busy_s: summed engine activity across cores (the work
+            that had to be hidden).
+        hidden_fraction: share of the critical-path core's engine work
+            absorbed by overlap (per-core engines run concurrently, so
+            one core's engine time is what could have stalled the
+            iteration).
+        timeline: per-core events for inspection/plotting.
+    """
+
+    makespan_s: float
+    ideal_makespan_s: float
+    exposed_s: float
+    engine_busy_s: float
+    hidden_fraction: float
+    timeline: List[TimelineEvent] = field(default_factory=list)
+
+    def events_of(self, op: str) -> List[TimelineEvent]:
+        """All events of one operation kind."""
+        return [e for e in self.timeline if e.op == op]
+
+
+def _schedule(
+    batch: int,
+    kv_read_bytes: float,
+    new_kv_bytes: float,
+    attention_s: float,
+    config: OverlapConfig,
+    free_engines: bool,
+) -> Tuple[float, List[TimelineEvent]]:
+    """List-schedule one iteration; returns (makespan, timeline).
+
+    DMA reads proceed concurrently at a fair share of the aggregate
+    bandwidth (round-robin arbitration); everything downstream is
+    per-core.
+    """
+    bw = config.memory_bandwidth_gbps * 1e9
+    dequant_rate = config.dequant_gbps * 1e9
+    quant_rate = config.quant_gbps * 1e9
+    write_rate = config.write_bandwidth_gbps * 1e9
+
+    timeline: List[TimelineEvent] = []
+    makespan = 0.0
+    dma_end_shared = batch * kv_read_bytes / bw
+    for core in range(batch):
+        dma_start = 0.0
+        dma_end = dma_end_shared
+        timeline.append(
+            TimelineEvent(core, "dma_read", dma_start, dma_end)
+        )
+
+        if free_engines:
+            dequant_end = dma_end
+        else:
+            # Streaming: the engine consumes the stream as it arrives
+            # and cannot finish before either the last byte or its own
+            # rate over the full stream.
+            dequant_end = max(
+                dma_end, dma_start + kv_read_bytes / dequant_rate
+            )
+            timeline.append(
+                TimelineEvent(core, "dequant", dma_start, dequant_end)
+            )
+
+        attn_end = dequant_end + attention_s
+        timeline.append(
+            TimelineEvent(core, "attention", dequant_end, attn_end)
+        )
+
+        if free_engines:
+            quant_end = attn_end
+        else:
+            quant_end = attn_end + new_kv_bytes / quant_rate
+            timeline.append(
+                TimelineEvent(core, "quant", attn_end, quant_end)
+            )
+
+        write_end = quant_end + new_kv_bytes / write_rate
+        timeline.append(
+            TimelineEvent(core, "dma_write", quant_end, write_end)
+        )
+        makespan = max(makespan, write_end)
+    return makespan, timeline
+
+
+def simulate_overlap(
+    batch: int,
+    kv_read_bytes: float,
+    new_kv_bytes: float,
+    attention_s: float,
+    config: Optional[OverlapConfig] = None,
+) -> OverlapReport:
+    """Schedule one generation iteration and measure engine exposure.
+
+    Args:
+        batch: concurrent requests (one core each).
+        kv_read_bytes: quantized KV history bytes per request.
+        new_kv_bytes: FP16 bytes of the newly generated token's KV per
+            request (the quantization engine's input).
+        attention_s: per-request attention compute time on its core.
+        config: resource rates (Oaken LPDDR defaults).
+
+    Returns:
+        An :class:`OverlapReport`.
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if kv_read_bytes < 0 or new_kv_bytes < 0 or attention_s < 0:
+        raise ValueError("workload quantities must be non-negative")
+    cfg = config if config is not None else OverlapConfig()
+
+    makespan, timeline = _schedule(
+        batch, kv_read_bytes, new_kv_bytes, attention_s, cfg,
+        free_engines=False,
+    )
+    ideal, _ = _schedule(
+        batch, kv_read_bytes, new_kv_bytes, attention_s, cfg,
+        free_engines=True,
+    )
+    # Pure engine work at engine rates; the dequant timeline events
+    # span their DMA window because the engine streams alongside it,
+    # so busy time is computed analytically instead.  The hidden
+    # fraction is judged against ONE core's engine work — with
+    # per-core engines running concurrently, that is the amount that
+    # could have landed on the critical path.
+    per_core = (
+        kv_read_bytes / (cfg.dequant_gbps * 1e9)
+        + new_kv_bytes / (cfg.quant_gbps * 1e9)
+    )
+    busy = batch * per_core
+    exposed = max(0.0, makespan - ideal)
+    hidden = (
+        1.0
+        if per_core <= 0
+        else max(0.0, min(1.0, 1.0 - exposed / per_core))
+    )
+    return OverlapReport(
+        makespan_s=makespan,
+        ideal_makespan_s=ideal,
+        exposed_s=exposed,
+        engine_busy_s=busy,
+        hidden_fraction=hidden,
+        timeline=timeline,
+    )

@@ -1,0 +1,314 @@
+"""Explicit pipeline-parallel execution model (Section 6.1's 2-GPU setup).
+
+The paper runs OPT-30B, Mixtral-8x7B, and Llama2-70B on *two* A100s
+"employing pipeline parallelism to keep computation capability and
+memory bandwidth consistent, while scaling capacity to 160 GB".  The
+device catalog approximates that with a monolithic double-capacity
+device (``a100x2``); this module models the pipeline explicitly so the
+approximation can be validated and its costs quantified:
+
+* decoder layers partition into balanced stages, one device each;
+* each generation iteration sends every microbatch through every stage
+  in order — with ``M`` microbatches and ``S`` stages the iteration
+  takes ``sum_s(t_s) + (M - 1) * max_s(t_s)``, the classic GPipe
+  schedule with its ``(S-1)/(S+M-1)`` bubble;
+* microbatching is not free on weight-streaming hardware: each stage
+  re-streams its weight slice once per microbatch pass, so more
+  microbatches shrink the bubble but inflate weight traffic — the
+  trade-off the ablation bench sweeps;
+* capacity is per stage: a stage holds its layer share of weights and
+  of every resident request's KV cache.
+
+The cross-check the tests enforce: a one-stage "pipeline" must agree
+exactly with :func:`repro.hardware.perf.generation_iteration`, and the
+balanced two-stage pipeline's max batch must match the monolithic
+double-capacity approximation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.hardware.overheads import ServingSystem
+from repro.hardware.perf import kv_bytes_per_token, weight_bytes
+from repro.models.config import ArchShape
+
+
+def partition_layers(n_layers: int, num_stages: int) -> Tuple[int, ...]:
+    """Balanced contiguous layer split (front stages take remainders).
+
+    Args:
+        n_layers: decoder layer count.
+        num_stages: pipeline depth.
+
+    Returns:
+        Per-stage layer counts summing to ``n_layers``.
+    """
+    if num_stages < 1:
+        raise ValueError("num_stages must be >= 1")
+    if n_layers < num_stages:
+        raise ValueError(
+            f"cannot split {n_layers} layers over {num_stages} stages"
+        )
+    base = n_layers // num_stages
+    remainder = n_layers % num_stages
+    return tuple(
+        base + (1 if stage < remainder else 0)
+        for stage in range(num_stages)
+    )
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """One pipeline configuration.
+
+    Attributes:
+        layer_split: per-stage layer counts.
+        microbatches: microbatches per iteration (GPipe M).
+    """
+
+    layer_split: Tuple[int, ...]
+    microbatches: int = 1
+
+    def __post_init__(self) -> None:
+        if self.microbatches < 1:
+            raise ValueError("microbatches must be >= 1")
+        if not self.layer_split or any(k < 1 for k in self.layer_split):
+            raise ValueError("every stage needs at least one layer")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.layer_split)
+
+    @property
+    def total_layers(self) -> int:
+        return sum(self.layer_split)
+
+    @classmethod
+    def balanced(
+        cls, arch: ArchShape, num_stages: int, microbatches: int = 1
+    ) -> "PipelinePlan":
+        """Balanced split of a model's decoder stack."""
+        return cls(
+            layer_split=partition_layers(arch.n_layers, num_stages),
+            microbatches=microbatches,
+        )
+
+
+@dataclass
+class StageTiming:
+    """Per-microbatch timing of one pipeline stage.
+
+    Attributes:
+        stage: stage index.
+        layers: decoder layers resident on this stage.
+        nonattn_s: weight-stream/compute roofline time.
+        attn_s: KV read/compute roofline time.
+        exposed_overhead_s: (de)quantization time on the critical path.
+    """
+
+    stage: int
+    layers: int
+    nonattn_s: float
+    attn_s: float
+    exposed_overhead_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.nonattn_s + self.attn_s + self.exposed_overhead_s
+
+
+@dataclass
+class PipelineBreakdown:
+    """One generation iteration through the pipeline.
+
+    Attributes:
+        plan: the pipeline configuration.
+        batch: total resident requests.
+        stage_times: per-microbatch stage timings.
+        iteration_s: end-to-end iteration latency.
+        bottleneck_stage: index of the slowest stage.
+        bubble_fraction: idle fraction of the bottleneck device
+            (``(S-1)/(S+M-1)`` for balanced stages).
+    """
+
+    plan: PipelinePlan
+    batch: int
+    stage_times: List[StageTiming]
+    iteration_s: float
+    bottleneck_stage: int
+    bubble_fraction: float
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        """Generated tokens per second at this iteration latency."""
+        if self.iteration_s <= 0:
+            return 0.0
+        return self.batch / self.iteration_s
+
+
+def _stage_time(
+    system: ServingSystem,
+    arch: ArchShape,
+    microbatch: int,
+    context: int,
+    layer_share: float,
+) -> Tuple[float, float, float]:
+    """(nonattn, attn, exposed) for one stage and one microbatch.
+
+    The same roofline as :func:`repro.hardware.perf.generation_iteration`
+    with every layer-proportional quantity scaled by ``layer_share``
+    (embeddings are amortized proportionally — a deliberate
+    approximation the module docstring calls out).
+    """
+    device = system.device_for(arch)
+    profile = system.profile
+    kv_bits = system.kv_bits(arch)
+
+    w_bytes = weight_bytes(arch, system.weight_bits) * layer_share
+    t_weight = device.weight_stream_time_s(w_bytes)
+    flops_nonattn = (
+        arch.flops_per_token_nonattn() * microbatch * layer_share
+    )
+    t_compute = flops_nonattn / device.effective_flops
+    nonattn = max(t_weight, t_compute)
+
+    attended = arch.attended_length(context)
+    kv_read = (
+        microbatch * attended * kv_bytes_per_token(arch, kv_bits)
+        * layer_share
+    )
+    t_attn_read = device.attention_read_time_s(kv_read)
+    flops_attn = (
+        arch.flops_per_token_attn(context) * microbatch * layer_share
+    )
+    t_attn_compute = flops_attn / device.effective_flops
+    attn = max(t_attn_read, t_attn_compute)
+
+    new_kv_bytes = (
+        microbatch * kv_bytes_per_token(arch, 16.0) * layer_share
+    )
+    if profile.overlapped:
+        quant_s = (
+            new_kv_bytes / (profile.engine_quant_gbps * 1e9)
+            if profile.engine_quant_gbps
+            else 0.0
+        )
+        dequant_s = (
+            kv_read / (profile.engine_dequant_gbps * 1e9)
+            if profile.engine_dequant_gbps
+            else 0.0
+        )
+        exposed = max(0.0, quant_s + dequant_s - 0.9 * attn)
+    else:
+        dequant_s = (profile.dequant_slowdown - 1.0) * t_attn_read
+        quant_values = (
+            microbatch * arch.kv_elements_per_token() * layer_share
+        )
+        quant_s = (
+            quant_values * profile.quant_flops_per_value
+            / device.effective_flops
+        )
+        exposed = quant_s + dequant_s
+    return nonattn, attn, exposed
+
+
+def pipeline_generation_iteration(
+    system: ServingSystem,
+    arch: ArchShape,
+    batch: int,
+    context: int,
+    plan: PipelinePlan,
+) -> PipelineBreakdown:
+    """One generation iteration through an explicit pipeline.
+
+    Args:
+        system: serving system (its ``device_for`` result is used as
+            the per-stage device — the paper keeps per-stage bandwidth
+            and compute identical to one device).
+        arch: model architecture.
+        batch: resident requests this iteration.
+        context: per-request context length.
+        plan: stage split and microbatch count.
+
+    Returns:
+        A :class:`PipelineBreakdown`.
+    """
+    if plan.total_layers != arch.n_layers:
+        raise ValueError(
+            f"plan covers {plan.total_layers} layers, model has "
+            f"{arch.n_layers}"
+        )
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    microbatch = max(1, math.ceil(batch / plan.microbatches))
+    stage_times = []
+    for stage, layers in enumerate(plan.layer_split):
+        share = layers / arch.n_layers
+        nonattn, attn, exposed = _stage_time(
+            system, arch, microbatch, context, share
+        )
+        stage_times.append(
+            StageTiming(
+                stage=stage, layers=layers, nonattn_s=nonattn,
+                attn_s=attn, exposed_overhead_s=exposed,
+            )
+        )
+    per_stage = [s.total_s for s in stage_times]
+    slowest = max(per_stage)
+    iteration = sum(per_stage) + (plan.microbatches - 1) * slowest
+    bottleneck = per_stage.index(slowest)
+    busy = plan.microbatches * slowest
+    bubble = (
+        max(0.0, 1.0 - busy / iteration) if iteration > 0 else 0.0
+    )
+    return PipelineBreakdown(
+        plan=plan,
+        batch=batch,
+        stage_times=stage_times,
+        iteration_s=iteration,
+        bottleneck_stage=bottleneck,
+        bubble_fraction=bubble,
+    )
+
+
+def pipeline_max_batch(
+    system: ServingSystem,
+    arch: ArchShape,
+    total_context: int,
+    plan: PipelinePlan,
+) -> int:
+    """Largest batch whose per-stage KV share fits on every stage.
+
+    Each stage holds its layer share of the weights and of every
+    request's KV cache; the pipeline's capacity is the minimum across
+    stages (balanced splits make this ~the monolithic double-capacity
+    approximation).
+    """
+    if plan.total_layers != arch.n_layers:
+        raise ValueError(
+            f"plan covers {plan.total_layers} layers, model has "
+            f"{arch.n_layers}"
+        )
+    device = system.device_for(arch)
+    # Per-stage budget uses the *single* device's memory: the plan
+    # replaces the monolithic approximation, not the device.
+    single = device.memory.capacity_bytes / (
+        2.0 if device.name.endswith("x2") else 1.0
+    )
+    kv_bits = system.kv_bits(arch)
+    attended = arch.attended_length(total_context)
+    fits = []
+    for layers in plan.layer_split:
+        share = layers / arch.n_layers
+        budget = single * (1.0 - device.reserved_fraction)
+        budget -= weight_bytes(arch, system.weight_bits) * share
+        if budget <= 0:
+            return 0
+        per_request = (
+            kv_bytes_per_token(arch, kv_bits) * attended * share
+        )
+        fits.append(int(budget // per_request))
+    return min(fits)

@@ -1,0 +1,171 @@
+"""Streaming pipeline model of the quantization engine (Figure 9).
+
+The quantization engine is a five-stage streaming pipeline —
+decomposer (threshold compare + group shift), min/max finder, scale
+calculator, quantizer, and the zero-remove shifter feeding the COO
+concatenator.  Because the min/max of a token's group must be known
+before its values can be scaled, the engine double-buffers at token
+granularity: stage 1-2 process token *t+1* while stages 3-5 drain token
+*t*.  This module models that timing and reproduces the paper's claim
+that engine latency is hidden: for any realistic token rate the
+pipeline's occupancy stays far below the attention window it overlaps.
+
+The model is deliberately simple (elements/cycle per stage, fixed
+per-token turnaround) but is *structural*: it exposes per-stage
+occupancy so the area ablations in Table 4 can point at the stage a
+configuration widens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: Stage names of the Figure 9(a) quantization engine, in order.
+QUANT_STAGES = (
+    "decomposer",
+    "minmax_finder",
+    "scale_calculator",
+    "quantizer",
+    "zero_remove_shifter",
+)
+
+#: Stage names of the Figure 9(b) dequantization engine.
+DEQUANT_STAGES = (
+    "zero_insert_shifter",
+    "scale_calculator",
+    "dequantizer",
+    "concatenator",
+)
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One pipeline stage.
+
+    Attributes:
+        name: stage label.
+        elements_per_cycle: throughput of the stage datapath.
+        setup_cycles: fixed per-token turnaround (register loads,
+            threshold stream, scale broadcast).
+    """
+
+    name: str
+    elements_per_cycle: int
+    setup_cycles: int = 1
+
+
+@dataclass
+class PipelineTiming:
+    """Timing result for a stream of tokens through the engine.
+
+    Attributes:
+        total_cycles: makespan for the whole stream.
+        stage_busy_cycles: per-stage busy time (occupancy numerator).
+        tokens: tokens processed.
+        elements: total elements processed.
+    """
+
+    total_cycles: int
+    stage_busy_cycles: Dict[str, int] = field(default_factory=dict)
+    tokens: int = 0
+    elements: int = 0
+
+    def occupancy(self, stage: str) -> float:
+        """Busy fraction of one stage over the makespan."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.stage_busy_cycles[stage] / self.total_cycles
+
+    def bottleneck(self) -> str:
+        """The stage with the highest occupancy."""
+        return max(self.stage_busy_cycles, key=self.stage_busy_cycles.get)
+
+
+class StreamingEnginePipeline:
+    """Token-granular double-buffered pipeline.
+
+    Args:
+        stages: ordered stage specs.
+    """
+
+    def __init__(self, stages: List[StageSpec]):
+        if not stages:
+            raise ValueError("pipeline needs at least one stage")
+        self.stages = list(stages)
+
+    def token_cycles(self, elements: int) -> Dict[str, int]:
+        """Cycles each stage spends on one token of ``elements``."""
+        return {
+            stage.name: stage.setup_cycles
+            + -(-elements // stage.elements_per_cycle)
+            for stage in self.stages
+        }
+
+    def process(self, tokens: int, elements_per_token: int) -> PipelineTiming:
+        """Stream ``tokens`` tokens through the pipeline.
+
+        Classic pipeline timing: with per-token stage times t_i, the
+        makespan is ``sum_i t_i + (tokens - 1) * max_i t_i`` (fill once,
+        then the slowest stage paces the stream).
+        """
+        if tokens < 0 or elements_per_token < 0:
+            raise ValueError("tokens/elements must be non-negative")
+        per_token = self.token_cycles(elements_per_token)
+        if tokens == 0:
+            return PipelineTiming(
+                total_cycles=0,
+                stage_busy_cycles={s.name: 0 for s in self.stages},
+            )
+        slowest = max(per_token.values())
+        total = sum(per_token.values()) + (tokens - 1) * slowest
+        busy = {name: cycles * tokens for name, cycles in per_token.items()}
+        return PipelineTiming(
+            total_cycles=total,
+            stage_busy_cycles=busy,
+            tokens=tokens,
+            elements=tokens * elements_per_token,
+        )
+
+    def hidden_fraction(
+        self,
+        tokens: int,
+        elements_per_token: int,
+        overlap_window_cycles: int,
+    ) -> float:
+        """Fraction of engine time hidden under an overlap window.
+
+        The scheduler overlaps (de)quantization with DMA reads and
+        attention of other requests (Section 5.3); anything fitting in
+        the window is free.
+        """
+        timing = self.process(tokens, elements_per_token)
+        if timing.total_cycles == 0:
+            return 1.0
+        hidden = min(timing.total_cycles, overlap_window_cycles)
+        return hidden / timing.total_cycles
+
+
+def default_quant_pipeline(lanes: int = 32) -> StreamingEnginePipeline:
+    """The Figure 9(a) engine at a given datapath width."""
+    return StreamingEnginePipeline(
+        [
+            StageSpec("decomposer", lanes, setup_cycles=2),
+            StageSpec("minmax_finder", lanes, setup_cycles=1),
+            StageSpec("scale_calculator", lanes * 4, setup_cycles=4),
+            StageSpec("quantizer", lanes, setup_cycles=1),
+            StageSpec("zero_remove_shifter", lanes, setup_cycles=1),
+        ]
+    )
+
+
+def default_dequant_pipeline(lanes: int = 128) -> StreamingEnginePipeline:
+    """The Figure 9(b) engine: wider, to keep pace with attention reads."""
+    return StreamingEnginePipeline(
+        [
+            StageSpec("zero_insert_shifter", lanes, setup_cycles=1),
+            StageSpec("scale_calculator", lanes * 4, setup_cycles=2),
+            StageSpec("dequantizer", lanes, setup_cycles=1),
+            StageSpec("concatenator", lanes, setup_cycles=1),
+        ]
+    )

@@ -1,0 +1,166 @@
+"""Batched incremental generation with an exact FP KV cache.
+
+Used to *construct* the evaluation corpora (see
+:mod:`repro.data.corpus`): sampling sequences from the FP model at
+temperature makes the model "perfectly trained" on its own output
+distribution, which gives perplexity and zero-shot comparisons a
+meaningful, reproducible reference point without requiring pretrained
+checkpoints (the substitution is documented in DESIGN.md).
+
+The cache here is deliberately exact (float64): corpora are always
+generated with the uncorrupted model; quantizers only enter during
+evaluation through the teacher-forced forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.models.ops import apply_rope, rope_angles, softmax
+from repro.models.transformer import DecoderModel
+
+
+@dataclass
+class _LayerCache:
+    """Growing per-layer KV tensors of shape [B, t, H_kv, Dh]."""
+
+    keys: Optional[np.ndarray] = None
+    values: Optional[np.ndarray] = None
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        if self.keys is None:
+            self.keys = k
+            self.values = v
+        else:
+            self.keys = np.concatenate([self.keys, k], axis=1)
+            self.values = np.concatenate([self.values, v], axis=1)
+
+
+def generate_tokens(
+    model: DecoderModel,
+    batch: int,
+    length: int,
+    temperature: float = 1.0,
+    seed: int = 0,
+    prompt: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Sample ``batch`` sequences of ``length`` tokens from ``model``.
+
+    Args:
+        model: the FP decoder model.
+        batch: sequences generated in parallel.
+        length: total tokens per sequence (including the prompt).
+        temperature: softmax temperature (> 0).
+        seed: sampling RNG seed — corpora are fully reproducible.
+        prompt: optional [B, P] int prompt tokens; defaults to one
+            uniformly random start token per sequence.
+
+    Returns:
+        int64 token array of shape [batch, length].
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be > 0")
+    shape = model.shape
+    weights = model.weights
+    rng = np.random.default_rng(seed)
+
+    if prompt is None:
+        prompt = rng.integers(0, shape.vocab, size=(batch, 1))
+    prompt = np.atleast_2d(np.asarray(prompt, dtype=np.int64))
+    if prompt.shape[0] != batch:
+        raise ValueError("prompt batch size mismatch")
+    if prompt.shape[1] >= length:
+        return prompt[:, :length]
+
+    caches: List[_LayerCache] = [
+        _LayerCache() for _ in range(shape.n_layers)
+    ]
+    repeat = shape.n_heads // shape.n_kv_heads
+    scale = 1.0 / np.sqrt(shape.head_dim)
+    tokens = prompt.copy()
+
+    def run_block(block: np.ndarray, start_pos: int) -> np.ndarray:
+        """Advance all layers over new tokens; returns final logits."""
+        b, t = block.shape
+        x = weights.embedding[block]
+        if not model.spec.uses_rope:
+            x = x + weights.position_embedding[
+                None, start_pos : start_pos + t, :
+            ]
+        cos, sin = rope_angles(
+            shape.head_dim, np.arange(start_pos, start_pos + t)
+        )
+        for index, layer in enumerate(weights.layers):
+            h = model._norm(
+                x, layer.attn_norm_gain, layer.attn_norm_bias
+            )
+            q = (h @ layer.wq).reshape(b, t, shape.n_heads, shape.head_dim)
+            k = (h @ layer.wk).reshape(
+                b, t, shape.n_kv_heads, shape.head_dim
+            )
+            v = (h @ layer.wv).reshape(
+                b, t, shape.n_kv_heads, shape.head_dim
+            )
+            if model.spec.uses_rope:
+                q = apply_rope(q, cos, sin)
+                k = apply_rope(k, cos, sin)
+            caches[index].append(k, v)
+            full_k = caches[index].keys
+            full_v = caches[index].values
+            # Sliding window: only the most recent W cached positions
+            # are visible (queries here are the newest tokens).
+            if shape.sliding_window is not None:
+                full_k = full_k[:, -shape.sliding_window - t :]
+                full_v = full_v[:, -shape.sliding_window - t :]
+            if repeat > 1:
+                ek = np.repeat(full_k, repeat, axis=2)
+                ev = np.repeat(full_v, repeat, axis=2)
+            else:
+                ek, ev = full_k, full_v
+            s = full_k.shape[1]
+            scores = np.einsum("bthd,bshd->bhts", q, ek) * scale
+            # Causal mask within the block (prefix positions are all
+            # visible to every new token).
+            q_pos = np.arange(s - t, s)[:, None]
+            k_pos = np.arange(s)[None, :]
+            visible = k_pos <= q_pos
+            if shape.sliding_window is not None:
+                visible &= k_pos > q_pos - shape.sliding_window
+            scores = scores + np.where(
+                visible[None, None], 0.0, -1e9
+            )
+            attn = softmax(scores, axis=-1)
+            context = np.einsum("bhts,bshd->bthd", attn, ev).reshape(
+                b, t, shape.n_heads * shape.head_dim
+            )
+            x = x + context @ layer.wo
+            h = model._norm(
+                x, layer.ffn_norm_gain, layer.ffn_norm_bias
+            )
+            x = x + model._ffn(layer, h)
+        x = model._norm(
+            x, weights.final_norm_gain, weights.final_norm_bias
+        )
+        return x @ weights.unembedding
+
+    # Prefill on the prompt, then decode one token at a time.
+    logits = run_block(tokens, 0)
+    while tokens.shape[1] < length:
+        last = logits[:, -1, :] / temperature
+        probs = softmax(last, axis=-1)
+        cumulative = np.cumsum(probs, axis=-1)
+        draws = rng.random((batch, 1))
+        next_token = (cumulative < draws).sum(axis=-1)
+        next_token = np.minimum(next_token, shape.vocab - 1)
+        tokens = np.concatenate(
+            [tokens, next_token[:, None]], axis=1
+        )
+        if tokens.shape[1] >= length:
+            break
+        logits = run_block(
+            next_token[:, None], tokens.shape[1] - 1
+        )
+    return tokens[:, :length]

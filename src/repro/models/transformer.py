@@ -1,0 +1,292 @@
+"""The numpy decoder-only transformer with a pluggable KV transform.
+
+The substrate runs real forward passes: embeddings, pre-norm decoder
+layers (MHA/GQA with RoPE or learned positions, optional sliding
+window, dense or mixture-of-experts FFN), final norm, unembedding.
+
+The single hook that the whole reproduction hangs on is the **KV
+transform**: right after the key/value projections (and RoPE), each
+layer's [B*T, kv_dim] key and value matrices pass through a per-layer
+callable before attention uses them.  Plugging in a quantizer's
+``roundtrip`` reproduces exactly the corruption a quantized KV cache
+inflicts at generation time; plugging in the identity gives the FP
+reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.config import ModelSpec
+from repro.models.ops import (
+    apply_rope,
+    causal_mask,
+    layernorm,
+    log_softmax,
+    relu,
+    rmsnorm,
+    rope_angles,
+    silu,
+    softmax,
+)
+from repro.models.weights import LayerWeights, ModelWeights, build_weights
+
+#: A lossy (or identity) transform on a [N, kv_dim] matrix.
+KVTransform = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class KVTransformBundle:
+    """Per-layer key/value transforms for a whole model.
+
+    Attributes:
+        key_fns: one callable per decoder layer for keys.
+        value_fns: one callable per decoder layer for values.
+        pre_rope_keys: apply the key transform *before* rotary position
+            embedding.  KVQuant caches pre-RoPE keys because RoPE's
+            pairwise rotations smear the per-channel outlier structure
+            its per-channel quantization relies on; most other methods
+            (and Oaken) quantize the cache as stored, post-RoPE.
+    """
+
+    key_fns: List[KVTransform]
+    value_fns: List[KVTransform]
+    pre_rope_keys: bool = False
+
+    @classmethod
+    def identity(cls, n_layers: int) -> "KVTransformBundle":
+        """A bundle that leaves the KV cache untouched."""
+        same = [lambda x: x] * n_layers
+        return cls(key_fns=list(same), value_fns=list(same))
+
+    def __len__(self) -> int:
+        return len(self.key_fns)
+
+
+class DecoderModel:
+    """A runnable sim-shape model from the zoo.
+
+    Args:
+        spec: model spec (supplies shape, family, and weight seed).
+        max_positions: learned-position table size (OPT family).
+    """
+
+    def __init__(self, spec: ModelSpec, max_positions: int = 4096):
+        self.spec = spec
+        self.shape = spec.sim
+        self.weights: ModelWeights = build_weights(spec, max_positions)
+        self._rope_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # building blocks
+    # ------------------------------------------------------------------
+
+    def _norm(self, x: np.ndarray, gain: np.ndarray, bias: np.ndarray) -> np.ndarray:
+        if self.spec.norm == "rmsnorm":
+            return rmsnorm(x, gain)
+        return layernorm(x, gain, bias)
+
+    def _rope(self, length: int) -> Tuple[np.ndarray, np.ndarray]:
+        if length not in self._rope_cache:
+            self._rope_cache[length] = rope_angles(
+                self.shape.head_dim, np.arange(length)
+            )
+        return self._rope_cache[length]
+
+    def _ffn(self, layer: LayerWeights, x: np.ndarray) -> np.ndarray:
+        """Dense or mixture-of-experts feed-forward on [..., d]."""
+        shape = self.shape
+        if shape.n_experts <= 1:
+            return self._expert(layer, 0, x)
+        # Top-k routing per token.
+        router_logits = x @ layer.router
+        gates = softmax(router_logits, axis=-1)
+        top = np.argsort(-gates, axis=-1)[..., : shape.experts_per_token]
+        out = np.zeros_like(x)
+        total_gate = np.zeros(x.shape[:-1] + (1,))
+        for slot in range(shape.experts_per_token):
+            chosen = top[..., slot]
+            gate = np.take_along_axis(
+                gates, chosen[..., None], axis=-1
+            )
+            for expert in range(shape.n_experts):
+                mask = chosen == expert
+                if not mask.any():
+                    continue
+                selected = x[mask]
+                out[mask] += gate[mask] * self._expert(
+                    layer, expert, selected
+                )
+            total_gate += gate
+        return out / np.maximum(total_gate, 1e-9)
+
+    def _expert(
+        self, layer: LayerWeights, index: int, x: np.ndarray
+    ) -> np.ndarray:
+        if self.shape.gated_ffn:
+            gate = silu(x @ layer.ffn_gate[index])
+            up = x @ layer.ffn_up[index]
+            return (gate * up) @ layer.ffn_down[index]
+        return relu(x @ layer.ffn_up[index]) @ layer.ffn_down[index]
+
+    # ------------------------------------------------------------------
+    # forward pass
+    # ------------------------------------------------------------------
+
+    def forward(
+        self,
+        tokens: np.ndarray,
+        kv_transforms: Optional[KVTransformBundle] = None,
+        collect_kv: bool = False,
+    ):
+        """Teacher-forced forward pass.
+
+        Args:
+            tokens: int array [B, T] (or [T], auto-promoted).
+            kv_transforms: per-layer lossy KV transforms; None = exact.
+            collect_kv: also return the per-layer post-RoPE (keys,
+                values) matrices of shape [B*T, kv_dim] — the exact
+                tensors a KV quantizer sees (used for calibration and
+                for the Figure 6 distribution study).
+
+        Returns:
+            ``logits`` of shape [B, T, vocab]; if ``collect_kv``, a
+            tuple ``(logits, kv_list)`` with one (keys, values) pair per
+            layer.
+        """
+        tokens = np.atleast_2d(np.asarray(tokens, dtype=np.int64))
+        batch, length = tokens.shape
+        shape = self.shape
+        weights = self.weights
+
+        x = weights.embedding[tokens]
+        if not self.spec.uses_rope:
+            x = x + weights.position_embedding[None, :length, :]
+
+        mask = causal_mask(length, shape.sliding_window)
+        neg = np.where(mask[None, None, :, :], 0.0, -1e9)
+        cos, sin = self._rope(length)
+        repeat = shape.n_heads // shape.n_kv_heads
+        scale = 1.0 / np.sqrt(shape.head_dim)
+
+        collected: List[Tuple[np.ndarray, np.ndarray]] = []
+        for index, layer in enumerate(weights.layers):
+            h = self._norm(x, layer.attn_norm_gain, layer.attn_norm_bias)
+            q = (h @ layer.wq).reshape(
+                batch, length, shape.n_heads, shape.head_dim
+            )
+            k = (h @ layer.wk).reshape(
+                batch, length, shape.n_kv_heads, shape.head_dim
+            )
+            v = (h @ layer.wv).reshape(
+                batch, length, shape.n_kv_heads, shape.head_dim
+            )
+            pre_rope = (
+                kv_transforms is not None
+                and kv_transforms.pre_rope_keys
+            )
+            if pre_rope:
+                # KVQuant-style: quantize keys before rotation, where
+                # per-channel structure is intact; RoPE is applied to
+                # the reconstructed keys afterwards.
+                k_flat = k.reshape(batch * length, shape.kv_dim)
+                k = np.asarray(
+                    kv_transforms.key_fns[index](k_flat),
+                    dtype=np.float64,
+                ).reshape(batch, length, shape.n_kv_heads, shape.head_dim)
+            if self.spec.uses_rope:
+                q = apply_rope(q, cos, sin)
+                k = apply_rope(k, cos, sin)
+
+            k_flat = k.reshape(batch * length, shape.kv_dim)
+            v_flat = v.reshape(batch * length, shape.kv_dim)
+            if collect_kv:
+                collected.append((k_flat.copy(), v_flat.copy()))
+            if kv_transforms is not None:
+                if not pre_rope:
+                    k_flat = kv_transforms.key_fns[index](k_flat)
+                v_flat = kv_transforms.value_fns[index](v_flat)
+            k = np.asarray(k_flat, dtype=np.float64).reshape(
+                batch, length, shape.n_kv_heads, shape.head_dim
+            )
+            v = np.asarray(v_flat, dtype=np.float64).reshape(
+                batch, length, shape.n_kv_heads, shape.head_dim
+            )
+
+            if repeat > 1:
+                k = np.repeat(k, repeat, axis=2)
+                v = np.repeat(v, repeat, axis=2)
+
+            scores = (
+                np.einsum("bthd,bshd->bhts", q, k) * scale + neg
+            )
+            attn = softmax(scores, axis=-1)
+            context = np.einsum("bhts,bshd->bthd", attn, v)
+            context = context.reshape(
+                batch, length, shape.n_heads * shape.head_dim
+            )
+            x = x + context @ layer.wo
+
+            h = self._norm(x, layer.ffn_norm_gain, layer.ffn_norm_bias)
+            x = x + self._ffn(layer, h)
+
+        x = self._norm(
+            x, weights.final_norm_gain, weights.final_norm_bias
+        )
+        logits = x @ weights.unembedding
+        if collect_kv:
+            return logits, collected
+        return logits
+
+    # ------------------------------------------------------------------
+    # evaluation helpers
+    # ------------------------------------------------------------------
+
+    def sequence_log_likelihood(
+        self,
+        tokens: np.ndarray,
+        kv_transforms: Optional[KVTransformBundle] = None,
+        start: int = 1,
+    ) -> np.ndarray:
+        """Per-sequence sum log P(token_t | tokens_<t) for t >= start.
+
+        Args:
+            tokens: int array [B, T].
+            kv_transforms: optional lossy KV transforms.
+            start: first predicted position (skip the unpredictable
+                first token by default).
+
+        Returns:
+            float array [B] of summed log-likelihoods.
+        """
+        tokens = np.atleast_2d(np.asarray(tokens, dtype=np.int64))
+        logits = self.forward(tokens, kv_transforms=kv_transforms)
+        logprobs = log_softmax(logits[:, start - 1 : -1, :], axis=-1)
+        targets = tokens[:, start:]
+        picked = np.take_along_axis(
+            logprobs, targets[..., None], axis=-1
+        )[..., 0]
+        return picked.sum(axis=1)
+
+    def perplexity(
+        self,
+        tokens: np.ndarray,
+        kv_transforms: Optional[KVTransformBundle] = None,
+    ) -> float:
+        """Teacher-forced perplexity over a [B, T] token batch."""
+        tokens = np.atleast_2d(np.asarray(tokens, dtype=np.int64))
+        total_ll = self.sequence_log_likelihood(
+            tokens, kv_transforms=kv_transforms
+        ).sum()
+        predicted = tokens.shape[0] * (tokens.shape[1] - 1)
+        return float(np.exp(-total_ll / predicted))
+
+    def collect_layer_kv(
+        self, tokens: np.ndarray
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-layer exact (keys, values) matrices for calibration."""
+        _, collected = self.forward(tokens, collect_kv=True)
+        return collected

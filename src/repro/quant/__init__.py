@@ -1,0 +1,49 @@
+"""Shared quantization primitives used by Oaken and all baselines.
+
+This package holds the building blocks that every KV-cache quantizer in
+the repository is made of:
+
+``uniform``
+    Scalar/vector uniform (affine) quantization following Eq. 2-3 of the
+    paper: ``sigma = (2^m - 1) / (max - min)`` and
+    ``Q(x) = round((x - min) * sigma)``.
+``bitpack``
+    Dense bit-packing of sub-byte integer codes into ``uint8`` buffers,
+    used by the fused dense-and-sparse encoding and by capacity
+    accounting.
+``metrics``
+    Quantization error metrics (MSE, SQNR, max-abs) and effective
+    bitwidth accounting shared across methods.
+"""
+
+from repro.quant.bitpack import (
+    pack_bits,
+    packed_nbytes,
+    unpack_bits,
+)
+from repro.quant.metrics import (
+    effective_bitwidth,
+    max_abs_error,
+    mean_squared_error,
+    signal_to_quantization_noise,
+)
+from repro.quant.uniform import (
+    UniformCodec,
+    dequantize_uniform,
+    quantize_uniform,
+    scaling_factor,
+)
+
+__all__ = [
+    "UniformCodec",
+    "dequantize_uniform",
+    "effective_bitwidth",
+    "max_abs_error",
+    "mean_squared_error",
+    "pack_bits",
+    "packed_nbytes",
+    "quantize_uniform",
+    "scaling_factor",
+    "signal_to_quantization_noise",
+    "unpack_bits",
+]

@@ -1,0 +1,102 @@
+"""Dense bit-packing of sub-byte integer codes.
+
+Oaken's fused dense-and-sparse encoding stores inlier codes as 4-bit
+nibbles, with outlier positions re-using the nibble for the low 4 bits of
+the 5-bit outlier code.  The hardware writes these nibbles back-to-back
+into memory pages; this module provides the equivalent software packing
+so that (a) capacity accounting in the simulator is bit-accurate and
+(b) the encoding round-trip can be tested end to end.
+
+The packing layout is little-endian within bytes: code ``i`` occupies
+bits ``[i * width, (i + 1) * width)`` of the flattened bit stream, and
+bit ``b`` of the stream lives at byte ``b // 8``, bit position ``b % 8``.
+This matches how a zero-remove shifter would lay codes out in a burst
+write and keeps the layout independent of host endianness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def packed_nbytes(count: int, width: int) -> int:
+    """Number of bytes needed to pack ``count`` codes of ``width`` bits.
+
+    Args:
+        count: number of codes.
+        width: bits per code (1..16).
+
+    Returns:
+        Byte count, rounded up to the next whole byte.
+    """
+    if width < 1 or width > 16:
+        raise ValueError(f"width must be in [1, 16], got {width}")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return (count * width + 7) // 8
+
+
+def pack_bits(codes: np.ndarray, width: int) -> np.ndarray:
+    """Pack unsigned integer ``codes`` into a dense ``uint8`` buffer.
+
+    Args:
+        codes: 1-D array of unsigned integers, each ``< 2**width``.
+        width: bits per code.
+
+    Returns:
+        ``uint8`` array of length ``packed_nbytes(len(codes), width)``.
+
+    Raises:
+        ValueError: if any code does not fit in ``width`` bits.
+    """
+    arr = np.asarray(codes, dtype=np.uint32).ravel()
+    if arr.size and int(arr.max()) >= (1 << width):
+        raise ValueError(
+            f"code {int(arr.max())} does not fit in {width} bits"
+        )
+    nbytes = packed_nbytes(arr.size, width)
+    out = np.zeros(nbytes, dtype=np.uint8)
+    if arr.size == 0:
+        return out
+    # Expand each code into its `width` bits (LSB first), then reshape
+    # the flat bit stream into bytes.  Vectorized: build an
+    # (n, width) bit matrix, flatten, pad to a byte boundary, and fold.
+    bit_idx = np.arange(width, dtype=np.uint32)
+    bits = ((arr[:, None] >> bit_idx[None, :]) & 1).astype(np.uint8)
+    flat = bits.ravel()
+    padded = np.zeros(nbytes * 8, dtype=np.uint8)
+    padded[: flat.size] = flat
+    weights = (1 << np.arange(8, dtype=np.uint32)).astype(np.uint32)
+    out = (padded.reshape(nbytes, 8).astype(np.uint32) @ weights).astype(
+        np.uint8
+    )
+    return out
+
+
+def unpack_bits(buffer: np.ndarray, width: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`.
+
+    Args:
+        buffer: ``uint8`` array produced by :func:`pack_bits`.
+        width: bits per code used at pack time.
+        count: number of codes to recover.
+
+    Returns:
+        ``uint16`` array of length ``count``.
+    """
+    buf = np.asarray(buffer, dtype=np.uint8).ravel()
+    needed = packed_nbytes(count, width)
+    if buf.size < needed:
+        raise ValueError(
+            f"buffer has {buf.size} bytes, need {needed} for "
+            f"{count} codes of {width} bits"
+        )
+    if count == 0:
+        return np.zeros(0, dtype=np.uint16)
+    bit_positions = np.arange(8, dtype=np.uint32)
+    bits = ((buf[:, None] >> bit_positions[None, :]) & 1).astype(np.uint8)
+    flat = bits.ravel()[: count * width]
+    codes_bits = flat.reshape(count, width).astype(np.uint32)
+    weights = (1 << np.arange(width, dtype=np.uint32)).astype(np.uint32)
+    codes = codes_bits @ weights
+    return codes.astype(np.uint16)

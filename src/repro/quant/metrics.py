@@ -1,0 +1,135 @@
+"""Quantization quality and storage-cost metrics.
+
+Two families of metrics are shared by the evaluation harness and the
+benchmarks:
+
+*Error metrics* compare a reconstructed tensor against its original
+(MSE, max-abs, SQNR).  They are used by unit tests, by the accuracy
+harness, and by the Figure 12(a) trade-off sweep.
+
+*Effective bitwidth* is the paper's storage metric (Table 2 bottom
+rows): total bits stored per original KV element, including dense codes,
+sparse records, and per-token scale metadata, divided by the element
+count.  Each quantizer reports its own breakdown through
+:class:`StorageFootprint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+
+def mean_squared_error(original: np.ndarray, restored: np.ndarray) -> float:
+    """Mean squared reconstruction error between two equal-shape arrays."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(restored, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return 0.0
+    return float(np.mean((a - b) ** 2))
+
+
+def max_abs_error(original: np.ndarray, restored: np.ndarray) -> float:
+    """Maximum absolute reconstruction error."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(restored, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return 0.0
+    return float(np.max(np.abs(a - b)))
+
+
+def signal_to_quantization_noise(
+    original: np.ndarray, restored: np.ndarray
+) -> float:
+    """SQNR in dB; ``inf`` for a perfect reconstruction.
+
+    Defined as ``10 * log10(signal_power / noise_power)``.  A silent
+    (all-zero) original with nonzero noise returns ``-inf``.
+    """
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(restored, dtype=np.float64)
+    noise = float(np.mean((a - b) ** 2)) if a.size else 0.0
+    signal = float(np.mean(a**2)) if a.size else 0.0
+    if noise == 0.0:
+        return float("inf")
+    if signal == 0.0:
+        return float("-inf")
+    return 10.0 * np.log10(signal / noise)
+
+
+@dataclass
+class StorageFootprint:
+    """Bit-level storage accounting for a quantized KV tensor.
+
+    Attributes:
+        element_count: number of original KV elements represented.
+        dense_bits: bits spent on the dense (inlier) matrix.
+        sparse_bits: bits spent on sparse outlier records (COO payload).
+        metadata_bits: bits spent on per-token/per-group scales, mins,
+            thresholds and any other side-band information.
+        breakdown: optional named sub-totals for reporting.
+    """
+
+    element_count: int
+    dense_bits: float = 0.0
+    sparse_bits: float = 0.0
+    metadata_bits: float = 0.0
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_bits(self) -> float:
+        """All bits stored for this tensor."""
+        return self.dense_bits + self.sparse_bits + self.metadata_bits
+
+    @property
+    def effective_bitwidth(self) -> float:
+        """Bits per original element — the paper's Table 2 metric."""
+        if self.element_count == 0:
+            return 0.0
+        return self.total_bits / self.element_count
+
+    @property
+    def total_bytes(self) -> float:
+        """Total storage in bytes (fractional bits allowed)."""
+        return self.total_bits / 8.0
+
+    def compression_ratio(self, baseline_bits: float = 16.0) -> float:
+        """Compression vs. a ``baseline_bits`` (default FP16) layout."""
+        if self.total_bits == 0.0:
+            return float("inf")
+        return (self.element_count * baseline_bits) / self.total_bits
+
+    def merged_with(self, other: "StorageFootprint") -> "StorageFootprint":
+        """Combine two footprints (e.g. keys + values)."""
+        merged = StorageFootprint(
+            element_count=self.element_count + other.element_count,
+            dense_bits=self.dense_bits + other.dense_bits,
+            sparse_bits=self.sparse_bits + other.sparse_bits,
+            metadata_bits=self.metadata_bits + other.metadata_bits,
+        )
+        for source in (self.breakdown, other.breakdown):
+            for key, bits in source.items():
+                merged.breakdown[key] = merged.breakdown.get(key, 0.0) + bits
+        return merged
+
+
+def effective_bitwidth(
+    element_count: int,
+    dense_bits: float,
+    sparse_bits: float = 0.0,
+    metadata_bits: float = 0.0,
+) -> float:
+    """Convenience wrapper computing bits-per-element directly."""
+    footprint = StorageFootprint(
+        element_count=element_count,
+        dense_bits=dense_bits,
+        sparse_bits=sparse_bits,
+        metadata_bits=metadata_bits,
+    )
+    return footprint.effective_bitwidth

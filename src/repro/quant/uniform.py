@@ -1,0 +1,166 @@
+"""Uniform (affine, min-max) quantization primitives.
+
+The paper's Eq. 2 defines the scaling factor
+
+    sigma = (2^m - 1) / (Max - Min)
+
+and Eq. 3 the quantization function
+
+    Q(x) = round((x - Min) * sigma)
+
+where ``m`` is the target bitwidth.  Dequantization inverts the mapping:
+
+    D(q) = q / sigma + Min
+
+Oaken deliberately uses this *simple* uniform scheme ("calculated using
+only simple statistics to minimize hardware complexity") and recovers
+accuracy through grouping and group-shift instead of a more elaborate
+per-value codec.  All baselines in :mod:`repro.baselines` reuse these
+primitives with their own grouping strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Smallest range we are willing to divide by.  Degenerate groups (all
+#: values identical) would otherwise produce an infinite scale.
+_EPS = 1e-12
+
+
+def scaling_factor(lo: float, hi: float, bits: int) -> float:
+    """Return the uniform quantization scale for range ``[lo, hi]``.
+
+    Implements Eq. 2 of the paper.  ``bits`` is the bitwidth ``m`` of the
+    quantized code.  A degenerate range (``hi == lo``) yields a scale of
+    1.0 so that round-tripping maps every value back to ``lo``.
+
+    Args:
+        lo: minimum of the values to be quantized.
+        hi: maximum of the values to be quantized.
+        bits: target bitwidth, must be >= 1.
+
+    Returns:
+        The scale ``sigma`` such that ``round((x - lo) * sigma)`` lies in
+        ``[0, 2**bits - 1]`` for ``x`` in ``[lo, hi]``.
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    span = float(hi) - float(lo)
+    if span <= _EPS:
+        return 1.0
+    return (2.0**bits - 1.0) / span
+
+
+def quantize_uniform(
+    values: np.ndarray, lo: float, hi: float, bits: int
+) -> np.ndarray:
+    """Quantize ``values`` uniformly into ``bits``-bit unsigned codes.
+
+    Implements Eq. 3 of the paper.  Values outside ``[lo, hi]`` are
+    clipped to the representable code range, mirroring the saturating
+    behaviour of the hardware quantizer datapath.
+
+    Args:
+        values: array of floating point values.
+        lo: group minimum (from the online min/max finder).
+        hi: group maximum.
+        bits: target bitwidth.
+
+    Returns:
+        ``uint16`` array of codes in ``[0, 2**bits - 1]`` with the same
+        shape as ``values``.
+    """
+    sigma = scaling_factor(lo, hi, bits)
+    codes = np.round((np.asarray(values, dtype=np.float64) - lo) * sigma)
+    codes = np.clip(codes, 0, 2**bits - 1)
+    return codes.astype(np.uint16)
+
+
+def dequantize_uniform(
+    codes: np.ndarray, lo: float, hi: float, bits: int
+) -> np.ndarray:
+    """Invert :func:`quantize_uniform` back to floating point.
+
+    Args:
+        codes: unsigned integer codes produced by :func:`quantize_uniform`.
+        lo: the group minimum used at quantization time.
+        hi: the group maximum used at quantization time.
+        bits: the bitwidth used at quantization time.
+
+    Returns:
+        ``float32`` array of reconstructed values.
+    """
+    sigma = scaling_factor(lo, hi, bits)
+    values = np.asarray(codes, dtype=np.float64) / sigma + lo
+    return values.astype(np.float32)
+
+
+@dataclass(frozen=True)
+class UniformCodec:
+    """A reusable (lo, hi, bits) uniform codec.
+
+    Bundles the three parameters of a uniform quantization group so they
+    can be stored alongside the codes (the "scaling factor" metadata the
+    hardware keeps per token per group).
+
+    Attributes:
+        lo: group minimum.
+        hi: group maximum.
+        bits: code bitwidth.
+    """
+
+    lo: float
+    hi: float
+    bits: int
+
+    @classmethod
+    def from_values(cls, values: np.ndarray, bits: int) -> "UniformCodec":
+        """Build a codec from the observed min/max of ``values``.
+
+        An empty array yields the degenerate codec ``(0, 0, bits)`` which
+        round-trips nothing (there is nothing to encode).
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            return cls(lo=0.0, hi=0.0, bits=bits)
+        return cls(lo=float(arr.min()), hi=float(arr.max()), bits=bits)
+
+    @property
+    def sigma(self) -> float:
+        """The Eq. 2 scaling factor of this codec."""
+        return scaling_factor(self.lo, self.hi, self.bits)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of representable codes (``2**bits``)."""
+        return 2**self.bits
+
+    @property
+    def step(self) -> float:
+        """Reconstruction step size (distance between adjacent levels)."""
+        return 1.0 / self.sigma
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Quantize ``values`` with this codec (see Eq. 3)."""
+        return quantize_uniform(values, self.lo, self.hi, self.bits)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Dequantize ``codes`` with this codec."""
+        return dequantize_uniform(codes, self.lo, self.hi, self.bits)
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        """Encode then decode ``values`` — the effective lossy transform."""
+        return self.decode(self.encode(values))
+
+    def max_roundtrip_error(self) -> float:
+        """Worst-case absolute reconstruction error for in-range values.
+
+        Uniform quantization with rounding has a worst case of half the
+        step size; this bound is exercised by property-based tests.
+        """
+        if self.hi - self.lo <= _EPS:
+            return 0.0
+        return 0.5 * self.step

@@ -1,0 +1,26 @@
+"""Request-level serving simulation on top of the hardware model.
+
+* :mod:`repro.serving.request` — request lifecycle states.
+* :mod:`repro.serving.scheduler` — token-level continuous batching
+  (Section 5.3): prefill admission, per-iteration generation, slot
+  recycling when requests finish.
+* :mod:`repro.serving.simulator` — trace-driven end-to-end simulation
+  producing the Figure 14 generation-throughput metric.
+"""
+
+from repro.serving.request import Request, RequestPhase
+from repro.serving.scheduler import ContinuousBatchScheduler
+from repro.serving.simulator import (
+    ServingReport,
+    simulate_synthesized_batches,
+    simulate_trace,
+)
+
+__all__ = [
+    "ContinuousBatchScheduler",
+    "Request",
+    "RequestPhase",
+    "ServingReport",
+    "simulate_synthesized_batches",
+    "simulate_trace",
+]

@@ -1,0 +1,75 @@
+"""Request lifecycle for the serving simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class RequestPhase(enum.Enum):
+    """Where a request is in its lifecycle."""
+
+    QUEUED = "queued"
+    PREFILL = "prefill"
+    GENERATION = "generation"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One inference request moving through the simulator.
+
+    Attributes:
+        request_id: unique id.
+        arrival_s: arrival time (seconds from trace start).
+        input_tokens: prompt length.
+        output_tokens: tokens to generate.
+        generated: tokens generated so far.
+        phase: lifecycle phase.
+        start_s: when prefill began (-1 until scheduled).
+        first_token_s: when the first output token landed (-1 until
+            then) — the numerator of time-to-first-token.
+        finish_s: when the last token was generated (-1 until done).
+    """
+
+    request_id: int
+    arrival_s: float
+    input_tokens: int
+    output_tokens: int
+    generated: int = 0
+    phase: RequestPhase = RequestPhase.QUEUED
+    start_s: float = -1.0
+    first_token_s: float = -1.0
+    finish_s: float = -1.0
+
+    @property
+    def context_length(self) -> int:
+        """Tokens currently in this request's KV cache."""
+        return self.input_tokens + self.generated
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.output_tokens
+
+    def latency_s(self) -> float:
+        """End-to-end latency (valid once finished)."""
+        if self.finish_s < 0:
+            raise RuntimeError("request not finished")
+        return self.finish_s - self.arrival_s
+
+    def ttft_s(self) -> float:
+        """Time to first token (valid once the first token landed)."""
+        if self.first_token_s < 0:
+            raise RuntimeError("no token generated yet")
+        return self.first_token_s - self.arrival_s
+
+    def tpot_s(self) -> float:
+        """Mean time per output token after the first (valid once
+        finished; 0 for single-token outputs)."""
+        if self.finish_s < 0:
+            raise RuntimeError("request not finished")
+        if self.generated <= 1:
+            return 0.0
+        return (self.finish_s - self.first_token_s) / (
+            self.generated - 1
+        )

@@ -1,0 +1,194 @@
+"""Token-level continuous batching (the paper's Section 5.3 policy).
+
+The scheduler keeps at most ``max_batch`` requests resident.  Arrivals
+queue; whenever a slot frees (or at trace start), the oldest queued
+arrival is admitted and pays a prefill pass.  Every generation
+iteration advances all resident requests by one token — Oaken's
+compute cores each handle one token of one request, so resident batch
+size maps directly to core occupancy.
+
+The scheduler is deliberately platform-agnostic: it produces iteration
+descriptions (batch size, per-request context lengths, prompt
+admissions) and the simulator prices them with the hardware model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.serving.request import Request, RequestPhase
+
+
+@dataclass
+class IterationPlan:
+    """One scheduler step: admissions then a generation iteration.
+
+    Attributes:
+        admitted: requests entering prefill this step.
+        resident: requests participating in the generation iteration
+            (after admissions).
+        mean_context: average context length across residents.
+        ragged: True when resident prompt lengths differ enough to
+            trigger padding penalties on systolic platforms.
+        prefill_tokens: prompt tokens processed this iteration (only
+            nonzero in chunked-prefill mode, where admissions prefill
+            incrementally instead of stalling the batch — the
+            Sarathi-style scheduling the paper's serving layer cites).
+    """
+
+    admitted: List[Request]
+    resident: List[Request]
+    mean_context: float
+    ragged: bool
+    prefill_tokens: int = 0
+
+
+class ContinuousBatchScheduler:
+    """Iteration-level batching with bounded residency.
+
+    Args:
+        max_batch: resident request cap (figure sweeps set this).
+        prefill_chunk: when set, admissions do not stall the batch with
+            a monolithic prefill; instead up to ``prefill_chunk``
+            prompt tokens are processed per iteration alongside the
+            resident generation work, and a request starts generating
+            once its prompt is fully consumed.
+    """
+
+    def __init__(self, max_batch: int,
+                 prefill_chunk: Optional[int] = None):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if prefill_chunk is not None and prefill_chunk < 1:
+            raise ValueError("prefill_chunk must be >= 1 when set")
+        self.max_batch = max_batch
+        self.prefill_chunk = prefill_chunk
+        self._queue: List[Request] = []
+        self._resident: List[Request] = []
+        self._prefilling: dict = {}
+        self._finished: List[Request] = []
+
+    # ------------------------------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        """Enqueue an arrived request (FIFO)."""
+        request.phase = RequestPhase.QUEUED
+        self._queue.append(request)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def resident(self) -> List[Request]:
+        return list(self._resident)
+
+    @property
+    def finished(self) -> List[Request]:
+        return list(self._finished)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._queue or self._resident)
+
+    # ------------------------------------------------------------------
+
+    def plan_iteration(self, now_s: float) -> Optional[IterationPlan]:
+        """Admit queued requests into free slots and plan one iteration.
+
+        Args:
+            now_s: current simulation time; only requests that have
+                arrived are admissible.
+
+        Returns:
+            The iteration plan, or None when nothing can run yet.
+        """
+        admitted: List[Request] = []
+        while (
+            len(self._resident) < self.max_batch
+            and self._queue
+            and self._queue[0].arrival_s <= now_s
+        ):
+            request = self._queue.pop(0)
+            request.phase = RequestPhase.PREFILL
+            request.start_s = now_s
+            admitted.append(request)
+            self._resident.append(request)
+            if self.prefill_chunk is not None:
+                self._prefilling[request.request_id] = (
+                    request.input_tokens
+                )
+        if not self._resident:
+            return None
+
+        prefill_tokens = 0
+        if self.prefill_chunk is not None and self._prefilling:
+            # FCFS chunk budget across prefilling requests.
+            budget = self.prefill_chunk
+            for request in self._resident:
+                remaining = self._prefilling.get(request.request_id)
+                if remaining is None or budget <= 0:
+                    continue
+                consumed = min(remaining, budget)
+                budget -= consumed
+                prefill_tokens += consumed
+                if remaining - consumed <= 0:
+                    del self._prefilling[request.request_id]
+                    request.phase = RequestPhase.GENERATION
+                else:
+                    self._prefilling[request.request_id] = (
+                        remaining - consumed
+                    )
+
+        generating = [
+            r for r in self._resident
+            if r.request_id not in self._prefilling
+        ]
+        contexts = [r.context_length for r in generating] or [1]
+        prompts = [r.input_tokens for r in self._resident]
+        ragged = (
+            len(prompts) > 1
+            and (max(prompts) - min(prompts)) > 0.25 * max(prompts)
+        )
+        return IterationPlan(
+            admitted=admitted,
+            resident=generating,
+            mean_context=float(sum(contexts)) / len(contexts),
+            ragged=ragged,
+            prefill_tokens=prefill_tokens,
+        )
+
+    def complete_iteration(self, now_s: float) -> List[Request]:
+        """Advance every resident request one token; retire finished ones.
+
+        Returns:
+            Requests that finished in this iteration.
+        """
+        retired: List[Request] = []
+        still_resident: List[Request] = []
+        for request in self._resident:
+            if request.request_id in self._prefilling:
+                # Still consuming its prompt (chunked prefill mode);
+                # no token generated this iteration.
+                still_resident.append(request)
+                continue
+            request.phase = RequestPhase.GENERATION
+            request.generated += 1
+            if request.generated == 1:
+                request.first_token_s = now_s
+            if request.done:
+                request.phase = RequestPhase.FINISHED
+                request.finish_s = now_s
+                retired.append(request)
+                self._finished.append(request)
+            else:
+                still_resident.append(request)
+        self._resident = still_resident
+        return retired
+
+    def next_arrival(self) -> Optional[float]:
+        """Arrival time of the oldest queued request, if any."""
+        if not self._queue:
+            return None
+        return self._queue[0].arrival_s

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite.
+
+Model construction and corpus generation are the expensive parts, so
+they are session-scoped and shared; everything else is cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.config import get_model
+from repro.models.transformer import DecoderModel
+
+
+def make_kv_matrix(
+    tokens: int = 128,
+    dim: int = 64,
+    seed: int = 0,
+    outlier_channels=(3, 17, 40),
+    outlier_gain: float = 10.0,
+) -> np.ndarray:
+    """A KV-like matrix with channel-concentrated outliers.
+
+    Mirrors the paper's Observation 3 structure: heavy channels plus a
+    sprinkle of isolated exceptions.
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((tokens, dim))
+    gains = np.ones(dim)
+    gains[list(outlier_channels)] = outlier_gain
+    x = x * gains[None, :]
+    spikes = rng.random((tokens, dim)) < 0.002
+    return np.where(spikes, x * outlier_gain, x)
+
+
+@pytest.fixture(scope="session")
+def kv_matrix() -> np.ndarray:
+    """Standard structured KV matrix."""
+    return make_kv_matrix()
+
+
+@pytest.fixture(scope="session")
+def kv_samples():
+    """Calibration-run samples with the same channel structure."""
+    return [make_kv_matrix(seed=s) for s in range(1, 5)]
+
+
+@pytest.fixture(scope="session")
+def small_model() -> DecoderModel:
+    """The Llama2-7B sim model (shared across tests)."""
+    return DecoderModel(get_model("llama2-7b"))
+
+
+@pytest.fixture(scope="session")
+def small_tokens(small_model) -> np.ndarray:
+    """A small evaluation corpus for the shared model."""
+    from repro.data.corpus import build_corpus
+
+    return build_corpus(small_model, "wikitext2", batch=3, length=64)

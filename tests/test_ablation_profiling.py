@@ -1,0 +1,92 @@
+"""Tests for the profiling-budget ablation experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import OakenConfig
+from repro.experiments.ablation_profiling import (
+    ProfilingPoint,
+    format_profiling_ablation,
+    run_profiling_ablation,
+    synthesize_kv_run,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_profiling_ablation(
+        budgets=(1, 5, 25, 100), trials=3, seed=7
+    )
+
+
+class TestSynthesizer:
+    def test_shape_and_outlier_channels(self):
+        rng = np.random.default_rng(0)
+        x = synthesize_kv_run(rng, tokens=32, dim=64,
+                              outlier_channels=(3, 9))
+        assert x.shape == (32, 64)
+        bulk = np.delete(x, [3, 9], axis=1)
+        assert np.abs(x[:, 3]).mean() > 5 * np.abs(bulk).mean()
+
+    def test_runs_differ(self):
+        rng = np.random.default_rng(0)
+        a = synthesize_kv_run(rng)
+        b = synthesize_kv_run(rng)
+        assert not np.allclose(a, b)
+
+
+class TestProfilingSweep:
+    def test_one_point_per_budget(self, points):
+        assert [p.num_runs for p in points] == [1, 5, 25, 100]
+
+    def test_deviation_shrinks_with_budget(self, points):
+        """Averaging more runs converges toward the reference."""
+        by_budget = {p.num_runs: p for p in points}
+        assert by_budget[100].threshold_deviation < (
+            by_budget[1].threshold_deviation
+        )
+        assert by_budget[100].deviation_std < by_budget[1].deviation_std
+
+    def test_sqnr_plateaus_by_paper_budget(self, points):
+        """The ~100-run choice: quality saturates, more runs buy ~0."""
+        by_budget = {p.num_runs: p for p in points}
+        assert by_budget[100].sqnr_db >= by_budget[1].sqnr_db - 0.25
+        assert by_budget[100].sqnr_db == pytest.approx(
+            by_budget[25].sqnr_db, abs=0.5
+        )
+
+    def test_sqnr_is_usable_at_every_budget(self, points):
+        """Even 1-run thresholds quantize sanely (the distribution is
+        input-insensitive, Observation 2) — the budget buys stability,
+        not correctness."""
+        assert all(p.sqnr_db > 15.0 for p in points)
+
+    def test_cost_scales_linearly(self, points):
+        per_run = points[0].profiled_values
+        assert all(
+            p.profiled_values == p.num_runs * per_run for p in points
+        )
+
+    def test_custom_config_flows_through(self):
+        cfg = OakenConfig.from_ratio_string("2/2/90/6")
+        sweep = run_profiling_ablation(
+            budgets=(2,), trials=2, config=cfg, seed=3
+        )
+        assert len(sweep) == 1
+        assert sweep[0].num_runs == 2
+
+    def test_deterministic_for_fixed_seed(self):
+        a = run_profiling_ablation(budgets=(5,), trials=2, seed=11)
+        b = run_profiling_ablation(budgets=(5,), trials=2, seed=11)
+        assert a[0].threshold_deviation == b[0].threshold_deviation
+        assert a[0].sqnr_db == b[0].sqnr_db
+
+
+class TestFormatting:
+    def test_table_mentions_every_budget(self, points):
+        text = format_profiling_ablation(points)
+        for point in points:
+            assert str(point.num_runs) in text
+        assert "SQNR" in text

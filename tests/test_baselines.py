@@ -1,0 +1,251 @@
+"""Interface-conformance and behaviour tests for all baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AtomQuantizer,
+    FP16Baseline,
+    KIVIQuantizer,
+    KVQuantQuantizer,
+    QServeQuantizer,
+    TenderQuantizer,
+    available_methods,
+    create_method,
+)
+from repro.baselines.registry import BASELINE_NAMES
+
+from conftest import make_kv_matrix
+
+ALL_METHODS = sorted(available_methods())
+
+
+class TestRegistry:
+    def test_all_paper_methods_registered(self):
+        for name in (
+            "fp16", "kvquant", "kivi", "qserve", "atom", "tender",
+            "oaken",
+        ):
+            assert name in available_methods()
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            create_method("nonexistent")
+
+    def test_invalid_tensor_kind_rejected(self):
+        with pytest.raises(ValueError):
+            create_method("fp16", "weights")
+
+    def test_baseline_names_order(self):
+        assert BASELINE_NAMES[0] == "fp16"
+        assert BASELINE_NAMES[-1] == "oaken"
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+class TestInterfaceConformance:
+    def test_roundtrip_shape_and_dtype(self, name, kv_samples, kv_matrix):
+        quantizer = create_method(name, "key").fit(kv_samples)
+        restored = quantizer.roundtrip(kv_matrix)
+        assert restored.shape == kv_matrix.shape
+        assert restored.dtype == np.float32
+        assert np.isfinite(restored).all()
+
+    def test_footprint_positive(self, name, kv_samples, kv_matrix):
+        quantizer = create_method(name, "value").fit(kv_samples)
+        footprint = quantizer.footprint(kv_matrix)
+        assert footprint.total_bits > 0
+        assert footprint.element_count == kv_matrix.size
+
+    def test_effective_bitwidth_below_fp16_for_quantizers(
+        self, name, kv_samples, kv_matrix
+    ):
+        quantizer = create_method(name, "key").fit(kv_samples)
+        bits = quantizer.effective_bitwidth(kv_matrix)
+        if name == "fp16":
+            assert bits == pytest.approx(16.0)
+        else:
+            assert bits < 8.0
+
+    def test_relative_error_bounded(self, name, kv_samples, kv_matrix):
+        quantizer = create_method(name, "key").fit(kv_samples)
+        restored = quantizer.roundtrip(kv_matrix)
+        rel = np.sqrt(np.mean((restored - kv_matrix) ** 2))
+        rel /= kv_matrix.std()
+        # Tender is deliberately the coarsest method.
+        limit = 0.6 if name == "tender" else 0.25
+        assert rel < limit
+
+
+class TestCalibrationRequirements:
+    @pytest.mark.parametrize("name", ["qserve", "atom", "tender", "oaken"])
+    def test_unfitted_use_rejected(self, name, kv_matrix):
+        with pytest.raises(RuntimeError):
+            create_method(name, "key").roundtrip(kv_matrix)
+
+    @pytest.mark.parametrize("name", ["fp16", "kvquant", "kivi"])
+    def test_calibration_free_methods(self, name, kv_matrix):
+        restored = create_method(name, "key").roundtrip(kv_matrix)
+        assert restored.shape == kv_matrix.shape
+
+    def test_dim_mismatch_rejected(self, kv_samples):
+        quantizer = QServeQuantizer("key").fit(kv_samples)
+        with pytest.raises(ValueError):
+            quantizer.roundtrip(np.zeros((4, 32)))
+
+
+class TestFP16:
+    def test_exact_within_half_precision(self, kv_matrix):
+        restored = FP16Baseline("key").roundtrip(kv_matrix)
+        np.testing.assert_allclose(
+            restored, kv_matrix.astype(np.float16), rtol=1e-7
+        )
+
+    def test_bitwidth_exactly_16(self, kv_matrix):
+        assert FP16Baseline("key").effective_bitwidth(kv_matrix) == 16.0
+
+
+class TestKVQuant:
+    def test_outliers_kept_exact(self, kv_matrix):
+        quantizer = KVQuantQuantizer("key", outlier_fraction=0.01)
+        restored = quantizer.roundtrip(kv_matrix)
+        mask = quantizer._outlier_mask(kv_matrix)
+        np.testing.assert_allclose(
+            restored[mask],
+            kv_matrix[mask].astype(np.float16),
+            rtol=1e-6,
+        )
+
+    def test_outlier_fraction_respected(self, kv_matrix):
+        quantizer = KVQuantQuantizer("key", outlier_fraction=0.02)
+        mask = quantizer._outlier_mask(kv_matrix)
+        assert mask.mean() == pytest.approx(0.02, abs=0.005)
+
+    def test_zero_outlier_fraction(self, kv_matrix):
+        quantizer = KVQuantQuantizer("key", outlier_fraction=0.0)
+        assert not quantizer._outlier_mask(kv_matrix).any()
+
+    def test_key_vs_value_axis_differs(self, kv_matrix):
+        keys = KVQuantQuantizer("key").roundtrip(kv_matrix)
+        values = KVQuantQuantizer("value").roundtrip(kv_matrix)
+        assert not np.allclose(keys, values)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            KVQuantQuantizer("key", outlier_fraction=1.5)
+
+
+class TestKIVI:
+    def test_residual_window_exact(self, kv_matrix):
+        quantizer = KIVIQuantizer("key", residual_length=16)
+        restored = quantizer.roundtrip(kv_matrix)
+        np.testing.assert_allclose(
+            restored[-16:],
+            kv_matrix[-16:].astype(np.float16),
+            rtol=1e-6,
+        )
+
+    def test_prefix_is_quantized(self, kv_matrix):
+        quantizer = KIVIQuantizer("key", residual_length=16)
+        restored = quantizer.roundtrip(kv_matrix)
+        assert not np.allclose(
+            restored[:-16], kv_matrix[:-16].astype(np.float16)
+        )
+
+    def test_short_sequence_fully_residual(self):
+        x = make_kv_matrix(tokens=8)
+        quantizer = KIVIQuantizer("key", residual_length=32)
+        restored = quantizer.roundtrip(x)
+        np.testing.assert_allclose(
+            restored, x.astype(np.float16), rtol=1e-6
+        )
+
+    def test_effective_bits_near_five(self, kv_matrix):
+        # 4-bit codes + per-32-group scales ~= 5 bits + residual.
+        bits = KIVIQuantizer("key").effective_bitwidth(kv_matrix)
+        assert 5.0 < bits < 8.5
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            KIVIQuantizer("key", group_size=0)
+        with pytest.raises(ValueError):
+            KIVIQuantizer("key", residual_length=-1)
+
+
+class TestQServe:
+    def test_equalization_improves_on_channel_outliers(self, kv_samples,
+                                                       kv_matrix):
+        fitted = QServeQuantizer("key").fit(kv_samples)
+        restored = fitted.roundtrip(kv_matrix)
+        mse = np.mean((restored - kv_matrix) ** 2)
+        # Plain per-token over the full width (no equalization).
+        plain = QServeQuantizer("key", alpha=0.0, group_size=10**6)
+        plain.fit(kv_samples)
+        plain_mse = np.mean((plain.roundtrip(kv_matrix) - kv_matrix) ** 2)
+        assert mse < plain_mse
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            QServeQuantizer("key", alpha=1.5)
+
+    def test_empty_calibration_rejected(self):
+        with pytest.raises(ValueError):
+            QServeQuantizer("key").fit([])
+
+
+class TestAtom:
+    def test_reorder_is_permutation(self, kv_samples):
+        quantizer = AtomQuantizer("key").fit(kv_samples)
+        order = np.sort(quantizer._order)
+        np.testing.assert_array_equal(
+            order, np.arange(kv_samples[0].shape[1])
+        )
+
+    def test_roundtrip_unpermuted(self, kv_samples, kv_matrix):
+        quantizer = AtomQuantizer("key").fit(kv_samples)
+        restored = quantizer.roundtrip(kv_matrix)
+        # Correlation with the original must be high channel-wise
+        # (reordering must be undone).
+        for channel in (3, 17, 40):
+            corr = np.corrcoef(
+                restored[:, channel], kv_matrix[:, channel]
+            )[0, 1]
+            assert corr > 0.95
+
+
+class TestTender:
+    def test_power_of_two_scale_ladder(self, kv_samples):
+        quantizer = TenderQuantizer("key").fit(kv_samples)
+        scales = quantizer._group_scale
+        ratios = scales / scales[0]
+        log2 = np.log2(ratios)
+        np.testing.assert_allclose(log2, np.round(log2), atol=1e-9)
+
+    def test_coarsest_method(self, kv_samples, kv_matrix):
+        tender = TenderQuantizer("key").fit(kv_samples)
+        kvq = KVQuantQuantizer("key")
+        tender_mse = np.mean(
+            (tender.roundtrip(kv_matrix) - kv_matrix) ** 2
+        )
+        kvq_mse = np.mean((kvq.roundtrip(kv_matrix) - kv_matrix) ** 2)
+        assert tender_mse > kvq_mse
+
+    def test_lowest_effective_bits(self, kv_samples, kv_matrix):
+        tender = TenderQuantizer("key").fit(kv_samples)
+        bits = tender.effective_bitwidth(kv_matrix)
+        assert bits < 4.5
+
+    def test_invalid_groups_rejected(self):
+        with pytest.raises(ValueError):
+            TenderQuantizer("key", num_groups=0)
+
+
+class TestAccuracyOrdering:
+    def test_error_ordering_matches_paper(self, kv_samples, kv_matrix):
+        """Outlier-aware methods beat coarse per-group methods."""
+        mses = {}
+        for name in ("kvquant", "oaken", "qserve", "tender"):
+            quantizer = create_method(name, "key").fit(kv_samples)
+            restored = quantizer.roundtrip(kv_matrix)
+            mses[name] = np.mean((restored - kv_matrix) ** 2)
+        assert mses["kvquant"] < mses["tender"]
+        assert mses["oaken"] < mses["qserve"] < mses["tender"]

@@ -1,0 +1,119 @@
+"""Tests for the Sarathi-style chunked prefill scheduling extension."""
+
+import pytest
+
+from repro.data.traces import TraceRequest, generate_trace
+from repro.hardware.overheads import get_system
+from repro.models.config import get_model
+from repro.serving.request import Request
+from repro.serving.scheduler import ContinuousBatchScheduler
+from repro.serving.simulator import simulate_trace
+
+ARCH = get_model("llama2-13b").arch
+
+
+def make_request(i, arrival=0.0, inputs=256, outputs=4):
+    return Request(
+        request_id=i, arrival_s=arrival,
+        input_tokens=inputs, output_tokens=outputs,
+    )
+
+
+class TestChunkedScheduler:
+    def test_invalid_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousBatchScheduler(4, prefill_chunk=0)
+
+    def test_request_generates_only_after_prefill(self):
+        scheduler = ContinuousBatchScheduler(2, prefill_chunk=100)
+        scheduler.submit(make_request(0, inputs=250))
+        # 250 prompt tokens at 100/iteration: two pure-prefill
+        # iterations, then the final 50-token chunk fuses with the
+        # first generation step (Sarathi-style piggybacking).
+        for iteration in range(2):
+            plan = scheduler.plan_iteration(float(iteration))
+            assert plan.prefill_tokens == 100
+            assert plan.resident == []
+            scheduler.complete_iteration(float(iteration) + 0.5)
+        plan = scheduler.plan_iteration(10.0)
+        assert plan.prefill_tokens == 50
+        assert len(plan.resident) == 1
+
+    def test_chunk_budget_shared_fcfs(self):
+        scheduler = ContinuousBatchScheduler(4, prefill_chunk=100)
+        scheduler.submit(make_request(0, inputs=80))
+        scheduler.submit(make_request(1, inputs=80))
+        plan = scheduler.plan_iteration(0.0)
+        # 80 + 20 of the second request fit in the 100-token budget.
+        assert plan.prefill_tokens == 100
+
+    def test_generation_continues_during_prefill(self):
+        scheduler = ContinuousBatchScheduler(2, prefill_chunk=50)
+        scheduler.submit(make_request(0, inputs=10, outputs=8))
+        # First request prefils in one chunk, then generates.
+        plan = scheduler.plan_iteration(0.0)
+        scheduler.complete_iteration(0.5)
+        scheduler.submit(make_request(1, arrival=0.5, inputs=500))
+        plan = scheduler.plan_iteration(1.0)
+        # Request 0 generates while request 1 prefils.
+        assert len(plan.resident) == 1
+        assert plan.resident[0].request_id == 0
+        assert plan.prefill_tokens == 50
+
+    def test_all_work_completes(self):
+        scheduler = ContinuousBatchScheduler(3, prefill_chunk=64)
+        for i in range(6):
+            scheduler.submit(make_request(i, inputs=100, outputs=3))
+        now = 0.0
+        for _ in range(1000):
+            if not scheduler.has_work:
+                break
+            plan = scheduler.plan_iteration(now)
+            now += 0.1
+            scheduler.complete_iteration(now)
+        assert not scheduler.has_work
+        assert len(scheduler.finished) == 6
+        assert all(r.generated == 3 for r in scheduler.finished)
+
+    def test_default_mode_unchanged(self):
+        scheduler = ContinuousBatchScheduler(2)
+        scheduler.submit(make_request(0))
+        plan = scheduler.plan_iteration(0.0)
+        assert plan.prefill_tokens == 0
+        assert len(plan.resident) == 1
+
+
+class TestChunkedSimulation:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace("conversation", num_requests=48, seed=9,
+                              max_tokens=1024)
+
+    def test_same_tokens_generated(self, trace):
+        system = get_system("oaken-lpddr")
+        plain = simulate_trace(system, ARCH, trace, 16)
+        chunked = simulate_trace(
+            system, ARCH, trace, 16, prefill_chunk=256
+        )
+        assert chunked.generated_tokens == plain.generated_tokens
+
+    def test_chunking_improves_tail_latency(self, trace):
+        """The Sarathi claim: chunked prefill smooths the tail."""
+        system = get_system("oaken-lpddr")
+        plain = simulate_trace(system, ARCH, trace, 16)
+        chunked = simulate_trace(
+            system, ARCH, trace, 16, prefill_chunk=256
+        )
+        assert chunked.p95_latency_s <= plain.p95_latency_s * 1.05
+
+    def test_throughput_comparable(self, trace):
+        system = get_system("oaken-lpddr")
+        plain = simulate_trace(system, ARCH, trace, 16)
+        chunked = simulate_trace(
+            system, ARCH, trace, 16, prefill_chunk=256
+        )
+        ratio = (
+            chunked.generation_throughput
+            / plain.generation_throughput
+        )
+        assert 0.5 < ratio < 2.0

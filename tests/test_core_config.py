@@ -1,0 +1,95 @@
+"""Unit tests for OakenConfig validation and derived properties."""
+
+import pytest
+
+from repro.core.config import TABLE3_CONFIGURATIONS, OakenConfig
+
+
+class TestValidation:
+    def test_default_is_paper_config(self):
+        config = OakenConfig.paper_default()
+        assert config.outer_ratios == (0.04,)
+        assert config.middle_ratio == 0.90
+        assert config.inner_ratios == (0.06,)
+        assert config.inlier_bits == 4
+        assert config.outlier_bits == 5
+
+    def test_ratios_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            OakenConfig(outer_ratios=(0.04,), middle_ratio=0.90,
+                        inner_ratios=(0.10,))
+
+    def test_nonpositive_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            OakenConfig(outer_ratios=(0.0,), middle_ratio=0.94,
+                        inner_ratios=(0.06,))
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ValueError):
+            OakenConfig(inlier_bits=1)
+        with pytest.raises(ValueError):
+            OakenConfig(outlier_bits=9)
+
+    def test_bad_index_bits_rejected(self):
+        with pytest.raises(ValueError):
+            OakenConfig(index_bits=0)
+
+
+class TestDerivedProperties:
+    def test_band_counts(self):
+        config = OakenConfig()
+        assert config.num_outer_bands == 1
+        assert config.num_inner_bands == 1
+        assert config.num_sparse_bands == 2
+        assert config.num_groups == 3
+
+    def test_outlier_ratio(self):
+        assert OakenConfig().outlier_ratio == pytest.approx(0.10)
+
+    def test_group_id_bits(self):
+        assert OakenConfig().group_id_bits == 1
+        config = OakenConfig(
+            outer_ratios=(0.02, 0.02), middle_ratio=0.90,
+            inner_ratios=(0.03, 0.03),
+        )
+        assert config.group_id_bits == 2
+
+    def test_chunk_size(self):
+        assert OakenConfig().chunk_size == 64
+
+
+class TestRatioParsing:
+    def test_paper_default_string(self):
+        config = OakenConfig.from_ratio_string("4/90/6")
+        assert config.outer_ratios == (0.04,)
+        assert config.middle_ratio == pytest.approx(0.90)
+        assert config.inner_ratios == (0.06,)
+
+    def test_inner_only(self):
+        config = OakenConfig.from_ratio_string("90/10")
+        assert config.outer_ratios == ()
+        assert config.inner_ratios == (pytest.approx(0.10),)
+
+    def test_outer_only(self):
+        config = OakenConfig.from_ratio_string("10/90")
+        assert config.outer_ratios == (pytest.approx(0.10),)
+        assert config.inner_ratios == ()
+
+    def test_five_groups(self):
+        config = OakenConfig.from_ratio_string("2/2/90/3/3")
+        assert config.outer_ratios == (0.02, 0.02)
+        assert config.inner_ratios == (0.03, 0.03)
+        assert config.num_groups == 5
+
+    def test_overrides_forwarded(self):
+        config = OakenConfig.from_ratio_string("4/90/6", outlier_bits=4)
+        assert config.outlier_bits == 4
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ValueError):
+            OakenConfig.from_ratio_string("100")
+
+    def test_table3_grid_parses(self):
+        for spec, bits in TABLE3_CONFIGURATIONS:
+            config = OakenConfig.from_ratio_string(spec, outlier_bits=bits)
+            assert config.outlier_ratio == pytest.approx(0.10)

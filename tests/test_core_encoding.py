@@ -1,0 +1,104 @@
+"""Unit tests for the fused dense-and-sparse encoding accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OakenConfig
+from repro.core.encoding import sparse_record_bits
+from repro.core.quantizer import OakenQuantizer
+
+from conftest import make_kv_matrix
+
+
+class TestSparseRecordBits:
+    def test_paper_default_is_8(self):
+        # 6 index + 1 group + 1 code bit = 8 (Section 4.5).
+        assert sparse_record_bits(OakenConfig()) == 8
+
+    def test_two_groups_still_8(self):
+        # Table 3: the 2-group configs keep 8 bits via padding.
+        config = OakenConfig.from_ratio_string("90/10")
+        assert sparse_record_bits(config) == 8
+
+    def test_four_groups_pad_to_16(self):
+        # Table 3: 9-bit records (2 group bits) pad to 16.
+        config = OakenConfig.from_ratio_string("4/90/3/3")
+        assert sparse_record_bits(config) == 16
+
+    def test_four_bit_outliers_restore_8(self):
+        # Table 3: 4-bit outliers fit entirely in the dense slot.
+        config = OakenConfig.from_ratio_string(
+            "4/90/3/3", outlier_bits=4
+        )
+        assert sparse_record_bits(config) == 8
+
+    def test_naive_encoding_is_23(self):
+        # 16-bit value + 6-bit index + 1 group bit (prior work).
+        config = OakenConfig(fused_encoding=False)
+        assert sparse_record_bits(config) == 23
+
+
+class TestEncodedKV:
+    @pytest.fixture(scope="class")
+    def encoded(self, kv_samples, kv_matrix):
+        quantizer = OakenQuantizer.from_samples(kv_samples, OakenConfig())
+        return quantizer.quantize(kv_matrix)
+
+    def test_shape_metadata(self, encoded, kv_matrix):
+        assert encoded.num_tokens == kv_matrix.shape[0]
+        assert encoded.dim == kv_matrix.shape[1]
+
+    def test_dense_codes_fit_in_nibbles(self, encoded):
+        assert encoded.dense_codes.max() <= 15
+
+    def test_footprint_hand_computed(self, encoded):
+        fp = encoded.footprint()
+        elements = encoded.num_tokens * encoded.dim
+        assert fp.dense_bits == elements * 4
+        assert fp.sparse_bits == encoded.num_outliers * 8
+        # 2 scalars for middle + 2 per band, 2 bands, FP16 each.
+        assert fp.metadata_bits == encoded.num_tokens * 6 * 16
+        assert fp.element_count == elements
+
+    def test_footprint_cached(self, encoded):
+        assert encoded.footprint() is encoded.footprint()
+
+    def test_outliers_of_token(self, encoded):
+        token = int(encoded.sparse_token[0])
+        indices = encoded.outliers_of_token(token)
+        assert (encoded.sparse_token[indices] == token).all()
+
+    def test_nbytes_consistent(self, encoded):
+        assert encoded.nbytes() == pytest.approx(
+            encoded.footprint().total_bits / 8.0
+        )
+
+    def test_band_ids_valid(self, encoded):
+        assert encoded.sparse_band.min() >= 0
+        assert encoded.sparse_band.max() < 2
+
+    def test_scale_arrays_shapes(self, encoded):
+        assert encoded.middle_lo.shape == (encoded.num_tokens,)
+        assert encoded.band_lo.shape == (encoded.num_tokens, 2)
+
+
+class TestFusedNibbleConsistency:
+    def test_dense_slot_carries_outlier_payload(self):
+        x = make_kv_matrix(tokens=64, dim=64, seed=9)
+        quantizer = OakenQuantizer.from_samples([x], OakenConfig())
+        encoded = quantizer.quantize(x)
+        token, pos = encoded.sparse_token, encoded.sparse_pos
+        # With 5-bit outliers the dense nibble holds the 4 magnitude
+        # bits of each outlier code.
+        nibbles = encoded.dense_codes[token, pos]
+        np.testing.assert_array_equal(
+            nibbles, encoded.sparse_mag_code & 0xF
+        )
+
+    def test_naive_encoding_zeroes_dense_slots(self):
+        x = make_kv_matrix(tokens=64, dim=64, seed=9)
+        config = OakenConfig(fused_encoding=False)
+        quantizer = OakenQuantizer.from_samples([x], config)
+        encoded = quantizer.quantize(x)
+        token, pos = encoded.sparse_token, encoded.sparse_pos
+        assert (encoded.dense_codes[token, pos] == 0).all()

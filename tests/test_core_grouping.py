@@ -1,0 +1,132 @@
+"""Unit tests for group thresholds and online group assignment."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OakenConfig
+from repro.core.grouping import (
+    MIDDLE_GROUP,
+    GroupThresholds,
+    assign_groups,
+)
+from repro.core.thresholds import extract_run_thresholds
+
+
+def three_group_thresholds() -> GroupThresholds:
+    return GroupThresholds(
+        outer_lo=(-8.0,), outer_hi=(8.0,), inner_mag=(0.5,)
+    )
+
+
+class TestGroupThresholds:
+    def test_eq1_tuple(self):
+        thr = three_group_thresholds()
+        assert thr.as_eq1_tuple() == (-8.0, -0.5, 0.5, 8.0)
+
+    def test_eq1_tuple_requires_three_groups(self):
+        thr = GroupThresholds(
+            outer_lo=(-8.0, -4.0), outer_hi=(8.0, 4.0), inner_mag=(0.5,)
+        )
+        with pytest.raises(ValueError):
+            thr.as_eq1_tuple()
+
+    def test_misordered_outer_rejected(self):
+        with pytest.raises(ValueError):
+            GroupThresholds(
+                outer_lo=(-4.0, -8.0), outer_hi=(8.0, 4.0),
+                inner_mag=(),
+            )
+
+    def test_misordered_inner_rejected(self):
+        with pytest.raises(ValueError):
+            GroupThresholds(
+                outer_lo=(), outer_hi=(), inner_mag=(0.1, 0.5)
+            )
+
+    def test_band_shift_edges_outer(self):
+        thr = three_group_thresholds()
+        assert thr.band_shift_edges(0) == (-8.0, 8.0)
+
+    def test_band_shift_edges_innermost_is_zero(self):
+        thr = three_group_thresholds()
+        assert thr.band_shift_edges(1) == (0.0, 0.0)
+
+    def test_nested_inner_band_edges(self):
+        thr = GroupThresholds(
+            outer_lo=(-8.0,), outer_hi=(8.0,), inner_mag=(0.5, 0.2)
+        )
+        # Band 1 (adjacent to middle) shifts by the next shell's edge.
+        assert thr.band_shift_edges(1) == (-0.2, 0.2)
+        assert thr.band_shift_edges(2) == (0.0, 0.0)
+
+    def test_middle_shift_edges(self):
+        thr = three_group_thresholds()
+        assert thr.middle_shift_edges() == (-0.5, 0.5)
+
+    def test_middle_shift_without_inner_bands(self):
+        thr = GroupThresholds(outer_lo=(-8.0,), outer_hi=(8.0,),
+                              inner_mag=())
+        assert thr.middle_shift_edges() == (0.0, 0.0)
+
+    def test_band_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            three_group_thresholds().band_shift_edges(5)
+
+
+class TestAssignGroups:
+    def test_three_way_split(self):
+        thr = three_group_thresholds()
+        x = np.array([[10.0, -9.0, 1.0, -1.0, 0.1, -0.3]])
+        partition = assign_groups(x, thr)
+        np.testing.assert_array_equal(
+            partition.labels[0],
+            [0, 0, MIDDLE_GROUP, MIDDLE_GROUP, 1, 1],
+        )
+
+    def test_every_element_labelled(self):
+        thr = three_group_thresholds()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((50, 32)) * 4
+        partition = assign_groups(x, thr)
+        middle = partition.middle_mask.sum()
+        sparse = partition.outlier_mask.sum()
+        assert middle + sparse == x.size
+
+    def test_boundary_values(self):
+        thr = three_group_thresholds()
+        # Exactly at thresholds: inner boundary inclusive, outer
+        # boundary exclusive (x > hi strictly).
+        x = np.array([[0.5, -0.5, 8.0, -8.0]])
+        labels = assign_groups(x, thr).labels[0]
+        assert labels[0] == 1 and labels[1] == 1
+        assert labels[2] == MIDDLE_GROUP and labels[3] == MIDDLE_GROUP
+
+    def test_observed_fractions_match_quantiles(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((400, 64))
+        config = OakenConfig()
+        thr = extract_run_thresholds(x, config)
+        partition = assign_groups(x, thr)
+        assert partition.outlier_fraction() == pytest.approx(0.10, abs=0.02)
+        counts = partition.band_counts()
+        assert counts[0] / x.size == pytest.approx(0.04, abs=0.01)
+        assert counts[1] / x.size == pytest.approx(0.06, abs=0.01)
+
+    def test_five_band_nesting(self):
+        config = OakenConfig.from_ratio_string("2/2/90/3/3")
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((300, 64))
+        thr = extract_run_thresholds(x, config)
+        partition = assign_groups(x, thr)
+        counts = partition.band_counts() / x.size
+        np.testing.assert_allclose(
+            counts, [0.02, 0.02, 0.03, 0.03], atol=0.01
+        )
+
+    def test_band_mask_matches_labels(self):
+        thr = three_group_thresholds()
+        x = np.array([[10.0, 0.1, 1.0]])
+        partition = assign_groups(x, thr)
+        assert partition.band_mask(0)[0, 0]
+        assert partition.band_mask(1)[0, 1]
+        assert not partition.band_mask(0)[0, 2]

@@ -1,0 +1,121 @@
+"""Unit tests for the paged quantized KV cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OakenConfig
+from repro.core.kvcache import LayerKVCache, QuantizedKVCache
+from repro.core.quantizer import OakenQuantizer
+
+from conftest import make_kv_matrix
+
+
+def make_cache(samples, layers=2):
+    keys = [
+        OakenQuantizer.from_samples(samples, OakenConfig())
+        for _ in range(layers)
+    ]
+    values = [
+        OakenQuantizer.from_samples(samples, OakenConfig())
+        for _ in range(layers)
+    ]
+    return QuantizedKVCache(keys, values)
+
+
+class TestLayerKVCache:
+    def test_append_and_read(self, kv_samples):
+        cache = make_cache(kv_samples).layers[0]
+        k = make_kv_matrix(tokens=10, seed=5)
+        v = make_kv_matrix(tokens=10, seed=6)
+        cache.append(k, v)
+        rk, rv = cache.read()
+        assert rk.shape == k.shape and rv.shape == v.shape
+        assert np.sqrt(np.mean((rk - k) ** 2)) / k.std() < 0.1
+
+    def test_incremental_appends_concatenate(self, kv_samples):
+        cache = make_cache(kv_samples).layers[0]
+        for step in range(4):
+            cache.append(
+                make_kv_matrix(tokens=2, seed=step),
+                make_kv_matrix(tokens=2, seed=step + 100),
+            )
+        assert cache.length == 8
+        rk, rv = cache.read()
+        assert rk.shape[0] == 8
+
+    def test_single_token_append(self, kv_samples):
+        cache = make_cache(kv_samples).layers[0]
+        cache.append(
+            make_kv_matrix(tokens=1, seed=1),
+            make_kv_matrix(tokens=1, seed=2),
+        )
+        assert cache.length == 1
+
+    def test_shape_mismatch_rejected(self, kv_samples):
+        cache = make_cache(kv_samples).layers[0]
+        with pytest.raises(ValueError):
+            cache.append(
+                make_kv_matrix(tokens=2), make_kv_matrix(tokens=3)
+            )
+
+    def test_read_empty_rejected(self, kv_samples):
+        cache = make_cache(kv_samples).layers[0]
+        with pytest.raises(RuntimeError):
+            cache.read()
+
+    def test_bytes_grow_with_appends(self, kv_samples):
+        cache = make_cache(kv_samples).layers[0]
+        cache.append(make_kv_matrix(tokens=4), make_kv_matrix(tokens=4))
+        first = cache.nbytes()
+        cache.append(make_kv_matrix(tokens=4), make_kv_matrix(tokens=4))
+        assert cache.nbytes() > first
+
+    def test_effective_bitwidth_in_range(self, kv_samples):
+        cache = make_cache(kv_samples).layers[0]
+        cache.append(
+            make_kv_matrix(tokens=32), make_kv_matrix(tokens=32)
+        )
+        assert 4.0 < cache.effective_bitwidth() < 7.0
+
+
+class TestQuantizedKVCache:
+    def test_layer_count_mismatch_rejected(self, kv_samples):
+        q = OakenQuantizer.from_samples(kv_samples, OakenConfig())
+        with pytest.raises(ValueError):
+            QuantizedKVCache([q, q], [q])
+
+    def test_whole_model_flow(self, kv_samples):
+        cache = make_cache(kv_samples, layers=3)
+        for layer in range(3):
+            cache.append(
+                layer,
+                make_kv_matrix(tokens=6, seed=layer),
+                make_kv_matrix(tokens=6, seed=layer + 50),
+            )
+        assert cache.num_layers == 3
+        assert cache.length == 6
+        rk, rv = cache.read(1)
+        assert rk.shape[0] == 6
+        assert cache.nbytes() > 0
+
+    def test_summary_keys(self, kv_samples):
+        cache = make_cache(kv_samples)
+        cache.append(0, make_kv_matrix(tokens=2), make_kv_matrix(tokens=2))
+        cache.append(1, make_kv_matrix(tokens=2), make_kv_matrix(tokens=2))
+        summary = cache.summary()
+        assert set(summary) == {
+            "layers", "tokens", "bytes", "effective_bitwidth"
+        }
+        assert summary["layers"] == 2.0
+
+    def test_empty_cache_bitwidth_zero(self, kv_samples):
+        cache = make_cache(kv_samples)
+        assert cache.effective_bitwidth() == 0.0
+        assert cache.length == 0
+
+    def test_compression_vs_fp16(self, kv_samples):
+        cache = make_cache(kv_samples, layers=1)
+        k = make_kv_matrix(tokens=64)
+        cache.append(0, k, k)
+        fp16_bytes = 2 * k.size * 2
+        assert cache.nbytes() < fp16_bytes / 2

@@ -1,0 +1,123 @@
+"""Tests for profile persistence and batch-invariance properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import OakenConfig
+from repro.core.persistence import (
+    config_from_dict,
+    config_to_dict,
+    load_profile,
+    save_profile,
+    thresholds_from_dict,
+    thresholds_to_dict,
+)
+from repro.core.quantizer import OakenQuantizer
+from repro.core.thresholds import profile_thresholds
+
+from conftest import make_kv_matrix
+
+
+class TestPersistence:
+    def test_config_roundtrip(self):
+        config = OakenConfig.from_ratio_string(
+            "2/2/90/6", outlier_bits=4, group_shift=False
+        )
+        restored = config_from_dict(config_to_dict(config))
+        assert restored == config
+
+    def test_thresholds_roundtrip(self, kv_matrix):
+        thresholds = profile_thresholds([kv_matrix], OakenConfig())
+        restored = thresholds_from_dict(
+            thresholds_to_dict(thresholds)
+        )
+        assert restored == thresholds
+
+    def test_profile_roundtrip(self, kv_matrix):
+        config = OakenConfig()
+        layers = {
+            (0, "key"): profile_thresholds([kv_matrix], config),
+            (0, "value"): profile_thresholds([kv_matrix * 0.3], config),
+            (1, "key"): profile_thresholds([kv_matrix * 2], config),
+        }
+        text = save_profile(config, layers, model_name="llama2-7b")
+        loaded_config, loaded_layers, name = load_profile(text)
+        assert loaded_config == config
+        assert name == "llama2-7b"
+        assert loaded_layers.keys() == layers.keys()
+        assert loaded_layers[(1, "key")] == layers[(1, "key")]
+
+    def test_loaded_profile_quantizes_identically(self, kv_matrix):
+        config = OakenConfig()
+        thresholds = profile_thresholds([kv_matrix], config)
+        text = save_profile(config, {(0, "key"): thresholds})
+        loaded_config, loaded, _ = load_profile(text)
+        original = OakenQuantizer(config, thresholds)
+        restored = OakenQuantizer(loaded_config, loaded[(0, "key")])
+        np.testing.assert_array_equal(
+            original.roundtrip(kv_matrix),
+            restored.roundtrip(kv_matrix),
+        )
+
+    def test_bad_kind_rejected(self, kv_matrix):
+        config = OakenConfig()
+        thresholds = profile_thresholds([kv_matrix], config)
+        with pytest.raises(ValueError):
+            save_profile(config, {(0, "weights"): thresholds})
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            load_profile('{"format": "other"}')
+
+
+class TestBatchInvariance:
+    """Per-token quantization must not depend on batch composition.
+
+    This is what lets the hardware quantize each newly generated token
+    independently of its neighbours — the whole premise of the
+    streaming engine.
+    """
+
+    def test_split_equals_whole(self, kv_samples):
+        quantizer = OakenQuantizer.from_samples(
+            kv_samples, OakenConfig()
+        )
+        x = make_kv_matrix(tokens=60, seed=21)
+        whole = quantizer.roundtrip(x)
+        parts = np.concatenate(
+            [
+                quantizer.roundtrip(x[:20]),
+                quantizer.roundtrip(x[20:45]),
+                quantizer.roundtrip(x[45:]),
+            ]
+        )
+        np.testing.assert_array_equal(whole, parts)
+
+    def test_single_token_equals_batched(self, kv_samples):
+        quantizer = OakenQuantizer.from_samples(
+            kv_samples, OakenConfig()
+        )
+        x = make_kv_matrix(tokens=8, seed=33)
+        whole = quantizer.roundtrip(x)
+        rows = np.concatenate(
+            [quantizer.roundtrip(x[i : i + 1]) for i in range(8)]
+        )
+        np.testing.assert_array_equal(whole, rows)
+
+    @given(split=st.integers(1, 47), seed=st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_property_any_split_point(self, split, seed, kv_samples):
+        quantizer = OakenQuantizer.from_samples(
+            kv_samples, OakenConfig()
+        )
+        x = make_kv_matrix(tokens=48, seed=seed)
+        whole = quantizer.roundtrip(x)
+        parts = np.concatenate(
+            [
+                quantizer.roundtrip(x[:split]),
+                quantizer.roundtrip(x[split:]),
+            ]
+        )
+        np.testing.assert_array_equal(whole, parts)

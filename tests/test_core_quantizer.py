@@ -1,0 +1,192 @@
+"""Unit and property tests for the Oaken quantizer round-trip."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import TABLE3_CONFIGURATIONS, OakenConfig
+from repro.core.quantizer import OakenQuantizer, expected_effective_bitwidth
+
+from conftest import make_kv_matrix
+
+
+@pytest.fixture(scope="module")
+def quantizer(kv_samples):
+    return OakenQuantizer.from_samples(kv_samples, OakenConfig())
+
+
+class TestQuantizeBasics:
+    def test_shape_preserved(self, quantizer, kv_matrix):
+        restored = quantizer.roundtrip(kv_matrix)
+        assert restored.shape == kv_matrix.shape
+        assert restored.dtype == np.float32
+
+    def test_single_row_promoted(self, quantizer):
+        row = make_kv_matrix(tokens=1)[0]
+        restored = quantizer.roundtrip(row)
+        assert restored.shape == (1, row.shape[0])
+
+    def test_three_dim_input_rejected(self, quantizer):
+        with pytest.raises(ValueError):
+            quantizer.quantize(np.zeros((2, 3, 4)))
+
+    def test_outlier_fraction_near_config(self, quantizer, kv_matrix):
+        encoded = quantizer.quantize(kv_matrix)
+        fraction = encoded.num_outliers / kv_matrix.size
+        assert fraction == pytest.approx(0.10, abs=0.04)
+
+    def test_mismatched_thresholds_rejected(self, quantizer):
+        config = OakenConfig.from_ratio_string("2/2/90/6")
+        with pytest.raises(ValueError):
+            OakenQuantizer(config, quantizer.thresholds)
+
+    def test_deterministic(self, quantizer, kv_matrix):
+        a = quantizer.roundtrip(kv_matrix)
+        b = quantizer.roundtrip(kv_matrix)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestReconstructionQuality:
+    def test_relative_error_small(self, quantizer, kv_matrix):
+        restored = quantizer.roundtrip(kv_matrix)
+        rel_rmse = np.sqrt(np.mean((restored - kv_matrix) ** 2))
+        rel_rmse /= kv_matrix.std()
+        assert rel_rmse < 0.08
+
+    def test_better_than_naive_per_token_4bit(self, quantizer, kv_matrix):
+        lo = kv_matrix.min(axis=1, keepdims=True)
+        hi = kv_matrix.max(axis=1, keepdims=True)
+        sigma = 15.0 / np.maximum(hi - lo, 1e-9)
+        naive = np.round((kv_matrix - lo) * sigma) / sigma + lo
+        naive_mse = np.mean((naive - kv_matrix) ** 2)
+        oaken_mse = np.mean(
+            (quantizer.roundtrip(kv_matrix) - kv_matrix) ** 2
+        )
+        assert oaken_mse < naive_mse / 4
+
+    def test_outliers_preserved_with_bounded_error(
+        self, quantizer, kv_matrix
+    ):
+        encoded = quantizer.quantize(kv_matrix)
+        restored = quantizer.dequantize(encoded)
+        token = encoded.sparse_token
+        pos = encoded.sparse_pos
+        originals = kv_matrix[token, pos]
+        errors = np.abs(restored[token, pos] - originals)
+        # Outliers are large; relative error should stay small.
+        assert np.median(errors / np.abs(originals)) < 0.1
+
+    def test_constant_matrix_roundtrip(self, quantizer):
+        x = np.full((8, 64), 1.5)
+        restored = quantizer.roundtrip(x)
+        assert np.max(np.abs(restored - x)) < 0.6
+
+    def test_zero_matrix_exact(self, quantizer):
+        x = np.zeros((4, 64))
+        restored = quantizer.roundtrip(x)
+        assert np.max(np.abs(restored)) < 1e-3
+
+
+class TestFeatureToggles:
+    def test_naive_encoding_stores_exact_outliers(self, kv_samples,
+                                                  kv_matrix):
+        config = OakenConfig(fused_encoding=False)
+        quantizer = OakenQuantizer.from_samples(kv_samples, config)
+        encoded = quantizer.quantize(kv_matrix)
+        assert encoded.sparse_fp16 is not None
+        restored = quantizer.dequantize(encoded)
+        token, pos = encoded.sparse_token, encoded.sparse_pos
+        np.testing.assert_allclose(
+            restored[token, pos],
+            kv_matrix[token, pos].astype(np.float16).astype(np.float32),
+            rtol=1e-6,
+        )
+
+    def test_naive_encoding_costs_more_bits(self, kv_samples, kv_matrix):
+        fused = OakenQuantizer.from_samples(kv_samples, OakenConfig())
+        naive = OakenQuantizer.from_samples(
+            kv_samples, OakenConfig(fused_encoding=False)
+        )
+        assert (
+            naive.quantize(kv_matrix).effective_bitwidth()
+            > fused.quantize(kv_matrix).effective_bitwidth() + 1.0
+        )
+
+    def test_group_shift_toggle_runs(self, kv_samples, kv_matrix):
+        config = OakenConfig(group_shift=False)
+        quantizer = OakenQuantizer.from_samples(kv_samples, config)
+        restored = quantizer.roundtrip(kv_matrix)
+        rel = np.sqrt(np.mean((restored - kv_matrix) ** 2))
+        assert rel / kv_matrix.std() < 0.12
+
+    def test_four_bit_outliers(self, kv_samples, kv_matrix):
+        config = OakenConfig(outlier_bits=4)
+        quantizer = OakenQuantizer.from_samples(kv_samples, config)
+        restored = quantizer.roundtrip(kv_matrix)
+        rel = np.sqrt(np.mean((restored - kv_matrix) ** 2))
+        assert rel / kv_matrix.std() < 0.12
+
+    @pytest.mark.parametrize("spec,bits", TABLE3_CONFIGURATIONS)
+    def test_all_table3_configs_roundtrip(self, spec, bits, kv_matrix):
+        config = OakenConfig.from_ratio_string(spec, outlier_bits=bits)
+        quantizer = OakenQuantizer.from_samples([kv_matrix], config)
+        restored = quantizer.roundtrip(kv_matrix)
+        rel = np.sqrt(np.mean((restored - kv_matrix) ** 2))
+        assert rel / kv_matrix.std() < 0.30
+
+
+class TestEffectiveBitwidth:
+    def test_paper_dim_value(self):
+        # The paper's 4/90/6 configuration at Llama2-7B's kv_dim=4096:
+        # 4 + 0.10 * 8 + 96/4096 = 4.823.
+        bits = expected_effective_bitwidth(OakenConfig(), 4096)
+        assert bits == pytest.approx(4.82, abs=0.01)
+
+    def test_gqa_dim_value(self):
+        # Llama2-70B (kv_dim=1024): the paper reports 4.89.
+        bits = expected_effective_bitwidth(OakenConfig(), 1024)
+        assert bits == pytest.approx(4.89, abs=0.01)
+
+    def test_measured_close_to_expected(self, quantizer, kv_matrix):
+        encoded = quantizer.quantize(kv_matrix)
+        expected = quantizer.expected_effective_bitwidth(
+            kv_matrix.shape[1]
+        )
+        assert encoded.effective_bitwidth() == pytest.approx(
+            expected, rel=0.05
+        )
+
+
+class TestPropertyBased:
+    @given(seed=st.integers(0, 1000), scale=st.floats(0.1, 50.0))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_bounded_relative_error(self, seed, scale):
+        x = make_kv_matrix(tokens=48, dim=64, seed=seed) * scale
+        quantizer = OakenQuantizer.from_samples([x], OakenConfig())
+        restored = quantizer.roundtrip(x)
+        rel = np.sqrt(np.mean((restored - x) ** 2)) / max(x.std(), 1e-9)
+        assert rel < 0.15
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_sparse_stream_is_sorted(self, seed):
+        x = make_kv_matrix(tokens=32, dim=64, seed=seed)
+        quantizer = OakenQuantizer.from_samples([x], OakenConfig())
+        encoded = quantizer.quantize(x)
+        order = np.lexsort((encoded.sparse_pos, encoded.sparse_token))
+        np.testing.assert_array_equal(order, np.arange(order.size))
+
+    @given(
+        tokens=st.integers(1, 40),
+        dim=st.integers(8, 96),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_shapes(self, tokens, dim, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((tokens, dim)) * 3
+        quantizer = OakenQuantizer.from_samples([x], OakenConfig())
+        restored = quantizer.roundtrip(x)
+        assert restored.shape == (tokens, dim)
+        assert np.isfinite(restored).all()

@@ -1,0 +1,121 @@
+"""Unit and property tests for the byte-stream serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import TABLE3_CONFIGURATIONS, OakenConfig
+from repro.core.quantizer import OakenQuantizer
+from repro.core.serialization import (
+    SerializationError,
+    deserialize,
+    serialize,
+    serialized_nbytes,
+)
+
+from conftest import make_kv_matrix
+
+
+@pytest.fixture(scope="module")
+def quantizer(kv_samples):
+    return OakenQuantizer.from_samples(kv_samples, OakenConfig())
+
+
+@pytest.fixture(scope="module")
+def encoded(quantizer, kv_matrix):
+    return quantizer.quantize(kv_matrix)
+
+
+class TestRoundTrip:
+    def test_lossless_reconstruction(self, quantizer, encoded):
+        blob = serialize(encoded)
+        restored = deserialize(blob, quantizer.config,
+                               quantizer.thresholds)
+        np.testing.assert_array_equal(
+            quantizer.dequantize(encoded),
+            quantizer.dequantize(restored),
+        )
+
+    def test_dense_codes_identical(self, quantizer, encoded):
+        restored = deserialize(
+            serialize(encoded), quantizer.config, quantizer.thresholds
+        )
+        np.testing.assert_array_equal(
+            encoded.dense_codes, restored.dense_codes
+        )
+
+    def test_sparse_stream_identical(self, quantizer, encoded):
+        restored = deserialize(
+            serialize(encoded), quantizer.config, quantizer.thresholds
+        )
+        np.testing.assert_array_equal(
+            encoded.sparse_token, restored.sparse_token
+        )
+        np.testing.assert_array_equal(
+            encoded.sparse_pos, restored.sparse_pos
+        )
+        np.testing.assert_array_equal(
+            encoded.sparse_band, restored.sparse_band
+        )
+
+    def test_size_prediction_exact(self, encoded):
+        assert len(serialize(encoded)) == serialized_nbytes(encoded)
+
+    def test_stream_smaller_than_fp16(self, encoded, kv_matrix):
+        assert len(serialize(encoded)) < kv_matrix.size * 2 / 2
+
+    @pytest.mark.parametrize("spec,bits", TABLE3_CONFIGURATIONS)
+    def test_all_fused_configurations(self, spec, bits, kv_matrix):
+        config = OakenConfig.from_ratio_string(spec, outlier_bits=bits)
+        quantizer = OakenQuantizer.from_samples([kv_matrix], config)
+        encoded = quantizer.quantize(kv_matrix)
+        restored = deserialize(
+            serialize(encoded), config, quantizer.thresholds
+        )
+        np.testing.assert_array_equal(
+            quantizer.dequantize(encoded),
+            quantizer.dequantize(restored),
+        )
+
+    @given(tokens=st.integers(1, 48), seed=st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_property_roundtrip(self, tokens, seed):
+        x = make_kv_matrix(tokens=tokens, dim=96, seed=seed)
+        quantizer = OakenQuantizer.from_samples([x], OakenConfig())
+        encoded = quantizer.quantize(x)
+        restored = deserialize(
+            serialize(encoded), quantizer.config, quantizer.thresholds
+        )
+        np.testing.assert_array_equal(
+            quantizer.dequantize(encoded),
+            quantizer.dequantize(restored),
+        )
+
+
+class TestErrors:
+    def test_naive_encoding_rejected(self, kv_matrix):
+        config = OakenConfig(fused_encoding=False)
+        quantizer = OakenQuantizer.from_samples([kv_matrix], config)
+        with pytest.raises(SerializationError):
+            serialize(quantizer.quantize(kv_matrix))
+
+    def test_truncated_header_rejected(self, quantizer):
+        with pytest.raises(SerializationError):
+            deserialize(b"xx", quantizer.config, quantizer.thresholds)
+
+    def test_bad_magic_rejected(self, quantizer, encoded):
+        blob = bytearray(serialize(encoded))
+        blob[0] ^= 0xFF
+        with pytest.raises(SerializationError):
+            deserialize(
+                bytes(blob), quantizer.config, quantizer.thresholds
+            )
+
+    def test_config_mismatch_rejected(self, quantizer, encoded,
+                                      kv_matrix):
+        blob = serialize(encoded)
+        other = OakenConfig.from_ratio_string("2/2/90/6")
+        other_q = OakenQuantizer.from_samples([kv_matrix], other)
+        with pytest.raises(SerializationError):
+            deserialize(blob, other, other_q.thresholds)

@@ -1,0 +1,105 @@
+"""Unit tests for offline threshold profiling."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OakenConfig
+from repro.core.thresholds import (
+    OfflineProfiler,
+    extract_run_thresholds,
+    profile_thresholds,
+)
+
+
+class TestExtractRunThresholds:
+    def test_outer_quantiles(self):
+        x = np.linspace(-1, 1, 10001)
+        thr = extract_run_thresholds(x, OakenConfig())
+        # 4% outer split two-sided: 2% tails.
+        assert thr.outer_lo[0] == pytest.approx(-0.96, abs=0.01)
+        assert thr.outer_hi[0] == pytest.approx(0.96, abs=0.01)
+
+    def test_inner_magnitude_quantile(self):
+        x = np.linspace(-1, 1, 10001)
+        thr = extract_run_thresholds(x, OakenConfig())
+        # 6% inner by magnitude on a uniform distribution.
+        assert thr.inner_mag[0] == pytest.approx(0.06, abs=0.01)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            extract_run_thresholds(np.array([]), OakenConfig())
+
+    def test_multiband_ordering(self):
+        config = OakenConfig.from_ratio_string("2/2/90/3/3")
+        rng = np.random.default_rng(0)
+        thr = extract_run_thresholds(
+            rng.standard_normal(20000), config
+        )
+        # Outer boundaries widen outward; inner magnitudes shrink.
+        assert thr.outer_lo[0] < thr.outer_lo[1] < 0
+        assert thr.outer_hi[0] > thr.outer_hi[1] > 0
+        assert thr.inner_mag[0] > thr.inner_mag[1] > 0
+
+
+class TestOfflineProfiler:
+    def test_averages_runs(self):
+        config = OakenConfig()
+        profiler = OfflineProfiler(config)
+        profiler.observe(np.linspace(-1, 1, 1001))
+        profiler.observe(np.linspace(-3, 3, 1001))
+        thr = profiler.finalize()
+        single_a = extract_run_thresholds(
+            np.linspace(-1, 1, 1001), config
+        )
+        single_b = extract_run_thresholds(
+            np.linspace(-3, 3, 1001), config
+        )
+        expected = (single_a.outer_hi[0] + single_b.outer_hi[0]) / 2
+        assert thr.outer_hi[0] == pytest.approx(expected)
+
+    def test_finalize_without_runs_rejected(self):
+        with pytest.raises(RuntimeError):
+            OfflineProfiler(OakenConfig()).finalize()
+
+    def test_run_count(self):
+        profiler = OfflineProfiler(OakenConfig())
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            profiler.observe(rng.standard_normal(512))
+        assert profiler.num_runs == 3
+
+    def test_spread_small_for_iid_runs(self):
+        profiler = OfflineProfiler(OakenConfig())
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            profiler.observe(rng.standard_normal(8192))
+        # Observation 2: same distribution -> stable thresholds.
+        assert profiler.run_to_run_spread() < 0.25
+
+    def test_spread_large_for_shifting_runs(self):
+        profiler = OfflineProfiler(OakenConfig())
+        for scale in (1.0, 4.0, 16.0):
+            rng = np.random.default_rng(0)
+            profiler.observe(scale * rng.standard_normal(4096))
+        assert profiler.run_to_run_spread() > 0.5
+
+    def test_spread_zero_for_single_run(self):
+        profiler = OfflineProfiler(OakenConfig())
+        profiler.observe(np.linspace(-1, 1, 100))
+        assert profiler.run_to_run_spread() == 0.0
+
+
+class TestProfileThresholds:
+    def test_one_shot_equivalence(self):
+        config = OakenConfig()
+        samples = [
+            np.random.default_rng(s).standard_normal(2048)
+            for s in range(4)
+        ]
+        direct = profile_thresholds(samples, config)
+        profiler = OfflineProfiler(config)
+        for sample in samples:
+            profiler.observe(sample)
+        via_profiler = profiler.finalize()
+        assert direct.outer_hi == via_profiler.outer_hi
+        assert direct.inner_mag == via_profiler.inner_mag

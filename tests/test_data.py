@@ -1,0 +1,139 @@
+"""Unit tests for corpora, QA tasks, and trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import (
+    DATASETS,
+    build_corpus,
+    calibration_corpus,
+    dataset_profile,
+)
+from repro.data.qa_tasks import QA_TASK_PROFILES, build_qa_batch
+from repro.data.traces import (
+    TRACE_NAMES,
+    generate_trace,
+    trace_summary,
+)
+
+
+class TestCorpus:
+    def test_four_paper_datasets(self):
+        assert set(DATASETS) == {
+            "wikitext2", "piqa", "winogrande", "hellaswag"
+        }
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_profile("imagenet")
+
+    def test_corpus_shape(self, small_model):
+        corpus = build_corpus(small_model, "wikitext2", batch=3,
+                              length=32)
+        assert corpus.shape == (3, 32)
+
+    def test_default_length_from_profile(self, small_model):
+        corpus = build_corpus(small_model, "piqa", batch=2)
+        assert corpus.shape[1] == DATASETS["piqa"].length
+
+    def test_reproducible(self, small_model):
+        a = build_corpus(small_model, "wikitext2", batch=2, length=24)
+        b = build_corpus(small_model, "wikitext2", batch=2, length=24)
+        np.testing.assert_array_equal(a, b)
+
+    def test_datasets_differ(self, small_model):
+        a = build_corpus(small_model, "wikitext2", batch=2, length=24)
+        b = build_corpus(small_model, "piqa", batch=2, length=24)
+        assert not np.array_equal(a, b)
+
+    def test_calibration_disjoint_from_eval(self, small_model):
+        calibration = calibration_corpus(small_model, batch=2, length=24)
+        evaluation = build_corpus(
+            small_model, "wikitext2", batch=2, length=24
+        )
+        assert not np.array_equal(calibration, evaluation)
+
+
+class TestQATasks:
+    def test_three_paper_tasks(self):
+        assert set(QA_TASK_PROFILES) == {
+            "piqa", "winogrande", "hellaswag"
+        }
+
+    def test_unknown_task_rejected(self, small_model):
+        with pytest.raises(ValueError):
+            build_qa_batch(small_model, "mmlu")
+
+    def test_batch_shapes(self, small_model):
+        batch = build_qa_batch(small_model, "piqa", num_items=8)
+        profile = QA_TASK_PROFILES["piqa"]
+        assert batch.context.shape == (8, profile.context_length)
+        assert batch.correct.shape == (
+            8, profile.continuation_length
+        )
+        assert batch.distractor.shape == batch.correct.shape
+        assert batch.num_items == 8
+
+    def test_deterministic(self, small_model):
+        a = build_qa_batch(small_model, "winogrande", num_items=4)
+        b = build_qa_batch(small_model, "winogrande", num_items=4)
+        np.testing.assert_array_equal(a.correct, b.correct)
+        np.testing.assert_array_equal(a.distractor, b.distractor)
+
+    def test_distractor_differs_from_correct(self, small_model):
+        batch = build_qa_batch(small_model, "piqa", num_items=8)
+        same = (batch.correct == batch.distractor).all(axis=1)
+        assert same.mean() < 0.5
+
+
+class TestTraces:
+    def test_two_paper_traces(self):
+        assert TRACE_NAMES == ("conversation", "burstgpt")
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace("alibaba")
+
+    def test_sorted_arrivals(self):
+        trace = generate_trace("conversation", num_requests=64, seed=0)
+        arrivals = [r.arrival_s for r in trace]
+        assert arrivals == sorted(arrivals)
+
+    def test_reproducible(self):
+        a = generate_trace("burstgpt", num_requests=32, seed=5)
+        b = generate_trace("burstgpt", num_requests=32, seed=5)
+        assert a == b
+
+    def test_conversation_outputs_shorter_than_inputs(self):
+        trace = generate_trace("conversation", num_requests=256, seed=1)
+        summary = trace_summary(trace)
+        assert summary["mean_output"] < summary["mean_input"] / 2
+
+    def test_burstgpt_longer_outputs(self):
+        conversation = trace_summary(
+            generate_trace("conversation", num_requests=256, seed=1)
+        )
+        burst = trace_summary(
+            generate_trace("burstgpt", num_requests=256, seed=1)
+        )
+        assert burst["mean_output"] > 2 * conversation["mean_output"]
+
+    def test_burstgpt_is_burstier(self):
+        conversation = trace_summary(
+            generate_trace("conversation", num_requests=512, seed=2)
+        )
+        burst = trace_summary(
+            generate_trace("burstgpt", num_requests=512, seed=2)
+        )
+        assert burst["arrival_cv2"] > conversation["arrival_cv2"]
+
+    def test_length_caps_respected(self):
+        trace = generate_trace(
+            "burstgpt", num_requests=128, seed=3, max_tokens=1024
+        )
+        assert max(r.input_tokens for r in trace) <= 1024
+        assert max(r.output_tokens for r in trace) <= 1024
+        assert min(r.output_tokens for r in trace) >= 8
+
+    def test_summary_empty(self):
+        assert trace_summary([]) == {"requests": 0}

@@ -1,0 +1,159 @@
+"""Unit tests for zero-shot scoring, distribution analysis, harness."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import build_corpus, calibration_corpus
+from repro.data.qa_tasks import build_qa_batch
+from repro.eval.distribution import (
+    channel_concentration,
+    dataset_range_consistency,
+    layer_kv_ranges,
+    range_spread_across_datasets,
+    top_value_positions,
+)
+from repro.eval.harness import build_method_bundle, evaluate_method
+from repro.eval.zeroshot import conditional_log_likelihood, score_qa_batch
+from repro.models.config import get_model
+from repro.models.ops import log_softmax
+
+from conftest import make_kv_matrix
+
+
+class TestZeroShot:
+    def test_conditional_ll_matches_manual(self, small_model):
+        rng = np.random.default_rng(0)
+        context = rng.integers(0, small_model.shape.vocab, size=(2, 10))
+        continuation = rng.integers(0, small_model.shape.vocab,
+                                    size=(2, 4))
+        ll = conditional_log_likelihood(small_model, context,
+                                        continuation)
+        full = np.concatenate([context, continuation], axis=1)
+        logits = small_model.forward(full)
+        logprobs = log_softmax(logits, axis=-1)
+        manual = np.zeros(2)
+        for b in range(2):
+            for j in range(4):
+                position = 10 + j - 1
+                token = continuation[b, j]
+                manual[b] += logprobs[b, position, token]
+        np.testing.assert_allclose(ll, manual, rtol=1e-9)
+
+    def test_batch_mismatch_rejected(self, small_model):
+        with pytest.raises(ValueError):
+            conditional_log_likelihood(
+                small_model, np.zeros((2, 4), dtype=int),
+                np.zeros((3, 4), dtype=int),
+            )
+
+    def test_fp_accuracy_in_realistic_band(self, small_model):
+        batch = build_qa_batch(small_model, "piqa", num_items=32)
+        accuracy = score_qa_batch(small_model, batch)
+        assert 60.0 <= accuracy <= 98.0
+
+    def test_accuracy_bounds(self, small_model):
+        batch = build_qa_batch(small_model, "winogrande", num_items=16)
+        accuracy = score_qa_batch(small_model, batch)
+        assert 0.0 <= accuracy <= 100.0
+
+
+class TestDistribution:
+    def test_layer_ranges_shape(self, small_model, small_tokens):
+        ranges = layer_kv_ranges(small_model, small_tokens)
+        assert len(ranges) == small_model.shape.n_layers
+        for r in ranges:
+            assert r.key_min < r.key_max
+            assert r.value_min < r.value_max
+
+    def test_keys_wider_than_values(self, small_model, small_tokens):
+        """Observation 1's key/value asymmetry (paper Fig 6a)."""
+        ranges = layer_kv_ranges(small_model, small_tokens)
+        key_span = np.mean([r.key_max - r.key_min for r in ranges])
+        value_span = np.mean(
+            [r.value_max - r.value_min for r in ranges]
+        )
+        assert key_span > 1.5 * value_span
+
+    def test_ranges_vary_across_layers(self, small_model, small_tokens):
+        ranges = layer_kv_ranges(small_model, small_tokens)
+        spans = [r.key_max - r.key_min for r in ranges]
+        assert max(spans) > 1.2 * min(spans)
+
+    def test_dataset_consistency(self, small_model):
+        corpora = {
+            name: build_corpus(small_model, name, batch=3, length=48)
+            for name in ("wikitext2", "piqa")
+        }
+        per_dataset = dataset_range_consistency(small_model, corpora)
+        spread = range_spread_across_datasets(per_dataset)
+        # Observation 2: ranges are input-insensitive.
+        assert spread < 0.8
+
+    def test_spread_single_dataset_zero(self, small_model,
+                                        small_tokens):
+        per_dataset = {"only": layer_kv_ranges(small_model,
+                                               small_tokens)}
+        assert range_spread_across_datasets(per_dataset) == 0.0
+
+    def test_top_positions_fraction(self):
+        x = make_kv_matrix(tokens=100, dim=64)
+        tokens, channels = top_value_positions(x, fraction=0.04)
+        assert tokens.size == pytest.approx(0.04 * x.size, rel=0.3)
+
+    def test_concentration_high_for_structured(self):
+        x = make_kv_matrix(tokens=200, dim=64)
+        assert channel_concentration(x) > 0.6
+
+    def test_concentration_low_for_iid(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((200, 64))
+        assert channel_concentration(x) < 0.5
+
+    def test_concentration_empty(self):
+        assert channel_concentration(np.zeros((0, 4))) >= 0.0
+
+
+class TestHarness:
+    def test_bundle_layers_match_model(self, small_model):
+        calibration = calibration_corpus(small_model, batch=2,
+                                         length=32)
+        fitted = build_method_bundle(small_model, "qserve", calibration)
+        assert len(fitted.key_quantizers) == small_model.shape.n_layers
+        bundle = fitted.bundle()
+        assert len(bundle) == small_model.shape.n_layers
+
+    def test_evaluate_method_row(self, small_model, small_tokens):
+        spec = get_model("llama2-7b")
+        calibration = calibration_corpus(small_model, batch=2,
+                                         length=32)
+        qa = {"piqa": build_qa_batch(small_model, "piqa", num_items=8)}
+        row = evaluate_method(
+            small_model, spec, "oaken", small_tokens, qa, calibration
+        )
+        assert row.model == "llama2-7b"
+        assert row.method == "oaken"
+        assert row.perplexity > 1.0
+        assert 0 <= row.accuracy["piqa"] <= 100
+        assert 4.0 < row.effective_bits_paper_dim < 5.5
+
+    def test_fp16_close_to_clean(self, small_model, small_tokens):
+        spec = get_model("llama2-7b")
+        calibration = calibration_corpus(small_model, batch=2,
+                                         length=32)
+        row = evaluate_method(
+            small_model, spec, "fp16", small_tokens, {}, calibration
+        )
+        clean = small_model.perplexity(small_tokens)
+        assert row.perplexity == pytest.approx(clean, rel=0.02)
+
+    def test_quantized_ppl_above_fp16(self, small_model, small_tokens):
+        spec = get_model("llama2-7b")
+        calibration = calibration_corpus(small_model, batch=2,
+                                         length=32)
+        fp16 = evaluate_method(
+            small_model, spec, "fp16", small_tokens, {}, calibration
+        )
+        tender = evaluate_method(
+            small_model, spec, "tender", small_tokens, {}, calibration
+        )
+        assert tender.perplexity > fp16.perplexity

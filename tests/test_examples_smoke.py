@@ -1,0 +1,62 @@
+"""Smoke tests: the fast runnable examples execute end to end.
+
+Each example is a documented entry point into the public API; these
+tests run the quick ones in-process (importing their ``main``) so API
+drift that would break a user's first contact shows up in CI.  The
+slow, experiment-scale examples (accuracy table, throughput sweeps,
+trace replay) are exercised through their underlying experiment
+modules in the benchmark suite instead.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = (
+    pathlib.Path(__file__).resolve().parent.parent / "examples"
+)
+
+FAST_EXAMPLES = (
+    "quickstart",
+    "datapath_trace",
+    "capacity_planner",
+    "hw_design_space",
+    "slo_explorer",
+)
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    # Examples read sys.argv; give them a clean one.
+    argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = argv
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_every_example_has_a_docstring_and_main():
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        text = path.read_text()
+        assert text.lstrip().startswith(
+            ("#!", '"""')
+        ), f"{path.name} missing shebang/docstring"
+        assert "def main(" in text, f"{path.name} has no main()"
+        assert '__main__' in text, f"{path.name} not runnable"

@@ -1,0 +1,89 @@
+"""Unit tests for the Table 4 area/power model."""
+
+import pytest
+
+from repro.core.config import OakenConfig
+from repro.hardware.area import (
+    AreaModel,
+    CORE_AREA_MM2,
+    DEQUANT_ENGINE_AREA_MM2,
+    MPU_AREA_MM2,
+    QUANT_ENGINE_AREA_MM2,
+    VPU_AREA_MM2,
+)
+
+
+class TestTable4Constants:
+    def test_module_areas(self):
+        report = AreaModel().core_report()
+        assert report.areas_mm2["matrix_processing_unit"] == (
+            pytest.approx(MPU_AREA_MM2)
+        )
+        assert report.areas_mm2["vector_processing_unit"] == (
+            pytest.approx(VPU_AREA_MM2)
+        )
+        assert report.areas_mm2["quant_engine"] == pytest.approx(
+            QUANT_ENGINE_AREA_MM2
+        )
+        assert report.areas_mm2["dequant_engine"] == pytest.approx(
+            DEQUANT_ENGINE_AREA_MM2
+        )
+
+    def test_core_total(self):
+        report = AreaModel().core_report()
+        assert report.core_area_mm2 == pytest.approx(CORE_AREA_MM2)
+
+    def test_paper_shares(self):
+        report = AreaModel().core_report()
+        assert report.share("matrix_processing_unit") == (
+            pytest.approx(22.86, abs=0.05)
+        )
+        assert report.share("quant_engine") == pytest.approx(
+            1.86, abs=0.05
+        )
+        assert report.share("dequant_engine") == pytest.approx(
+            6.35, abs=0.05
+        )
+
+    def test_oaken_overhead_8_21_percent(self):
+        report = AreaModel().core_report()
+        assert report.oaken_overhead_percent == pytest.approx(
+            8.21, abs=0.05
+        )
+
+
+class TestPower:
+    def test_paper_power(self):
+        model = AreaModel()
+        assert model.accelerator_power_w() == pytest.approx(222.7)
+
+    def test_saving_vs_a100(self):
+        # Paper: 44.3% below the 400 W TDP.
+        assert AreaModel().power_saving_vs_gpu(400.0) == pytest.approx(
+            44.3, abs=0.1
+        )
+
+
+class TestScaling:
+    def test_more_bands_more_engine_area(self):
+        default = AreaModel(OakenConfig()).core_report()
+        five_group = AreaModel(
+            OakenConfig.from_ratio_string("2/2/90/3/3")
+        ).core_report()
+        assert five_group.areas_mm2["quant_engine"] > (
+            default.areas_mm2["quant_engine"]
+        )
+
+    def test_narrower_codes_less_area(self):
+        wide = AreaModel(OakenConfig()).core_report()
+        narrow = AreaModel(OakenConfig(outlier_bits=4)).core_report()
+        assert narrow.areas_mm2["dequant_engine"] < (
+            wide.areas_mm2["dequant_engine"]
+        )
+
+    def test_power_tracks_area(self):
+        default = AreaModel(OakenConfig())
+        bigger = AreaModel(OakenConfig.from_ratio_string("2/2/90/3/3"))
+        assert bigger.accelerator_power_w() > (
+            default.accelerator_power_w()
+        )

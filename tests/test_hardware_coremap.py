@@ -1,0 +1,90 @@
+"""Direct tests of the core-occupancy model (Figure 3 at core level)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.coremap import (
+    batching_occupancy_gain,
+    generation_occupancy,
+    occupancy_timeline,
+    prefill_occupancy,
+)
+from repro.models.config import get_model
+
+ARCH = get_model("llama2-7b").arch
+
+
+class TestPrefillOccupancy:
+    def test_long_prompt_saturates_cores(self):
+        phase = prefill_occupancy(ARCH, batch=1, prompt_tokens=1024)
+        assert phase.occupancy == 1.0
+        assert phase.busy_cores == phase.total_cores
+
+    def test_short_prompt_underfills(self):
+        phase = prefill_occupancy(
+            ARCH, batch=1, prompt_tokens=16, total_cores=256
+        )
+        assert phase.busy_cores == 16
+        assert phase.occupancy == pytest.approx(16 / 256)
+
+    def test_tokens_in_flight_counts_whole_batch(self):
+        phase = prefill_occupancy(ARCH, batch=4, prompt_tokens=100)
+        assert phase.tokens_in_flight == 400
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            prefill_occupancy(ARCH, batch=0, prompt_tokens=8)
+        with pytest.raises(ValueError):
+            prefill_occupancy(ARCH, batch=1, prompt_tokens=0)
+
+
+class TestGenerationOccupancy:
+    def test_single_request_uses_one_core(self):
+        """Figure 3(a): the generation phase of one request keeps one
+        core busy and idles the other 255."""
+        phase = generation_occupancy(ARCH, batch=1, total_cores=256)
+        assert phase.busy_cores == 1
+        assert phase.occupancy == pytest.approx(1 / 256)
+
+    def test_batch_fills_cores_linearly_until_cap(self):
+        assert generation_occupancy(ARCH, 64).busy_cores == 64
+        assert generation_occupancy(ARCH, 512).busy_cores == 256
+
+    def test_gain_saturates_at_core_count(self):
+        assert batching_occupancy_gain(ARCH, 64) == pytest.approx(64.0)
+        assert batching_occupancy_gain(ARCH, 10_000) == pytest.approx(
+            256.0
+        )
+
+
+class TestTimeline:
+    def test_two_phase_shape(self):
+        timeline = occupancy_timeline(
+            ARCH, batch=8, prompt_tokens=512, output_tokens=128
+        )
+        assert [p.phase for p in timeline] == ["prefill", "generation"]
+        assert timeline[0].occupancy >= timeline[1].occupancy
+
+    def test_prefill_only_request(self):
+        timeline = occupancy_timeline(
+            ARCH, batch=8, prompt_tokens=512, output_tokens=0
+        )
+        assert [p.phase for p in timeline] == ["prefill"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batch=st.integers(1, 512),
+        prompt=st.integers(1, 4096),
+        cores=st.integers(1, 512),
+    )
+    def test_property_occupancy_in_unit_interval(
+        self, batch, prompt, cores
+    ):
+        for phase in occupancy_timeline(
+            ARCH, batch, prompt, output_tokens=1, total_cores=cores
+        ):
+            assert 0.0 < phase.occupancy <= 1.0
+            assert phase.busy_cores <= phase.total_cores

@@ -1,0 +1,60 @@
+"""Direct tests of the analytic engine throughput models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.engines import DequantEngine, QuantEngine
+
+
+class TestQuantEngine:
+    def test_zero_elements_is_free(self):
+        assert QuantEngine().time_s(0) == 0.0
+
+    def test_rate_is_lanes_per_cycle_per_core(self):
+        engine = QuantEngine(lanes=32, freq_ghz=1.0, num_cores=256)
+        assert engine.elements_per_second == pytest.approx(
+            32 * 1e9 * 256
+        )
+
+    def test_time_includes_fill(self):
+        engine = QuantEngine(
+            lanes=32, freq_ghz=1.0, num_cores=1, pipeline_cycles=24
+        )
+        one_cycle = engine.time_s(32)
+        assert one_cycle == pytest.approx((24 + 1) / 1e9)
+
+    def test_input_stream_rate(self):
+        engine = QuantEngine(lanes=32, freq_ghz=1.0, num_cores=1)
+        # FP16 input: 32 elements/cycle x 2 B = 64 GB/s per core.
+        assert engine.throughput_gbps(16.0) == pytest.approx(64.0)
+
+    def test_clock_scales_rate(self):
+        slow = QuantEngine(freq_ghz=0.5)
+        fast = QuantEngine(freq_ghz=1.0)
+        assert fast.time_s(10**6) < slow.time_s(10**6)
+
+
+class TestDequantEngine:
+    def test_wider_than_quant_engine(self):
+        """The dequant engine must keep pace with attention reads, so
+        its default datapath is wider (Figure 9b sizing)."""
+        assert DequantEngine().lanes > QuantEngine().lanes
+
+    def test_compressed_stream_rate(self):
+        engine = DequantEngine(lanes=128, freq_ghz=1.0, num_cores=1)
+        # 4.82 stored bits/element at 128 elements/cycle.
+        assert engine.throughput_gbps(4.82) == pytest.approx(
+            128 * 4.82 / 8, rel=1e-9
+        )
+
+    def test_outruns_per_core_memory_share(self):
+        """At serving batch sizes the per-core DMA share (~bandwidth /
+        batch) sits far below one engine's compressed rate — the
+        sizing that makes Section 5.3's overlap work."""
+        engine = DequantEngine(num_cores=1)
+        per_core_share_gbps = 1100.0 / 16  # LPDDR at batch 16
+        assert engine.throughput_gbps(4.82) > per_core_share_gbps
+
+    def test_zero_elements_is_free(self):
+        assert DequantEngine().time_s(0) == 0.0

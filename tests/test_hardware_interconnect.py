@@ -1,0 +1,239 @@
+"""Tests of the interconnect/memory-controller fabric (Section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.interconnect import (
+    FabricReport,
+    MemoryFabric,
+    TrafficClass,
+    Transaction,
+    generation_fabric_report,
+)
+from repro.hardware.memory import HBM_80GB, LPDDR_256GB, MemorySpec
+
+#: A memory spec with zero transaction overhead, isolating arbitration
+#: effects from burst-efficiency effects in the tests below.
+IDEAL = MemorySpec(
+    name="ideal", capacity_gb=64.0, bandwidth_gbps=1000.0,
+    burst_bytes=1024, transaction_overhead_bytes=0,
+)
+
+MB = 1024.0 * 1024.0
+
+
+class TestTransaction:
+    def test_rejects_empty_payload(self):
+        with pytest.raises(ValueError, match="positive"):
+            Transaction(core=0, kind=TrafficClass.KV_READ, nbytes=0.0)
+
+
+class TestFabricBasics:
+    def test_requires_a_controller(self):
+        with pytest.raises(ValueError, match="controller"):
+            MemoryFabric(IDEAL, num_controllers=0)
+
+    def test_empty_drain_is_instant(self):
+        report = MemoryFabric(IDEAL).drain()
+        assert report.makespan_s == 0.0
+        assert report.payload_bytes == 0.0
+
+    def test_payload_bytes_conserved(self):
+        fabric = MemoryFabric(IDEAL, num_controllers=4)
+        fabric.add_weight_read(64 * MB)
+        fabric.add_kv_read(0, 16 * MB)
+        fabric.add_kv_write(0, 1 * MB)
+        report = fabric.drain()
+        assert report.payload_bytes == pytest.approx(81 * MB)
+        assert report.per_class_bytes[
+            TrafficClass.WEIGHT_BROADCAST
+        ] == pytest.approx(64 * MB)
+        assert report.per_class_bytes[TrafficClass.KV_READ] == (
+            pytest.approx(16 * MB)
+        )
+        assert report.per_class_bytes[TrafficClass.KV_WRITE] == (
+            pytest.approx(1 * MB)
+        )
+
+    def test_zero_byte_injections_ignored(self):
+        fabric = MemoryFabric(IDEAL)
+        fabric.add_weight_read(0.0)
+        fabric.add_kv_read(0, 0.0)
+        fabric.add_kv_write(0, 0.0)
+        assert fabric.drain().payload_bytes == 0.0
+
+
+class TestBroadcastWeights:
+    def test_broadcast_time_independent_of_core_count(self):
+        """The defining property of the read-broadcast fabric: one
+        weight stream serves any number of cores at the same cost."""
+        fabric = MemoryFabric(IDEAL, num_controllers=8)
+        fabric.add_weight_read(512 * MB)
+        alone = fabric.drain().makespan_s
+        # Same weights, but now 64 cores also present (no KV traffic);
+        # nothing about the broadcast cost changes.
+        again = MemoryFabric(IDEAL, num_controllers=8)
+        again.add_weight_read(512 * MB)
+        assert again.drain().makespan_s == pytest.approx(alone)
+
+    def test_broadcast_uses_aggregate_bandwidth(self):
+        fabric = MemoryFabric(IDEAL, num_controllers=8)
+        fabric.add_weight_read(1000 * MB)
+        report = fabric.drain()
+        ideal_s = 1000 * MB / IDEAL.bandwidth_bytes_per_s
+        assert report.makespan_s == pytest.approx(ideal_s, rel=1e-6)
+        assert report.bandwidth_utilization == pytest.approx(1.0, rel=1e-6)
+
+
+class TestKVPlacement:
+    def test_striped_single_core_gets_full_bandwidth(self):
+        """MMU page striping: even one core's stream spans every
+        controller, so batch=1 reads run at aggregate bandwidth."""
+        report = generation_fabric_report(
+            IDEAL, batch=1, kv_bytes_per_request=256 * MB,
+            weight_bytes=0.0, striped=True,
+        )
+        assert report.bandwidth_utilization == pytest.approx(1.0, rel=1e-6)
+
+    def test_skewed_single_core_bounded_by_one_controller(self):
+        report = generation_fabric_report(
+            IDEAL, batch=1, kv_bytes_per_request=256 * MB,
+            weight_bytes=0.0, striped=False, num_controllers=8,
+        )
+        assert report.bandwidth_utilization == pytest.approx(
+            1.0 / 8.0, rel=1e-6
+        )
+
+    def test_skewed_recovers_only_at_large_batch(self):
+        """Without striping, aggregate bandwidth needs one core per
+        controller; with striping it is there from batch 1."""
+        skewed_small = generation_fabric_report(
+            IDEAL, batch=2, kv_bytes_per_request=64 * MB,
+            weight_bytes=0.0, striped=False, num_controllers=8,
+        )
+        skewed_full = generation_fabric_report(
+            IDEAL, batch=8, kv_bytes_per_request=64 * MB,
+            weight_bytes=0.0, striped=False, num_controllers=8,
+        )
+        assert skewed_small.bandwidth_utilization == pytest.approx(
+            0.25, rel=1e-6
+        )
+        assert skewed_full.bandwidth_utilization == pytest.approx(
+            1.0, rel=1e-6
+        )
+
+    def test_striped_batch_sweep_holds_peak(self):
+        for batch in (1, 4, 16, 64):
+            report = generation_fabric_report(
+                IDEAL, batch=batch, kv_bytes_per_request=16 * MB,
+                weight_bytes=0.0, striped=True,
+            )
+            assert report.bandwidth_utilization == pytest.approx(
+                1.0, rel=1e-6
+            )
+
+
+class TestBurstEfficiency:
+    def test_small_bursts_waste_bandwidth(self):
+        """Scattered reads pay per-transaction overhead (HBM spec has
+        64B overhead per transaction)."""
+        full = generation_fabric_report(
+            HBM_80GB, batch=8, kv_bytes_per_request=64 * MB,
+            weight_bytes=0.0, burst_bytes=None,
+        )
+        scattered = generation_fabric_report(
+            HBM_80GB, batch=8, kv_bytes_per_request=64 * MB,
+            weight_bytes=0.0, burst_bytes=64.0,
+        )
+        assert scattered.makespan_s > 1.5 * full.makespan_s
+        # 64B payload + 64B overhead = 50% efficiency.
+        assert scattered.bandwidth_utilization == pytest.approx(
+            0.5, rel=0.01
+        )
+
+    def test_full_burst_efficiency_matches_memory_model(self):
+        report = generation_fabric_report(
+            HBM_80GB, batch=8, kv_bytes_per_request=64 * MB,
+            weight_bytes=0.0,
+        )
+        expected = HBM_80GB.burst_efficiency(HBM_80GB.burst_bytes)
+        assert report.bandwidth_utilization == pytest.approx(
+            expected, rel=0.01
+        )
+
+
+class TestArbitrationFairness:
+    def test_equal_streams_finish_together(self):
+        fabric = MemoryFabric(IDEAL, num_controllers=4)
+        for core in range(8):
+            fabric.add_kv_read(core, 32 * MB)
+        report = fabric.drain()
+        assert report.fairness_spread() < 1.05
+
+    def test_round_robin_interleaves_unequal_streams(self):
+        """A short stream behind a long one must not wait for the long
+        stream to finish (round-robin, not FIFO-per-controller)."""
+        fabric = MemoryFabric(IDEAL, num_controllers=1)
+        fabric.add_kv_read(0, 256 * MB)
+        fabric.add_kv_read(1, 1 * MB)
+        report = fabric.drain()
+        # Core 1 finishes roughly when 2x its bytes have been served
+        # (alternating grants), far before core 0's stream completes.
+        assert report.core_finish_s[1] < 0.05 * report.core_finish_s[0]
+
+    def test_single_stream_fairness_is_trivially_one(self):
+        fabric = MemoryFabric(IDEAL)
+        fabric.add_kv_read(0, 1 * MB)
+        assert fabric.drain().fairness_spread() == 1.0
+
+
+class TestRealDeviceContrast:
+    def test_hbm_drains_faster_than_lpddr(self):
+        kwargs = dict(
+            batch=16, kv_bytes_per_request=64 * MB,
+            weight_bytes=512 * MB,
+        )
+        hbm = generation_fabric_report(HBM_80GB, **kwargs)
+        lpddr = generation_fabric_report(LPDDR_256GB, **kwargs)
+        ratio = lpddr.makespan_s / hbm.makespan_s
+        assert ratio == pytest.approx(2000.0 / 1100.0, rel=0.01)
+
+
+class TestFabricProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        batch=st.integers(1, 32),
+        kv_mb=st.floats(0.5, 64.0),
+        controllers=st.integers(1, 16),
+        striped=st.booleans(),
+    )
+    def test_makespan_never_beats_aggregate_peak(
+        self, batch, kv_mb, controllers, striped
+    ):
+        report = generation_fabric_report(
+            IDEAL, batch=batch, kv_bytes_per_request=kv_mb * MB,
+            weight_bytes=128 * MB, num_controllers=controllers,
+            striped=striped,
+        )
+        floor = report.payload_bytes / IDEAL.bandwidth_bytes_per_s
+        assert report.makespan_s >= floor * (1 - 1e-9)
+        assert report.bandwidth_utilization <= 1.0 + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        batch=st.integers(1, 32),
+        kv_mb=st.floats(0.5, 64.0),
+    )
+    def test_striping_never_slower_than_skewed(self, batch, kv_mb):
+        striped = generation_fabric_report(
+            IDEAL, batch=batch, kv_bytes_per_request=kv_mb * MB,
+            weight_bytes=0.0, striped=True,
+        )
+        skewed = generation_fabric_report(
+            IDEAL, batch=batch, kv_bytes_per_request=kv_mb * MB,
+            weight_bytes=0.0, striped=False,
+        )
+        assert striped.makespan_s <= skewed.makespan_s * (1 + 1e-9)

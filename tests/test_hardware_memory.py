@@ -1,0 +1,68 @@
+"""Unit tests for the memory models."""
+
+import pytest
+
+from repro.hardware.memory import HBM_80GB, HBM_160GB, LPDDR_256GB, MemorySpec
+
+
+class TestSpecs:
+    def test_paper_table1_values(self):
+        assert HBM_80GB.capacity_gb == 80.0
+        assert HBM_80GB.bandwidth_gbps == 2000.0
+        assert LPDDR_256GB.capacity_gb == 256.0
+        assert LPDDR_256GB.bandwidth_gbps == 1100.0
+
+    def test_dual_gpu_capacity(self):
+        assert HBM_160GB.capacity_gb == 160.0
+        assert HBM_160GB.bandwidth_gbps == HBM_80GB.bandwidth_gbps
+
+    def test_tradeoff_direction(self):
+        assert HBM_80GB.bandwidth_gbps > LPDDR_256GB.bandwidth_gbps
+        assert LPDDR_256GB.capacity_gb > HBM_80GB.capacity_gb
+
+
+class TestBurstEfficiency:
+    def test_monotone_in_transfer_size(self):
+        spec = HBM_80GB
+        sizes = [8, 64, 256, 1024, 4096]
+        efficiencies = [spec.burst_efficiency(s) for s in sizes]
+        assert efficiencies == sorted(efficiencies)
+
+    def test_full_burst_near_peak(self):
+        assert HBM_80GB.burst_efficiency(4096) > 0.9
+
+    def test_tiny_transfer_poor(self):
+        assert HBM_80GB.burst_efficiency(8) < 0.2
+
+    def test_zero_transfer(self):
+        assert HBM_80GB.burst_efficiency(0) == 0.0
+
+    def test_saturates_at_burst_size(self):
+        spec = HBM_80GB
+        assert spec.burst_efficiency(spec.burst_bytes) == (
+            spec.burst_efficiency(10 * spec.burst_bytes)
+        )
+
+
+class TestReadTime:
+    def test_linear_in_bytes(self):
+        t1 = HBM_80GB.read_time_s(1e9)
+        t2 = HBM_80GB.read_time_s(2e9)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_bandwidth_ratio(self):
+        hbm = HBM_80GB.read_time_s(1e9)
+        lpddr = LPDDR_256GB.read_time_s(1e9)
+        assert lpddr / hbm == pytest.approx(2000.0 / 1100.0)
+
+    def test_small_granularity_slower(self):
+        fast = HBM_80GB.read_time_s(1e9)
+        slow = HBM_80GB.read_time_s(1e9, transfer_bytes=32)
+        assert slow > 2 * fast
+
+    def test_zero_bytes(self):
+        assert HBM_80GB.read_time_s(0) == 0.0
+
+    def test_fits(self):
+        assert HBM_80GB.fits(70 * 1024**3)
+        assert not HBM_80GB.fits(90 * 1024**3)

@@ -1,0 +1,175 @@
+"""Unit and property tests for the page-based MMU."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.mmu import (
+    MemoryManagementUnit,
+    OutOfPagesError,
+    PageTableKind,
+)
+
+
+def small_mmu(pages=16, page_bytes=256):
+    return MemoryManagementUnit(
+        capacity_bytes=pages * page_bytes, page_bytes=page_bytes
+    )
+
+
+class TestAllocation:
+    def test_sequential_entries_contiguous(self):
+        mmu = small_mmu()
+        for token in range(4):
+            mmu.write_entry(0, 0, 0, PageTableKind.DENSE, token, 32)
+        schedule = mmu.read_schedule(0, 0, 0, PageTableKind.DENSE)
+        assert len(schedule) == 1
+        assert schedule[0][1] == 128
+
+    def test_page_overflow_opens_new_page(self):
+        mmu = small_mmu(page_bytes=64)
+        mmu.write_entry(0, 0, 0, PageTableKind.DENSE, 0, 48)
+        mmu.write_entry(0, 0, 0, PageTableKind.DENSE, 1, 48)
+        assert mmu.pages_in_use == 2
+
+    def test_entries_do_not_straddle_pages(self):
+        mmu = small_mmu(page_bytes=64)
+        mmu.write_entry(0, 0, 0, PageTableKind.DENSE, 0, 40)
+        entry = mmu.write_entry(0, 0, 0, PageTableKind.DENSE, 1, 40)
+        assert entry.physical_addr % 64 == 0
+
+    def test_oversized_entry_rejected(self):
+        mmu = small_mmu(page_bytes=64)
+        with pytest.raises(ValueError):
+            mmu.write_entry(0, 0, 0, PageTableKind.DENSE, 0, 128)
+
+    def test_nonpositive_entry_rejected(self):
+        mmu = small_mmu()
+        with pytest.raises(ValueError):
+            mmu.write_entry(0, 0, 0, PageTableKind.DENSE, 0, 0)
+
+    def test_pool_exhaustion(self):
+        mmu = small_mmu(pages=2, page_bytes=64)
+        mmu.write_entry(0, 0, 0, PageTableKind.DENSE, 0, 64)
+        mmu.write_entry(0, 0, 1, PageTableKind.DENSE, 0, 64)
+        with pytest.raises(OutOfPagesError):
+            mmu.write_entry(0, 0, 2, PageTableKind.DENSE, 0, 64)
+
+    def test_streams_use_distinct_pages(self):
+        """KV of different heads land on different pages (Section 5.2)."""
+        mmu = small_mmu()
+        a = mmu.write_entry(0, 0, 0, PageTableKind.DENSE, 0, 32)
+        b = mmu.write_entry(0, 0, 1, PageTableKind.DENSE, 0, 32)
+        assert a.physical_addr // 256 != b.physical_addr // 256
+
+    def test_dense_and_sparse_tables_separate(self):
+        mmu = small_mmu()
+        dense, sparse = mmu.append_token(0, 0, 0, 0, 32, 8)
+        assert sparse is not None
+        assert dense.physical_addr // 256 != (
+            sparse.physical_addr // 256
+        )
+
+    def test_append_token_without_outliers(self):
+        mmu = small_mmu()
+        dense, sparse = mmu.append_token(0, 0, 0, 0, 32, 0)
+        assert sparse is None
+
+
+class TestTranslation:
+    def test_lookup_returns_entry(self):
+        mmu = small_mmu()
+        written = mmu.write_entry(0, 1, 2, PageTableKind.SPARSE, 7, 16)
+        found = mmu.lookup(0, 1, 2, PageTableKind.SPARSE, 7)
+        assert found.physical_addr == written.physical_addr
+        assert found.transfer_bytes == 16
+
+    def test_lookup_missing_rejected(self):
+        with pytest.raises(KeyError):
+            small_mmu().lookup(0, 0, 0, PageTableKind.DENSE, 0)
+
+    def test_no_address_overlap_across_streams(self):
+        mmu = small_mmu(pages=64)
+        occupied = set()
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            seq = int(rng.integers(0, 3))
+            head = int(rng.integers(0, 2))
+            size = int(rng.integers(8, 48))
+            entry = mmu.write_entry(
+                seq, 0, head, PageTableKind.DENSE, 0, size
+            )
+            span = set(
+                range(entry.physical_addr,
+                      entry.physical_addr + entry.transfer_bytes)
+            )
+            assert not (span & occupied)
+            occupied |= span
+
+
+class TestReclamation:
+    def test_free_sequence_returns_pages(self):
+        mmu = small_mmu()
+        for token in range(8):
+            mmu.append_token(5, 0, 0, token, 64, 8)
+        used = mmu.pages_in_use
+        assert used > 0
+        reclaimed = mmu.free_sequence(5)
+        assert reclaimed == used
+        assert mmu.pages_in_use == 0
+
+    def test_free_leaves_other_sequences(self):
+        mmu = small_mmu()
+        mmu.write_entry(1, 0, 0, PageTableKind.DENSE, 0, 32)
+        mmu.write_entry(2, 0, 0, PageTableKind.DENSE, 0, 32)
+        mmu.free_sequence(1)
+        assert mmu.pages_in_use == 1
+        mmu.lookup(2, 0, 0, PageTableKind.DENSE, 0)
+
+    def test_freed_pages_reusable(self):
+        mmu = small_mmu(pages=2, page_bytes=64)
+        mmu.write_entry(0, 0, 0, PageTableKind.DENSE, 0, 64)
+        mmu.write_entry(0, 0, 1, PageTableKind.DENSE, 0, 64)
+        mmu.free_sequence(0)
+        mmu.write_entry(1, 0, 0, PageTableKind.DENSE, 0, 64)
+
+
+class TestMetrics:
+    def test_fragmentation_zero_when_pages_full(self):
+        mmu = small_mmu(page_bytes=64)
+        mmu.write_entry(0, 0, 0, PageTableKind.DENSE, 0, 64)
+        assert mmu.fragmentation() == 0.0
+
+    def test_fragmentation_counts_waste(self):
+        mmu = small_mmu(page_bytes=64)
+        mmu.write_entry(0, 0, 0, PageTableKind.DENSE, 0, 16)
+        assert mmu.fragmentation() == pytest.approx(0.75)
+
+    def test_empty_mmu_fragmentation(self):
+        assert small_mmu().fragmentation() == 0.0
+
+    def test_burst_count_grows_with_pages(self):
+        mmu = small_mmu(page_bytes=64)
+        for token in range(8):  # 4 pages of 2 entries
+            mmu.write_entry(0, 0, 0, PageTableKind.DENSE, token, 32)
+        assert mmu.burst_count(0, 0, 0, PageTableKind.DENSE) <= 4
+
+    @given(
+        sizes=st.lists(st.integers(4, 60), min_size=1, max_size=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_schedule_covers_all_bytes(self, sizes):
+        mmu = MemoryManagementUnit(
+            capacity_bytes=64 * 4096, page_bytes=64
+        )
+        for token, size in enumerate(sizes):
+            mmu.write_entry(0, 0, 0, PageTableKind.SPARSE, token, size)
+        schedule = mmu.read_schedule(0, 0, 0, PageTableKind.SPARSE)
+        assert sum(s for _, s in schedule) == sum(sizes)
+        # Bursts never overlap and are in write order per page.
+        spans = []
+        for addr, size in schedule:
+            spans.append((addr, addr + size))
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0 or b1 <= a0

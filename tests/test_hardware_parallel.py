@@ -1,0 +1,208 @@
+"""Tests of the explicit pipeline-parallel model (Section 6.1 setup)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.overheads import get_system
+from repro.hardware.parallel import (
+    PipelinePlan,
+    partition_layers,
+    pipeline_generation_iteration,
+    pipeline_max_batch,
+)
+from repro.hardware.perf import generation_iteration, max_supported_batch
+from repro.models.config import get_model
+
+LLAMA70B = get_model("llama2-70b").arch
+LLAMA13B = get_model("llama2-13b").arch
+
+
+class TestPartitionLayers:
+    def test_even_split(self):
+        assert partition_layers(80, 2) == (40, 40)
+
+    def test_remainder_goes_to_front_stages(self):
+        assert partition_layers(41, 2) == (21, 20)
+        assert partition_layers(10, 3) == (4, 3, 3)
+
+    def test_single_stage_identity(self):
+        assert partition_layers(32, 1) == (32,)
+
+    def test_counts_sum_to_layers(self):
+        for layers in (7, 32, 80):
+            for stages in (1, 2, 3, 4):
+                if layers >= stages:
+                    assert sum(partition_layers(layers, stages)) == layers
+
+    def test_more_stages_than_layers_rejected(self):
+        with pytest.raises(ValueError, match="split"):
+            partition_layers(2, 3)
+
+    def test_zero_stages_rejected(self):
+        with pytest.raises(ValueError, match="num_stages"):
+            partition_layers(8, 0)
+
+
+class TestPipelinePlan:
+    def test_balanced_constructor(self):
+        plan = PipelinePlan.balanced(LLAMA70B, 2, microbatches=4)
+        assert plan.layer_split == (40, 40)
+        assert plan.microbatches == 4
+
+    def test_invalid_microbatches_rejected(self):
+        with pytest.raises(ValueError, match="microbatches"):
+            PipelinePlan(layer_split=(40, 40), microbatches=0)
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(ValueError, match="layer"):
+            PipelinePlan(layer_split=(40, 0))
+
+
+class TestIterationTiming:
+    def test_single_stage_matches_monolithic_model(self):
+        """A 1-stage, 1-microbatch pipeline is exactly the perf model."""
+        system = get_system("vllm")
+        plan = PipelinePlan.balanced(LLAMA13B, 1)
+        pipe = pipeline_generation_iteration(
+            system, LLAMA13B, batch=16, context=1024, plan=plan
+        )
+        mono = generation_iteration(system, LLAMA13B, 16, 1024)
+        assert pipe.iteration_s == pytest.approx(mono.total_s, rel=1e-9)
+        assert pipe.bubble_fraction == pytest.approx(0.0)
+
+    def test_plan_must_cover_model(self):
+        system = get_system("vllm")
+        plan = PipelinePlan(layer_split=(10, 10))
+        with pytest.raises(ValueError, match="layers"):
+            pipeline_generation_iteration(
+                system, LLAMA13B, batch=4, context=256, plan=plan
+            )
+
+    def test_batch_must_be_positive(self):
+        system = get_system("vllm")
+        plan = PipelinePlan.balanced(LLAMA13B, 2)
+        with pytest.raises(ValueError, match="batch"):
+            pipeline_generation_iteration(
+                system, LLAMA13B, batch=0, context=256, plan=plan
+            )
+
+    def test_two_stages_one_microbatch_adds_no_bubble_but_serializes(
+        self,
+    ):
+        """M=1: the iteration is the sum of stage times (pure serial
+        dependency), and the bottleneck device idles half the time."""
+        system = get_system("vllm")
+        plan = PipelinePlan.balanced(LLAMA70B, 2, microbatches=1)
+        pipe = pipeline_generation_iteration(
+            system, LLAMA70B, batch=16, context=1024, plan=plan
+        )
+        total = sum(s.total_s for s in pipe.stage_times)
+        assert pipe.iteration_s == pytest.approx(total)
+        assert pipe.bubble_fraction == pytest.approx(0.5, abs=0.02)
+
+    def test_microbatching_shrinks_bubble(self):
+        system = get_system("vllm")
+        bubbles = []
+        for m in (1, 2, 4, 8):
+            plan = PipelinePlan.balanced(LLAMA70B, 2, microbatches=m)
+            pipe = pipeline_generation_iteration(
+                system, LLAMA70B, batch=32, context=1024, plan=plan
+            )
+            bubbles.append(pipe.bubble_fraction)
+        assert bubbles == sorted(bubbles, reverse=True)
+        # GPipe bound for equal stages: (S-1)/(S+M-1).
+        assert bubbles[-1] == pytest.approx(1.0 / 9.0, abs=0.02)
+
+    def test_microbatching_restreams_weights(self):
+        """More microbatches re-pay the weight stream: per-microbatch
+        nonattn time is weight-bound and constant, so M microbatches
+        cost ~M weight streams on the bottleneck stage."""
+        system = get_system("vllm")
+        one = pipeline_generation_iteration(
+            system, LLAMA70B, batch=32, context=1024,
+            plan=PipelinePlan.balanced(LLAMA70B, 2, microbatches=1),
+        )
+        eight = pipeline_generation_iteration(
+            system, LLAMA70B, batch=32, context=1024,
+            plan=PipelinePlan.balanced(LLAMA70B, 2, microbatches=8),
+        )
+        # Weight-bound regime: despite the smaller bubble, total
+        # iteration time grows because each microbatch restreams the
+        # 70B weight slice.
+        assert eight.iteration_s > one.iteration_s
+
+    def test_bottleneck_is_larger_stage(self):
+        system = get_system("vllm")
+        plan = PipelinePlan(layer_split=(60, 20))
+        pipe = pipeline_generation_iteration(
+            system, LLAMA70B, batch=16, context=1024, plan=plan
+        )
+        assert pipe.bottleneck_stage == 0
+
+    def test_throughput_property(self):
+        system = get_system("vllm")
+        plan = PipelinePlan.balanced(LLAMA70B, 2)
+        pipe = pipeline_generation_iteration(
+            system, LLAMA70B, batch=16, context=1024, plan=plan
+        )
+        assert pipe.throughput_tokens_per_s == pytest.approx(
+            16 / pipe.iteration_s
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        stages=st.integers(1, 4),
+        microbatches=st.integers(1, 8),
+        batch=st.integers(1, 64),
+    )
+    def test_property_iteration_bounded_below_by_bottleneck(
+        self, stages, microbatches, batch
+    ):
+        system = get_system("vllm")
+        plan = PipelinePlan.balanced(
+            LLAMA70B, stages, microbatches=microbatches
+        )
+        pipe = pipeline_generation_iteration(
+            system, LLAMA70B, batch=batch, context=512, plan=plan
+        )
+        slowest = max(s.total_s for s in pipe.stage_times)
+        assert pipe.iteration_s >= microbatches * slowest * (1 - 1e-9)
+        assert 0.0 <= pipe.bubble_fraction < 1.0
+
+
+class TestPipelineCapacity:
+    def test_two_stage_matches_monolithic_x2_approximation(self):
+        """The device catalog's a100x2 (160 GB monolith) and the
+        explicit balanced 2-stage pipeline admit ~the same batch."""
+        system = get_system("vllm")
+        plan = PipelinePlan.balanced(LLAMA70B, 2)
+        explicit = pipeline_max_batch(system, LLAMA70B, 2048, plan)
+        monolith = max_supported_batch(system, LLAMA70B, 2048)
+        assert explicit == pytest.approx(monolith, abs=2)
+
+    def test_unbalanced_split_reduces_capacity(self):
+        system = get_system("vllm")
+        balanced = pipeline_max_batch(
+            system, LLAMA70B, 2048, PipelinePlan.balanced(LLAMA70B, 2)
+        )
+        skewed = pipeline_max_batch(
+            system, LLAMA70B, 2048, PipelinePlan(layer_split=(60, 20))
+        )
+        assert skewed < balanced
+
+    def test_weights_too_large_for_stage_is_oom(self):
+        """Llama2-70B on a single A100 stage: the full 140 GB of
+        weights cannot fit, so a 1-stage plan reports 0."""
+        system = get_system("vllm")
+        plan = PipelinePlan.balanced(LLAMA70B, 1)
+        assert pipeline_max_batch(system, LLAMA70B, 2048, plan) == 0
+
+    def test_plan_must_cover_model(self):
+        system = get_system("vllm")
+        with pytest.raises(ValueError, match="layers"):
+            pipeline_max_batch(
+                system, LLAMA70B, 2048, PipelinePlan(layer_split=(40,))
+            )

@@ -1,0 +1,151 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+These tie together the flows a downstream user would run: model ->
+calibration -> quantizer -> forward-pass accuracy; model -> cache ->
+serialization -> MMU placement; trace -> scheduler -> hardware model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OakenConfig
+from repro.core.kvcache import QuantizedKVCache
+from repro.core.quantizer import OakenQuantizer
+from repro.core.serialization import deserialize, serialize
+from repro.core.thresholds import profile_thresholds
+from repro.data.corpus import build_corpus, calibration_corpus
+from repro.data.traces import generate_trace
+from repro.eval.harness import build_method_bundle
+from repro.hardware.cache_layout import OakenCacheLayout
+from repro.hardware.mmu import MemoryManagementUnit
+from repro.hardware.overheads import get_system
+from repro.models.config import get_model
+from repro.models.transformer import DecoderModel
+from repro.serving.simulator import simulate_synthesized_batches
+
+
+class TestModelToQuantizerFlow:
+    """Calibrate on real model KV, evaluate on held-out text."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self, small_model):
+        calibration = calibration_corpus(small_model, batch=3,
+                                         length=48)
+        return build_method_bundle(small_model, "oaken", calibration)
+
+    def test_quantized_ppl_close_to_fp(self, small_model, small_tokens,
+                                       fitted):
+        clean = small_model.perplexity(small_tokens)
+        quantized = small_model.perplexity(
+            small_tokens, kv_transforms=fitted.bundle()
+        )
+        # Oaken's loss on held-out text stays within ~15% perplexity.
+        assert clean < quantized < clean * 1.15
+
+    def test_thresholds_transfer_across_datasets(self, small_model,
+                                                 fitted):
+        """Observation 2 end to end: calibrate once, eval anywhere."""
+        bundle = fitted.bundle()
+        for dataset in ("piqa", "hellaswag"):
+            tokens = build_corpus(small_model, dataset, batch=2,
+                                  length=48)
+            clean = small_model.perplexity(tokens)
+            quantized = small_model.perplexity(
+                tokens, kv_transforms=bundle
+            )
+            assert quantized < clean * 1.25
+
+    def test_effective_bits_stable_across_inputs(self, small_model,
+                                                 fitted):
+        bits = []
+        for seed_dataset in ("wikitext2", "piqa"):
+            tokens = build_corpus(small_model, seed_dataset, batch=2,
+                                  length=48)
+            kv = small_model.collect_layer_kv(tokens)
+            bits.append(fitted.measured_bitwidth(kv))
+        assert abs(bits[0] - bits[1]) < 0.1
+
+
+class TestCacheToHardwareFlow:
+    """Real model KV -> quantized cache -> bytes -> MMU pages."""
+
+    def test_cache_serialize_place_roundtrip(self, small_model):
+        tokens = build_corpus(small_model, "wikitext2", batch=1,
+                              length=48)
+        kv = small_model.collect_layer_kv(tokens)
+        config = OakenConfig()
+        layers = len(kv)
+        key_q = [
+            OakenQuantizer(config, profile_thresholds([k], config))
+            for k, _ in kv
+        ]
+        value_q = [
+            OakenQuantizer(config, profile_thresholds([v], config))
+            for _, v in kv
+        ]
+        cache = QuantizedKVCache(key_q, value_q)
+        for layer, (keys, values) in enumerate(kv):
+            cache.append(layer, keys, values)
+
+        assert cache.length == tokens.size
+        assert 4.0 < cache.effective_bitwidth() < 7.0
+
+        # Serialize every encoded chunk and place it through the MMU.
+        # Short streams (48 tokens x 6 heads) want small pages; real
+        # deployments amortize 4 KiB pages over thousands of tokens.
+        mmu = MemoryManagementUnit(capacity_bytes=1 << 24,
+                                   page_bytes=256)
+        layout = OakenCacheLayout(
+            mmu, num_heads=small_model.shape.n_kv_heads
+        )
+        placed_bytes = 0
+        for layer_index, layer in enumerate(cache.layers):
+            for chunk in layer._key_chunks:
+                blob = serialize(chunk)
+                restored = deserialize(
+                    blob, chunk.config, chunk.thresholds
+                )
+                np.testing.assert_array_equal(
+                    chunk.dense_codes, restored.dense_codes
+                )
+                report = layout.place(0, layer_index, chunk)
+                placed_bytes += report.dense_bytes + report.sparse_bytes
+        assert placed_bytes > 0
+        assert mmu.fragmentation() < 0.9
+
+        # Freeing the sequence returns every page.
+        mmu.free_sequence(0)
+        assert mmu.pages_in_use == 0
+
+
+class TestServingFlow:
+    """Trace through scheduler through the hardware model."""
+
+    def test_all_systems_complete_the_trace(self):
+        arch = get_model("llama2-13b").arch
+        trace = generate_trace("conversation", num_requests=48, seed=7,
+                               max_tokens=1024)
+        expected_tokens = None
+        for name in ("vllm", "lpu", "oaken-lpddr"):
+            report = simulate_synthesized_batches(
+                get_system(name), arch, trace, 16
+            )
+            assert not report.oom
+            assert report.generation_throughput > 0
+            if expected_tokens is None:
+                expected_tokens = report.generated_tokens
+            else:
+                # Same workload => same token count on every platform.
+                assert report.generated_tokens == expected_tokens
+
+    def test_quantization_extends_reachable_batch(self):
+        arch = get_model("opt-30b").arch
+        trace = generate_trace("burstgpt", num_requests=64, seed=1,
+                               max_tokens=2048)
+        fp16 = simulate_synthesized_batches(
+            get_system("lpu"), arch, trace, 128
+        )
+        oaken = simulate_synthesized_batches(
+            get_system("oaken-lpddr"), arch, trace, 128
+        )
+        assert oaken.effective_batch > fp16.effective_batch

@@ -1,0 +1,47 @@
+"""Tests for the long-context accuracy extension."""
+
+import numpy as np
+import pytest
+
+from repro.eval.longcontext import run_long_context, tail_perplexity
+from repro.models.generation import generate_tokens
+
+
+class TestTailPerplexity:
+    def test_matches_full_perplexity_when_tail_covers_all(
+        self, small_model, small_tokens
+    ):
+        tail = small_tokens.shape[1] - 1
+        assert tail_perplexity(
+            small_model, small_tokens, tail
+        ) == pytest.approx(small_model.perplexity(small_tokens), rel=1e-6)
+
+    def test_tail_subset_differs(self, small_model, small_tokens):
+        full = tail_perplexity(
+            small_model, small_tokens, small_tokens.shape[1] - 1
+        )
+        short = tail_perplexity(small_model, small_tokens, 8)
+        assert short != pytest.approx(full, rel=1e-9)
+
+
+class TestLongContextDegradation:
+    @pytest.fixture(scope="class")
+    def rows(self, small_model):
+        return run_long_context(
+            small_model, lengths=(64, 160), tail=24, batch=2
+        )
+
+    def test_quantized_worse_than_fp(self, rows):
+        for row in rows:
+            assert row.quantized_tail_perplexity >= (
+                row.fp_tail_perplexity * 0.99
+            )
+
+    def test_degradation_does_not_explode_with_length(self, rows):
+        """Error must not compound with context length."""
+        short, long = rows
+        assert long.relative_increase < short.relative_increase + 0.20
+
+    def test_degradation_small_absolute(self, rows):
+        for row in rows:
+            assert row.relative_increase < 0.30

@@ -1,0 +1,155 @@
+"""Unit tests for the decoder model substrate."""
+
+import numpy as np
+import pytest
+
+from repro.models.config import get_model
+from repro.models.transformer import DecoderModel, KVTransformBundle
+
+
+@pytest.fixture(scope="module")
+def tokens(small_model):
+    rng = np.random.default_rng(0)
+    return rng.integers(0, small_model.shape.vocab, size=(2, 24))
+
+
+class TestForward:
+    def test_logit_shape(self, small_model, tokens):
+        logits = small_model.forward(tokens)
+        assert logits.shape == (2, 24, small_model.shape.vocab)
+
+    def test_deterministic(self, small_model, tokens):
+        a = small_model.forward(tokens)
+        b = small_model.forward(tokens)
+        np.testing.assert_array_equal(a, b)
+
+    def test_same_seed_same_weights(self, tokens):
+        spec = get_model("llama2-7b")
+        a = DecoderModel(spec).forward(tokens)
+        b = DecoderModel(spec).forward(tokens)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_models_different_weights(self, tokens):
+        a = DecoderModel(get_model("llama2-7b")).forward(tokens)
+        b = DecoderModel(get_model("opt-6.7b")).forward(tokens)
+        assert not np.allclose(a, b)
+
+    def test_causality(self, small_model):
+        """Changing a future token must not affect earlier logits."""
+        rng = np.random.default_rng(1)
+        base = rng.integers(0, small_model.shape.vocab, size=(1, 16))
+        changed = base.copy()
+        changed[0, -1] = (changed[0, -1] + 1) % small_model.shape.vocab
+        a = small_model.forward(base)
+        b = small_model.forward(changed)
+        np.testing.assert_allclose(a[0, :-1], b[0, :-1], atol=1e-9)
+
+    def test_1d_input_promoted(self, small_model):
+        logits = small_model.forward(np.arange(8))
+        assert logits.shape == (1, 8, small_model.shape.vocab)
+
+    def test_finite_logits(self, small_model, tokens):
+        assert np.isfinite(small_model.forward(tokens)).all()
+
+
+class TestArchitectureVariants:
+    def test_gqa_model_runs(self):
+        model = DecoderModel(get_model("llama2-70b"))
+        logits = model.forward(np.arange(12))
+        assert np.isfinite(logits).all()
+
+    def test_sliding_window_limits_attention(self):
+        """Beyond the window, early tokens cannot influence logits."""
+        model = DecoderModel(get_model("mistral-7b"))
+        window = model.shape.sliding_window
+        length = window + 24
+        rng = np.random.default_rng(2)
+        base = rng.integers(0, model.shape.vocab, size=(1, length))
+        changed = base.copy()
+        changed[0, 0] = (changed[0, 0] + 1) % model.shape.vocab
+        a = model.forward(base)
+        b = model.forward(changed)
+        # The change at position 0 propagates through layers, but the
+        # final token (distance > layers * window) is out of reach.
+        if model.shape.n_layers * window < length:
+            np.testing.assert_allclose(
+                a[0, -1], b[0, -1], atol=1e-9
+            )
+
+    def test_moe_model_runs(self):
+        model = DecoderModel(get_model("mixtral-8x7b"))
+        logits = model.forward(np.arange(12))
+        assert np.isfinite(logits).all()
+
+    def test_opt_uses_positions(self):
+        """OPT's learned positions: shifting a sequence changes logits."""
+        model = DecoderModel(get_model("opt-6.7b"))
+        tokens = np.arange(8)
+        a = model.forward(tokens)[0, -1]
+        padded = np.concatenate([np.zeros(4, dtype=int), tokens])
+        b = model.forward(padded)[0, -1]
+        assert not np.allclose(a, b)
+
+
+class TestKVTransforms:
+    def test_identity_bundle_matches_plain(self, small_model, tokens):
+        bundle = KVTransformBundle.identity(small_model.shape.n_layers)
+        a = small_model.forward(tokens)
+        b = small_model.forward(tokens, kv_transforms=bundle)
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_noise_transform_changes_logits(self, small_model, tokens):
+        def noisy(x):
+            return x + 0.5
+
+        n = small_model.shape.n_layers
+        bundle = KVTransformBundle(
+            key_fns=[noisy] * n, value_fns=[noisy] * n
+        )
+        a = small_model.forward(tokens)
+        b = small_model.forward(tokens, kv_transforms=bundle)
+        assert not np.allclose(a, b)
+
+    def test_collect_kv_shapes(self, small_model, tokens):
+        collected = small_model.collect_layer_kv(tokens)
+        assert len(collected) == small_model.shape.n_layers
+        for keys, values in collected:
+            assert keys.shape == (
+                tokens.size, small_model.shape.kv_dim
+            )
+            assert values.shape == keys.shape
+
+
+class TestPerplexity:
+    def test_better_than_uniform(self, small_model, small_tokens):
+        ppl = small_model.perplexity(small_tokens)
+        assert ppl < small_model.shape.vocab / 4
+
+    def test_corruption_increases_perplexity(self, small_model,
+                                             small_tokens):
+        def destroy(x):
+            return np.zeros_like(x)
+
+        n = small_model.shape.n_layers
+        bundle = KVTransformBundle(
+            key_fns=[destroy] * n, value_fns=[destroy] * n
+        )
+        clean = small_model.perplexity(small_tokens)
+        broken = small_model.perplexity(
+            small_tokens, kv_transforms=bundle
+        )
+        assert broken > clean
+
+    def test_sequence_log_likelihood_negative(self, small_model,
+                                              small_tokens):
+        ll = small_model.sequence_log_likelihood(small_tokens)
+        assert (ll < 0).all()
+
+    def test_ll_consistent_with_perplexity(self, small_model,
+                                           small_tokens):
+        ll = small_model.sequence_log_likelihood(small_tokens).sum()
+        predicted = small_tokens.shape[0] * (small_tokens.shape[1] - 1)
+        expected = float(np.exp(-ll / predicted))
+        assert small_model.perplexity(small_tokens) == pytest.approx(
+            expected
+        )

@@ -1,0 +1,85 @@
+"""Consistency between the perf model's overlap heuristic and the
+measured overlap schedule.
+
+:func:`repro.hardware.perf.generation_iteration` encodes Section 5.3
+as ``exposed = max(0, quant + dequant - 0.9 * t_attn)``; the
+:mod:`repro.hardware.overlap` scheduler measures exposure from an
+actual iteration schedule.  Both must agree on the paper's headline
+regimes: negligible exposure for Oaken's hardware engines at serving
+batch sizes, large exposure for the GPU software port.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.overheads import get_system
+from repro.hardware.overlap import OverlapConfig, simulate_overlap
+from repro.hardware.perf import generation_iteration
+from repro.models.config import get_model
+
+ARCH = get_model("llama2-7b").arch
+CONTEXT = 1024
+
+
+def measured_exposure_fraction(batch: int, system_name: str) -> float:
+    """Exposure fraction from the overlap schedule, fed with the same
+    per-request quantities the perf model uses."""
+    system = get_system(system_name)
+    kv_bits = system.kv_bits(ARCH)
+    kv_read = ARCH.attended_length(CONTEXT) * ARCH.kv_bytes_per_token(
+        kv_bits
+    )
+    new_kv = ARCH.kv_bytes_per_token(16.0)
+    breakdown = generation_iteration(system, ARCH, batch, CONTEXT)
+    attention_per_request = breakdown.attn_s / batch
+    if system_name == "oaken-lpddr":
+        config = OverlapConfig()  # hardware engine rates
+    else:
+        # GPU software port: effective (de)quantization rates far
+        # below the stream (warp-divergent kernels).
+        config = OverlapConfig(dequant_gbps=4.0, quant_gbps=0.5)
+    report = simulate_overlap(
+        batch, kv_read, new_kv, attention_per_request, config=config
+    )
+    return report.exposed_s / report.makespan_s
+
+
+class TestModelsAgree:
+    def test_oaken_engines_negligible_both_ways(self):
+        """Hardware engines: both models put exposure in the noise at
+        serving batch sizes."""
+        system = get_system("oaken-lpddr")
+        breakdown = generation_iteration(system, ARCH, 64, CONTEXT)
+        heuristic = breakdown.exposed_overhead_s / breakdown.total_s
+        measured = measured_exposure_fraction(64, "oaken-lpddr")
+        assert heuristic < 0.02
+        assert measured < 0.02
+
+    def test_gpu_port_significant_both_ways(self):
+        """Software port: both models put (de)quantization squarely on
+        the critical path."""
+        system = get_system("oaken-gpu")
+        breakdown = generation_iteration(system, ARCH, 64, CONTEXT)
+        heuristic = breakdown.exposed_overhead_s / breakdown.total_s
+        measured = measured_exposure_fraction(64, "oaken-gpu")
+        assert heuristic > 0.10
+        assert measured > 0.10
+
+    @pytest.mark.parametrize("batch", (16, 64, 128))
+    def test_ranking_preserved_across_batches(self, batch):
+        """At every batch, both models rank the hardware engines ahead
+        of the software port."""
+        hw = measured_exposure_fraction(batch, "oaken-lpddr")
+        sw = measured_exposure_fraction(batch, "oaken-gpu")
+        assert hw < sw
+        hw_b = generation_iteration(
+            get_system("oaken-lpddr"), ARCH, batch, CONTEXT
+        )
+        sw_b = generation_iteration(
+            get_system("oaken-gpu"), ARCH, batch, CONTEXT
+        )
+        assert (
+            hw_b.exposed_overhead_s / hw_b.total_s
+            < sw_b.exposed_overhead_s / sw_b.total_s
+        )

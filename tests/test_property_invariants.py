@@ -1,0 +1,216 @@
+"""Cross-module property-based invariants of the Oaken algorithm.
+
+These tie the algorithm's pieces together under randomized inputs:
+reconstruction error bounds implied by the group structure, storage
+accounting consistency between the analytic and materialized paths,
+and monotonicity of the accuracy/compression trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import OakenConfig
+from repro.core.encoding import sparse_record_bits
+from repro.core.grouping import MIDDLE_GROUP, assign_groups
+from repro.core.quantizer import (
+    OakenQuantizer,
+    expected_effective_bitwidth,
+)
+from repro.core.thresholds import profile_thresholds
+from repro.quant.metrics import signal_to_quantization_noise
+
+
+def build_quantizer(seed: int, config: OakenConfig, dim: int = 64):
+    rng = np.random.default_rng(seed)
+    samples = [rng.standard_normal((48, dim)) * 3.0 for _ in range(4)]
+    return OakenQuantizer(config, profile_thresholds(samples, config)), rng
+
+
+class TestReconstructionBounds:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), scale=st.floats(0.2, 10.0))
+    def test_outlier_error_bounded_by_band_quantile_step(
+        self, seed, scale
+    ):
+        """Every sparse-band element reconstructs within one
+        quantization step of its band's (FP16-rounded) magnitude
+        span."""
+        config = OakenConfig()
+        quantizer, rng = build_quantizer(seed, config)
+        x = rng.standard_normal((8, 64)) * scale
+        encoded = quantizer.quantize(x)
+        restored = quantizer.dequantize(encoded).astype(np.float64)
+        partition = assign_groups(x, quantizer.thresholds)
+        steps = 2 ** (config.outlier_bits - 1) - 1
+        for band in range(config.num_sparse_bands):
+            mask = partition.band_mask(band)
+            if not mask.any():
+                continue
+            for token in range(x.shape[0]):
+                row = mask[token]
+                if not row.any():
+                    continue
+                lo = float(encoded.band_lo[token, band])
+                hi = float(encoded.band_hi[token, band])
+                span = hi - lo
+                # One code step plus FP16 rounding slack on the stored
+                # bounds (relative to their magnitude, which is what
+                # survives when a band holds a single element and the
+                # span collapses to zero).
+                budget = (
+                    span / steps / 2
+                    + 1e-3 * max(abs(lo), abs(hi))
+                    + 1e-6
+                )
+                error = np.abs(restored[token, row] - x[token, row])
+                assert float(error.max()) <= budget + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), scale=st.floats(0.2, 10.0))
+    def test_middle_error_bounded_by_step_plus_inner_threshold(
+        self, seed, scale
+    ):
+        """Dense inliers reconstruct within one 4-bit step of the
+        shifted span plus the sign-recovery slack, which is bounded by
+        the inner threshold magnitude (module docstring of the
+        quantizer)."""
+        config = OakenConfig()
+        quantizer, rng = build_quantizer(seed, config)
+        x = rng.standard_normal((8, 64)) * scale
+        encoded = quantizer.quantize(x)
+        restored = quantizer.dequantize(encoded).astype(np.float64)
+        partition = assign_groups(x, quantizer.thresholds)
+        mask = partition.middle_mask
+        steps = 2**config.inlier_bits - 1
+        inner_slack = float(quantizer.thresholds.inner_mag[0])
+        for token in range(x.shape[0]):
+            row = mask[token]
+            if not row.any():
+                continue
+            lo = float(encoded.middle_lo[token])
+            hi = float(encoded.middle_hi[token])
+            span = hi - lo
+            budget = (
+                span / steps / 2 + 2 * inner_slack
+                + 1e-3 * max(abs(lo), abs(hi)) + 1e-6
+            )
+            error = np.abs(restored[token, row] - x[token, row])
+            assert float(error.max()) <= budget + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_roundtrip_is_idempotent(self, seed):
+        """Quantizing an already-roundtripped tensor changes little:
+        the second pass re-reads values that already sit on code
+        points of nearly identical scales."""
+        quantizer, rng = build_quantizer(seed, OakenConfig())
+        x = rng.standard_normal((8, 64)) * 3.0
+        once = quantizer.roundtrip(x).astype(np.float64)
+        twice = quantizer.roundtrip(once).astype(np.float64)
+        denom = max(1e-9, float(np.abs(once).max()))
+        assert float(np.abs(twice - once).max()) / denom < 0.05
+
+
+class TestStorageAccounting:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        ratio=st.sampled_from(["4/90/6", "90/10", "10/90", "2/2/90/6"]),
+        fused=st.booleans(),
+    )
+    def test_materialized_bits_match_analytic_at_observed_ratio(
+        self, seed, ratio, fused
+    ):
+        """EncodedKV.effective_bitwidth agrees with the closed-form
+        accounting once the *observed* outlier fraction is plugged
+        in."""
+        config = OakenConfig.from_ratio_string(
+            ratio, fused_encoding=fused
+        )
+        quantizer, rng = build_quantizer(seed, config)
+        x = rng.standard_normal((16, 64)) * 3.0
+        encoded = quantizer.quantize(x)
+        observed = encoded.num_outliers / x.size
+        record = sparse_record_bits(config)
+        scalars = 2 + 2 * config.num_sparse_bands
+        analytic = (
+            config.inlier_bits
+            + observed * record
+            + scalars * config.scale_bits / 64
+        )
+        assert encoded.effective_bitwidth() == pytest.approx(
+            analytic, rel=1e-9
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_expected_bitwidth_tracks_materialized(self, seed):
+        """The configured-ratio estimate lands near the materialized
+        value when the data matches the profiled distribution."""
+        config = OakenConfig()
+        quantizer, rng = build_quantizer(seed, config)
+        x = rng.standard_normal((64, 64)) * 3.0
+        encoded = quantizer.quantize(x)
+        assert encoded.effective_bitwidth() == pytest.approx(
+            expected_effective_bitwidth(config, 64), rel=0.15
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_fused_encoding_never_larger(self, seed):
+        """Fusion strictly reduces stored bits whenever any outlier
+        exists (8-bit vs 23-bit records)."""
+        fused_cfg = OakenConfig(fused_encoding=True)
+        naive_cfg = OakenConfig(fused_encoding=False)
+        fused_q, rng = build_quantizer(seed, fused_cfg)
+        naive_q, _ = build_quantizer(seed, naive_cfg)
+        x = rng.standard_normal((16, 64)) * 3.0
+        fused = fused_q.quantize(x)
+        naive = naive_q.quantize(x)
+        if fused.num_outliers:
+            assert fused.nbytes() < naive.nbytes()
+        else:
+            assert fused.nbytes() == naive.nbytes()
+
+
+class TestTradeoffMonotonicity:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_wider_inlier_codes_do_not_hurt(self, seed):
+        """More inlier bits at the same grouping: SQNR must not drop
+        (beyond FP16 rounding noise)."""
+        rng = np.random.default_rng(seed)
+        samples = [rng.standard_normal((48, 64)) * 3.0 for _ in range(4)]
+        x = rng.standard_normal((16, 64)) * 3.0
+        sqnrs = []
+        for bits in (3, 4, 6):
+            config = OakenConfig(inlier_bits=bits)
+            quantizer = OakenQuantizer(
+                config, profile_thresholds(samples, config)
+            )
+            sqnrs.append(
+                signal_to_quantization_noise(x, quantizer.roundtrip(x))
+            )
+        assert sqnrs[1] >= sqnrs[0] - 0.5
+        assert sqnrs[2] >= sqnrs[1] - 0.5
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_group_labels_partition_every_element(self, seed):
+        config = OakenConfig.from_ratio_string("2/2/90/3/3")
+        quantizer, rng = build_quantizer(seed, config)
+        x = rng.standard_normal((8, 64)) * 3.0
+        partition = assign_groups(x, quantizer.thresholds)
+        labels = partition.labels
+        valid = (labels == MIDDLE_GROUP) | (
+            (labels >= 0) & (labels < config.num_sparse_bands)
+        )
+        assert valid.all()
+        assert (
+            partition.middle_mask.sum() + partition.outlier_mask.sum()
+            == x.size
+        )

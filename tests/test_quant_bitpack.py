@@ -1,0 +1,81 @@
+"""Unit tests for sub-byte bit packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.bitpack import pack_bits, packed_nbytes, unpack_bits
+
+
+class TestPackedNbytes:
+    def test_exact_byte_multiples(self):
+        assert packed_nbytes(2, 4) == 1
+        assert packed_nbytes(8, 4) == 4
+        assert packed_nbytes(8, 8) == 8
+
+    def test_rounds_up(self):
+        assert packed_nbytes(3, 4) == 2
+        assert packed_nbytes(1, 5) == 1
+        assert packed_nbytes(2, 5) == 2
+
+    def test_zero_count(self):
+        assert packed_nbytes(0, 4) == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            packed_nbytes(4, 0)
+        with pytest.raises(ValueError):
+            packed_nbytes(4, 17)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            packed_nbytes(-1, 4)
+
+
+class TestPackUnpack:
+    def test_roundtrip_4bit(self):
+        codes = np.arange(16, dtype=np.uint16)
+        packed = pack_bits(codes, 4)
+        assert packed.size == 8
+        np.testing.assert_array_equal(unpack_bits(packed, 4, 16), codes)
+
+    def test_roundtrip_5bit(self):
+        codes = np.arange(32, dtype=np.uint16)
+        packed = pack_bits(codes, 5)
+        assert packed.size == packed_nbytes(32, 5)
+        np.testing.assert_array_equal(unpack_bits(packed, 5, 32), codes)
+
+    def test_empty(self):
+        packed = pack_bits(np.array([], dtype=np.uint16), 4)
+        assert packed.size == 0
+        assert unpack_bits(packed, 4, 0).size == 0
+
+    def test_overflow_code_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([16]), 4)
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_bits(np.zeros(1, dtype=np.uint8), 4, 10)
+
+    def test_known_layout_lsb_first(self):
+        # codes [0x1, 0x2] at width 4 -> byte 0x21 (little-endian
+        # nibbles within the byte).
+        packed = pack_bits(np.array([0x1, 0x2]), 4)
+        assert packed[0] == 0x21
+
+    @given(
+        width=st.integers(1, 12),
+        n=st.integers(0, 200),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, width, n, seed):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 2**width, size=n).astype(np.uint16)
+        packed = pack_bits(codes, width)
+        assert packed.size == packed_nbytes(n, width)
+        np.testing.assert_array_equal(
+            unpack_bits(packed, width, n), codes
+        )

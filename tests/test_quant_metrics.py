@@ -1,0 +1,89 @@
+"""Unit tests for error metrics and storage accounting."""
+
+import numpy as np
+import pytest
+
+from repro.quant.metrics import (
+    StorageFootprint,
+    effective_bitwidth,
+    max_abs_error,
+    mean_squared_error,
+    signal_to_quantization_noise,
+)
+
+
+class TestErrorMetrics:
+    def test_mse_zero_for_identical(self):
+        x = np.ones((4, 4))
+        assert mean_squared_error(x, x) == 0.0
+
+    def test_mse_known_value(self):
+        a = np.zeros(4)
+        b = np.full(4, 2.0)
+        assert mean_squared_error(a, b) == pytest.approx(4.0)
+
+    def test_max_abs_known_value(self):
+        a = np.array([0.0, 1.0, -3.0])
+        b = np.array([0.5, 1.0, 1.0])
+        assert max_abs_error(a, b) == pytest.approx(4.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(3), np.zeros(4))
+
+    def test_empty_arrays(self):
+        assert mean_squared_error(np.array([]), np.array([])) == 0.0
+        assert max_abs_error(np.array([]), np.array([])) == 0.0
+
+    def test_sqnr_infinite_for_exact(self):
+        x = np.arange(5.0)
+        assert signal_to_quantization_noise(x, x) == float("inf")
+
+    def test_sqnr_known_value(self):
+        signal = np.full(8, 10.0)
+        noisy = signal + 1.0
+        # 10 log10(100 / 1) = 20 dB
+        assert signal_to_quantization_noise(signal, noisy) == (
+            pytest.approx(20.0)
+        )
+
+    def test_sqnr_zero_signal(self):
+        assert signal_to_quantization_noise(
+            np.zeros(4), np.ones(4)
+        ) == float("-inf")
+
+
+class TestStorageFootprint:
+    def test_effective_bitwidth(self):
+        fp = StorageFootprint(
+            element_count=100, dense_bits=400.0, sparse_bits=80.0,
+            metadata_bits=20.0,
+        )
+        assert fp.effective_bitwidth == pytest.approx(5.0)
+        assert fp.total_bytes == pytest.approx(62.5)
+
+    def test_zero_elements(self):
+        assert StorageFootprint(element_count=0).effective_bitwidth == 0.0
+
+    def test_compression_ratio_vs_fp16(self):
+        fp = StorageFootprint(element_count=100, dense_bits=400.0)
+        assert fp.compression_ratio() == pytest.approx(4.0)
+
+    def test_merge_adds_components(self):
+        a = StorageFootprint(
+            element_count=10, dense_bits=40, breakdown={"d": 40.0}
+        )
+        b = StorageFootprint(
+            element_count=10, dense_bits=60, sparse_bits=8,
+            breakdown={"d": 60.0, "s": 8.0},
+        )
+        merged = a.merged_with(b)
+        assert merged.element_count == 20
+        assert merged.dense_bits == 100
+        assert merged.breakdown["d"] == 100.0
+        assert merged.breakdown["s"] == 8.0
+
+    def test_helper_function(self):
+        assert effective_bitwidth(10, 40.0, 8.0, 2.0) == pytest.approx(5.0)

@@ -1,0 +1,119 @@
+"""Unit tests for the uniform quantization primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.uniform import (
+    UniformCodec,
+    dequantize_uniform,
+    quantize_uniform,
+    scaling_factor,
+)
+
+
+class TestScalingFactor:
+    def test_eq2_formula(self):
+        # sigma = (2^m - 1) / (max - min)
+        assert scaling_factor(0.0, 1.0, 4) == pytest.approx(15.0)
+        assert scaling_factor(-2.0, 2.0, 5) == pytest.approx(31.0 / 4.0)
+
+    def test_degenerate_range_returns_one(self):
+        assert scaling_factor(3.0, 3.0, 4) == 1.0
+
+    def test_negative_span_treated_as_degenerate(self):
+        assert scaling_factor(1.0, 0.0, 4) == 1.0
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            scaling_factor(0.0, 1.0, 0)
+
+    def test_more_bits_larger_scale(self):
+        assert scaling_factor(0.0, 1.0, 8) > scaling_factor(0.0, 1.0, 4)
+
+
+class TestQuantizeDequantize:
+    def test_codes_within_range(self):
+        values = np.linspace(-1, 1, 100)
+        codes = quantize_uniform(values, -1.0, 1.0, 4)
+        assert codes.min() >= 0
+        assert codes.max() <= 15
+
+    def test_endpoints_map_to_extremes(self):
+        codes = quantize_uniform(np.array([-1.0, 1.0]), -1.0, 1.0, 4)
+        assert codes[0] == 0
+        assert codes[1] == 15
+
+    def test_out_of_range_values_clip(self):
+        codes = quantize_uniform(np.array([-5.0, 5.0]), -1.0, 1.0, 4)
+        assert codes[0] == 0
+        assert codes[1] == 15
+
+    def test_roundtrip_error_bounded_by_half_step(self):
+        values = np.linspace(-3, 7, 257)
+        restored = dequantize_uniform(
+            quantize_uniform(values, -3.0, 7.0, 6), -3.0, 7.0, 6
+        )
+        step = 10.0 / 63.0
+        assert np.max(np.abs(values - restored)) <= step / 2 + 1e-9
+
+    def test_degenerate_range_roundtrip(self):
+        values = np.full(10, 2.5)
+        restored = dequantize_uniform(
+            quantize_uniform(values, 2.5, 2.5, 4), 2.5, 2.5, 4
+        )
+        np.testing.assert_allclose(restored, values)
+
+    def test_preserves_shape(self):
+        values = np.zeros((3, 4, 5))
+        assert quantize_uniform(values, -1, 1, 4).shape == (3, 4, 5)
+
+
+class TestUniformCodec:
+    def test_from_values_captures_minmax(self):
+        codec = UniformCodec.from_values(np.array([-2.0, 0.5, 3.0]), 4)
+        assert codec.lo == -2.0
+        assert codec.hi == 3.0
+
+    def test_from_empty_values_degenerate(self):
+        codec = UniformCodec.from_values(np.array([]), 4)
+        assert codec.lo == 0.0 and codec.hi == 0.0
+
+    def test_num_levels(self):
+        assert UniformCodec(0, 1, 4).num_levels == 16
+        assert UniformCodec(0, 1, 5).num_levels == 32
+
+    def test_roundtrip_within_bound(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-4, 4, size=500)
+        codec = UniformCodec.from_values(values, 5)
+        error = np.abs(codec.roundtrip(values) - values)
+        assert error.max() <= codec.max_roundtrip_error() + 1e-9
+
+    def test_degenerate_codec_zero_error_bound(self):
+        assert UniformCodec(1.0, 1.0, 4).max_roundtrip_error() == 0.0
+
+    @given(
+        lo=st.floats(-100, 99),
+        span=st.floats(0.01, 200),
+        bits=st.integers(2, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip_bound(self, lo, span, bits):
+        rng = np.random.default_rng(42)
+        values = rng.uniform(lo, lo + span, size=64)
+        codec = UniformCodec(lo, lo + span, bits)
+        error = np.abs(codec.roundtrip(values) - values)
+        # Reconstructions are float32, so allow a couple of ULPs at the
+        # range's magnitude on top of the half-step bound.
+        ulp = 2 * float(np.spacing(np.float32(abs(lo) + span)))
+        assert error.max() <= codec.max_roundtrip_error() + ulp
+
+    @given(bits=st.integers(2, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_property_monotonic_codes(self, bits):
+        values = np.linspace(-1, 1, 50)
+        codec = UniformCodec(-1.0, 1.0, bits)
+        codes = codec.encode(values).astype(int)
+        assert (np.diff(codes) >= 0).all()

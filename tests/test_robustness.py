@@ -1,0 +1,123 @@
+"""Robustness / failure-injection tests for the offline thresholds.
+
+The offline-online hybrid's central risk is distribution shift: serve
+traffic that looks nothing like the calibration runs.  These tests
+inject shifts and check the documented behaviour: graceful degradation
+(outlier fractions drift, reconstruction error grows smoothly) rather
+than catastrophic failure, plus the core-occupancy model backing
+Figure 3(a)/(b).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OakenConfig
+from repro.core.grouping import assign_groups
+from repro.core.quantizer import OakenQuantizer
+from repro.hardware.coremap import (
+    batching_occupancy_gain,
+    generation_occupancy,
+    occupancy_timeline,
+    prefill_occupancy,
+)
+from repro.models.config import get_model
+
+from conftest import make_kv_matrix
+
+ARCH = get_model("llama2-7b").arch
+
+
+@pytest.fixture(scope="module")
+def quantizer(kv_samples):
+    return OakenQuantizer.from_samples(kv_samples, OakenConfig())
+
+
+class TestDistributionShift:
+    def test_mild_scale_shift_degrades_gracefully(self, quantizer,
+                                                  kv_matrix):
+        base_rmse = np.sqrt(
+            np.mean((quantizer.roundtrip(kv_matrix) - kv_matrix) ** 2)
+        )
+        shifted = kv_matrix * 1.3
+        shift_rmse = np.sqrt(
+            np.mean((quantizer.roundtrip(shifted) - shifted) ** 2)
+        )
+        # 30% wider data: error grows, but stays the same order.
+        assert shift_rmse < 4 * base_rmse
+
+    def test_severe_shift_still_finite(self, quantizer):
+        wild = make_kv_matrix(tokens=64, seed=77) * 50.0
+        restored = quantizer.roundtrip(wild)
+        assert np.isfinite(restored).all()
+
+    def test_outlier_fraction_tracks_shift(self, quantizer, kv_matrix):
+        """Wider inputs push more values past the fixed thresholds."""
+        base = assign_groups(
+            kv_matrix, quantizer.thresholds
+        ).outlier_fraction()
+        wide = assign_groups(
+            kv_matrix * 2.0, quantizer.thresholds
+        ).outlier_fraction()
+        assert wide > base
+
+    def test_shrunk_inputs_route_to_inner(self, quantizer, kv_matrix):
+        """Narrow inputs fall inside the inner thresholds, not outside."""
+        partition = assign_groups(
+            kv_matrix * 0.01, quantizer.thresholds
+        )
+        counts = partition.band_counts()
+        # Band 1 is the inner (near-zero) band in the 3-group config.
+        assert counts[1] > counts[0]
+
+    def test_zero_variance_input(self, quantizer):
+        constant = np.full((16, 64), 3.0)
+        restored = quantizer.roundtrip(constant)
+        assert np.isfinite(restored).all()
+        assert np.abs(restored - constant).max() < 1.0
+
+    def test_adversarial_single_spike(self, quantizer):
+        x = np.zeros((8, 64))
+        x[3, 17] = 1e4
+        restored = quantizer.roundtrip(x)
+        # The spike saturates its band scale but must not corrupt the
+        # rest of the tensor.
+        others = np.delete(restored.ravel(), 3 * 64 + 17)
+        assert np.abs(others).max() < 1.0
+
+    def test_nan_free_on_extreme_dynamic_range(self, quantizer):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((32, 64)) * np.logspace(
+            -6, 3, 64
+        )[None, :]
+        assert np.isfinite(quantizer.roundtrip(x)).all()
+
+
+class TestCoreOccupancy:
+    def test_prefill_fills_cores(self):
+        occ = prefill_occupancy(ARCH, batch=1, prompt_tokens=1024)
+        assert occ.occupancy == 1.0
+
+    def test_single_request_generation_underutilizes(self):
+        occ = generation_occupancy(ARCH, batch=1)
+        assert occ.occupancy == pytest.approx(1 / 256)
+
+    def test_batching_fills_generation(self):
+        occ = generation_occupancy(ARCH, batch=256)
+        assert occ.occupancy == 1.0
+
+    def test_gain_linear_until_cores_exhausted(self):
+        assert batching_occupancy_gain(ARCH, 64) == pytest.approx(64.0)
+        assert batching_occupancy_gain(ARCH, 512) == pytest.approx(256.0)
+
+    def test_timeline_shape(self):
+        timeline = occupancy_timeline(
+            ARCH, batch=4, prompt_tokens=128, output_tokens=64
+        )
+        assert [t.phase for t in timeline] == ["prefill", "generation"]
+        assert timeline[0].occupancy > timeline[1].occupancy
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            prefill_occupancy(ARCH, batch=0, prompt_tokens=8)
+        with pytest.raises(ValueError):
+            generation_occupancy(ARCH, batch=0)

@@ -1,0 +1,184 @@
+"""Unit tests for the scheduler and trace-driven simulator."""
+
+import pytest
+
+from repro.data.traces import TraceRequest, generate_trace
+from repro.hardware.overheads import get_system
+from repro.models.config import get_model
+from repro.serving.request import Request, RequestPhase
+from repro.serving.scheduler import ContinuousBatchScheduler
+from repro.serving.simulator import (
+    simulate_synthesized_batches,
+    simulate_trace,
+)
+
+ARCH = get_model("llama2-13b").arch
+
+
+def make_request(i, arrival=0.0, inputs=64, outputs=8):
+    return Request(
+        request_id=i, arrival_s=arrival,
+        input_tokens=inputs, output_tokens=outputs,
+    )
+
+
+class TestRequest:
+    def test_context_length_grows(self):
+        request = make_request(0)
+        assert request.context_length == 64
+        request.generated = 5
+        assert request.context_length == 69
+
+    def test_latency_requires_finish(self):
+        with pytest.raises(RuntimeError):
+            make_request(0).latency_s()
+
+    def test_latency_value(self):
+        request = make_request(0, arrival=1.0)
+        request.finish_s = 3.5
+        assert request.latency_s() == pytest.approx(2.5)
+
+
+class TestScheduler:
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousBatchScheduler(0)
+
+    def test_admission_respects_capacity(self):
+        scheduler = ContinuousBatchScheduler(2)
+        for i in range(5):
+            scheduler.submit(make_request(i))
+        plan = scheduler.plan_iteration(0.0)
+        assert len(plan.admitted) == 2
+        assert scheduler.pending == 3
+
+    def test_admission_respects_arrival_time(self):
+        scheduler = ContinuousBatchScheduler(4)
+        scheduler.submit(make_request(0, arrival=0.0))
+        scheduler.submit(make_request(1, arrival=10.0))
+        plan = scheduler.plan_iteration(0.0)
+        assert len(plan.admitted) == 1
+
+    def test_plan_none_before_any_arrival(self):
+        scheduler = ContinuousBatchScheduler(4)
+        scheduler.submit(make_request(0, arrival=5.0))
+        assert scheduler.plan_iteration(0.0) is None
+        assert scheduler.next_arrival() == 5.0
+
+    def test_completion_retires_and_refills(self):
+        scheduler = ContinuousBatchScheduler(1)
+        scheduler.submit(make_request(0, outputs=1))
+        scheduler.submit(make_request(1, outputs=1))
+        plan = scheduler.plan_iteration(0.0)
+        assert plan.resident[0].request_id == 0
+        retired = scheduler.complete_iteration(1.0)
+        assert len(retired) == 1
+        assert retired[0].phase == RequestPhase.FINISHED
+        plan = scheduler.plan_iteration(1.0)
+        assert plan.resident[0].request_id == 1
+
+    def test_fifo_order(self):
+        scheduler = ContinuousBatchScheduler(2)
+        for i in range(3):
+            scheduler.submit(make_request(i))
+        plan = scheduler.plan_iteration(0.0)
+        assert [r.request_id for r in plan.admitted] == [0, 1]
+
+    def test_ragged_flag(self):
+        scheduler = ContinuousBatchScheduler(2)
+        scheduler.submit(make_request(0, inputs=64))
+        scheduler.submit(make_request(1, inputs=512))
+        plan = scheduler.plan_iteration(0.0)
+        assert plan.ragged
+
+    def test_uniform_prompts_not_ragged(self):
+        scheduler = ContinuousBatchScheduler(2)
+        scheduler.submit(make_request(0, inputs=100))
+        scheduler.submit(make_request(1, inputs=110))
+        plan = scheduler.plan_iteration(0.0)
+        assert not plan.ragged
+
+    def test_all_requests_eventually_finish(self):
+        scheduler = ContinuousBatchScheduler(3)
+        for i in range(7):
+            scheduler.submit(make_request(i, outputs=2))
+        now = 0.0
+        while scheduler.has_work:
+            plan = scheduler.plan_iteration(now)
+            assert plan is not None
+            now += 0.1
+            scheduler.complete_iteration(now)
+        assert len(scheduler.finished) == 7
+        generated = sum(r.generated for r in scheduler.finished)
+        assert generated == 14
+
+
+class TestTraceSimulation:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_trace(get_system("vllm"), ARCH, [], 16)
+
+    def test_all_tokens_generated(self):
+        trace = [
+            TraceRequest(arrival_s=0.0, input_tokens=128,
+                         output_tokens=16)
+            for _ in range(8)
+        ]
+        report = simulate_trace(get_system("oaken-lpddr"), ARCH, trace, 4)
+        assert report.generated_tokens == 8 * 16
+        assert report.generation_throughput > 0
+        assert report.mean_latency_s > 0
+
+    def test_oom_when_model_does_not_fit(self):
+        arch70 = get_model("llama2-70b").arch
+        trace = [
+            TraceRequest(arrival_s=0.0, input_tokens=64, output_tokens=8)
+        ]
+        report = simulate_trace(get_system("oaken-hbm"), arch70, trace, 4)
+        assert report.oom
+
+    def test_cap_clipped_to_capacity(self):
+        trace = [
+            TraceRequest(arrival_s=0.0, input_tokens=2048,
+                         output_tokens=2048)
+            for _ in range(4)
+        ]
+        report = simulate_trace(get_system("lpu"), ARCH, trace, 1000)
+        assert report.effective_batch < 1000
+
+    def test_latency_percentile_ordering(self):
+        trace = generate_trace("conversation", num_requests=24, seed=0,
+                               max_tokens=512)
+        report = simulate_trace(get_system("vllm"), ARCH, trace, 8)
+        assert report.p95_latency_s >= report.mean_latency_s
+
+
+class TestSynthesizedBatches:
+    def test_throughput_positive(self):
+        trace = generate_trace("burstgpt", num_requests=64, seed=1,
+                               max_tokens=1024)
+        report = simulate_synthesized_batches(
+            get_system("oaken-lpddr"), ARCH, trace, 16
+        )
+        assert report.generation_throughput > 0
+        assert not report.oom
+
+    def test_oaken_beats_lpu_on_burstgpt(self):
+        """KV quantization pays off on long-output traces (Fig 14)."""
+        trace = generate_trace("burstgpt", num_requests=64, seed=1,
+                               max_tokens=2048)
+        lpu = simulate_synthesized_batches(
+            get_system("lpu"), ARCH, trace, 64
+        )
+        oaken = simulate_synthesized_batches(
+            get_system("oaken-lpddr"), ARCH, trace, 64
+        )
+        assert oaken.generation_throughput > (
+            1.2 * lpu.generation_throughput
+        )
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_synthesized_batches(
+                get_system("vllm"), ARCH, [], 8
+            )
