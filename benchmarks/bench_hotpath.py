@@ -1,0 +1,39 @@
+"""Hot-path perf benchmark: fused datapath vs. the frozen seed kernels.
+
+Not collected by the default ``test_*`` glob (perf numbers are noisy on
+shared CI boxes); run it explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py -q \
+        --bench-out BENCH_quant.json
+
+or, without pytest, ``PYTHONPATH=src python -m repro.bench`` for the
+full-size run.  The assertions here use reduced sizes and conservative
+floors — they catch order-of-magnitude regressions, not percent-level
+drift; the JSON trajectory in ``BENCH_quant.json`` tracks the latter.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.hotpath import run_benchmarks
+
+
+def test_hotpath_speedups(bench_out):
+    """Reduced-size harness run: floors on every tracked speedup."""
+    start = time.perf_counter()
+    report = run_benchmarks(quick=True, out_path=bench_out)
+    elapsed = time.perf_counter() - start
+
+    bench = report["benchmarks"]
+    enc = bench["encode_roundtrip"]
+    gen = bench["generation"]
+    # Full-size targets are >=5x (encode roundtrip) and >=10x
+    # (512-step generation); at smoke sizes fixed overheads bite, so
+    # assert well below them.
+    assert enc["speedup_roundtrip"] > 2.0
+    assert enc["speedup_roundtrip_f32"] > 2.0
+    assert gen["speedup"] > 3.0
+    assert gen["tokens_identical"]
+    assert bench["bitpack"]["width4"]["speedup_pack"] > 1.0
+    assert elapsed < 60.0

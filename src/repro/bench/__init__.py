@@ -1,0 +1,54 @@
+"""Perf-regression harness for the quantized KV datapath.
+
+This package times the repo's hot paths against the frozen seed
+implementation (:mod:`repro.core.reference`) and records the results in
+a machine-readable ``BENCH_quant.json``, giving every future PR a
+trajectory to beat.
+
+Run it as a module::
+
+    PYTHONPATH=src python -m repro.bench                 # full sizes
+    PYTHONPATH=src python -m repro.bench --quick         # CI-sized
+    PYTHONPATH=src python -m repro.bench --out my.json
+
+Three benchmarks are recorded:
+
+``encode_roundtrip``
+    Quantize + dequantize of a [tokens, dim] KV matrix (default
+    [4096, 4096]).  ``seed_*`` times the reference multi-pass kernels;
+    ``fused_*`` the single-pass kernel in float64 (bit-identical) and
+    float32 (documented-tolerance deployment mode).
+
+``generation``
+    A full autoregressive run through the quantized cache.  The seed
+    side re-decodes the whole cached history every step
+    (``incremental=False`` + reference kernels); the fused side uses
+    streaming appends and memoized incremental reads.  Both sides must
+    emit identical tokens — the benchmark asserts it.
+
+``bitpack``
+    Width-4/8 byte-arithmetic packing fast paths vs. the generic
+    bit-matrix routine.
+
+Interpretation: each entry carries absolute seconds and a ``speedup``
+(seed time / optimized time).  Regressions show up as a speedup drop
+between two commits' ``BENCH_quant.json``; the smoke test in
+``tests/test_bench.py`` keeps the harness itself runnable in under a
+minute at reduced sizes.
+"""
+
+from repro.bench.hotpath import (
+    bench_bitpack,
+    bench_encode_roundtrip,
+    bench_generation,
+    run_benchmarks,
+    write_report,
+)
+
+__all__ = [
+    "bench_bitpack",
+    "bench_encode_roundtrip",
+    "bench_generation",
+    "run_benchmarks",
+    "write_report",
+]

@@ -1,0 +1,61 @@
+"""``python -m repro.bench`` — run the perf harness, write BENCH_quant.json.
+
+Options mirror :func:`repro.bench.hotpath.run_benchmarks`; the default
+invocation runs the full-size suite ([4096, 4096] encode, 512-step
+generation) and writes ``BENCH_quant.json`` in the working directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.hotpath import DEFAULT_OUT, format_summary, run_benchmarks
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Time the quantized-KV hot paths against the seed "
+        "implementation and write a machine-readable report.",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sizes; finishes in well under a minute",
+    )
+    parser.add_argument(
+        "--tokens", type=int, default=None,
+        help="encode benchmark token count (rows)",
+    )
+    parser.add_argument(
+        "--dim", type=int, default=None,
+        help="encode benchmark KV width (columns)",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=None,
+        help="generation benchmark step count",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N repeats for kernel timings (default 3)",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmarks(
+        quick=args.quick,
+        out_path=args.out,
+        tokens=args.tokens,
+        dim=args.dim,
+        steps=args.steps,
+        repeats=args.repeats,
+    )
+    print(format_summary(report))
+    print(f"\nreport written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

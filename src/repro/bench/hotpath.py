@@ -1,0 +1,262 @@
+"""Micro-benchmarks of the encode/decode/generation hot paths.
+
+Every benchmark here pits the current fused datapath against the frozen
+seed implementation in :mod:`repro.core.reference`, so the reported
+speedups stay meaningful as both sides evolve: the seed side is pinned
+forever, the fused side is whatever :mod:`repro.core.quantizer` and
+:mod:`repro.core.kvcache` currently ship.
+
+All timings are best-of-N wall clock (``time.perf_counter``) after one
+warmup call; generation runs are timed once per side (they are long and
+internally averaged over hundreds of steps anyway).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import OakenConfig
+from repro.core.kvcache import QuantizedKVCache
+from repro.core.quantizer import OakenQuantizer
+from repro.core.reference import ReferenceOakenQuantizer
+from repro.core.thresholds import profile_thresholds
+from repro.quant.bitpack import (
+    _pack_bits_generic,
+    _unpack_bits_generic,
+    pack_bits,
+    packed_nbytes,
+    unpack_bits,
+)
+
+#: Default output file, matching the repo's BENCH_* trajectory naming.
+DEFAULT_OUT = "BENCH_quant.json"
+
+
+def _best_time(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds, after one warmup call."""
+    fn()
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_encode_roundtrip(
+    tokens: int = 4096,
+    dim: int = 4096,
+    repeats: int = 3,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Time quantize/dequantize of one [tokens, dim] matrix, seed vs fused."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((tokens, dim))
+    cfg = OakenConfig()
+    thr = profile_thresholds([x[: min(tokens, 256)]], cfg)
+    reference = ReferenceOakenQuantizer(cfg, thr)
+    fused = OakenQuantizer(cfg, thr)
+    fused_f32 = OakenQuantizer(cfg, thr, compute_dtype=np.float32)
+
+    encoded = reference.quantize(x)
+    seed_quant = _best_time(lambda: reference.quantize(x), repeats)
+    seed_dequant = _best_time(lambda: reference.dequantize(encoded), repeats)
+    seed_roundtrip = _best_time(lambda: reference.roundtrip(x), repeats)
+    fused_quant = _best_time(lambda: fused.quantize(x), repeats)
+    fused_dequant = _best_time(lambda: fused.dequantize(encoded), repeats)
+    fused_roundtrip = _best_time(lambda: fused.roundtrip(x), repeats)
+    f32_roundtrip = _best_time(lambda: fused_f32.roundtrip(x), repeats)
+
+    return {
+        "tokens": tokens,
+        "dim": dim,
+        "repeats": repeats,
+        "seed_quantize_s": seed_quant,
+        "seed_dequantize_s": seed_dequant,
+        "seed_roundtrip_s": seed_roundtrip,
+        "fused_quantize_s": fused_quant,
+        "fused_dequantize_s": fused_dequant,
+        "fused_roundtrip_s": fused_roundtrip,
+        "fused_f32_roundtrip_s": f32_roundtrip,
+        "speedup_quantize": seed_quant / fused_quant,
+        "speedup_roundtrip": seed_roundtrip / fused_roundtrip,
+        "speedup_roundtrip_f32": seed_roundtrip / f32_roundtrip,
+    }
+
+
+def _build_cache(
+    model, calibration: np.ndarray, quantizer_cls, incremental: bool
+) -> QuantizedKVCache:
+    """A fresh per-layer cache with the requested kernel class."""
+    cfg = OakenConfig()
+    kv = model.collect_layer_kv(np.atleast_2d(calibration))
+    key_quantizers: List[OakenQuantizer] = []
+    value_quantizers: List[OakenQuantizer] = []
+    for keys, values in kv:
+        key_quantizers.append(
+            quantizer_cls(cfg, profile_thresholds([keys], cfg))
+        )
+        value_quantizers.append(
+            quantizer_cls(cfg, profile_thresholds([values], cfg))
+        )
+    return QuantizedKVCache(
+        key_quantizers, value_quantizers, incremental=incremental
+    )
+
+
+def bench_generation(
+    steps: int = 512,
+    model_name: str = "llama2-7b",
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Time a ``steps``-token quantized-cache generation, seed vs fused.
+
+    The seed side re-decodes the entire cached history on every decode
+    step through the reference kernels (the O(T^2) behaviour); the
+    fused side streams appends and reads incrementally.  Both must
+    produce the exact same token sequence, which is asserted.
+    """
+    from repro.data.corpus import calibration_corpus
+    from repro.models.config import get_model
+    from repro.models.quantized_generation import (
+        generate_with_quantized_cache,
+    )
+    from repro.models.transformer import DecoderModel
+
+    model = DecoderModel(get_model(model_name))
+    calibration = calibration_corpus(model, batch=2, length=48)
+
+    def run(quantizer_cls, incremental: bool, length: int = steps):
+        cache = _build_cache(model, calibration, quantizer_cls, incremental)
+        start = time.perf_counter()
+        result = generate_with_quantized_cache(
+            model, cache, length=length, seed=seed
+        )
+        return time.perf_counter() - start, result.tokens
+
+    # Warm numpy/allocator state on BOTH sides with a short run before
+    # timing, so neither timed run absorbs first-call overheads.
+    run(OakenQuantizer, True, length=min(8, steps))
+    run(ReferenceOakenQuantizer, False, length=min(8, steps))
+    fused_s, fused_tokens = run(OakenQuantizer, True)
+    seed_s, seed_tokens = run(ReferenceOakenQuantizer, False)
+    if not np.array_equal(seed_tokens, fused_tokens):
+        raise AssertionError(
+            "fused generation diverged from the seed datapath"
+        )
+    return {
+        "model": model_name,
+        "steps": steps,
+        "seed_s": seed_s,
+        "incremental_s": fused_s,
+        "speedup": seed_s / fused_s,
+        "tokens_identical": True,
+    }
+
+
+def bench_bitpack(
+    count: int = 1 << 22, repeats: int = 3, seed: int = 0
+) -> Dict[str, Dict[str, float]]:
+    """Time the width-4/8 packing fast paths against the generic kernel."""
+    rng = np.random.default_rng(seed)
+    results: Dict[str, Dict[str, float]] = {}
+    for width in (4, 8):
+        codes = rng.integers(0, 1 << width, size=count, dtype=np.uint32)
+        nbytes = packed_nbytes(count, width)
+        packed = pack_bits(codes, width)
+        generic_pack = _best_time(
+            lambda: _pack_bits_generic(codes, width, nbytes), repeats
+        )
+        fast_pack = _best_time(lambda: pack_bits(codes, width), repeats)
+        generic_unpack = _best_time(
+            lambda: _unpack_bits_generic(packed, width, count), repeats
+        )
+        fast_unpack = _best_time(
+            lambda: unpack_bits(packed, width, count), repeats
+        )
+        results[f"width{width}"] = {
+            "count": count,
+            "generic_pack_s": generic_pack,
+            "fast_pack_s": fast_pack,
+            "generic_unpack_s": generic_unpack,
+            "fast_unpack_s": fast_unpack,
+            "speedup_pack": generic_pack / fast_pack,
+            "speedup_unpack": generic_unpack / fast_unpack,
+        }
+    return results
+
+
+def run_benchmarks(
+    quick: bool = False,
+    out_path: Optional[str] = DEFAULT_OUT,
+    tokens: Optional[int] = None,
+    dim: Optional[int] = None,
+    steps: Optional[int] = None,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Run the full harness and optionally write ``BENCH_quant.json``.
+
+    ``quick=True`` shrinks every size so the whole suite finishes in
+    well under a minute (the CI smoke configuration); explicit
+    ``tokens``/``dim``/``steps`` override either preset.
+    """
+    enc_tokens = tokens if tokens is not None else (512 if quick else 4096)
+    enc_dim = dim if dim is not None else (512 if quick else 4096)
+    gen_steps = steps if steps is not None else (96 if quick else 512)
+    pack_count = 1 << 18 if quick else 1 << 22
+
+    report: Dict[str, object] = {
+        "schema": "repro.bench/v1",
+        "generated_unix": time.time(),
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "benchmarks": {
+            "encode_roundtrip": bench_encode_roundtrip(
+                tokens=enc_tokens, dim=enc_dim, repeats=repeats
+            ),
+            "generation": bench_generation(steps=gen_steps),
+            "bitpack": bench_bitpack(count=pack_count, repeats=repeats),
+        },
+    }
+    if out_path:
+        write_report(report, out_path)
+    return report
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    """Write one harness report as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_summary(report: Dict[str, object]) -> str:
+    """Human-readable one-screen summary of a harness report."""
+    bench = report["benchmarks"]
+    enc = bench["encode_roundtrip"]
+    gen = bench["generation"]
+    lines = [
+        f"encode roundtrip [{enc['tokens']}, {enc['dim']}]:",
+        f"  seed    {enc['seed_roundtrip_s']:.3f}s"
+        f"  (quantize {enc['seed_quantize_s']:.3f}s)",
+        f"  fused   {enc['fused_roundtrip_s']:.3f}s"
+        f"  -> {enc['speedup_roundtrip']:.1f}x",
+        f"  fused32 {enc['fused_f32_roundtrip_s']:.3f}s"
+        f"  -> {enc['speedup_roundtrip_f32']:.1f}x",
+        f"generation {gen['steps']} steps ({gen['model']}):",
+        f"  seed {gen['seed_s']:.2f}s  incremental {gen['incremental_s']:.2f}s"
+        f"  -> {gen['speedup']:.1f}x",
+        "bitpack fast paths:",
+    ]
+    for width, row in bench["bitpack"].items():
+        lines.append(
+            f"  {width}: pack {row['speedup_pack']:.1f}x"
+            f"  unpack {row['speedup_unpack']:.1f}x"
+        )
+    return "\n".join(lines)

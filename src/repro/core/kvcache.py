@@ -10,6 +10,15 @@ The cache is append-only within a sequence, mirroring autoregressive
 generation: ``append`` quantizes only newly generated vectors ("Oaken
 performs per-token quantization ... focusing only on the key-value
 vector newly generated in each attention layer").
+
+Because chunks are append-only and immutable, their decoded form is
+memoized: :meth:`LayerKVCache.read` dequantizes each chunk exactly once
+into a growing float32 buffer and thereafter serves O(1) views of the
+decoded prefix.  This turns the per-step cost of autoregressive
+generation from O(T) re-decodes (O(T^2) per sequence, the seed
+behaviour) into O(new tokens).  Construct with ``incremental=False`` to
+restore the seed's re-decode-everything behaviour — the perf-regression
+harness (:mod:`repro.bench`) uses that mode as its baseline.
 """
 
 from __future__ import annotations
@@ -21,7 +30,40 @@ import numpy as np
 
 from repro.core.config import OakenConfig
 from repro.core.encoding import EncodedKV
-from repro.core.quantizer import OakenQuantizer
+from repro.core.quantizer import OakenQuantizer, QuantizeScratch
+
+
+class _DecodedPrefix:
+    """A growing float32 buffer memoizing decoded, immutable chunks."""
+
+    def __init__(self) -> None:
+        self.buffer: Optional[np.ndarray] = None
+        self.rows = 0
+        self.chunks_decoded = 0
+
+    def extend(self, chunks: List[EncodedKV], quantizer) -> np.ndarray:
+        """Decode chunks not yet memoized, then view the full prefix."""
+        for chunk in chunks[self.chunks_decoded :]:
+            decoded = quantizer.dequantize(chunk)
+            need = self.rows + decoded.shape[0]
+            if self.buffer is None:
+                capacity = max(64, need)
+                self.buffer = np.empty(
+                    (capacity, decoded.shape[1]), dtype=np.float32
+                )
+            elif need > self.buffer.shape[0]:
+                capacity = max(need, 2 * self.buffer.shape[0])
+                grown = np.empty(
+                    (capacity, self.buffer.shape[1]), dtype=np.float32
+                )
+                grown[: self.rows] = self.buffer[: self.rows]
+                self.buffer = grown
+            self.buffer[self.rows : need] = decoded
+            self.rows = need
+            self.chunks_decoded += 1
+        view = self.buffer[: self.rows]
+        view.flags.writeable = False
+        return view
 
 
 @dataclass
@@ -31,18 +73,42 @@ class LayerKVCache:
     Attributes:
         key_quantizer: Oaken quantizer fitted for this layer's keys.
         value_quantizer: Oaken quantizer fitted for this layer's values.
+        incremental: memoize decoded chunks so :meth:`read` is O(new
+            tokens) instead of re-decoding the whole history (default).
     """
 
     key_quantizer: OakenQuantizer
     value_quantizer: OakenQuantizer
+    incremental: bool = True
     _key_chunks: List[EncodedKV] = field(default_factory=list)
     _value_chunks: List[EncodedKV] = field(default_factory=list)
     _length: int = 0
+    _key_decoded: _DecodedPrefix = field(
+        default_factory=_DecodedPrefix, repr=False, compare=False
+    )
+    _value_decoded: _DecodedPrefix = field(
+        default_factory=_DecodedPrefix, repr=False, compare=False
+    )
+    _key_scratch: QuantizeScratch = field(
+        default_factory=QuantizeScratch, repr=False, compare=False
+    )
+    _value_scratch: QuantizeScratch = field(
+        default_factory=QuantizeScratch, repr=False, compare=False
+    )
 
     @property
     def length(self) -> int:
         """Number of cached token positions."""
         return self._length
+
+    def _encode(
+        self, quantizer, values: np.ndarray, scratch: QuantizeScratch
+    ) -> EncodedKV:
+        """Quantize through the streaming entry point when available."""
+        quantize_into = getattr(quantizer, "quantize_into", None)
+        if quantize_into is not None:
+            return quantize_into(values, scratch)
+        return quantizer.quantize(values)
 
     def append(self, keys: np.ndarray, values: np.ndarray) -> None:
         """Quantize and append newly generated KV rows.
@@ -57,18 +123,32 @@ class LayerKVCache:
             raise ValueError(
                 f"key/value shape mismatch: {keys.shape} vs {values.shape}"
             )
-        self._key_chunks.append(self.key_quantizer.quantize(keys))
-        self._value_chunks.append(self.value_quantizer.quantize(values))
+        self._key_chunks.append(
+            self._encode(self.key_quantizer, keys, self._key_scratch)
+        )
+        self._value_chunks.append(
+            self._encode(self.value_quantizer, values, self._value_scratch)
+        )
         self._length += keys.shape[0]
 
     def read(self) -> Tuple[np.ndarray, np.ndarray]:
         """Dequantize the full cached (keys, values) history.
 
         Returns:
-            ``(keys, values)`` float32 arrays of shape [length, D].
+            ``(keys, values)`` float32 arrays of shape [length, D].  In
+            incremental mode these are read-only views of the memoized
+            decode buffers; copy before mutating.
         """
         if not self._key_chunks:
             raise RuntimeError("cache is empty")
+        if self.incremental:
+            keys = self._key_decoded.extend(
+                self._key_chunks, self.key_quantizer
+            )
+            values = self._value_decoded.extend(
+                self._value_chunks, self.value_quantizer
+            )
+            return keys, values
         keys = np.concatenate(
             [self.key_quantizer.dequantize(c) for c in self._key_chunks]
         )
@@ -103,17 +183,24 @@ class QuantizedKVCache:
     Args:
         key_quantizers: per-layer key quantizers (index = layer).
         value_quantizers: per-layer value quantizers.
+        incremental: memoize decoded chunks per layer (default); pass
+            ``False`` for the seed's full re-decode on every read.
     """
 
     def __init__(
         self,
         key_quantizers: List[OakenQuantizer],
         value_quantizers: List[OakenQuantizer],
+        incremental: bool = True,
     ):
         if len(key_quantizers) != len(value_quantizers):
             raise ValueError("need one key and one value quantizer per layer")
         self.layers: List[LayerKVCache] = [
-            LayerKVCache(key_quantizer=kq, value_quantizer=vq)
+            LayerKVCache(
+                key_quantizer=kq,
+                value_quantizer=vq,
+                incremental=incremental,
+            )
             for kq, vq in zip(key_quantizers, value_quantizers)
         ]
 

@@ -25,20 +25,28 @@ construction one of the smallest magnitudes in the tensor.
 Everything here is vectorized over a [T, D] token-major matrix; the
 per-token semantics are identical to quantizing each newly generated
 KV vector as it streams out of the attention layer.
+
+The encode path is a *fused single pass*: the sparse COO stream is
+extracted first, per-(token, band) scale bounds come from segment
+reductions over only the outlier elements, and the dense matrix is
+touched exactly once — unlike the seed implementation (preserved in
+:mod:`repro.core.reference`), which ran one full [T, D] pass per sparse
+band.  In the default ``compute_dtype=float64`` mode the fused kernel
+is bit-identical to the seed kernels; ``compute_dtype=float32`` trades
+exactness within one code level (for values that land within float32
+epsilon of a rounding boundary or group threshold) for roughly half
+the memory traffic on the hot deployment path.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import OakenConfig
 from repro.core.encoding import EncodedKV, sparse_record_bits
-from repro.core.grouping import (
-    GroupThresholds,
-    assign_groups,
-)
+from repro.core.grouping import GroupThresholds
 from repro.core.thresholds import profile_thresholds
 
 #: Guard below which a quantization range is treated as degenerate.
@@ -50,38 +58,304 @@ def _fp16_round(values: np.ndarray) -> np.ndarray:
     return np.asarray(values, dtype=np.float16).astype(np.float64)
 
 
-def _rowwise_encode(
-    shifted: np.ndarray,
-    mask: np.ndarray,
-    bits: int,
-) -> tuple:
-    """Per-row uniform quantization of ``shifted`` restricted to ``mask``.
+def _sigma(lo: np.ndarray, hi: np.ndarray, bits: int) -> np.ndarray:
+    """Uniform-quantization scale factor of Eq. 2 with the seed's guard."""
+    span = hi - lo
+    return np.where(
+        span > _EPS, (2.0**bits - 1.0) / np.maximum(span, _EPS), 1.0
+    )
 
-    Returns ``(codes, lo, hi)`` where ``codes`` is a full [T, D] uint8
-    matrix (garbage outside ``mask``), and ``lo`` / ``hi`` are the
-    FP16-rounded per-row scale bounds.
+
+class QuantizeScratch:
+    """Reusable work buffers for the fused kernel.
+
+    Single-token appends during generation call the quantizer thousands
+    of times on tiny [1, D] matrices, where buffer allocation is a
+    measurable fraction of the cost.  A scratch object owned by the
+    caller (e.g. one per :class:`~repro.core.kvcache.LayerKVCache`
+    tensor) lets :meth:`OakenQuantizer.quantize_into` reuse its
+    full-matrix temporaries across calls.  Buffers grow monotonically
+    and are never shared between concurrent encodes.
     """
-    lo = np.min(np.where(mask, shifted, np.inf), axis=1)
-    hi = np.max(np.where(mask, shifted, -np.inf), axis=1)
-    empty = ~mask.any(axis=1)
-    lo = np.where(empty, 0.0, lo)
-    hi = np.where(empty, 0.0, hi)
-    lo = _fp16_round(lo)
-    hi = _fp16_round(hi)
-    span = hi - lo
-    sigma = np.where(span > _EPS, (2.0**bits - 1.0) / np.maximum(span, _EPS), 1.0)
-    codes = np.round((shifted - lo[:, None]) * sigma[:, None])
-    codes = np.clip(codes, 0, 2**bits - 1).astype(np.uint8)
-    return codes, lo, hi
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def array(self, key: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """A reusable uninitialized array of ``shape`` and ``dtype``."""
+        need = 1
+        for extent in shape:
+            need *= int(extent)
+        buf = self._buffers.get(key)
+        if buf is None or buf.dtype != np.dtype(dtype) or buf.size < need:
+            buf = np.empty(max(need, 1), dtype=dtype)
+            self._buffers[key] = buf
+        return buf[:need].reshape(shape)
 
 
-def _rowwise_decode(
-    codes: np.ndarray, lo: np.ndarray, hi: np.ndarray, bits: int
+def _outlier_coo(
+    x: np.ndarray, thr: GroupThresholds
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Extract the sparse stream: (token, pos, band) in row-major order.
+
+    Replicates :func:`repro.core.grouping.assign_groups` exactly without
+    materializing the full label matrix:
+
+    * outer bands are nested suffix sets (thresholds widen outward), so
+      the claimed band is the count of *unsatisfied* more-extreme bands;
+    * inner shells are nested prefix sets (magnitude edges shrink
+      inward), so the claimed band is the innermost containing shell;
+    * outer claims take precedence, as in the sequential assignment.
+    """
+    mask: Optional[np.ndarray] = None
+    if thr.num_outer_bands:
+        lo = thr.outer_lo[-1]
+        hi = thr.outer_hi[-1]
+        mask = (x > hi) | (x < lo)
+    if thr.num_inner_bands:
+        mag_edge = thr.inner_mag[0]
+        inner = (x <= mag_edge) & (x >= -mag_edge)
+        mask = inner if mask is None else (mask | inner)
+    if mask is None:
+        token = np.zeros(0, dtype=np.int64)
+        return token, token.copy(), token.copy()
+
+    token, pos = np.nonzero(mask)
+    xg = x[token, pos]
+
+    band = np.zeros(xg.shape, dtype=np.int64)
+    is_outer = np.zeros(xg.shape, dtype=bool)
+    if thr.num_outer_bands:
+        # Count leading bands the element does NOT fall in.
+        unsat = np.zeros(xg.shape, dtype=np.int64)
+        for j in range(thr.num_outer_bands):
+            unsat += (xg >= thr.outer_lo[j]) & (xg <= thr.outer_hi[j])
+        is_outer = unsat < thr.num_outer_bands
+        band = np.where(is_outer, unsat, 0)
+    if thr.num_inner_bands:
+        shells = np.zeros(xg.shape, dtype=np.int64)
+        for j in range(thr.num_inner_bands):
+            edge = thr.inner_mag[j]
+            shells += (xg <= edge) & (xg >= -edge)
+        inner_band = thr.num_outer_bands + np.maximum(shells, 1) - 1
+        band = np.where(is_outer, band, inner_band)
+    return token.astype(np.int64), pos.astype(np.int64), band
+
+
+def _band_edges(
+    cfg: OakenConfig, thr: GroupThresholds
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-band (negative-side, positive-side) shift offsets as arrays."""
+    lo_edges = np.empty(cfg.num_sparse_bands)
+    hi_edges = np.empty(cfg.num_sparse_bands)
+    for b in range(cfg.num_sparse_bands):
+        lo_edges[b], hi_edges[b] = thr.band_shift_edges(b)
+    return lo_edges, hi_edges
+
+
+def _segment_bounds(
+    token: np.ndarray,
+    band: np.ndarray,
+    mag: np.ndarray,
+    tokens: int,
+    num_bands: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """FP16-rounded per-(token, band) min/max of the outlier magnitudes.
+
+    The COO stream is token-sorted, so each (token, band) group is a set
+    of contiguous-by-token runs; one ``reduceat`` per band over the
+    band's subsequence computes all row bounds in O(nnz) without ever
+    touching the dense matrix.  Empty groups keep the seed convention
+    ``lo = hi = 0``.
+    """
+    band_lo = np.zeros((tokens, num_bands), dtype=np.float64)
+    band_hi = np.zeros((tokens, num_bands), dtype=np.float64)
+    for b in range(num_bands):
+        sel = band == b
+        if not np.any(sel):
+            continue
+        tok_b = token[sel]
+        mag_b = mag[sel]
+        starts = np.flatnonzero(np.diff(tok_b)) + 1
+        starts = np.concatenate(([0], starts))
+        rows = tok_b[starts]
+        band_lo[rows, b] = _fp16_round(np.minimum.reduceat(mag_b, starts))
+        band_hi[rows, b] = _fp16_round(np.maximum.reduceat(mag_b, starts))
+    return band_lo, band_hi
+
+
+def _fused_quantize(
+    cfg: OakenConfig,
+    thr: GroupThresholds,
+    values: np.ndarray,
+    compute_dtype=np.float64,
+    scratch: Optional[QuantizeScratch] = None,
+) -> EncodedKV:
+    """Single-pass fused encode of a [T, D] matrix.
+
+    Pipeline: COO extraction -> gathered per-band encode (segment
+    reductions over outliers only) -> one dense in-place encode pass
+    with outlier slots neutralized by an inf-scatter -> fused nibble
+    embed.  With ``compute_dtype=float64`` every emitted array is
+    bit-identical to :func:`repro.core.reference.reference_quantize`.
+    """
+    x = np.atleast_2d(np.asarray(values, dtype=np.float64))
+    if x.ndim != 2:
+        raise ValueError(f"expected a [T, D] matrix, got shape {x.shape}")
+    wdtype = np.dtype(compute_dtype)
+    xw = x if wdtype == np.float64 else x.astype(wdtype)
+    tokens, dim = x.shape
+
+    # --- COO stream first ---------------------------------------------------
+    token, pos, band = _outlier_coo(xw, thr)
+    nnz = token.size
+    xg = xw[token, pos].astype(np.float64)
+
+    # --- sparse bands: gathered encode on outliers only ---------------------
+    mag_bits = cfg.outlier_bits - 1
+    band_bits = mag_bits if cfg.group_shift else cfg.outlier_bits
+    lo_edges, hi_edges = _band_edges(cfg, thr)
+    if cfg.group_shift:
+        mag = np.where(xg > 0, xg - hi_edges[band], lo_edges[band] - xg)
+        side = xg > 0
+    else:
+        mag = xg
+        side = np.zeros(nnz, dtype=bool)
+    band_lo, band_hi = _segment_bounds(
+        token, band, mag, tokens, cfg.num_sparse_bands
+    )
+    lo_g = band_lo[token, band]
+    sigma_g = _sigma(lo_g, band_hi[token, band], band_bits)
+    sparse_mag = np.clip(
+        np.rint((mag - lo_g) * sigma_g), 0, 2**band_bits - 1
+    ).astype(np.uint8)
+
+    # --- dense middle group: one in-place pass ------------------------------
+    mid_lo_edge, mid_hi_edge = thr.middle_shift_edges()
+    shift_shape = (tokens, dim)
+    if cfg.group_shift:
+        if scratch is not None:
+            # Build the per-element shift offsets directly in the
+            # scratch buffer, then subtract in place: no full-matrix
+            # allocation survives on the streaming append path.
+            shifted = scratch.array("shifted", shift_shape, wdtype)
+            positive = scratch.array("positive", shift_shape, np.bool_)
+            np.greater(xw, 0, out=positive)
+            np.copyto(shifted, wdtype.type(mid_lo_edge))
+            np.copyto(shifted, wdtype.type(mid_hi_edge), where=positive)
+            np.subtract(xw, shifted, out=shifted)
+        else:
+            edges = np.where(xw > 0, wdtype.type(mid_hi_edge),
+                             wdtype.type(mid_lo_edge))
+            shifted = np.subtract(xw, edges, out=edges)
+    else:
+        if scratch is not None:
+            shifted = scratch.array("shifted", shift_shape, wdtype)
+            shifted[...] = xw
+        else:
+            shifted = xw.copy()
+
+    # Outlier slots are overwritten after encoding, so they can carry
+    # sentinels: +inf is transparent to the row minimum, -inf to the
+    # maximum, and -inf clips to code 0 exactly like the seed's masking.
+    shifted[token, pos] = np.inf
+    middle_lo = shifted.min(axis=1).astype(np.float64)
+    shifted[token, pos] = -np.inf
+    middle_hi = shifted.max(axis=1).astype(np.float64)
+    empty_mid = np.bincount(token, minlength=tokens) == dim
+    if empty_mid.any():
+        middle_lo[empty_mid] = 0.0
+        middle_hi[empty_mid] = 0.0
+    middle_lo = _fp16_round(middle_lo)
+    middle_hi = _fp16_round(middle_hi)
+    sigma_mid = _sigma(middle_lo, middle_hi, cfg.inlier_bits)
+
+    lo_col = middle_lo.astype(wdtype)[:, None]
+    sigma_col = sigma_mid.astype(wdtype)[:, None]
+    np.subtract(shifted, lo_col, out=shifted)
+    np.multiply(shifted, sigma_col, out=shifted)
+    np.rint(shifted, out=shifted)
+    np.clip(shifted, 0, 2**cfg.inlier_bits - 1, out=shifted)
+    dense_codes = shifted.astype(np.uint8)
+
+    # --- fused nibble embed / naive FP16 records ----------------------------
+    sparse_fp16 = None
+    if cfg.fused_encoding:
+        if cfg.group_shift:
+            full_code = (
+                side.astype(np.uint16) << mag_bits
+            ) | sparse_mag.astype(np.uint16)
+        else:
+            full_code = sparse_mag.astype(np.uint16)
+        nibble = full_code & ((1 << cfg.inlier_bits) - 1)
+        dense_codes[token, pos] = nibble.astype(np.uint8)
+    else:
+        sparse_fp16 = xg.astype(np.float16)
+
+    return EncodedKV(
+        config=cfg,
+        thresholds=thr,
+        shape=x.shape,
+        dense_codes=dense_codes,
+        middle_lo=middle_lo.astype(np.float32),
+        middle_hi=middle_hi.astype(np.float32),
+        band_lo=band_lo.astype(np.float32),
+        band_hi=band_hi.astype(np.float32),
+        sparse_token=token,
+        sparse_pos=pos,
+        sparse_band=band.astype(np.int16),
+        sparse_side=side,
+        sparse_mag_code=sparse_mag,
+        sparse_fp16=sparse_fp16,
+    )
+
+
+def _fused_dequantize(
+    cfg: OakenConfig,
+    thr: GroupThresholds,
+    encoded: EncodedKV,
+    compute_dtype=np.float64,
 ) -> np.ndarray:
-    """Inverse of :func:`_rowwise_encode` over the full matrix."""
-    span = hi - lo
-    sigma = np.where(span > _EPS, (2.0**bits - 1.0) / np.maximum(span, _EPS), 1.0)
-    return codes.astype(np.float64) / sigma[:, None] + lo[:, None]
+    """In-place decode of the fused layout back to a float32 matrix."""
+    wdtype = np.dtype(compute_dtype)
+    sigma = _sigma(
+        encoded.middle_lo.astype(np.float64),
+        encoded.middle_hi.astype(np.float64),
+        cfg.inlier_bits,
+    )
+    out = encoded.dense_codes.astype(wdtype)
+    np.divide(out, sigma.astype(wdtype)[:, None], out=out)
+    np.add(out, encoded.middle_lo.astype(wdtype)[:, None], out=out)
+    mid_lo_edge, mid_hi_edge = thr.middle_shift_edges()
+    if cfg.group_shift:
+        edges = np.where(out >= 0, wdtype.type(mid_hi_edge),
+                         wdtype.type(mid_lo_edge))
+        np.add(out, edges, out=out)
+
+    token = encoded.sparse_token
+    pos = encoded.sparse_pos
+    if token.size:
+        if encoded.sparse_fp16 is not None:
+            out[token, pos] = encoded.sparse_fp16.astype(wdtype)
+        else:
+            band = encoded.sparse_band.astype(np.int64)
+            lo = encoded.band_lo.astype(np.float64)[token, band]
+            hi = encoded.band_hi.astype(np.float64)[token, band]
+            bits = cfg.outlier_bits - 1 if cfg.group_shift else cfg.outlier_bits
+            sigma_g = _sigma(lo, hi, bits)
+            mag = encoded.sparse_mag_code.astype(np.float64) / sigma_g + lo
+            if cfg.group_shift:
+                lo_edges, hi_edges = _band_edges(cfg, thr)
+                restored = np.where(
+                    encoded.sparse_side,
+                    hi_edges[band] + mag,
+                    lo_edges[band] - mag,
+                )
+            else:
+                restored = mag
+            out[token, pos] = restored
+
+    return out.astype(np.float32)
 
 
 class OakenQuantizer:
@@ -93,9 +367,20 @@ class OakenQuantizer:
         thresholds: offline-profiled group thresholds for the tensor
             this quantizer will serve (one quantizer per layer per
             key/value tensor, per Observation 1).
+        compute_dtype: working dtype of the fused kernels.  ``float64``
+            (default) is bit-identical to the seed encoder and to the
+            scalar hardware-datapath golden model; ``float32`` halves
+            the memory traffic of the dense pass and may move codes by
+            at most one level for values within float32 epsilon of a
+            rounding boundary or group threshold.
     """
 
-    def __init__(self, config: OakenConfig, thresholds: GroupThresholds):
+    def __init__(
+        self,
+        config: OakenConfig,
+        thresholds: GroupThresholds,
+        compute_dtype=np.float64,
+    ):
         if thresholds.num_outer_bands != config.num_outer_bands:
             raise ValueError(
                 "thresholds have a different outer band count than config"
@@ -104,18 +389,25 @@ class OakenQuantizer:
             raise ValueError(
                 "thresholds have a different inner band count than config"
             )
+        wdtype = np.dtype(compute_dtype)
+        if wdtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(
+                f"compute_dtype must be float32 or float64, got {wdtype}"
+            )
         self.config = config
         self.thresholds = thresholds
+        self.compute_dtype = wdtype
 
     @classmethod
     def from_samples(
         cls,
         samples: Sequence[np.ndarray],
         config: Optional[OakenConfig] = None,
+        compute_dtype=np.float64,
     ) -> "OakenQuantizer":
         """Profile thresholds offline from samples and build a quantizer."""
         cfg = config if config is not None else OakenConfig()
-        return cls(cfg, profile_thresholds(samples, cfg))
+        return cls(cfg, profile_thresholds(samples, cfg), compute_dtype)
 
     # ------------------------------------------------------------------
     # quantization
@@ -131,94 +423,24 @@ class OakenQuantizer:
         Returns:
             The :class:`~repro.core.encoding.EncodedKV` storage layout.
         """
-        x = np.atleast_2d(np.asarray(values, dtype=np.float64))
-        if x.ndim != 2:
-            raise ValueError(f"expected a [T, D] matrix, got shape {x.shape}")
-        cfg = self.config
-        thr = self.thresholds
-        partition = assign_groups(x, thr)
-        labels = partition.labels
-
-        # --- dense middle group -------------------------------------------------
-        mid_lo_edge, mid_hi_edge = thr.middle_shift_edges()
-        if cfg.group_shift:
-            shifted_mid = np.where(x > 0, x - mid_hi_edge, x - mid_lo_edge)
-        else:
-            shifted_mid = x
-        middle_mask = partition.middle_mask
-        dense_codes, middle_lo, middle_hi = _rowwise_encode(
-            shifted_mid, middle_mask, cfg.inlier_bits
+        return _fused_quantize(
+            self.config, self.thresholds, values, self.compute_dtype
         )
-        dense_codes = np.where(middle_mask, dense_codes, 0).astype(np.uint8)
 
-        # --- sparse bands -------------------------------------------------------
-        num_bands = cfg.num_sparse_bands
-        tokens = x.shape[0]
-        band_lo = np.zeros((tokens, num_bands), dtype=np.float64)
-        band_hi = np.zeros((tokens, num_bands), dtype=np.float64)
-        mag_bits = cfg.outlier_bits - 1
-        # Per-element magnitude code and side flag, defined on band slots.
-        mag_code_matrix = np.zeros(x.shape, dtype=np.uint8)
-        side_matrix = np.zeros(x.shape, dtype=bool)
-        for band in range(num_bands):
-            mask = labels == band
-            lo_edge, hi_edge = thr.band_shift_edges(band)
-            if cfg.group_shift:
-                magnitude = np.where(x > 0, x - hi_edge, lo_edge - x)
-                side = x > 0
-            else:
-                # Ablation: quantize raw band values; "side" carries the
-                # code MSB instead of a geometric side.
-                magnitude = x
-                side = np.zeros(x.shape, dtype=bool)
-            bits = mag_bits if cfg.group_shift else cfg.outlier_bits
-            codes, lo, hi = _rowwise_encode(magnitude, mask, bits)
-            band_lo[:, band] = lo
-            band_hi[:, band] = hi
-            mag_code_matrix = np.where(mask, codes, mag_code_matrix)
-            side_matrix = np.where(mask, side, side_matrix)
+    def quantize_into(
+        self, values: np.ndarray, scratch: QuantizeScratch
+    ) -> EncodedKV:
+        """Streaming encode reusing ``scratch`` for work buffers.
 
-        # --- COO stream ---------------------------------------------------------
-        outlier_mask = partition.outlier_mask
-        sparse_token, sparse_pos = np.nonzero(outlier_mask)
-        sparse_band = labels[sparse_token, sparse_pos].astype(np.int16)
-        sparse_side = side_matrix[sparse_token, sparse_pos]
-        sparse_mag = mag_code_matrix[sparse_token, sparse_pos]
-
-        sparse_fp16 = None
-        if cfg.fused_encoding:
-            # Embed the low `inlier_bits` of each outlier code into its
-            # zeroed dense slot.  For 5-bit outliers that is the full
-            # 4-bit magnitude; the side bit travels in the COO record.
-            # For 4-bit outliers the side bit rides in the nibble too.
-            if cfg.group_shift:
-                full_code = (
-                    sparse_side.astype(np.uint16) << mag_bits
-                ) | sparse_mag.astype(np.uint16)
-            else:
-                full_code = sparse_mag.astype(np.uint16)
-            nibble = full_code & ((1 << cfg.inlier_bits) - 1)
-            dense_codes[sparse_token, sparse_pos] = nibble.astype(np.uint8)
-        else:
-            # Naive 23-bit layout: exact FP16 outliers, dense slot zeroed.
-            sparse_fp16 = x[sparse_token, sparse_pos].astype(np.float16)
-            dense_codes[sparse_token, sparse_pos] = 0
-
-        return EncodedKV(
-            config=cfg,
-            thresholds=thr,
-            shape=x.shape,
-            dense_codes=dense_codes,
-            middle_lo=middle_lo.astype(np.float32),
-            middle_hi=middle_hi.astype(np.float32),
-            band_lo=band_lo.astype(np.float32),
-            band_hi=band_hi.astype(np.float32),
-            sparse_token=sparse_token.astype(np.int64),
-            sparse_pos=sparse_pos.astype(np.int64),
-            sparse_band=sparse_band,
-            sparse_side=sparse_side,
-            sparse_mag_code=sparse_mag.astype(np.uint8),
-            sparse_fp16=sparse_fp16,
+        The entry point for single-token appends: semantics are
+        identical to :meth:`quantize`, but the kernel's full-matrix
+        temporaries come from ``scratch`` instead of fresh allocations,
+        amortizing allocator traffic across the thousands of tiny
+        encodes a generation loop performs.  The returned
+        :class:`EncodedKV` owns its arrays and never aliases scratch.
+        """
+        return _fused_quantize(
+            self.config, self.thresholds, values, self.compute_dtype, scratch
         )
 
     # ------------------------------------------------------------------
@@ -227,55 +449,9 @@ class OakenQuantizer:
 
     def dequantize(self, encoded: EncodedKV) -> np.ndarray:
         """Reconstruct a float32 [T, D] matrix from the encoded layout."""
-        cfg = self.config
-        thr = self.thresholds
-        # Middle group: decode everything, then overwrite outlier slots.
-        shifted = _rowwise_decode(
-            encoded.dense_codes,
-            encoded.middle_lo.astype(np.float64),
-            encoded.middle_hi.astype(np.float64),
-            cfg.inlier_bits,
+        return _fused_dequantize(
+            self.config, self.thresholds, encoded, self.compute_dtype
         )
-        mid_lo_edge, mid_hi_edge = thr.middle_shift_edges()
-        if cfg.group_shift:
-            out = np.where(shifted >= 0, shifted + mid_hi_edge,
-                           shifted + mid_lo_edge)
-        else:
-            out = shifted
-
-        token = encoded.sparse_token
-        pos = encoded.sparse_pos
-        if token.size:
-            if encoded.sparse_fp16 is not None:
-                out[token, pos] = encoded.sparse_fp16.astype(np.float64)
-            else:
-                band = encoded.sparse_band.astype(np.int64)
-                lo = encoded.band_lo.astype(np.float64)[token, band]
-                hi = encoded.band_hi.astype(np.float64)[token, band]
-                mag_bits = cfg.outlier_bits - 1
-                bits = mag_bits if cfg.group_shift else cfg.outlier_bits
-                span = hi - lo
-                sigma = np.where(
-                    span > _EPS,
-                    (2.0**bits - 1.0) / np.maximum(span, _EPS),
-                    1.0,
-                )
-                mag = encoded.sparse_mag_code.astype(np.float64) / sigma + lo
-                if cfg.group_shift:
-                    lo_edges = np.empty(cfg.num_sparse_bands)
-                    hi_edges = np.empty(cfg.num_sparse_bands)
-                    for b in range(cfg.num_sparse_bands):
-                        lo_edges[b], hi_edges[b] = thr.band_shift_edges(b)
-                    restored = np.where(
-                        encoded.sparse_side,
-                        hi_edges[band] + mag,
-                        lo_edges[band] - mag,
-                    )
-                else:
-                    restored = mag
-                out[token, pos] = restored
-
-        return out.astype(np.float32)
 
     def roundtrip(self, values: np.ndarray) -> np.ndarray:
         """Quantize then dequantize — the lossy transform seen by attention."""
@@ -289,22 +465,19 @@ class OakenQuantizer:
         """Analytic bits/element at the configured outlier ratio.
 
         Used by the hardware simulator, which needs byte counts without
-        materializing tensors: dense codes at ``inlier_bits``, one
-        aligned sparse record per expected outlier, and the per-token
-        scale scalars amortized over ``dim`` elements.
+        materializing tensors; delegates to the module-level
+        :func:`expected_effective_bitwidth`.
         """
-        cfg = self.config
-        record = sparse_record_bits(cfg)
-        scalars = 2 + 2 * cfg.num_sparse_bands
-        return (
-            cfg.inlier_bits
-            + cfg.outlier_ratio * record
-            + scalars * cfg.scale_bits / dim
-        )
+        return expected_effective_bitwidth(self.config, dim)
 
 
 def expected_effective_bitwidth(config: OakenConfig, dim: int) -> float:
-    """Module-level convenience mirror of the method above."""
+    """Analytic bits/element at the configured outlier ratio.
+
+    Dense codes at ``inlier_bits``, one aligned sparse record per
+    expected outlier, and the per-token scale scalars amortized over
+    ``dim`` elements.
+    """
     record = sparse_record_bits(config)
     scalars = 2 + 2 * config.num_sparse_bands
     return (

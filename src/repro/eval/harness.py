@@ -49,21 +49,33 @@ class FittedMethod:
             pre_rope_keys=self.key_quantizers[0].pre_rope_keys,
         )
 
-    def measured_bitwidth(
+    def layer_footprints(
         self, kv_samples: Sequence[Tuple[np.ndarray, np.ndarray]]
-    ) -> float:
-        """Storage-weighted bits/element over sample KV tensors."""
-        bits = 0.0
-        elements = 0
+    ) -> List[Tuple[object, int]]:
+        """One (footprint, token_count) per (layer, tensor) sample.
+
+        Each ``footprint`` call quantizes its tensor, so the batched
+        per-layer sweep runs once here and every bitwidth metric is
+        derived from the same list instead of re-encoding the samples.
+        """
+        footprints = []
         for layer, (keys, values) in enumerate(kv_samples):
             for quantizer, tensor in (
                 (self.key_quantizers[layer], keys),
                 (self.value_quantizers[layer], values),
             ):
-                fp = quantizer.footprint(tensor)
-                bits += fp.total_bits
-                elements += fp.element_count
-        return bits / elements if elements else 0.0
+                footprints.append(
+                    (quantizer.footprint(tensor), tensor.shape[0])
+                )
+        return footprints
+
+    def measured_bitwidth(
+        self, kv_samples: Sequence[Tuple[np.ndarray, np.ndarray]]
+    ) -> float:
+        """Storage-weighted bits/element over sample KV tensors."""
+        return measured_bitwidth_from_footprints(
+            self.layer_footprints(kv_samples)
+        )
 
 
 def build_method_bundle(
@@ -131,8 +143,11 @@ def evaluate_method(
         for task, batch in qa_batches.items()
     }
     kv_eval = model.collect_layer_kv(eval_tokens[: min(4, len(eval_tokens))])
-    measured_bits = fitted.measured_bitwidth(kv_eval)
-    paper_bits = _paper_dim_bitwidth(fitted, spec, kv_eval)
+    # Quantize the sample tensors once; both bitwidth metrics reuse the
+    # same footprints (the seed re-encoded every tensor twice here).
+    footprints = fitted.layer_footprints(kv_eval)
+    measured_bits = measured_bitwidth_from_footprints(footprints)
+    paper_bits = _paper_dim_bitwidth_from_footprints(footprints, spec)
     return AccuracyResult(
         model=spec.name,
         method=method,
@@ -143,10 +158,21 @@ def evaluate_method(
     )
 
 
-def _paper_dim_bitwidth(
-    fitted: FittedMethod,
+def measured_bitwidth_from_footprints(
+    footprints: Sequence[Tuple[object, int]],
+) -> float:
+    """Storage-weighted bits/element from precomputed footprints."""
+    bits = 0.0
+    elements = 0
+    for fp, _tokens in footprints:
+        bits += fp.total_bits
+        elements += fp.element_count
+    return bits / elements if elements else 0.0
+
+
+def _paper_dim_bitwidth_from_footprints(
+    footprints: Sequence[Tuple[object, int]],
     spec: ModelSpec,
-    kv_samples: Sequence[Tuple[np.ndarray, np.ndarray]],
 ) -> float:
     """Bits/element rescaled to the paper model's KV width.
 
@@ -158,21 +184,27 @@ def _paper_dim_bitwidth(
     payload_bits = 0.0
     elements = 0
     tokens = 0
-    for layer, (keys, values) in enumerate(kv_samples):
-        for quantizer, tensor in (
-            (fitted.key_quantizers[layer], keys),
-            (fitted.value_quantizers[layer], values),
-        ):
-            fp = quantizer.footprint(tensor)
-            payload_bits += fp.dense_bits + fp.sparse_bits
-            scale_bits += fp.metadata_bits
-            elements += fp.element_count
-            tokens += tensor.shape[0]
+    for fp, sample_tokens in footprints:
+        payload_bits += fp.dense_bits + fp.sparse_bits
+        scale_bits += fp.metadata_bits
+        elements += fp.element_count
+        tokens += sample_tokens
     if elements == 0:
         return 0.0
     per_element_payload = payload_bits / elements
     metadata_per_token = scale_bits / tokens if tokens else 0.0
     return per_element_payload + metadata_per_token / spec.arch.kv_dim
+
+
+def _paper_dim_bitwidth(
+    fitted: FittedMethod,
+    spec: ModelSpec,
+    kv_samples: Sequence[Tuple[np.ndarray, np.ndarray]],
+) -> float:
+    """Compatibility wrapper: footprint the samples, then rescale."""
+    return _paper_dim_bitwidth_from_footprints(
+        fitted.layer_footprints(kv_samples), spec
+    )
 
 
 def run_accuracy_harness(

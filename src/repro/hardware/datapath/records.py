@@ -179,9 +179,10 @@ def fp16_round(value: float) -> float:
 def scale_sigma(lo: float, hi: float, bits: int, eps: float = 1e-12) -> float:
     """The uniform-quantization scale factor of Eq. 2 for one group.
 
-    Mirrors the vectorized ``_rowwise_encode`` guard: a degenerate span
-    (empty group or constant values) gets sigma 1.0 so codes collapse
-    to zero.
+    Mirrors the vectorized kernels' guard (``_sigma`` in
+    :mod:`repro.core.quantizer`, and the seed ``_rowwise_encode`` kept
+    in :mod:`repro.core.reference`): a degenerate span (empty group or
+    constant values) gets sigma 1.0 so codes collapse to zero.
     """
     span = hi - lo
     if span > eps:

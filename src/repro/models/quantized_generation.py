@@ -10,6 +10,13 @@ across steps exactly as they would on the accelerator.
 This is the numpy twin of the hardware flow in Figure 8/9: QKV
 generation -> quantization engine -> memory -> dequantization engine ->
 attention.
+
+The per-layer loop rides the cache's incremental read path: appends go
+through the streaming ``quantize_into`` entry point and each
+``cache.read`` decodes only the newly appended rows (the history is
+memoized), so a generation run costs O(T) decode work instead of the
+seed's O(T^2).  The returned key/value views are read-only; attention
+copies them into float64 working precision anyway.
 """
 
 from __future__ import annotations
@@ -74,8 +81,11 @@ def generate_with_quantized_cache(
     """Generate a single sequence reading attention from ``cache``.
 
     Every produced KV row passes through the cache's quantizers before
-    storage; each decode step dequantizes the full history (the
-    software analogue of the streaming dequantization engine).
+    storage; each decode step reads the dequantized history (the
+    software analogue of the streaming dequantization engine).  With an
+    incremental cache (the default) only the newly appended rows are
+    decoded per step; ``QuantizedKVCache(..., incremental=False)``
+    restores the seed's full re-decode for baseline measurements.
 
     Args:
         model: FP decoder model (weights stay exact; only the cache is

@@ -12,6 +12,12 @@ bits ``[i * width, (i + 1) * width)`` of the flattened bit stream, and
 bit ``b`` of the stream lives at byte ``b // 8``, bit position ``b % 8``.
 This matches how a zero-remove shifter would lay codes out in a burst
 write and keeps the layout independent of host endianness.
+
+The widths the encoding actually uses — 4 (inlier nibbles) and 8
+(aligned sparse records) — take byte-arithmetic fast paths that never
+expand codes into an (n, width) bit matrix; every other width falls
+back to the generic bit-matrix routine.  Both produce identical
+buffers.
 """
 
 from __future__ import annotations
@@ -36,6 +42,23 @@ def packed_nbytes(count: int, width: int) -> int:
     return (count * width + 7) // 8
 
 
+def _pack_bits_generic(arr: np.ndarray, width: int, nbytes: int) -> np.ndarray:
+    """Bit-matrix packing for arbitrary widths (the seed path)."""
+    # Expand each code into its `width` bits (LSB first), then reshape
+    # the flat bit stream into bytes.  Vectorized: build an
+    # (n, width) bit matrix, flatten, pad to a byte boundary, and fold.
+    bit_idx = np.arange(width, dtype=np.uint32)
+    bits = ((arr[:, None] >> bit_idx[None, :]) & 1).astype(np.uint8)
+    flat = bits.ravel()
+    padded = np.zeros(nbytes * 8, dtype=np.uint8)
+    padded[: flat.size] = flat
+    weights = (1 << np.arange(8, dtype=np.uint32)).astype(np.uint32)
+    out = (padded.reshape(nbytes, 8).astype(np.uint32) @ weights).astype(
+        np.uint8
+    )
+    return out
+
+
 def pack_bits(codes: np.ndarray, width: int) -> np.ndarray:
     """Pack unsigned integer ``codes`` into a dense ``uint8`` buffer.
 
@@ -55,22 +78,34 @@ def pack_bits(codes: np.ndarray, width: int) -> np.ndarray:
             f"code {int(arr.max())} does not fit in {width} bits"
         )
     nbytes = packed_nbytes(arr.size, width)
-    out = np.zeros(nbytes, dtype=np.uint8)
     if arr.size == 0:
-        return out
-    # Expand each code into its `width` bits (LSB first), then reshape
-    # the flat bit stream into bytes.  Vectorized: build an
-    # (n, width) bit matrix, flatten, pad to a byte boundary, and fold.
-    bit_idx = np.arange(width, dtype=np.uint32)
-    bits = ((arr[:, None] >> bit_idx[None, :]) & 1).astype(np.uint8)
-    flat = bits.ravel()
-    padded = np.zeros(nbytes * 8, dtype=np.uint8)
-    padded[: flat.size] = flat
-    weights = (1 << np.arange(8, dtype=np.uint32)).astype(np.uint32)
-    out = (padded.reshape(nbytes, 8).astype(np.uint32) @ weights).astype(
-        np.uint8
-    )
-    return out
+        return np.zeros(nbytes, dtype=np.uint8)
+    if width == 8:
+        # One code per byte: the cast is the whole layout.
+        return arr.astype(np.uint8)
+    if width == 4:
+        # Two codes per byte, even index in the low nibble.  Pad odd
+        # counts with a zero nibble, exactly like the bit-stream path.
+        nibbles = arr.astype(np.uint8)
+        if nibbles.size % 2:
+            nibbles = np.concatenate(
+                [nibbles, np.zeros(1, dtype=np.uint8)]
+            )
+        return nibbles[0::2] | (nibbles[1::2] << np.uint8(4))
+    return _pack_bits_generic(arr, width, nbytes)
+
+
+def _unpack_bits_generic(
+    buf: np.ndarray, width: int, count: int
+) -> np.ndarray:
+    """Bit-matrix unpacking for arbitrary widths (the seed path)."""
+    bit_positions = np.arange(8, dtype=np.uint32)
+    bits = ((buf[:, None] >> bit_positions[None, :]) & 1).astype(np.uint8)
+    flat = bits.ravel()[: count * width]
+    codes_bits = flat.reshape(count, width).astype(np.uint32)
+    weights = (1 << np.arange(width, dtype=np.uint32)).astype(np.uint32)
+    codes = codes_bits @ weights
+    return codes.astype(np.uint16)
 
 
 def unpack_bits(buffer: np.ndarray, width: int, count: int) -> np.ndarray:
@@ -93,10 +128,14 @@ def unpack_bits(buffer: np.ndarray, width: int, count: int) -> np.ndarray:
         )
     if count == 0:
         return np.zeros(0, dtype=np.uint16)
-    bit_positions = np.arange(8, dtype=np.uint32)
-    bits = ((buf[:, None] >> bit_positions[None, :]) & 1).astype(np.uint8)
-    flat = bits.ravel()[: count * width]
-    codes_bits = flat.reshape(count, width).astype(np.uint32)
-    weights = (1 << np.arange(width, dtype=np.uint32)).astype(np.uint32)
-    codes = codes_bits @ weights
-    return codes.astype(np.uint16)
+    if width == 8:
+        return buf[:count].astype(np.uint16)
+    if width == 4:
+        used = buf[:needed]
+        codes = np.empty(count, dtype=np.uint16)
+        low = (used & np.uint8(0x0F)).astype(np.uint16)
+        high = (used >> np.uint8(4)).astype(np.uint16)
+        codes[0::2] = low[: (count + 1) // 2]
+        codes[1::2] = high[: count // 2]
+        return codes
+    return _unpack_bits_generic(buf, width, count)

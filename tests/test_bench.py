@@ -1,0 +1,55 @@
+"""Smoke tests for the perf-regression harness (:mod:`repro.bench`)."""
+
+import json
+import time
+
+from repro.bench import run_benchmarks
+from repro.bench.hotpath import format_summary
+
+
+def test_harness_runs_quickly_and_writes_json(tmp_path):
+    """Reduced-size run: complete in <60s, emit a well-formed report."""
+    out = tmp_path / "BENCH_quant.json"
+    start = time.perf_counter()
+    report = run_benchmarks(
+        quick=True,
+        out_path=str(out),
+        tokens=256,
+        dim=256,
+        steps=48,
+        repeats=1,
+    )
+    elapsed = time.perf_counter() - start
+    assert elapsed < 60.0
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == "repro.bench/v1"
+    bench = on_disk["benchmarks"]
+    assert set(bench) == {"encode_roundtrip", "generation", "bitpack"}
+
+    enc = bench["encode_roundtrip"]
+    assert enc["tokens"] == 256 and enc["dim"] == 256
+    # Loose floors: smoke sizes are overhead-dominated; the real
+    # targets are enforced by the full-size run in BENCH_quant.json.
+    assert enc["speedup_roundtrip"] > 1.0
+    gen = bench["generation"]
+    assert gen["steps"] == 48
+    assert gen["tokens_identical"] is True
+    assert gen["speedup"] > 1.0
+
+    summary = format_summary(report)
+    assert "encode roundtrip" in summary
+    assert "generation" in summary
+
+
+def test_no_output_file_when_disabled(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    run_benchmarks(
+        quick=True,
+        out_path=None,
+        tokens=128,
+        dim=128,
+        steps=16,
+        repeats=1,
+    )
+    assert not (tmp_path / "BENCH_quant.json").exists()

@@ -1,0 +1,61 @@
+"""Byte-arithmetic bitpack fast paths must match the generic kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.bitpack import (
+    _pack_bits_generic,
+    _unpack_bits_generic,
+    pack_bits,
+    packed_nbytes,
+    unpack_bits,
+)
+
+
+@pytest.mark.parametrize("width", [4, 8])
+@pytest.mark.parametrize("count", [0, 1, 2, 3, 7, 8, 63, 64, 1000])
+def test_fast_pack_matches_generic(width, count):
+    rng = np.random.default_rng(width * 1000 + count)
+    codes = rng.integers(0, 1 << width, size=count, dtype=np.uint32)
+    fast = pack_bits(codes, width)
+    generic = _pack_bits_generic(codes, width, packed_nbytes(count, width))
+    if count == 0:
+        assert fast.size == packed_nbytes(count, width)
+    else:
+        np.testing.assert_array_equal(fast, generic)
+    assert fast.dtype == np.uint8
+
+
+@pytest.mark.parametrize("width", [4, 8])
+@pytest.mark.parametrize("count", [1, 2, 3, 7, 8, 63, 64, 1000])
+def test_fast_unpack_matches_generic_and_roundtrips(width, count):
+    rng = np.random.default_rng(width * 77 + count)
+    codes = rng.integers(0, 1 << width, size=count, dtype=np.uint32)
+    packed = pack_bits(codes, width)
+    fast = unpack_bits(packed, width, count)
+    generic = _unpack_bits_generic(packed, width, count)
+    np.testing.assert_array_equal(fast, generic)
+    np.testing.assert_array_equal(fast, codes.astype(np.uint16))
+    assert fast.dtype == np.uint16
+
+
+@given(
+    width=st.sampled_from([4, 8]),
+    seed=st.integers(0, 10_000),
+    count=st.integers(0, 257),
+)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(width, seed, count):
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 1 << width, size=count, dtype=np.uint32)
+    restored = unpack_bits(pack_bits(codes, width), width, count)
+    np.testing.assert_array_equal(restored, codes.astype(np.uint16))
+
+
+def test_overflowing_code_still_rejected():
+    with pytest.raises(ValueError):
+        pack_bits(np.array([16]), 4)
+    with pytest.raises(ValueError):
+        pack_bits(np.array([256]), 8)

@@ -1,0 +1,136 @@
+"""Incremental cache reads: memoized prefixes vs. full re-decode."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OakenConfig
+from repro.core.kvcache import LayerKVCache, QuantizedKVCache
+from repro.core.quantizer import OakenQuantizer
+from repro.core.reference import ReferenceOakenQuantizer
+
+from conftest import make_kv_matrix
+
+
+def make_layer(samples, incremental=True):
+    return LayerKVCache(
+        key_quantizer=OakenQuantizer.from_samples(samples, OakenConfig()),
+        value_quantizer=OakenQuantizer.from_samples(samples, OakenConfig()),
+        incremental=incremental,
+    )
+
+
+class TestIncrementalRead:
+    def test_matches_full_redecode_after_interleaved_appends(
+        self, kv_samples
+    ):
+        fast = make_layer(kv_samples, incremental=True)
+        slow = make_layer(kv_samples, incremental=False)
+        # Same quantizers on both sides so chunks are identical.
+        slow.key_quantizer = fast.key_quantizer
+        slow.value_quantizer = fast.value_quantizer
+        for step, rows in enumerate([3, 1, 1, 4, 1, 2, 1]):
+            k = make_kv_matrix(tokens=rows, seed=step)
+            v = make_kv_matrix(tokens=rows, seed=100 + step)
+            fast.append(k, v)
+            slow.append(k, v)
+            fk, fv = fast.read()
+            sk, sv = slow.read()
+            np.testing.assert_array_equal(fk, sk)
+            np.testing.assert_array_equal(fv, sv)
+            assert fk.shape[0] == fast.length
+
+    def test_reads_are_readonly_views(self, kv_samples):
+        cache = make_layer(kv_samples)
+        cache.append(
+            make_kv_matrix(tokens=4), make_kv_matrix(tokens=4, seed=1)
+        )
+        keys, values = cache.read()
+        with pytest.raises(ValueError):
+            keys[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            values[0, 0] = 1.0
+
+    def test_earlier_views_survive_buffer_growth(self, kv_samples):
+        cache = make_layer(kv_samples)
+        cache.append(
+            make_kv_matrix(tokens=2), make_kv_matrix(tokens=2, seed=1)
+        )
+        first_keys, _ = cache.read()
+        snapshot = first_keys.copy()
+        # Force many growth cycles past the initial capacity.
+        for step in range(40):
+            cache.append(
+                make_kv_matrix(tokens=3, seed=step),
+                make_kv_matrix(tokens=3, seed=50 + step),
+            )
+            cache.read()
+        np.testing.assert_array_equal(first_keys, snapshot)
+
+    def test_each_chunk_decoded_once(self, kv_samples):
+        cache = make_layer(kv_samples)
+        for step in range(6):
+            cache.append(
+                make_kv_matrix(tokens=1, seed=step),
+                make_kv_matrix(tokens=1, seed=10 + step),
+            )
+            cache.read()
+        assert cache._key_decoded.chunks_decoded == 6
+        assert cache._value_decoded.chunks_decoded == 6
+
+        # With the history memoized, further reads must not decode:
+        # poison the dequantizers and read again.
+        def explode(encoded):
+            raise AssertionError("memoized chunk was re-decoded")
+
+        cache.key_quantizer.dequantize = explode
+        cache.value_quantizer.dequantize = explode
+        keys, values = cache.read()
+        assert keys.shape[0] == 6 and values.shape[0] == 6
+
+    def test_reference_quantizer_cache_identical(self, kv_samples):
+        """Seed-mode cache (reference kernels, full re-decode) reads the
+        same bytes as the fused incremental cache."""
+        fused = make_layer(kv_samples, incremental=True)
+        seed_cache = LayerKVCache(
+            key_quantizer=ReferenceOakenQuantizer(
+                fused.key_quantizer.config,
+                fused.key_quantizer.thresholds,
+            ),
+            value_quantizer=ReferenceOakenQuantizer(
+                fused.value_quantizer.config,
+                fused.value_quantizer.thresholds,
+            ),
+            incremental=False,
+        )
+        for step in range(4):
+            k = make_kv_matrix(tokens=2, seed=step)
+            v = make_kv_matrix(tokens=2, seed=20 + step)
+            fused.append(k, v)
+            seed_cache.append(k, v)
+        fk, fv = fused.read()
+        sk, sv = seed_cache.read()
+        np.testing.assert_array_equal(fk, sk)
+        np.testing.assert_array_equal(fv, sv)
+
+    def test_whole_model_passthrough(self, kv_samples):
+        keys = [
+            OakenQuantizer.from_samples(kv_samples, OakenConfig())
+            for _ in range(2)
+        ]
+        values = [
+            OakenQuantizer.from_samples(kv_samples, OakenConfig())
+            for _ in range(2)
+        ]
+        fast = QuantizedKVCache(keys, values, incremental=True)
+        slow = QuantizedKVCache(keys, values, incremental=False)
+        for layer in range(2):
+            for step in range(3):
+                k = make_kv_matrix(tokens=2, seed=layer * 10 + step)
+                v = make_kv_matrix(tokens=2, seed=500 + layer * 10 + step)
+                fast.append(layer, k, v)
+                slow.append(layer, k, v)
+        for layer in range(2):
+            fk, fv = fast.read(layer)
+            sk, sv = slow.read(layer)
+            np.testing.assert_array_equal(fk, sk)
+            np.testing.assert_array_equal(fv, sv)
