@@ -8,6 +8,9 @@ Package map (see DESIGN.md for the full inventory and substitutions):
   quantized KV cache, byte-stream serialization.
 * :mod:`repro.quant` — shared quantization primitives.
 * :mod:`repro.baselines` — KVQuant/KIVI/QServe/Atom/Tender/FP16.
+* :mod:`repro.engine` — the unified cache API: one ``CacheBackend``
+  protocol over the fused cache and every baseline, the multi-sequence
+  ``KVCachePool`` with batched reads, one ``create_backend`` factory.
 * :mod:`repro.models` — numpy transformer substrate (8-model zoo).
 * :mod:`repro.data` — corpora, QA tasks, Azure-style traces.
 * :mod:`repro.eval` — accuracy harness and KV-distribution analysis.

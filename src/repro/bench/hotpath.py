@@ -191,6 +191,84 @@ def bench_bitpack(
     return results
 
 
+def bench_pool_reads(
+    batch: int = 16,
+    steps: int = 48,
+    dim: int = 64,
+    layers: int = 2,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Time multi-sequence cache reads: batched pool vs. looped.
+
+    Simulates ``steps`` generation iterations over ``batch`` resident
+    sequences (one appended token per sequence per layer per
+    iteration, shared fitted quantizers — the serving configuration).
+    The looped side calls :meth:`KVCachePool.read` once per sequence;
+    the batched side calls :meth:`KVCachePool.read_batch`, which
+    merges every sequence's pending chunks into one fused decode per
+    tensor.  Only read time is measured (appends are identical on
+    both sides), and both sides must return bit-identical histories.
+    """
+    from repro.engine import (
+        KVCachePool,
+        SyntheticKVStream,
+        shared_backend_factory,
+    )
+
+    calibration = SyntheticKVStream(dim, seed=seed).calibration(
+        layers, 256
+    )
+    factory = shared_backend_factory("oaken", calibration=calibration)
+
+    def run(batched: bool):
+        pool = KVCachePool(factory)
+        seq_ids = list(range(batch))
+        for seq_id in seq_ids:
+            pool.allocate(seq_id)
+        stream = SyntheticKVStream(dim, seed=seed + 1)
+        read_s = 0.0
+        final = None
+        for _ in range(steps):
+            for layer in range(layers):
+                for seq_id in seq_ids:
+                    pool.append(
+                        seq_id, layer, stream.draw(1), stream.draw(1)
+                    )
+            start = time.perf_counter()
+            final = []
+            for layer in range(layers):
+                if batched:
+                    final.append(pool.read_batch(layer, seq_ids))
+                else:
+                    final.append(
+                        [pool.read(seq_id, layer) for seq_id in seq_ids]
+                    )
+            read_s += time.perf_counter() - start
+        return read_s, final
+
+    run(True)  # warm allocator / numpy state
+    batched_s, batched_reads = run(True)
+    looped_s, looped_reads = run(False)
+    for batched_layer, looped_layer in zip(batched_reads, looped_reads):
+        for (bk, bv), (lk, lv) in zip(batched_layer, looped_layer):
+            if not (
+                np.array_equal(bk, lk) and np.array_equal(bv, lv)
+            ):
+                raise AssertionError(
+                    "batched pool read diverged from looped reads"
+                )
+    return {
+        "batch": batch,
+        "steps": steps,
+        "dim": dim,
+        "layers": layers,
+        "looped_s": looped_s,
+        "batched_s": batched_s,
+        "speedup_batched": looped_s / batched_s,
+        "reads_identical": True,
+    }
+
+
 def run_benchmarks(
     quick: bool = False,
     out_path: Optional[str] = DEFAULT_OUT,
@@ -209,6 +287,8 @@ def run_benchmarks(
     enc_dim = dim if dim is not None else (512 if quick else 4096)
     gen_steps = steps if steps is not None else (96 if quick else 512)
     pack_count = 1 << 18 if quick else 1 << 22
+    pool_batch = 8 if quick else 16
+    pool_steps = 24 if quick else 48
 
     report: Dict[str, object] = {
         "schema": "repro.bench/v1",
@@ -222,6 +302,9 @@ def run_benchmarks(
             ),
             "generation": bench_generation(steps=gen_steps),
             "bitpack": bench_bitpack(count=pack_count, repeats=repeats),
+            "pool_read": bench_pool_reads(
+                batch=pool_batch, steps=pool_steps
+            ),
         },
     }
     if out_path:
@@ -252,8 +335,16 @@ def format_summary(report: Dict[str, object]) -> str:
         f"generation {gen['steps']} steps ({gen['model']}):",
         f"  seed {gen['seed_s']:.2f}s  incremental {gen['incremental_s']:.2f}s"
         f"  -> {gen['speedup']:.1f}x",
-        "bitpack fast paths:",
     ]
+    pool = bench.get("pool_read")
+    if pool is not None:
+        lines += [
+            f"pool reads batch={pool['batch']} x {pool['steps']} steps:",
+            f"  looped {pool['looped_s']:.3f}s"
+            f"  batched {pool['batched_s']:.3f}s"
+            f"  -> {pool['speedup_batched']:.1f}x",
+        ]
+    lines.append("bitpack fast paths:")
     for width, row in bench["bitpack"].items():
         lines.append(
             f"  {width}: pack {row['speedup_pack']:.1f}x"

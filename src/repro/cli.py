@@ -7,8 +7,11 @@ Commands:
 ``list-systems``
     The serving systems and their devices / effective KV bitwidths.
 ``quantize``
-    Demo of the quantizer on synthetic KV data, reporting the
-    footprint and reconstruction quality for any group configuration.
+    Demo of any registry quantization method (``--method``) on
+    synthetic KV data, reporting the footprint and reconstruction
+    quality; the paper method additionally accepts any group
+    configuration.  All methods build through the unified
+    ``repro.engine`` factory.
 ``throughput``
     One simulated generation run (model x system x batch).
 ``capacity``
@@ -92,13 +95,10 @@ def _cmd_list_systems(args: argparse.Namespace) -> int:
 
 def _cmd_quantize(args: argparse.Namespace) -> int:
     from repro.core.config import OakenConfig
-    from repro.core.quantizer import OakenQuantizer
     from repro.core.serialization import serialize
+    from repro.engine import create_quantizer
     from repro.quant.metrics import signal_to_quantization_noise
 
-    config = OakenConfig.from_ratio_string(
-        args.ratios, outlier_bits=args.outlier_bits
-    )
     rng = np.random.default_rng(args.seed)
     x = rng.standard_normal((args.tokens, args.dim))
     outlier_channels = rng.choice(
@@ -106,21 +106,37 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
     )
     x[:, outlier_channels] *= 10.0
 
-    quantizer = OakenQuantizer.from_samples([x], config)
-    encoded = quantizer.quantize(x)
-    restored = quantizer.dequantize(encoded)
-    footprint = encoded.footprint()
-    print(f"groups: {args.ratios} @ {args.outlier_bits}-bit outliers")
+    # Every registry method builds through the one engine factory; the
+    # group-ratio knobs only parameterize the paper method.
+    config = None
+    if args.method == "oaken":
+        config = OakenConfig.from_ratio_string(
+            args.ratios, outlier_bits=args.outlier_bits
+        )
+    quantizer = create_quantizer(args.method, "key", config=config)
+    quantizer.fit([x])
+    print(f"method: {args.method}")
+    if config is not None:
+        print(f"groups: {args.ratios} @ {args.outlier_bits}-bit outliers")
     print(f"tokens x dim: {args.tokens} x {args.dim}")
-    print(f"outliers: {encoded.num_outliers / x.size:.2%}")
+    if args.method == "oaken":
+        # Encode once; the report lines all derive from this layout.
+        encoded = quantizer.quantizer.quantize(x)
+        restored = quantizer.quantizer.dequantize(encoded)
+        footprint = encoded.footprint()
+        print(f"outliers: {encoded.num_outliers / x.size:.2%}")
+    else:
+        restored = quantizer.roundtrip(x)
+        footprint = quantizer.footprint(x)
     print(f"effective bits/element: {footprint.effective_bitwidth:.3f}")
     print(f"compression vs FP16: {footprint.compression_ratio():.2f}x")
     print(
         "SQNR: "
         f"{signal_to_quantization_noise(x, restored):.1f} dB"
     )
-    blob = serialize(encoded)
-    print(f"serialized stream: {len(blob):,} bytes")
+    if args.method == "oaken":
+        blob = serialize(encoded)
+        print(f"serialized stream: {len(blob):,} bytes")
     return 0
 
 
@@ -396,6 +412,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     quantize = sub.add_parser(
         "quantize", help="quantizer demo on synthetic KV data"
+    )
+    from repro.baselines.registry import BASELINE_NAMES
+
+    quantize.add_argument(
+        "--method", default="oaken", choices=BASELINE_NAMES,
+        help="any registry method, built via repro.engine",
     )
     quantize.add_argument("--ratios", default="4/90/6")
     quantize.add_argument("--outlier-bits", type=int, default=5)

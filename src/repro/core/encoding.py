@@ -18,7 +18,7 @@ accounting (Table 2 bottom rows and Table 3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -153,3 +153,70 @@ class EncodedKV:
     def nbytes(self) -> float:
         """Total storage in bytes."""
         return self.footprint().total_bytes
+
+
+def concat_encoded(chunks: Sequence[EncodedKV]) -> EncodedKV:
+    """Stack encoded [T_i, D] tensors into one [sum T_i, D] layout.
+
+    Every decode operation is row-local (per-token scales, per-record
+    sparse reconstruction), so dequantizing the concatenated tensor is
+    bit-identical to dequantizing each chunk separately — this is what
+    lets the serving pool decode the pending chunks of many sequences
+    in one fused pass.
+
+    All chunks must share the same quantizer configuration and
+    thresholds (the pool guarantees this by sharing per-layer
+    quantizers across sequences).
+
+    Args:
+        chunks: non-empty sequence of same-width encoded tensors.
+
+    Returns:
+        One :class:`EncodedKV` whose rows are the chunks' rows in
+        order.
+    """
+    if not chunks:
+        raise ValueError("cannot concatenate zero chunks")
+    first = chunks[0]
+    if len(chunks) == 1:
+        return first
+    offsets: List[int] = []
+    total = 0
+    for chunk in chunks:
+        if chunk.config is not first.config and chunk.config != first.config:
+            raise ValueError("chunks were encoded with different configs")
+        if chunk.thresholds is not first.thresholds:
+            raise ValueError(
+                "chunks were encoded with different thresholds; batched "
+                "decode requires sequences to share fitted quantizers"
+            )
+        if chunk.dim != first.dim:
+            raise ValueError(
+                f"width mismatch: {chunk.dim} vs {first.dim}"
+            )
+        offsets.append(total)
+        total += chunk.num_tokens
+    sparse_token = np.concatenate(
+        [c.sparse_token + off for c, off in zip(chunks, offsets)]
+    )
+    sparse_fp16 = None
+    if first.sparse_fp16 is not None:
+        sparse_fp16 = np.concatenate([c.sparse_fp16 for c in chunks])
+    return EncodedKV(
+        config=first.config,
+        thresholds=first.thresholds,
+        shape=(total, first.dim),
+        dense_codes=np.concatenate([c.dense_codes for c in chunks]),
+        middle_lo=np.concatenate([c.middle_lo for c in chunks]),
+        middle_hi=np.concatenate([c.middle_hi for c in chunks]),
+        band_lo=np.concatenate([c.band_lo for c in chunks]),
+        band_hi=np.concatenate([c.band_hi for c in chunks]),
+        sparse_token=sparse_token,
+        sparse_pos=np.concatenate([c.sparse_pos for c in chunks]),
+        sparse_band=np.concatenate([c.sparse_band for c in chunks]),
+        sparse_side=np.concatenate([c.sparse_side for c in chunks]),
+        sparse_mag_code=np.concatenate(
+            [c.sparse_mag_code for c in chunks]
+        ),
+        sparse_fp16=sparse_fp16,
+    )

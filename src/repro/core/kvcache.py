@@ -41,29 +41,45 @@ class _DecodedPrefix:
         self.rows = 0
         self.chunks_decoded = 0
 
+    def append_rows(self, decoded: np.ndarray, chunks: int = 1) -> None:
+        """Memoize ``decoded`` rows covering ``chunks`` encoded chunks.
+
+        The rows may have been decoded externally (the serving pool
+        dequantizes the pending chunks of many sequences in one fused
+        pass); the prefix only records that those chunks are now
+        represented in the buffer.
+        """
+        need = self.rows + decoded.shape[0]
+        if self.buffer is None:
+            capacity = max(64, need)
+            self.buffer = np.empty(
+                (capacity, decoded.shape[1]), dtype=np.float32
+            )
+        elif need > self.buffer.shape[0]:
+            capacity = max(need, 2 * self.buffer.shape[0])
+            grown = np.empty(
+                (capacity, self.buffer.shape[1]), dtype=np.float32
+            )
+            grown[: self.rows] = self.buffer[: self.rows]
+            self.buffer = grown
+        self.buffer[self.rows : need] = decoded
+        self.rows = need
+        self.chunks_decoded += chunks
+
+    def view(self) -> np.ndarray:
+        """Read-only view of the memoized prefix."""
+        if self.buffer is None:
+            view = np.empty((0, 0), dtype=np.float32)
+        else:
+            view = self.buffer[: self.rows]
+        view.flags.writeable = False
+        return view
+
     def extend(self, chunks: List[EncodedKV], quantizer) -> np.ndarray:
         """Decode chunks not yet memoized, then view the full prefix."""
         for chunk in chunks[self.chunks_decoded :]:
-            decoded = quantizer.dequantize(chunk)
-            need = self.rows + decoded.shape[0]
-            if self.buffer is None:
-                capacity = max(64, need)
-                self.buffer = np.empty(
-                    (capacity, decoded.shape[1]), dtype=np.float32
-                )
-            elif need > self.buffer.shape[0]:
-                capacity = max(need, 2 * self.buffer.shape[0])
-                grown = np.empty(
-                    (capacity, self.buffer.shape[1]), dtype=np.float32
-                )
-                grown[: self.rows] = self.buffer[: self.rows]
-                self.buffer = grown
-            self.buffer[self.rows : need] = decoded
-            self.rows = need
-            self.chunks_decoded += 1
-        view = self.buffer[: self.rows]
-        view.flags.writeable = False
-        return view
+            self.append_rows(quantizer.dequantize(chunk))
+        return self.view()
 
 
 @dataclass
@@ -156,6 +172,35 @@ class LayerKVCache:
             [self.value_quantizer.dequantize(c) for c in self._value_chunks]
         )
         return keys, values
+
+    def pending_chunks(self) -> Tuple[List[EncodedKV], List[EncodedKV]]:
+        """Chunks appended since the last read (incremental mode only).
+
+        The serving pool batches these across sequences into one fused
+        decode; the results come back through :meth:`commit_decoded`.
+        """
+        if not self.incremental:
+            raise RuntimeError(
+                "pending_chunks requires an incremental cache"
+            )
+        return (
+            self._key_chunks[self._key_decoded.chunks_decoded :],
+            self._value_chunks[self._value_decoded.chunks_decoded :],
+        )
+
+    def commit_decoded(
+        self,
+        key_rows: np.ndarray,
+        value_rows: np.ndarray,
+        chunks: int,
+    ) -> None:
+        """Memoize externally decoded pending rows covering ``chunks``.
+
+        ``key_rows`` / ``value_rows`` must be the exact decode of the
+        corresponding :meth:`pending_chunks` slices, in order.
+        """
+        self._key_decoded.append_rows(key_rows, chunks)
+        self._value_decoded.append_rows(value_rows, chunks)
 
     def nbytes(self) -> float:
         """Total encoded storage of this layer's cache in bytes."""

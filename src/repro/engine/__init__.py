@@ -1,0 +1,55 @@
+"""Unified cache-engine API.
+
+One protocol (:class:`CacheBackend`), one factory
+(:func:`create_backend`), one multi-sequence arena
+(:class:`KVCachePool`).  Every quantized-KV consumer in the repo — the
+autoregressive generation loop, the serving simulator's cache-replay
+mode, the evaluation harness and the CLI — constructs caches through
+this package, for the paper method and every Table 2 baseline alike.
+
+Quickstart::
+
+    from repro.engine import create_backend, shared_backend_factory
+    from repro.engine import KVCachePool
+
+    backend = create_backend("kivi", num_layers=2)   # any method
+    backend.append(0, keys, values)                  # stream KV rows
+    k, v = backend.read(0)                           # lossy history
+
+    pool = KVCachePool(
+        shared_backend_factory("oaken", calibration=calibration)
+    )
+    pool.allocate("req-0"); pool.allocate("req-1")
+    ...
+    pool.read_batch(layer=0, seq_ids=["req-0", "req-1"])
+"""
+
+from repro.engine.backend import (
+    BACKEND_KINDS,
+    BASELINE_NAMES,
+    BaselineCacheBackend,
+    CacheBackend,
+    FusedCacheBackend,
+    available_methods,
+    backend_for_model,
+    create_backend,
+    create_quantizer,
+    shared_backend_factory,
+)
+from repro.engine.pool import KVCachePool
+from repro.engine.synthetic import SyntheticKVStream
+
+__all__ = [
+    "BACKEND_KINDS",
+    "BASELINE_NAMES",
+    "BaselineCacheBackend",
+    "CacheBackend",
+    "FusedCacheBackend",
+    "KVCachePool",
+    "SyntheticKVStream",
+    "available_methods",
+    "backend_for_model",
+    "create_backend",
+    "create_quantizer",
+    "shared_backend_factory",
+]

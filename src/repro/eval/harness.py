@@ -25,8 +25,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.baselines.base import KVCacheQuantizer
-from repro.baselines.registry import BASELINE_NAMES, create_method
 from repro.data.corpus import build_corpus, calibration_corpus
+from repro.engine import BASELINE_NAMES, create_quantizer
 from repro.data.qa_tasks import QA_TASK_PROFILES, build_qa_batch
 from repro.eval.zeroshot import score_qa_batch
 from repro.models.config import ModelSpec, get_model
@@ -88,6 +88,9 @@ def build_method_bundle(
     The calibration token batch is split back into per-sequence runs so
     methods with multi-run offline phases (Oaken's ~100-inference
     threshold averaging) see separate runs, as the paper describes.
+    Method instances come from the unified engine factory
+    (:func:`repro.engine.create_quantizer`), the same entry point the
+    CLI and the cache backends use.
     """
     tokens = np.atleast_2d(calibration_tokens)
     batch, length = tokens.shape
@@ -98,9 +101,11 @@ def build_method_bundle(
         dim = keys.shape[1]
         key_runs = [r for r in keys.reshape(batch, length, dim)]
         value_runs = [r for r in values.reshape(batch, length, dim)]
-        key_quantizers.append(create_method(method, "key").fit(key_runs))
+        key_quantizers.append(
+            create_quantizer(method, "key").fit(key_runs)
+        )
         value_quantizers.append(
-            create_method(method, "value").fit(value_runs)
+            create_quantizer(method, "value").fit(value_runs)
         )
     return FittedMethod(
         name=method,

@@ -22,14 +22,12 @@ copies them into float64 working precision anyway.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.core.config import OakenConfig
-from repro.core.kvcache import QuantizedKVCache
-from repro.core.quantizer import OakenQuantizer
-from repro.core.thresholds import profile_thresholds
+from repro.engine import CacheBackend, backend_for_model
 from repro.models.ops import apply_rope, rope_angles, softmax
 from repro.models.transformer import DecoderModel
 
@@ -40,13 +38,13 @@ class QuantizedGenerationResult:
 
     Attributes:
         tokens: [B, T] generated tokens (prompt included).
-        cache: the quantized cache after the run (inspect bytes,
+        cache: the cache backend after the run (inspect bytes,
             effective bitwidth).
         steps: decode steps executed.
     """
 
     tokens: np.ndarray
-    cache: QuantizedKVCache
+    cache: CacheBackend
     steps: int
 
 
@@ -54,25 +52,28 @@ def build_cache_for_model(
     model: DecoderModel,
     calibration_tokens: np.ndarray,
     config: Optional[OakenConfig] = None,
-) -> QuantizedKVCache:
-    """Profile thresholds on calibration text and build a fresh cache."""
-    cfg = config if config is not None else OakenConfig()
-    kv = model.collect_layer_kv(np.atleast_2d(calibration_tokens))
-    key_quantizers: List[OakenQuantizer] = []
-    value_quantizers: List[OakenQuantizer] = []
-    for keys, values in kv:
-        key_quantizers.append(
-            OakenQuantizer(cfg, profile_thresholds([keys], cfg))
-        )
-        value_quantizers.append(
-            OakenQuantizer(cfg, profile_thresholds([values], cfg))
-        )
-    return QuantizedKVCache(key_quantizers, value_quantizers)
+    method: str = "oaken",
+    kind: str = "auto",
+) -> CacheBackend:
+    """Calibrate on sample text and build a fresh cache backend.
+
+    Historically this built the paper method's fused cache; it now
+    routes through :func:`repro.engine.backend_for_model`, so any
+    registry method becomes generatable — ``method="kivi"`` hands the
+    generation loop a streaming KIVI cache.
+    """
+    return backend_for_model(
+        model,
+        method=method,
+        kind=kind,
+        calibration_tokens=calibration_tokens,
+        config=config,
+    )
 
 
 def generate_with_quantized_cache(
     model: DecoderModel,
-    cache: QuantizedKVCache,
+    cache: CacheBackend,
     length: int,
     prompt: Optional[np.ndarray] = None,
     temperature: float = 1.0,
@@ -83,14 +84,17 @@ def generate_with_quantized_cache(
     Every produced KV row passes through the cache's quantizers before
     storage; each decode step reads the dequantized history (the
     software analogue of the streaming dequantization engine).  With an
-    incremental cache (the default) only the newly appended rows are
-    decoded per step; ``QuantizedKVCache(..., incremental=False)``
-    restores the seed's full re-decode for baseline measurements.
+    incremental fused cache (the default backend) only the newly
+    appended rows are decoded per step;
+    ``create_backend(..., incremental=False)`` restores the seed's
+    full re-decode for baseline measurements.  Adapter backends make
+    every registry baseline runnable through the same loop.
 
     Args:
         model: FP decoder model (weights stay exact; only the cache is
             lossy, as in the paper).
-        cache: a fresh :class:`QuantizedKVCache` fitted for ``model``.
+        cache: a fresh :class:`~repro.engine.CacheBackend` fitted for
+            ``model``.
         length: total tokens including the prompt.
         prompt: [1, P] int tokens; default one random token.
         temperature: sampling temperature.

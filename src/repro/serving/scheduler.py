@@ -15,7 +15,7 @@ admissions) and the simulator prices them with the hardware model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.serving.request import Request, RequestPhase
 
@@ -54,16 +54,26 @@ class ContinuousBatchScheduler:
             prompt tokens are processed per iteration alongside the
             resident generation work, and a request starts generating
             once its prompt is fully consumed.
+        admission_gate: optional predicate consulted before each
+            admission; returning False leaves the request (and, FIFO,
+            everything behind it) queued for a later iteration.  The
+            serving simulator's cache-replay mode uses this to drive
+            admission from the measured pool footprint instead of the
+            residency cap alone.
     """
 
     def __init__(self, max_batch: int,
-                 prefill_chunk: Optional[int] = None):
+                 prefill_chunk: Optional[int] = None,
+                 admission_gate: Optional[
+                     Callable[[Request], bool]
+                 ] = None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if prefill_chunk is not None and prefill_chunk < 1:
             raise ValueError("prefill_chunk must be >= 1 when set")
         self.max_batch = max_batch
         self.prefill_chunk = prefill_chunk
+        self.admission_gate = admission_gate
         self._queue: List[Request] = []
         self._resident: List[Request] = []
         self._prefilling: dict = {}
@@ -110,6 +120,11 @@ class ContinuousBatchScheduler:
             and self._queue
             and self._queue[0].arrival_s <= now_s
         ):
+            if (
+                self.admission_gate is not None
+                and not self.admission_gate(self._queue[0])
+            ):
+                break
             request = self._queue.pop(0)
             request.phase = RequestPhase.PREFILL
             request.start_s = now_s

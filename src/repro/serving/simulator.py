@@ -6,6 +6,21 @@ the hardware model at the batch's mean context length; admissions pay a
 prefill pass.  The reported metric is **generation throughput** —
 generated tokens divided by the busy makespan — matching Figure 14's
 y-axis.
+
+Two capacity regimes:
+
+* **Analytic mode** (default, unchanged): the residency cap is clipped
+  by :func:`~repro.hardware.perf.max_supported_batch`, which prices KV
+  storage at the system's *analytic* ``kv_bits`` estimate.
+* **Cache-replay mode** (opt-in via :class:`CacheReplayConfig`): the
+  scheduler drives a real :class:`~repro.engine.KVCachePool` holding a
+  miniature quantized cache per resident request — any registry method,
+  through the unified :mod:`repro.engine` API.  Admission control uses
+  the pool's *measured* effective bitwidth, batched multi-sequence
+  reads run every generation iteration, and per-request KV rows stream
+  through the actual quantization kernels.  Iteration pricing stays
+  analytic (the hardware model), so throughput numbers remain
+  comparable across modes.
 """
 
 from __future__ import annotations
@@ -21,10 +36,203 @@ from repro.hardware.perf import (
     generation_iteration,
     max_supported_batch,
     prefill_time,
+    weight_bytes,
 )
 from repro.models.config import ArchShape
 from repro.serving.request import Request
 from repro.serving.scheduler import ContinuousBatchScheduler
+
+
+@dataclass
+class CacheReplayConfig:
+    """Opt-in token-level cache replay for trace simulation.
+
+    The replay holds a miniature per-request quantized cache (real
+    kernels, scaled-down dimensions) in a
+    :class:`~repro.engine.KVCachePool` and lets its measured footprint
+    drive admission control.
+
+    Attributes:
+        method: registry method name (``oaken`` or any baseline).
+        kind: backend kind for :func:`repro.engine.create_backend`.
+        num_layers: miniature cache decoder layers.
+        dim: miniature KV width per layer.
+        calibration_tokens: synthetic calibration rows for methods
+            with an offline phase.
+        prompt_rows: KV rows actually appended per admitted request (a
+            bounded stand-in for its prompt; footprint estimates scale
+            per token, so a sample suffices).
+        seed: synthetic KV stream seed.
+    """
+
+    method: str = "oaken"
+    kind: str = "auto"
+    num_layers: int = 2
+    dim: int = 32
+    calibration_tokens: int = 64
+    prompt_rows: int = 8
+    seed: int = 0
+
+
+class _CacheReplay:
+    """Drives a real :class:`KVCachePool` under the scheduler.
+
+    One miniature cache per resident request: admissions append a
+    sample of prompt KV rows, every generation iteration appends one
+    row per resident per layer and exercises ``read_batch`` across the
+    resident set, retirement frees the sequence.  Admission control
+    projects the device's KV budget (capacity minus weights) against
+    per-request KV priced at the **measured** pool bitwidth — the
+    analytic ``system.kv_bits`` estimate is never consulted.
+    """
+
+    def __init__(
+        self,
+        config: CacheReplayConfig,
+        system: ServingSystem,
+        arch: ArchShape,
+    ):
+        from repro.engine import (
+            KVCachePool,
+            SyntheticKVStream,
+            shared_backend_factory,
+        )
+
+        self.config = config
+        self.arch = arch
+        # Synthetic KV with the paper's channel-concentrated outlier
+        # structure, so measured bitwidths reflect realistic outlier
+        # rates.
+        self._stream = SyntheticKVStream(config.dim, seed=config.seed)
+        calibration = self._stream.calibration(
+            config.num_layers, config.calibration_tokens
+        )
+        factory = shared_backend_factory(
+            config.method, config.kind, calibration=calibration
+        )
+        self.pool = KVCachePool(factory)
+        device = system.device_for(arch)
+        budget = device.memory.capacity_bytes * (
+            1.0 - device.reserved_fraction
+        )
+        budget -= weight_bytes(arch, system.weight_bits)
+        self.budget_bytes = max(0.0, budget)
+        self._contexts: Dict[int, int] = {}
+        self.batched_reads = 0
+        self.replayed_tokens = 0
+        # Prime the measurement by quantizing a calibration probe
+        # through a throwaway backend, so the very first arrival wave
+        # is already projected at a *measured* bitwidth rather than
+        # admitted blind.
+        probe = factory()
+        probe.append(0, calibration[0][0], calibration[0][1])
+        self._last_kv_bits = probe.effective_bitwidth()
+
+    def _draw_rows(self, n: int) -> np.ndarray:
+        return self._stream.draw(n)
+
+    # -- admission -----------------------------------------------------
+
+    def measured_kv_bits(self) -> float:
+        """Pool-measured bits/element.
+
+        Refreshed by :meth:`step` once per iteration (and primed from
+        the calibration probe), so admission-gate calls read the
+        cached measurement instead of rescanning the pool per queued
+        request.
+        """
+        return self._last_kv_bits
+
+    def _refresh_measurement(self) -> None:
+        """One footprint scan: peak bytes + measured bitwidth."""
+        _, bits = self.pool.measure()
+        if bits > 0.0:
+            self._last_kv_bits = bits
+
+    def admission_gate(self, request: Request) -> bool:
+        """Admit while measured-footprint projections fit the budget.
+
+        Approval *reserves* the request's projected context in
+        ``_contexts`` immediately: the scheduler admits every approved
+        request in the same iteration, so later gate calls within one
+        arrival wave must already see the earlier approvals — the pool
+        itself is only populated after the iteration plan returns.
+        An empty reservation table always admits (refusing the sole
+        request would deadlock the replay).
+        """
+        incoming = request.input_tokens + request.output_tokens
+        if not self._contexts:
+            self._contexts[request.request_id] = incoming
+            return True
+        kv_bits = self.measured_kv_bits()
+        if kv_bits <= 0.0:
+            self._contexts[request.request_id] = incoming
+            return True
+        per_token = self.arch.kv_bytes_per_token(kv_bits)
+        projected = 0.0
+        for context in self._contexts.values():
+            projected += per_token * self.arch.attended_length(context)
+        projected += per_token * self.arch.attended_length(incoming)
+        if projected > self.budget_bytes:
+            return False
+        self._contexts[request.request_id] = incoming
+        return True
+
+    # -- lifecycle -----------------------------------------------------
+
+    def admit(self, request: Request) -> None:
+        """Allocate a cache and stream a prompt sample through it."""
+        self.pool.allocate(request.request_id)
+        rows = min(self.config.prompt_rows, max(1, request.input_tokens))
+        for layer in range(self.config.num_layers):
+            self.pool.append(
+                request.request_id,
+                layer,
+                self._draw_rows(rows),
+                self._draw_rows(rows),
+            )
+        self._contexts[request.request_id] = (
+            request.input_tokens + request.output_tokens
+        )
+        self.replayed_tokens += rows
+
+    def step(self, resident: Sequence[Request]) -> None:
+        """One generation iteration: append one row each, batched read."""
+        if not resident:
+            return
+        seq_ids = [r.request_id for r in resident]
+        for layer in range(self.config.num_layers):
+            for seq_id in seq_ids:
+                self.pool.append(
+                    seq_id,
+                    layer,
+                    self._draw_rows(1),
+                    self._draw_rows(1),
+                )
+            self.pool.read_batch(layer, seq_ids)
+            self.batched_reads += 1
+        self.replayed_tokens += len(seq_ids)
+        # Refresh the measured footprint (peak bytes, effective
+        # bitwidth) while the pool is populated; admission gating and
+        # the final report both consume these measurements.
+        self._refresh_measurement()
+
+    def retire(self, requests: Sequence[Request]) -> None:
+        """Free retired sequences' caches."""
+        for request in requests:
+            self.pool.free(request.request_id)
+            self._contexts.pop(request.request_id, None)
+
+    def report(self) -> Dict[str, float]:
+        """Replay measurements attached to the serving report."""
+        return {
+            "method": self.config.method,
+            "measured_kv_bits": self.measured_kv_bits(),
+            "peak_pool_bytes": self.pool.peak_bytes,
+            "batched_reads": float(self.batched_reads),
+            "batched_decodes": float(self.pool.batched_decodes),
+            "replayed_tokens": float(self.replayed_tokens),
+        }
 
 
 @dataclass
@@ -45,6 +253,9 @@ class ServingReport:
         mean_ttft_s: mean time-to-first-token.
         p95_ttft_s: 95th-percentile time-to-first-token.
         mean_tpot_s: mean per-output-token time after the first.
+        replay: cache-replay measurements (measured_kv_bits,
+            peak_pool_bytes, batched_reads, ...) when token-level
+            replay was enabled; None in analytic mode.
     """
 
     system: str
@@ -59,6 +270,7 @@ class ServingReport:
     mean_ttft_s: float = 0.0
     p95_ttft_s: float = 0.0
     mean_tpot_s: float = 0.0
+    replay: Optional[Dict[str, float]] = None
 
 
 def simulate_trace(
@@ -67,12 +279,16 @@ def simulate_trace(
     trace: Sequence[TraceRequest],
     max_batch: int,
     prefill_chunk: Optional[int] = None,
+    replay: Optional[CacheReplayConfig] = None,
 ) -> ServingReport:
     """Replay ``trace`` on ``system`` with residency cap ``max_batch``.
 
-    Capacity semantics mirror the figure sweeps: the residency cap is
-    clipped to what the device can hold at the trace's worst-case
-    context length; a cap below 1 is an OOM.
+    Capacity semantics mirror the figure sweeps: in analytic mode the
+    residency cap is clipped to what the device can hold at the
+    trace's worst-case context length (a cap below 1 is an OOM); in
+    cache-replay mode the cap stays at ``max_batch`` and admissions
+    are gated by the measured footprint of a real
+    :class:`~repro.engine.KVCachePool` instead.
 
     Args:
         system: the (device, method) pairing.
@@ -83,6 +299,10 @@ def simulate_trace(
             per-iteration prompt-token budget; admissions then share
             iterations with generation instead of stalling the batch
             (improves tail latency at equal total work).
+        replay: enable token-level cache replay — per-request
+            miniature quantized caches (any registry method via
+            :mod:`repro.engine`), batched multi-sequence reads each
+            iteration, measured-footprint admission control.
 
     Returns:
         A :class:`ServingReport`.
@@ -90,16 +310,31 @@ def simulate_trace(
     if not trace:
         raise ValueError("empty trace")
     worst_context = max(r.input_tokens + r.output_tokens for r in trace)
-    fit = max_supported_batch(system, arch, worst_context)
-    if fit < 1:
-        return ServingReport(
-            system=system.name, batch=max_batch, effective_batch=0,
-            oom=True, generation_throughput=0.0,
-        )
-    effective_cap = min(max_batch, fit)
+    cache_replay: Optional[_CacheReplay] = None
+    if replay is None:
+        fit = max_supported_batch(system, arch, worst_context)
+        if fit < 1:
+            return ServingReport(
+                system=system.name, batch=max_batch, effective_batch=0,
+                oom=True, generation_throughput=0.0,
+            )
+        effective_cap = min(max_batch, fit)
+    else:
+        cache_replay = _CacheReplay(replay, system, arch)
+        if cache_replay.budget_bytes <= 0.0:
+            return ServingReport(
+                system=system.name, batch=max_batch, effective_batch=0,
+                oom=True, generation_throughput=0.0,
+                replay=cache_replay.report(),
+            )
+        effective_cap = max_batch
 
     scheduler = ContinuousBatchScheduler(
-        effective_cap, prefill_chunk=prefill_chunk
+        effective_cap,
+        prefill_chunk=prefill_chunk,
+        admission_gate=(
+            cache_replay.admission_gate if cache_replay else None
+        ),
     )
     for index, item in enumerate(trace):
         scheduler.submit(
@@ -122,6 +357,9 @@ def simulate_trace(
                 break
             now = max(now, upcoming)
             continue
+        if cache_replay is not None:
+            for request in plan.admitted:
+                cache_replay.admit(request)
         step_time = 0.0
         if prefill_chunk is not None:
             # Chunked prefill: this iteration's prompt-token slice is
@@ -160,11 +398,18 @@ def simulate_trace(
                 ragged=plan.ragged,
             )
             step_time += breakdown.total_s
+        if cache_replay is not None:
+            # Token-level replay: stream one KV row per resident
+            # through the real quantized caches and exercise the
+            # batched multi-sequence read path, as the accelerator's
+            # MMU would every iteration.
+            cache_replay.step(plan.resident)
         now += step_time
         busy += step_time
         retired = scheduler.complete_iteration(now)
         generated += len(plan.resident)
-        del retired  # latencies recorded on the request objects
+        if cache_replay is not None:
+            cache_replay.retire(retired)
 
     finished = scheduler.finished
     latencies = [r.latency_s() for r in finished]
@@ -188,6 +433,9 @@ def simulate_trace(
             float(np.percentile(ttfts, 95)) if ttfts else 0.0
         ),
         mean_tpot_s=float(np.mean(tpots)) if tpots else 0.0,
+        replay=(
+            cache_replay.report() if cache_replay is not None else None
+        ),
     )
 
 
@@ -196,6 +444,7 @@ def simulate_synthesized_batches(
     arch: ArchShape,
     trace: Sequence[TraceRequest],
     batch: int,
+    replay: Optional[CacheReplayConfig] = None,
 ) -> ServingReport:
     """The paper's Figure 14 methodology: closed synthesized batches.
 
@@ -213,6 +462,8 @@ def simulate_synthesized_batches(
         arch: model architecture.
         trace: sampled requests (length statistics are what matters).
         batch: synthesized batch size.
+        replay: optional token-level cache replay, forwarded to each
+            batch's :func:`simulate_trace`.
 
     Returns:
         A :class:`ServingReport` aggregated over all batches.
@@ -239,7 +490,8 @@ def simulate_synthesized_batches(
             )
             for item in group
         ]
-        report = simulate_trace(system, arch, closed, batch)
+        report = simulate_trace(system, arch, closed, batch,
+                                replay=replay)
         if report.oom:
             return ServingReport(
                 system=system.name, batch=batch, effective_batch=0,

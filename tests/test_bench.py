@@ -25,7 +25,9 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     on_disk = json.loads(out.read_text())
     assert on_disk["schema"] == "repro.bench/v1"
     bench = on_disk["benchmarks"]
-    assert set(bench) == {"encode_roundtrip", "generation", "bitpack"}
+    assert set(bench) == {
+        "encode_roundtrip", "generation", "bitpack", "pool_read",
+    }
 
     enc = bench["encode_roundtrip"]
     assert enc["tokens"] == 256 and enc["dim"] == 256
@@ -36,10 +38,14 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     assert gen["steps"] == 48
     assert gen["tokens_identical"] is True
     assert gen["speedup"] > 1.0
+    pool = bench["pool_read"]
+    assert pool["reads_identical"] is True
+    assert pool["speedup_batched"] > 1.0
 
     summary = format_summary(report)
     assert "encode roundtrip" in summary
     assert "generation" in summary
+    assert "pool reads" in summary
 
 
 def test_no_output_file_when_disabled(tmp_path, monkeypatch):

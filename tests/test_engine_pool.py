@@ -1,0 +1,218 @@
+"""KVCachePool: batched reads vs. per-sequence loops, bit-for-bit."""
+
+import numpy as np
+import pytest
+
+from repro.engine import KVCachePool, shared_backend_factory
+
+from conftest import make_kv_matrix
+
+LAYERS = 2
+DIM = 64
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return [
+        (make_kv_matrix(seed=70 + layer), make_kv_matrix(seed=80 + layer))
+        for layer in range(LAYERS)
+    ]
+
+
+@pytest.fixture(scope="module", params=["oaken", "kivi"])
+def factory(request, calibration):
+    """Fused (merged-decode) and adapter (fallback) pool factories."""
+    return shared_backend_factory(
+        request.param, calibration=calibration
+    )
+
+
+def twin_pools(factory, count):
+    batched = KVCachePool(factory)
+    looped = KVCachePool(factory)
+    for seq_id in range(count):
+        batched.allocate(seq_id)
+        looped.allocate(seq_id)
+    return batched, looped
+
+
+def append_rows(pools, seq_id, layer, seed, rows=1):
+    keys = make_kv_matrix(tokens=rows, seed=seed)
+    values = make_kv_matrix(tokens=rows, seed=seed + 10000)
+    for pool in pools:
+        pool.append(seq_id, layer, keys, values)
+
+
+def assert_batch_equals_loop(batched, looped, layer, seq_ids):
+    batch_reads = batched.read_batch(layer, seq_ids)
+    loop_reads = [looped.read(seq_id, layer) for seq_id in seq_ids]
+    for (bk, bv), (lk, lv) in zip(batch_reads, loop_reads):
+        np.testing.assert_array_equal(bk, lk)
+        np.testing.assert_array_equal(bv, lv)
+
+
+class TestReadBatch:
+    def test_matches_looped_reads_after_interleaved_appends(
+        self, factory
+    ):
+        batched, looped = twin_pools(factory, 4)
+        seq_ids = list(range(4))
+        seed = 0
+        for step, rows in enumerate([3, 1, 4, 1, 1, 2]):
+            for seq_id in seq_ids:
+                # Ragged appends: sequences grow at different rates.
+                count = rows if (seq_id + step) % 2 else 1
+                for layer in range(LAYERS):
+                    seed += 1
+                    append_rows(
+                        (batched, looped), seq_id, layer, seed, count
+                    )
+            for layer in range(LAYERS):
+                assert_batch_equals_loop(
+                    batched, looped, layer, seq_ids
+                )
+
+    def test_matches_after_sequence_retirement(self, factory):
+        batched, looped = twin_pools(factory, 5)
+        seed = 500
+        for seq_id in range(5):
+            for layer in range(LAYERS):
+                seed += 1
+                append_rows((batched, looped), seq_id, layer, seed, 2)
+        for layer in range(LAYERS):
+            assert_batch_equals_loop(
+                batched, looped, layer, list(range(5))
+            )
+        # Retire two sequences, admit a fresh one, keep streaming.
+        for pool in (batched, looped):
+            pool.free(1)
+            pool.free(3)
+            pool.allocate(9)
+        survivors = [0, 2, 4, 9]
+        for step in range(3):
+            for seq_id in survivors:
+                for layer in range(LAYERS):
+                    seed += 1
+                    append_rows(
+                        (batched, looped), seq_id, layer, seed, 1
+                    )
+            for layer in range(LAYERS):
+                assert_batch_equals_loop(
+                    batched, looped, layer, survivors
+                )
+
+    def test_duplicate_seq_ids_decode_once(self, factory):
+        """Repeated ids must not double-commit pending chunks."""
+        pool = KVCachePool(factory)
+        pool.allocate(0)
+        pool.allocate(1)
+        append_rows((pool,), 0, 0, seed=910, rows=1)
+        append_rows((pool,), 1, 0, seed=911, rows=1)
+        reads = pool.read_batch(0, [0, 0, 1])
+        assert reads[0][0].shape[0] == 1
+        np.testing.assert_array_equal(reads[0][0], reads[1][0])
+        # Later appends still decode correctly.
+        append_rows((pool,), 0, 0, seed=912, rows=1)
+        keys, _ = pool.read(0, 0)
+        assert keys.shape[0] == 2
+        expected, _ = pool.read_batch(0, [0, 1])[0]
+        np.testing.assert_array_equal(keys, expected)
+
+    def test_single_sequence_batch(self, factory):
+        batched, looped = twin_pools(factory, 1)
+        append_rows((batched, looped), 0, 0, seed=900, rows=4)
+        assert_batch_equals_loop(batched, looped, 0, [0])
+
+    def test_read_order_follows_seq_ids(self, factory):
+        pool = KVCachePool(factory)
+        for seq_id in (7, 3):
+            pool.allocate(seq_id)
+        pool.append(7, 0, make_kv_matrix(2, seed=1),
+                    make_kv_matrix(2, seed=2))
+        pool.append(3, 0, make_kv_matrix(5, seed=3),
+                    make_kv_matrix(5, seed=4))
+        reads = pool.read_batch(0, [3, 7])
+        assert reads[0][0].shape[0] == 5
+        assert reads[1][0].shape[0] == 2
+
+    def test_fused_pool_uses_merged_decodes(self, calibration):
+        factory = shared_backend_factory("oaken",
+                                         calibration=calibration)
+        pool = KVCachePool(factory)
+        for seq_id in range(3):
+            pool.allocate(seq_id)
+            pool.append(seq_id, 0, make_kv_matrix(1, seed=seq_id),
+                        make_kv_matrix(1, seed=50 + seq_id))
+        assert pool.batched_decodes == 0
+        pool.read_batch(0, [0, 1, 2])
+        assert pool.batched_decodes == 2  # one per tensor kind
+        # Nothing pending: a second batched read decodes nothing new.
+        pool.read_batch(0, [0, 1, 2])
+        assert pool.batched_decodes == 2
+
+
+class TestLifecycle:
+    def test_double_allocate_rejected(self, factory):
+        pool = KVCachePool(factory)
+        pool.allocate("a")
+        with pytest.raises(ValueError):
+            pool.allocate("a")
+
+    def test_free_unknown_rejected(self, factory):
+        with pytest.raises(KeyError):
+            KVCachePool(factory).free("ghost")
+
+    def test_membership_and_len(self, factory):
+        pool = KVCachePool(factory)
+        pool.allocate("a")
+        pool.allocate("b")
+        assert "a" in pool and "c" not in pool
+        assert len(pool) == 2
+        assert pool.seq_ids == ["a", "b"]
+        pool.free("a")
+        assert len(pool) == 1
+
+
+class TestFootprint:
+    def test_pool_bytes_sum_sequences(self, factory):
+        pool = KVCachePool(factory)
+        pool.allocate(0)
+        pool.allocate(1)
+        append_rows((pool,), 0, 0, seed=21, rows=4)
+        append_rows((pool,), 1, 0, seed=22, rows=4)
+        total = pool.nbytes()
+        assert total == pytest.approx(
+            pool.get(0).nbytes() + pool.get(1).nbytes()
+        )
+        assert pool.total_tokens() == 8
+        assert 0 < pool.effective_bitwidth() <= 16.0
+
+    def test_peak_survives_retirement(self, factory):
+        pool = KVCachePool(factory)
+        pool.allocate(0)
+        append_rows((pool,), 0, 0, seed=23, rows=8)
+        peak = pool.peak_bytes
+        assert peak > 0
+        pool.free(0)
+        assert pool.nbytes() == 0
+        assert pool.peak_bytes == peak
+
+    def test_would_fit_budget(self, factory):
+        pool = KVCachePool(factory, capacity_bytes=None)
+        assert pool.would_fit(10**9)  # unbounded
+        pool = KVCachePool(factory, capacity_bytes=10.0)
+        pool.allocate(0)
+        assert pool.would_fit(100)  # empty pool: nothing measured yet
+        append_rows((pool,), 0, 0, seed=24, rows=4)
+        assert pool.bytes_per_token() > 0
+        assert not pool.would_fit(10_000)
+        assert pool.would_fit(0) == (pool.nbytes() <= 10.0)
+
+    def test_summary_keys(self, factory):
+        pool = KVCachePool(factory)
+        pool.allocate(0)
+        append_rows((pool,), 0, 0, seed=25, rows=2)
+        summary = pool.summary()
+        assert summary["sequences"] == 1.0
+        assert summary["tokens"] == 2.0
+        assert summary["bytes"] > 0
