@@ -43,4 +43,16 @@ def test_hotpath_speedups(bench_out):
     assert pool["batch"] >= 8
     assert pool["reads_identical"]
     assert pool["speedup_batched"] > 1.5
+    # Batched pool appends: one [B, D] fused encode per tensor must
+    # beat B tiny [1, D] encodes (target >=2x at batch 16; asserted
+    # conservatively for noisy CI boxes).
+    appends = bench["pool_append"]
+    assert appends["batch"] >= 8
+    assert appends["caches_identical"]
+    assert appends["speedup_batched"] > 1.5
+    # Amortized sliding-window reads must beat the full O(T) per-step
+    # re-quantization even at smoke sizes.
+    baseline = bench["baseline_read"]
+    assert baseline["reads_identical"]
+    assert baseline["speedup_amortized"] > 1.0
     assert elapsed < 60.0

@@ -1,84 +1,127 @@
 #!/usr/bin/env python
-"""Quickstart: Oaken's offline-online hybrid KV quantization in 60 lines.
+"""Quickstart: the unified cache engine, from one backend to a batched pool.
 
-Walks the paper's core loop end to end:
+Walks the repo's serving-oriented core loop end to end:
 
-1. profile outlier thresholds offline on calibration tensors,
-2. quantize a fresh KV matrix online (threshold compares only),
-3. inspect the fused dense-and-sparse storage footprint,
-4. dequantize and measure reconstruction error,
-5. stream tokens through the paged quantized KV cache.
+1. build a calibrated cache backend through the one factory
+   (`create_backend` — the paper method or any Table 2 baseline),
+2. stream KV rows through it and read the lossy history back,
+3. inspect the measured storage footprint (bytes, effective bitwidth),
+4. serve many sequences from a `KVCachePool` with shared quantizers,
+5. drive the batched hot paths: one fused encode per iteration via
+   `append_batch`, one fused decode via `read_batch` — bit-identical
+   to per-sequence loops.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
+
+Deeper dives: docs/engine_api.md (protocol contract and invariants),
+docs/architecture.md (layer map), docs/benchmarks.md (perf harness).
 """
 
 import numpy as np
 
-from repro.core import (
-    LayerKVCache,
-    OakenConfig,
-    OakenQuantizer,
-    OfflineProfiler,
-)
-from repro.quant.metrics import signal_to_quantization_noise
+from repro.engine import KVCachePool, create_backend, shared_backend_factory
+
+LAYERS = 2
+DIM = 128
 
 
 def make_kv(tokens: int, seed: int) -> np.ndarray:
-    """Synthesize a KV matrix with channel-concentrated outliers."""
+    """Synthesize KV rows with channel-concentrated outliers."""
     rng = np.random.default_rng(seed)
-    x = rng.standard_normal((tokens, 128))
+    x = rng.standard_normal((tokens, DIM))
     x[:, [5, 40, 77, 101]] *= 12.0  # outlier channels (Observation 3)
     return x
 
 
 def main() -> None:
-    config = OakenConfig()  # the paper's 4% / 90% / 6% split
-    print(f"config: outer={config.outer_ratios} middle="
-          f"{config.middle_ratio} inner={config.inner_ratios}, "
-          f"{config.inlier_bits}-bit inliers / "
-          f"{config.outlier_bits}-bit outliers")
+    # --- offline phase: per-layer calibration, once -------------------
+    calibration = [
+        (make_kv(256, seed=10 + layer), make_kv(256, seed=20 + layer))
+        for layer in range(LAYERS)
+    ]
 
-    # --- offline phase: ~100 profiling runs, averaged ----------------
-    profiler = OfflineProfiler(config)
-    for run in range(100):
-        profiler.observe(make_kv(tokens=64, seed=run))
-    thresholds = profiler.finalize()
-    t_lo_o, t_lo_i, t_hi_i, t_hi_o = thresholds.as_eq1_tuple()
-    print(f"thresholds (Eq. 1): T_lo_outer={t_lo_o:.2f} "
-          f"T_lo_inner={t_lo_i:.2f} T_hi_inner={t_hi_i:.2f} "
-          f"T_hi_outer={t_hi_o:.2f}")
-    print(f"run-to-run spread: {profiler.run_to_run_spread():.3f} "
-          "(small => offline profiling is safe, Observation 2)")
+    # --- one backend, one sequence ------------------------------------
+    # create_backend("kivi", ...) or any registry method works the same.
+    backend = create_backend("oaken", calibration=calibration)
+    print(f"backend: method={backend.method} kind={backend.kind}, "
+          f"{backend.num_layers} layers")
 
-    # --- online phase: quantize unseen data --------------------------
-    quantizer = OakenQuantizer(config, thresholds)
-    kv = make_kv(tokens=256, seed=9999)
-    encoded = quantizer.quantize(kv)
-    footprint = encoded.footprint()
-    print(f"\nencoded {encoded.num_tokens} tokens x {encoded.dim} dims:")
-    print(f"  outliers routed to sparse path: "
-          f"{encoded.num_outliers / kv.size:.1%}")
-    print(f"  dense bits: {footprint.dense_bits:,.0f}   sparse bits: "
-          f"{footprint.sparse_bits:,.0f}   scales: "
-          f"{footprint.metadata_bits:,.0f}")
-    print(f"  effective bitwidth: {footprint.effective_bitwidth:.2f} "
-          f"bits/element ({footprint.compression_ratio():.2f}x vs FP16)")
+    for step in range(8):  # autoregressive appends, one token each
+        for layer in range(LAYERS):
+            backend.append(layer, make_kv(1, seed=100 + step),
+                           make_kv(1, seed=200 + step))
+    keys, values = backend.read(0)
+    print(f"streamed {backend.length} tokens; read back keys "
+          f"{keys.shape}, values {values.shape}")
+    print(f"encoded footprint: {backend.nbytes():,.0f} bytes, "
+          f"{backend.effective_bitwidth():.2f} bits/element "
+          f"(vs 16.0 for FP16)")
 
-    restored = quantizer.dequantize(encoded)
-    sqnr = signal_to_quantization_noise(kv, restored)
-    print(f"  reconstruction SQNR: {sqnr:.1f} dB")
+    # --- a serving pool: many sequences, shared quantizers ------------
+    # The factory runs calibration once; every allocated sequence
+    # shares the fitted per-layer quantizers, which is what makes the
+    # pool's batched kernel paths fusible.
+    factory = shared_backend_factory("oaken", calibration=calibration)
+    pool = KVCachePool(factory)
+    requests = ["req-0", "req-1", "req-2", "req-3"]
+    for request in requests:
+        pool.allocate(request)
 
-    # --- streaming through the paged KV cache ------------------------
-    cache = LayerKVCache(
-        key_quantizer=quantizer, value_quantizer=quantizer
-    )
-    for step in range(8):
-        cache.append(make_kv(1, seed=step), make_kv(1, seed=step + 50))
-    keys, values = cache.read()
-    print(f"\npaged cache: {cache.length} tokens, "
-          f"{cache.nbytes():,.0f} bytes, "
-          f"{cache.effective_bitwidth():.2f} bits/element")
-    print(f"read back shapes: keys {keys.shape}, values {values.shape}")
+    seed = 1000
+    for iteration in range(6):  # six decode iterations
+        for layer in range(LAYERS):
+            # Write side: gather every resident's new row, encode the
+            # whole batch in one fused pass, scatter chunks back.
+            updates = {}
+            for request in requests:
+                seed += 1
+                updates[request] = (make_kv(1, seed=seed),
+                                    make_kv(1, seed=seed + 5000))
+            pool.append_batch(layer, updates)
+            # Read side: decode all pending chunks in one fused pass.
+            pool.read_batch(layer, requests)
+
+    summary = pool.summary()
+    print(f"\npool: {summary['sequences']:.0f} sequences, "
+          f"{summary['tokens']:.0f} cached tokens, "
+          f"{summary['bytes']:,.0f} bytes "
+          f"({summary['effective_bitwidth']:.2f} bits/element)")
+    looped_calls = len(requests) * LAYERS * 6 * 2 * 2
+    print(f"batched kernel calls: {summary['batched_encodes']:.0f} "
+          f"fused encodes, {summary['batched_decodes']:.0f} fused "
+          f"decodes (a per-sequence loop would make {looped_calls})")
+
+    # --- batched == looped, bit for bit -------------------------------
+    looped = KVCachePool(factory)
+    for request in requests:
+        looped.allocate(request)
+    seed = 1000
+    for iteration in range(6):
+        for layer in range(LAYERS):
+            for request in requests:
+                seed += 1
+                looped.append(request, layer, make_kv(1, seed=seed),
+                              make_kv(1, seed=seed + 5000))
+    for layer in range(LAYERS):
+        batch_reads = pool.read_batch(layer, requests)
+        for request, (batch_keys, batch_values) in zip(
+            requests, batch_reads
+        ):
+            loop_keys, loop_values = looped.read(request, layer)
+            assert np.array_equal(batch_keys, loop_keys)
+            assert np.array_equal(batch_values, loop_values)
+    print("batched appends + reads match per-sequence loops exactly")
+
+    # --- admission control off measured footprint ---------------------
+    pool.capacity_bytes = summary["bytes"] * 2
+    fits = pool.would_fit(int(summary["tokens"]))
+    print(f"with a {pool.capacity_bytes:,.0f}-byte budget, another "
+          f"{summary['tokens']:.0f}-token request "
+          f"{'fits' if fits else 'does not fit'}")
+    pool.free("req-1")
+    print(f"retired req-1; {len(pool)} sequences resident, peak "
+          f"footprint {pool.peak_bytes:,.0f} bytes")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Check that intra-repo markdown links resolve.  Stdlib only.
+
+Scans every tracked ``*.md`` file for inline links and images
+(``[text](target)`` / ``![alt](target)``) and verifies that each
+relative target exists on disk, resolved against the file containing
+the link.  External links (``http(s)://``, ``mailto:``) and pure
+in-page anchors (``#section``) are skipped; an anchor suffix on a file
+target is stripped before the existence check.
+
+Run from the repo root (CI does)::
+
+    python scripts/check_markdown_links.py
+
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown link/image: [text](target) — target ends at the
+#: first unescaped closing paren (no nested parens in our targets).
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "results"}
+
+#: Verbatim retrieval artifacts (scraped paper excerpts) — not
+#: maintained documentation; their quoted bodies reference figures
+#: that were never part of this repo.
+SKIP_FILES = {"PAPERS.md", "SNIPPETS.md"}
+
+
+def iter_markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        if path.name in SKIP_FILES:
+            continue
+        yield path
+
+
+def check_file(path: Path, root: Path):
+    """Yield (line_number, target) for every broken link in ``path``."""
+    text = path.read_text(encoding="utf-8")
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            if target.startswith("#"):
+                continue  # in-page anchor
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            if file_part.startswith("/"):
+                resolved = root / file_part.lstrip("/")
+            else:
+                resolved = path.parent / file_part
+            if not resolved.exists():
+                yield line_number, target
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    broken = []
+    checked = 0
+    for path in iter_markdown_files(root):
+        checked += 1
+        for line_number, target in check_file(path, root):
+            broken.append(
+                f"{path.relative_to(root)}:{line_number}: "
+                f"broken link -> {target}"
+            )
+    if broken:
+        print("\n".join(broken))
+        print(f"\n{len(broken)} broken link(s) in {checked} files")
+        return 1
+    print(f"all intra-repo markdown links resolve ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

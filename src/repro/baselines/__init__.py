@@ -23,8 +23,10 @@ cache-only quantization"):
 
 All of them expose :class:`~repro.baselines.base.KVCacheQuantizer`:
 ``fit`` on offline calibration samples, ``roundtrip`` a [T, D] matrix
-(the lossy transform attention sees), and ``footprint`` for storage
-accounting.  The hardware overhead each method pays online (sorting,
+(the lossy transform attention sees), ``footprint`` for storage
+accounting, and ``stable_prefix`` declaring which roundtrip rows
+survive history growth (what the engine's amortized streaming reads
+build on).  The hardware overhead each method pays online (sorting,
 reordering, mixed-precision math) is modelled separately in
 :mod:`repro.hardware.overheads`.
 """

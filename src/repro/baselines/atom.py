@@ -34,6 +34,8 @@ class AtomQuantizer(KVCacheQuantizer):
     """
 
     name = "atom"
+    #: Static calibrated reorder + per-token groups: row-local.
+    row_local = True
 
     def __init__(
         self,

@@ -33,6 +33,12 @@ class KVCacheQuantizer(abc.ABC):
     #: (KVQuant does; see KVTransformBundle.pre_rope_keys).
     pre_rope_keys: bool = False
 
+    #: Whether ``roundtrip`` output row ``i`` depends only on input row
+    #: ``i`` — true for per-token methods whose scales/permutations are
+    #: fixed offline.  Row-local methods let a streaming reader keep
+    #: every previously decoded row and quantize only the new ones.
+    row_local: bool = False
+
     def __init__(self, tensor_kind: str = "key"):
         if tensor_kind not in ("key", "value"):
             raise ValueError(
@@ -81,6 +87,34 @@ class KVCacheQuantizer(abc.ABC):
         This is the transform the attention computation observes when
         reading the KV cache back from memory.
         """
+
+    def stable_prefix(self, old_tokens: int, new_tokens: int) -> int:
+        """How many cached roundtrip rows survive history growth.
+
+        A streaming reader that cached ``roundtrip`` of the first
+        ``old_tokens`` rows and has since appended up to
+        ``new_tokens`` asks this method how much of that cache is
+        still exact.  The return value is a row count ``r`` such that
+        for any [new_tokens, D] history ``x`` extending the old one:
+
+        * ``roundtrip(x)[:r]`` is bit-identical to the cached
+          ``roundtrip(x[:old_tokens])[:r]``, and
+        * ``roundtrip(x)[r:]`` is bit-identical to
+          ``roundtrip(x[r:])``,
+
+        so the reader may keep its first ``r`` decoded rows and
+        re-quantize only the suffix (the amortized sliding-window read
+        in :class:`repro.engine.BaselineCacheBackend`).
+
+        Row-local methods return ``old_tokens`` (nothing ever
+        changes); history-global methods — e.g. KVQuant's online topK
+        outlier selection, whose threshold shifts with every appended
+        row — return 0 and force a full recompute.  Sliding-window
+        methods like KIVI override this with the window geometry.
+        """
+        if self.row_local:
+            return min(old_tokens, new_tokens)
+        return 0
 
     # ------------------------------------------------------------------
     # storage accounting

@@ -16,6 +16,8 @@ class FP16Baseline(KVCacheQuantizer):
     """
 
     name = "fp16"
+    #: The FP16 cast is elementwise: streamed reads never revisit rows.
+    row_local = True
 
     def roundtrip(self, values: np.ndarray) -> np.ndarray:
         x = np.atleast_2d(np.asarray(values))

@@ -59,6 +59,25 @@ class KIVIQuantizer(KVCacheQuantizer):
         self.group_size = group_size
         self.residual_length = residual_length
 
+    def stable_prefix(self, old_tokens: int, new_tokens: int) -> int:
+        """Rows untouched by the sliding FP16 window's advance.
+
+        As the history grows from ``old_tokens`` to ``new_tokens``,
+        rows re-enter the quantized prefix from the residual window,
+        so everything at or beyond the *old* window start must be
+        recomputed.  Keys additionally quantize per channel in token
+        groups anchored at row 0: the trailing partial group of the
+        old prefix changes as it fills, so the stable point rounds
+        down to a group boundary.  Values quantize per token and keep
+        the whole old prefix.
+        """
+        old_start = max(
+            0, min(old_tokens, new_tokens) - self.residual_length
+        )
+        if self.tensor_kind == "key":
+            return (old_start // self.group_size) * self.group_size
+        return old_start
+
     # ------------------------------------------------------------------
 
     def _grouped_roundtrip(self, x: np.ndarray, axis: int) -> np.ndarray:

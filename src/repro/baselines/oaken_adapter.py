@@ -28,6 +28,9 @@ class OakenKVQuantizer(KVCacheQuantizer):
     """
 
     name = "oaken"
+    #: Oaken quantizes per token against offline-profiled thresholds,
+    #: so a row's roundtrip never changes as the history grows.
+    row_local = True
 
     def __init__(
         self,

@@ -40,6 +40,8 @@ class QServeQuantizer(KVCacheQuantizer):
     """
 
     name = "qserve"
+    #: Static channel equalization + per-token groups: row-local.
+    row_local = True
 
     def __init__(
         self,

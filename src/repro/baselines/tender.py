@@ -36,6 +36,8 @@ class TenderQuantizer(KVCacheQuantizer):
     """
 
     name = "tender"
+    #: Static per-group scales fixed offline: row-local.
+    row_local = True
 
     def __init__(
         self,

@@ -11,7 +11,7 @@ Run it as a module::
     PYTHONPATH=src python -m repro.bench --quick         # CI-sized
     PYTHONPATH=src python -m repro.bench --out my.json
 
-Three benchmarks are recorded:
+Six benchmarks are recorded:
 
 ``encode_roundtrip``
     Quantize + dequantize of a [tokens, dim] KV matrix (default
@@ -30,25 +30,47 @@ Three benchmarks are recorded:
     Width-4/8 byte-arithmetic packing fast paths vs. the generic
     bit-matrix routine.
 
+``pool_read``
+    Multi-sequence serving reads: :meth:`KVCachePool.read_batch` (one
+    fused decode across the batch's pending chunks) vs. per-sequence
+    looped reads.
+
+``pool_append``
+    Multi-sequence serving writes: :meth:`KVCachePool.append_batch`
+    (one fused encode across the batch's new rows, scattered back per
+    sequence) vs. per-sequence looped appends.
+
+``baseline_read``
+    Streaming sliding-window reads through the adapter backend:
+    amortized ``stable_prefix`` reads (re-quantize only the window
+    delta) vs. full per-read re-quantization of the history.
+
 Interpretation: each entry carries absolute seconds and a ``speedup``
-(seed time / optimized time).  Regressions show up as a speedup drop
-between two commits' ``BENCH_quant.json``; the smoke test in
+(baseline time / optimized time).  Regressions show up as a speedup
+drop between two commits' ``BENCH_quant.json``; the smoke test in
 ``tests/test_bench.py`` keeps the harness itself runnable in under a
-minute at reduced sizes.
+minute at reduced sizes.  See ``docs/benchmarks.md`` for the full
+regression rule.
 """
 
 from repro.bench.hotpath import (
+    bench_baseline_reads,
     bench_bitpack,
     bench_encode_roundtrip,
     bench_generation,
+    bench_pool_appends,
+    bench_pool_reads,
     run_benchmarks,
     write_report,
 )
 
 __all__ = [
+    "bench_baseline_reads",
     "bench_bitpack",
     "bench_encode_roundtrip",
     "bench_generation",
+    "bench_pool_appends",
+    "bench_pool_reads",
     "run_benchmarks",
     "write_report",
 ]

@@ -269,6 +269,150 @@ def bench_pool_reads(
     }
 
 
+def bench_pool_appends(
+    batch: int = 16,
+    steps: int = 48,
+    dim: int = 64,
+    layers: int = 2,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Time multi-sequence cache appends: batched pool vs. looped.
+
+    The write-side mirror of :func:`bench_pool_reads`: ``steps``
+    generation iterations over ``batch`` resident sequences, one new
+    KV row per sequence per layer per iteration.  The looped side
+    calls :meth:`KVCachePool.append` once per sequence (one tiny
+    [1, D] fused encode each); the batched side calls
+    :meth:`KVCachePool.append_batch`, which gathers the batch's rows
+    into one [batch, D] fused encode per tensor and scatters the
+    encoded chunks back.  Only append time is measured, and both
+    sides must leave bit-identical caches (asserted via full reads).
+    """
+    from repro.engine import (
+        KVCachePool,
+        SyntheticKVStream,
+        shared_backend_factory,
+    )
+
+    calibration = SyntheticKVStream(dim, seed=seed).calibration(
+        layers, 256
+    )
+    factory = shared_backend_factory("oaken", calibration=calibration)
+
+    def run(batched: bool):
+        pool = KVCachePool(factory)
+        seq_ids = list(range(batch))
+        for seq_id in seq_ids:
+            pool.allocate(seq_id)
+        stream = SyntheticKVStream(dim, seed=seed + 1)
+        append_s = 0.0
+        for _ in range(steps):
+            for layer in range(layers):
+                updates = [
+                    (seq_id, stream.draw(1), stream.draw(1))
+                    for seq_id in seq_ids
+                ]
+                start = time.perf_counter()
+                if batched:
+                    pool.append_batch(layer, updates)
+                else:
+                    for seq_id, keys, values in updates:
+                        pool.append(seq_id, layer, keys, values)
+                append_s += time.perf_counter() - start
+        final = [
+            [pool.read(seq_id, layer) for seq_id in seq_ids]
+            for layer in range(layers)
+        ]
+        return append_s, final
+
+    run(True)  # warm allocator / numpy state
+    batched_s, batched_state = run(True)
+    looped_s, looped_state = run(False)
+    for batched_layer, looped_layer in zip(batched_state, looped_state):
+        for (bk, bv), (lk, lv) in zip(batched_layer, looped_layer):
+            if not (
+                np.array_equal(bk, lk) and np.array_equal(bv, lv)
+            ):
+                raise AssertionError(
+                    "batched pool append diverged from looped appends"
+                )
+    return {
+        "batch": batch,
+        "steps": steps,
+        "dim": dim,
+        "layers": layers,
+        "looped_s": looped_s,
+        "batched_s": batched_s,
+        "speedup_batched": looped_s / batched_s,
+        "caches_identical": True,
+    }
+
+
+def bench_baseline_reads(
+    steps: int = 256,
+    dim: int = 64,
+    method: str = "kivi",
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Time streaming sliding-window reads: amortized vs. full recompute.
+
+    Streams ``steps`` single-token appends through a
+    :class:`~repro.engine.BaselineCacheBackend` and reads the history
+    back after each one (the generation access pattern).  The full
+    side re-applies the method's one-shot ``roundtrip`` to the entire
+    [T, D] history every read — O(T) per step; the amortized side
+    keeps the decoded rows the method's ``stable_prefix`` contract
+    guarantees stable and re-quantizes only the rows that entered or
+    left the sliding window — O(window delta).  Only read time is
+    measured, and both sides must return bit-identical histories.
+    """
+    from repro.engine import SyntheticKVStream
+    from repro.engine.backend import BaselineCacheBackend, create_quantizer
+
+    calibration = [SyntheticKVStream(dim, seed=seed).draw(256)]
+    quantizers = {}
+    for kind in ("key", "value"):
+        quantizer = create_quantizer(method, kind)
+        quantizer.fit(calibration)
+        quantizers[kind] = quantizer
+
+    def run(amortize: bool):
+        backend = BaselineCacheBackend(
+            [quantizers["key"]],
+            [quantizers["value"]],
+            method=method,
+            amortize=amortize,
+        )
+        stream = SyntheticKVStream(dim, seed=seed + 1)
+        read_s = 0.0
+        final = None
+        for _ in range(steps):
+            backend.append(0, stream.draw(1), stream.draw(1))
+            start = time.perf_counter()
+            final = backend.read(0)
+            read_s += time.perf_counter() - start
+        return read_s, final
+
+    run(True)  # warm allocator / numpy state
+    amortized_s, amortized_reads = run(True)
+    full_s, full_reads = run(False)
+    for amortized, full in zip(amortized_reads, full_reads):
+        if not np.array_equal(amortized, full):
+            raise AssertionError(
+                "amortized sliding-window read diverged from the "
+                "full re-quantization"
+            )
+    return {
+        "method": method,
+        "steps": steps,
+        "dim": dim,
+        "full_s": full_s,
+        "amortized_s": amortized_s,
+        "speedup_amortized": full_s / amortized_s,
+        "reads_identical": True,
+    }
+
+
 def run_benchmarks(
     quick: bool = False,
     out_path: Optional[str] = DEFAULT_OUT,
@@ -289,6 +433,7 @@ def run_benchmarks(
     pack_count = 1 << 18 if quick else 1 << 22
     pool_batch = 8 if quick else 16
     pool_steps = 24 if quick else 48
+    baseline_steps = 96 if quick else 256
 
     report: Dict[str, object] = {
         "schema": "repro.bench/v1",
@@ -304,6 +449,12 @@ def run_benchmarks(
             "bitpack": bench_bitpack(count=pack_count, repeats=repeats),
             "pool_read": bench_pool_reads(
                 batch=pool_batch, steps=pool_steps
+            ),
+            "pool_append": bench_pool_appends(
+                batch=pool_batch, steps=pool_steps
+            ),
+            "baseline_read": bench_baseline_reads(
+                steps=baseline_steps
             ),
         },
     }
@@ -343,6 +494,24 @@ def format_summary(report: Dict[str, object]) -> str:
             f"  looped {pool['looped_s']:.3f}s"
             f"  batched {pool['batched_s']:.3f}s"
             f"  -> {pool['speedup_batched']:.1f}x",
+        ]
+    appends = bench.get("pool_append")
+    if appends is not None:
+        lines += [
+            f"pool appends batch={appends['batch']} x "
+            f"{appends['steps']} steps:",
+            f"  looped {appends['looped_s']:.3f}s"
+            f"  batched {appends['batched_s']:.3f}s"
+            f"  -> {appends['speedup_batched']:.1f}x",
+        ]
+    baseline = bench.get("baseline_read")
+    if baseline is not None:
+        lines += [
+            f"baseline reads ({baseline['method']}, "
+            f"{baseline['steps']} steps):",
+            f"  full {baseline['full_s']:.3f}s"
+            f"  amortized {baseline['amortized_s']:.3f}s"
+            f"  -> {baseline['speedup_amortized']:.1f}x",
         ]
     lines.append("bitpack fast paths:")
     for width, row in bench["bitpack"].items():

@@ -162,7 +162,8 @@ def concat_encoded(chunks: Sequence[EncodedKV]) -> EncodedKV:
     sparse reconstruction), so dequantizing the concatenated tensor is
     bit-identical to dequantizing each chunk separately — this is what
     lets the serving pool decode the pending chunks of many sequences
-    in one fused pass.
+    in one fused pass.  :func:`split_encoded` is the inverse, used on
+    the encode side of the same batching trick.
 
     All chunks must share the same quantizer configuration and
     thresholds (the pool guarantees this by sharing per-layer
@@ -220,3 +221,69 @@ def concat_encoded(chunks: Sequence[EncodedKV]) -> EncodedKV:
         ),
         sparse_fp16=sparse_fp16,
     )
+
+
+def split_encoded(
+    encoded: EncodedKV, row_counts: Sequence[int]
+) -> List[EncodedKV]:
+    """Split one encoded [T, D] tensor into per-segment chunks.
+
+    The inverse of :func:`concat_encoded`: because the encode is
+    row-local (per-token scales, per-token COO records in token order),
+    quantizing the concatenation of several row blocks and splitting
+    the result is bit-identical to quantizing each block separately.
+    This is what lets the serving pool encode the freshly appended rows
+    of many sequences in one fused pass and scatter the chunks back to
+    their per-sequence caches.
+
+    Args:
+        encoded: the tensor to split.
+        row_counts: tokens per output chunk, in row order; must sum to
+            ``encoded.num_tokens``.  Zero counts yield empty chunks.
+
+    Returns:
+        One :class:`EncodedKV` per entry of ``row_counts``, each owning
+        its arrays (no aliasing of ``encoded``).
+    """
+    counts = [int(c) for c in row_counts]
+    if any(c < 0 for c in counts):
+        raise ValueError("row counts must be non-negative")
+    if sum(counts) != encoded.num_tokens:
+        raise ValueError(
+            f"row counts sum to {sum(counts)}, tensor has "
+            f"{encoded.num_tokens} tokens"
+        )
+    bounds = np.cumsum([0] + counts)
+    # The COO stream is token-major, hence sorted by token; each
+    # segment's records form one contiguous slice.
+    starts = np.searchsorted(encoded.sparse_token, bounds, side="left")
+    pieces: List[EncodedKV] = []
+    for i, count in enumerate(counts):
+        row_lo, row_hi = bounds[i], bounds[i + 1]
+        rec_lo, rec_hi = starts[i], starts[i + 1]
+        sparse_fp16 = None
+        if encoded.sparse_fp16 is not None:
+            sparse_fp16 = encoded.sparse_fp16[rec_lo:rec_hi].copy()
+        pieces.append(
+            EncodedKV(
+                config=encoded.config,
+                thresholds=encoded.thresholds,
+                shape=(count, encoded.dim),
+                dense_codes=encoded.dense_codes[row_lo:row_hi].copy(),
+                middle_lo=encoded.middle_lo[row_lo:row_hi].copy(),
+                middle_hi=encoded.middle_hi[row_lo:row_hi].copy(),
+                band_lo=encoded.band_lo[row_lo:row_hi].copy(),
+                band_hi=encoded.band_hi[row_lo:row_hi].copy(),
+                sparse_token=(
+                    encoded.sparse_token[rec_lo:rec_hi] - row_lo
+                ),
+                sparse_pos=encoded.sparse_pos[rec_lo:rec_hi].copy(),
+                sparse_band=encoded.sparse_band[rec_lo:rec_hi].copy(),
+                sparse_side=encoded.sparse_side[rec_lo:rec_hi].copy(),
+                sparse_mag_code=encoded.sparse_mag_code[
+                    rec_lo:rec_hi
+                ].copy(),
+                sparse_fp16=sparse_fp16,
+            )
+        )
+    return pieces

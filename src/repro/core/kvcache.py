@@ -19,6 +19,15 @@ generation from O(T) re-decodes (O(T^2) per sequence, the seed
 behaviour) into O(new tokens).  Construct with ``incremental=False`` to
 restore the seed's re-decode-everything behaviour — the perf-regression
 harness (:mod:`repro.bench`) uses that mode as its baseline.
+
+The multi-sequence serving pool (:class:`repro.engine.KVCachePool`)
+batches both directions across sequences through three hooks here:
+:meth:`LayerKVCache.pending_chunks` /
+:meth:`LayerKVCache.commit_decoded` let it decode many sequences'
+not-yet-memoized chunks in one fused pass, and
+:meth:`LayerKVCache.append_encoded` lets it scatter back chunks it
+encoded in one fused pass (via
+:func:`~repro.core.encoding.split_encoded`).
 """
 
 from __future__ import annotations
@@ -147,6 +156,28 @@ class LayerKVCache:
         )
         self._length += keys.shape[0]
 
+    def append_encoded(
+        self, key_chunk: EncodedKV, value_chunk: EncodedKV
+    ) -> None:
+        """Append pre-encoded KV chunks produced by this layer's quantizers.
+
+        The write-side counterpart of :meth:`pending_chunks`: the
+        serving pool quantizes the freshly appended rows of many
+        sequences in one fused encode, splits the result with
+        :func:`~repro.core.encoding.split_encoded`, and hands each
+        sequence its chunk here.  The chunks must have been encoded
+        with this layer's fitted quantizers (same thresholds), which
+        the pool guarantees by sharing quantizers across sequences.
+        """
+        if key_chunk.num_tokens != value_chunk.num_tokens:
+            raise ValueError(
+                "key/value token-count mismatch: "
+                f"{key_chunk.num_tokens} vs {value_chunk.num_tokens}"
+            )
+        self._key_chunks.append(key_chunk)
+        self._value_chunks.append(value_chunk)
+        self._length += key_chunk.num_tokens
+
     def read(self) -> Tuple[np.ndarray, np.ndarray]:
         """Dequantize the full cached (keys, values) history.
 
@@ -265,6 +296,13 @@ class QuantizedKVCache:
     ) -> None:
         """Append new KV rows to ``layer``'s cache."""
         self.layers[layer].append(keys, values)
+
+    def append_encoded(
+        self, layer: int, key_chunk: EncodedKV, value_chunk: EncodedKV
+    ) -> None:
+        """Append pre-encoded chunks to ``layer`` (see
+        :meth:`LayerKVCache.append_encoded`)."""
+        self.layers[layer].append_encoded(key_chunk, value_chunk)
 
     def read(self, layer: int) -> Tuple[np.ndarray, np.ndarray]:
         """Dequantized (keys, values) history of ``layer``."""

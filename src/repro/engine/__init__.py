@@ -6,8 +6,12 @@ One protocol (:class:`CacheBackend`), one factory
 autoregressive generation loop, the serving simulator's cache-replay
 mode, the evaluation harness and the CLI — constructs caches through
 this package, for the paper method and every Table 2 baseline alike.
+Both hot directions batch across the pool's resident set: one fused
+encode per iteration (:meth:`KVCachePool.append_batch`) and one fused
+decode (:meth:`KVCachePool.read_batch`), each bit-identical to
+per-sequence loops.
 
-Quickstart::
+Quickstart (full walkthrough in ``docs/engine_api.md``)::
 
     from repro.engine import create_backend, shared_backend_factory
     from repro.engine import KVCachePool
@@ -21,6 +25,7 @@ Quickstart::
     )
     pool.allocate("req-0"); pool.allocate("req-1")
     ...
+    pool.append_batch(0, {"req-0": (k0, v0), "req-1": (k1, v1)})
     pool.read_batch(layer=0, seq_ids=["req-0", "req-1"])
 """
 

@@ -1,12 +1,13 @@
-"""Multi-sequence cache arena with batched reads and footprint reporting.
+"""Multi-sequence cache arena with batched reads, batched appends and
+footprint reporting.
 
-The serving simulator's open perf item — batched multi-sequence cache
-reads — lands here.  A :class:`KVCachePool` owns one
+A :class:`KVCachePool` owns one
 :class:`~repro.engine.backend.CacheBackend` per live request id,
 allocated from a factory (usually
 :func:`~repro.engine.backend.shared_backend_factory`, so all sequences
 share the offline-fitted per-layer quantizers, as a real serving
-system would).
+system would).  Both hot directions of the serving loop are batched
+across the resident set:
 
 ``read_batch`` extends PR 1's incremental memoized reads *across*
 sequences: at every generation iteration each resident sequence has a
@@ -19,6 +20,14 @@ bit-identical to the per-sequence loop — the conformance tests assert
 it).  At single-token decode granularity this turns ``2 * B`` tiny
 [1, D] kernel launches per layer into two [B, D] launches.
 
+``append_batch`` is the write-side mirror: the freshly generated rows
+of all updated sequences are gathered into one [sum t_i, D] matrix per
+tensor, encoded with a single fused quantize pass, and the resulting
+chunks are scattered back to each sequence's cache with
+:func:`~repro.core.encoding.split_encoded`.  The encode is row-local
+(per-token scales, token-ordered COO records), so the scattered chunks
+are bit-for-bit what a per-sequence ``append`` loop would have stored.
+
 Pool-wide footprint (current and peak encoded bytes, measured
 effective bitwidth) feeds the serving simulator's admission control in
 cache-replay mode, replacing the analytic capacity estimate.
@@ -26,17 +35,37 @@ cache-replay mode, replacing the analytic capacity estimate.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
-from repro.core.encoding import concat_encoded
+from repro.core.encoding import concat_encoded, split_encoded
 from repro.core.kvcache import LayerKVCache, QuantizedKVCache
+from repro.core.quantizer import QuantizeScratch
 from repro.engine.backend import CacheBackend
+
+#: One sequence's new rows for :meth:`KVCachePool.append_batch`:
+#: either a mapping ``{seq_id: (keys, values)}`` or an iterable of
+#: ``(seq_id, keys, values)`` triples.
+BatchUpdates = Union[
+    Mapping[Hashable, Tuple[np.ndarray, np.ndarray]],
+    Iterable[Tuple[Hashable, np.ndarray, np.ndarray]],
+]
 
 
 class KVCachePool:
-    """Per-request cache arena with batched multi-sequence reads.
+    """Per-request cache arena with batched multi-sequence reads and
+    appends.
 
     Args:
         backend_factory: zero-argument callable producing a fresh
@@ -56,6 +85,11 @@ class KVCachePool:
         self.capacity_bytes = capacity_bytes
         self._peak_bytes = 0.0
         self.batched_decodes = 0
+        self.batched_encodes = 0
+        # Reusable fused-encode work buffers (keys, values).  Batch
+        # encodes run sequentially on the pool, so one scratch pair
+        # serves every layer; buffers grow to the largest batch seen.
+        self._append_scratch = (QuantizeScratch(), QuantizeScratch())
 
     # ------------------------------------------------------------------
     # allocation
@@ -110,6 +144,91 @@ class KVCachePool:
         """One sequence's dequantized (keys, values) history."""
         return self._caches[seq_id].read(layer)
 
+    def append_batch(self, layer: int, updates: BatchUpdates) -> None:
+        """Append new KV rows to many sequences, one fused encode.
+
+        The write-side counterpart of :meth:`read_batch`: all updated
+        sequences' new [t, D] rows are gathered into one matrix per
+        tensor, quantized in a single fused pass, and the encoded
+        chunks are scattered back to each sequence's layer cache —
+        bit-for-bit identical to calling :meth:`append` once per
+        sequence, in ``updates`` order.  At single-token decode
+        granularity this turns ``2 * B`` tiny [1, D] encodes per layer
+        into two [B, D] encodes.
+
+        Fusion requires fused-kernel caches sharing this layer's
+        fitted quantizers (a
+        :func:`~repro.engine.backend.shared_backend_factory` pool) and
+        at least two sequences with new rows; otherwise this falls
+        back to the per-sequence loop.  Sequences updating with zero
+        rows are skipped entirely (no empty chunk is stored).
+
+        Args:
+            layer: decoder layer index.
+            updates: ``{seq_id: (keys, values)}`` mapping or iterable
+                of ``(seq_id, keys, values)`` triples; ``keys`` and
+                ``values`` are same-shape [t, D] row blocks.
+        """
+        if isinstance(updates, Mapping):
+            items = [(s, k, v) for s, (k, v) in updates.items()]
+        else:
+            items = [(s, k, v) for s, k, v in updates]
+        entries: List[Tuple[CacheBackend, np.ndarray, np.ndarray]] = []
+        for seq_id, keys, values in items:
+            cache = self._caches[seq_id]
+            keys = np.atleast_2d(keys)
+            values = np.atleast_2d(values)
+            if keys.shape != values.shape:
+                raise ValueError(
+                    f"key/value shape mismatch for sequence "
+                    f"{seq_id!r}: {keys.shape} vs {values.shape}"
+                )
+            if keys.shape[0] == 0:
+                continue
+            entries.append((cache, keys, values))
+        if len(entries) < 2:
+            for cache, keys, values in entries:
+                cache.append(layer, keys, values)
+            return
+        layers = self._fusible_layers(
+            [cache for cache, _, _ in entries],
+            layer,
+            require_incremental=False,
+        )
+        if layers is None:
+            for cache, keys, values in entries:
+                cache.append(layer, keys, values)
+            return
+        self._encode_scatter_batch(
+            layers,
+            [keys for _, keys, _ in entries],
+            [values for _, _, values in entries],
+        )
+
+    def _encode_scatter_batch(
+        self,
+        layers: List[LayerKVCache],
+        key_blocks: List[np.ndarray],
+        value_blocks: List[np.ndarray],
+    ) -> None:
+        """Encode every sequence's new rows in one fused pass each for
+        keys and values, then scatter the chunks back."""
+        rows = [block.shape[0] for block in key_blocks]
+        key_scratch, value_scratch = self._append_scratch
+        key_encoded = layers[0].key_quantizer.quantize_into(
+            np.concatenate(key_blocks), key_scratch
+        )
+        value_encoded = layers[0].value_quantizer.quantize_into(
+            np.concatenate(value_blocks), value_scratch
+        )
+        self.batched_encodes += 2
+        key_chunks = split_encoded(key_encoded, rows)
+        value_chunks = split_encoded(value_encoded, rows)
+        for layer_cache, key_chunk, value_chunk in zip(
+            layers, key_chunks, value_chunks
+        ):
+            layer_cache.append_encoded(key_chunk, value_chunk)
+
     def read_batch(
         self, layer: int, seq_ids: List[Hashable]
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
@@ -133,9 +252,17 @@ class KVCachePool:
         return [cache.read(layer) for cache in caches]
 
     def _fusible_layers(
-        self, caches: List[CacheBackend], layer: int
+        self,
+        caches: List[CacheBackend],
+        layer: int,
+        require_incremental: bool = True,
     ) -> Optional[List[LayerKVCache]]:
-        """Per-sequence layer caches eligible for one merged decode."""
+        """Per-sequence layer caches eligible for one merged kernel pass.
+
+        Batched decodes additionally require incremental caches (the
+        merged results land in the decode memos); batched encodes work
+        in either mode, so they pass ``require_incremental=False``.
+        """
         if len(caches) < 2:
             return None
         layers: List[LayerKVCache] = []
@@ -143,7 +270,7 @@ class KVCachePool:
             if not isinstance(cache, QuantizedKVCache):
                 return None
             layer_cache = cache.layers[layer]
-            if not layer_cache.incremental:
+            if require_incremental and not layer_cache.incremental:
                 return None
             layers.append(layer_cache)
         first = layers[0]
@@ -263,4 +390,5 @@ class KVCachePool:
             "peak_bytes": self._peak_bytes,
             "effective_bitwidth": ebw,
             "batched_decodes": float(self.batched_decodes),
+            "batched_encodes": float(self.batched_encodes),
         }

@@ -2,9 +2,9 @@
 
 Observation 3: KV activations concentrate outliers in a few heavy
 channels, plus a sprinkle of isolated spikes.  The serving replay mode
-and the pool-read benchmark both stream synthetic KV through real
-quantization kernels; sharing the generator keeps their measured
-bitwidths describing the same distribution.
+and the pool read/append and baseline-read benchmarks all stream
+synthetic KV through real quantization kernels; sharing the generator
+keeps their measured bitwidths describing the same distribution.
 """
 
 from __future__ import annotations

@@ -17,7 +17,8 @@ Two capacity regimes:
   miniature quantized cache per resident request — any registry method,
   through the unified :mod:`repro.engine` API.  Admission control uses
   the pool's *measured* effective bitwidth, batched multi-sequence
-  reads run every generation iteration, and per-request KV rows stream
+  appends and reads run every generation iteration (one fused encode
+  and decode across the resident set), and per-request KV rows stream
   through the actual quantization kernels.  Iteration pricing stays
   analytic (the hardware model), so throughput numbers remain
   comparable across modes.
@@ -78,9 +79,10 @@ class _CacheReplay:
     """Drives a real :class:`KVCachePool` under the scheduler.
 
     One miniature cache per resident request: admissions append a
-    sample of prompt KV rows, every generation iteration appends one
-    row per resident per layer and exercises ``read_batch`` across the
-    resident set, retirement frees the sequence.  Admission control
+    sample of prompt KV rows; every generation iteration streams one
+    row per resident per layer through ``append_batch`` (one fused
+    encode across the batch) and ``read_batch`` (one fused decode);
+    retirement frees the sequence.  Admission control
     projects the device's KV budget (capacity minus weights) against
     per-request KV priced at the **measured** pool bitwidth — the
     analytic ``system.kv_bits`` estimate is never consulted.
@@ -119,6 +121,7 @@ class _CacheReplay:
         self.budget_bytes = max(0.0, budget)
         self._contexts: Dict[int, int] = {}
         self.batched_reads = 0
+        self.batched_appends = 0
         self.replayed_tokens = 0
         # Prime the measurement by quantizing a calibration probe
         # through a throwaway backend, so the very first arrival wave
@@ -197,18 +200,21 @@ class _CacheReplay:
         self.replayed_tokens += rows
 
     def step(self, resident: Sequence[Request]) -> None:
-        """One generation iteration: append one row each, batched read."""
+        """One generation iteration: batched append, batched read."""
         if not resident:
             return
         seq_ids = [r.request_id for r in resident]
         for layer in range(self.config.num_layers):
-            for seq_id in seq_ids:
-                self.pool.append(
-                    seq_id,
-                    layer,
-                    self._draw_rows(1),
-                    self._draw_rows(1),
-                )
+            # One fused encode across the whole resident batch per
+            # tensor, mirroring the fused decode on the read side.
+            self.pool.append_batch(
+                layer,
+                {
+                    seq_id: (self._draw_rows(1), self._draw_rows(1))
+                    for seq_id in seq_ids
+                },
+            )
+            self.batched_appends += 1
             self.pool.read_batch(layer, seq_ids)
             self.batched_reads += 1
         self.replayed_tokens += len(seq_ids)
@@ -230,7 +236,9 @@ class _CacheReplay:
             "measured_kv_bits": self.measured_kv_bits(),
             "peak_pool_bytes": self.pool.peak_bytes,
             "batched_reads": float(self.batched_reads),
+            "batched_appends": float(self.batched_appends),
             "batched_decodes": float(self.pool.batched_decodes),
+            "batched_encodes": float(self.pool.batched_encodes),
             "replayed_tokens": float(self.replayed_tokens),
         }
 
@@ -301,8 +309,9 @@ def simulate_trace(
             (improves tail latency at equal total work).
         replay: enable token-level cache replay — per-request
             miniature quantized caches (any registry method via
-            :mod:`repro.engine`), batched multi-sequence reads each
-            iteration, measured-footprint admission control.
+            :mod:`repro.engine`), batched multi-sequence appends and
+            reads each iteration, measured-footprint admission
+            control.
 
     Returns:
         A :class:`ServingReport`.
@@ -401,8 +410,8 @@ def simulate_trace(
         if cache_replay is not None:
             # Token-level replay: stream one KV row per resident
             # through the real quantized caches and exercise the
-            # batched multi-sequence read path, as the accelerator's
-            # MMU would every iteration.
+            # batched multi-sequence append and read paths, as the
+            # accelerator's MMU would every iteration.
             cache_replay.step(plan.resident)
         now += step_time
         busy += step_time

@@ -27,6 +27,7 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     bench = on_disk["benchmarks"]
     assert set(bench) == {
         "encode_roundtrip", "generation", "bitpack", "pool_read",
+        "pool_append", "baseline_read",
     }
 
     enc = bench["encode_roundtrip"]
@@ -41,11 +42,19 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     pool = bench["pool_read"]
     assert pool["reads_identical"] is True
     assert pool["speedup_batched"] > 1.0
+    appends = bench["pool_append"]
+    assert appends["caches_identical"] is True
+    assert appends["speedup_batched"] > 1.0
+    baseline = bench["baseline_read"]
+    assert baseline["reads_identical"] is True
+    assert baseline["speedup_amortized"] > 1.0
 
     summary = format_summary(report)
     assert "encode roundtrip" in summary
     assert "generation" in summary
     assert "pool reads" in summary
+    assert "pool appends" in summary
+    assert "baseline reads" in summary
 
 
 def test_no_output_file_when_disabled(tmp_path, monkeypatch):

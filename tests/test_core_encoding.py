@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.core.config import OakenConfig
-from repro.core.encoding import sparse_record_bits
+from repro.core.encoding import (
+    concat_encoded,
+    sparse_record_bits,
+    split_encoded,
+)
 from repro.core.quantizer import OakenQuantizer
 
 from conftest import make_kv_matrix
@@ -102,3 +106,70 @@ class TestFusedNibbleConsistency:
         encoded = quantizer.quantize(x)
         token, pos = encoded.sparse_token, encoded.sparse_pos
         assert (encoded.dense_codes[token, pos] == 0).all()
+
+
+class TestSplitEncoded:
+    """split_encoded is the exact inverse of batch-quantizing blocks."""
+
+    @staticmethod
+    def _assert_chunks_equal(a, b):
+        assert a.shape == b.shape
+        for name in (
+            "dense_codes", "middle_lo", "middle_hi", "band_lo",
+            "band_hi", "sparse_token", "sparse_pos", "sparse_band",
+            "sparse_side", "sparse_mag_code",
+        ):
+            np.testing.assert_array_equal(
+                getattr(a, name), getattr(b, name)
+            )
+        if a.sparse_fp16 is None:
+            assert b.sparse_fp16 is None
+        else:
+            np.testing.assert_array_equal(a.sparse_fp16, b.sparse_fp16)
+
+    @pytest.mark.parametrize("fused", [True, False])
+    def test_split_of_batch_matches_per_block_quantize(self, fused):
+        config = OakenConfig(fused_encoding=fused)
+        calibration = make_kv_matrix(tokens=96, dim=64, seed=1)
+        quantizer = OakenQuantizer.from_samples([calibration], config)
+        blocks = [
+            make_kv_matrix(tokens=rows, dim=64, seed=10 + i)
+            for i, rows in enumerate((3, 1, 0, 5))
+        ]
+        batch = quantizer.quantize(np.concatenate(blocks))
+        pieces = split_encoded(batch, [b.shape[0] for b in blocks])
+        assert len(pieces) == len(blocks)
+        for block, piece in zip(blocks, pieces):
+            if block.shape[0] == 0:
+                assert piece.num_tokens == 0
+                continue
+            self._assert_chunks_equal(piece, quantizer.quantize(block))
+
+    def test_split_concat_roundtrip(self):
+        quantizer = OakenQuantizer.from_samples(
+            [make_kv_matrix(tokens=96, dim=64, seed=2)]
+        )
+        batch = quantizer.quantize(make_kv_matrix(tokens=9, dim=64, seed=3))
+        pieces = split_encoded(batch, [4, 5])
+        merged = concat_encoded(pieces)
+        self._assert_chunks_equal(merged, batch)
+
+    def test_split_pieces_own_their_arrays(self):
+        quantizer = OakenQuantizer.from_samples(
+            [make_kv_matrix(tokens=96, dim=64, seed=2)]
+        )
+        batch = quantizer.quantize(make_kv_matrix(tokens=4, dim=64, seed=4))
+        piece = split_encoded(batch, [2, 2])[0]
+        piece.dense_codes[0, 0] += 1
+        assert piece.dense_codes.base is not batch.dense_codes
+        assert batch.dense_codes[0, 0] != piece.dense_codes[0, 0]
+
+    def test_bad_row_counts_rejected(self):
+        quantizer = OakenQuantizer.from_samples(
+            [make_kv_matrix(tokens=96, dim=64, seed=2)]
+        )
+        batch = quantizer.quantize(make_kv_matrix(tokens=4, dim=64, seed=5))
+        with pytest.raises(ValueError):
+            split_encoded(batch, [1, 1])
+        with pytest.raises(ValueError):
+            split_encoded(batch, [5, -1])

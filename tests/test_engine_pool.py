@@ -1,4 +1,5 @@
-"""KVCachePool: batched reads vs. per-sequence loops, bit-for-bit."""
+"""KVCachePool: batched reads and appends vs. per-sequence loops,
+bit-for-bit."""
 
 import numpy as np
 import pytest
@@ -149,6 +150,227 @@ class TestReadBatch:
         # Nothing pending: a second batched read decodes nothing new.
         pool.read_batch(0, [0, 1, 2])
         assert pool.batched_decodes == 2
+
+
+def assert_same_cache_state(batched, looped, seq_ids):
+    """Full bit-for-bit comparison of two pools' cache contents.
+
+    Compares every encoded chunk array when the backends are fused
+    caches (append_batch must store *identical* chunks, not merely
+    chunks that decode identically), and always compares full reads.
+    """
+    for seq_id in seq_ids:
+        b, l = batched.get(seq_id), looped.get(seq_id)
+        assert b.length == l.length
+        for layer in range(LAYERS):
+            if hasattr(b, "layers"):
+                bl, ll = b.layers[layer], l.layers[layer]
+                assert len(bl._key_chunks) == len(ll._key_chunks)
+                chunk_pairs = zip(
+                    bl._key_chunks + bl._value_chunks,
+                    ll._key_chunks + ll._value_chunks,
+                )
+                for bc, lc in chunk_pairs:
+                    assert bc.shape == lc.shape
+                    np.testing.assert_array_equal(
+                        bc.dense_codes, lc.dense_codes
+                    )
+                    np.testing.assert_array_equal(
+                        bc.middle_lo, lc.middle_lo
+                    )
+                    np.testing.assert_array_equal(
+                        bc.middle_hi, lc.middle_hi
+                    )
+                    np.testing.assert_array_equal(
+                        bc.band_lo, lc.band_lo
+                    )
+                    np.testing.assert_array_equal(
+                        bc.band_hi, lc.band_hi
+                    )
+                    np.testing.assert_array_equal(
+                        bc.sparse_token, lc.sparse_token
+                    )
+                    np.testing.assert_array_equal(
+                        bc.sparse_pos, lc.sparse_pos
+                    )
+                    np.testing.assert_array_equal(
+                        bc.sparse_band, lc.sparse_band
+                    )
+                    np.testing.assert_array_equal(
+                        bc.sparse_side, lc.sparse_side
+                    )
+                    np.testing.assert_array_equal(
+                        bc.sparse_mag_code, lc.sparse_mag_code
+                    )
+            has_rows = (
+                b.layers[layer].length
+                if hasattr(b, "layers")
+                else b._keys[layer].length
+            )
+            if has_rows:
+                bk, bv = b.read(layer)
+                lk, lv = l.read(layer)
+                np.testing.assert_array_equal(bk, lk)
+                np.testing.assert_array_equal(bv, lv)
+
+
+class TestAppendBatch:
+    def test_matches_looped_appends_uniform_rows(self, factory):
+        batched, looped = twin_pools(factory, 4)
+        seq_ids = list(range(4))
+        seed = 3000
+        for step in range(4):
+            for layer in range(LAYERS):
+                updates = {}
+                for seq_id in seq_ids:
+                    seed += 1
+                    keys = make_kv_matrix(tokens=1, seed=seed)
+                    values = make_kv_matrix(tokens=1, seed=seed + 7777)
+                    updates[seq_id] = (keys, values)
+                    looped.append(seq_id, layer, keys, values)
+                batched.append_batch(layer, updates)
+        assert_same_cache_state(batched, looped, seq_ids)
+
+    def test_matches_looped_appends_ragged_rows(self, factory):
+        """Sequences appending different row counts in one batch."""
+        batched, looped = twin_pools(factory, 4)
+        seq_ids = list(range(4))
+        seed = 4000
+        for step, counts in enumerate(
+            [(3, 1, 5, 2), (1, 4, 1, 1), (2, 2, 7, 1)]
+        ):
+            for layer in range(LAYERS):
+                updates = []
+                for seq_id, rows in zip(seq_ids, counts):
+                    seed += 1
+                    keys = make_kv_matrix(tokens=rows, seed=seed)
+                    values = make_kv_matrix(
+                        tokens=rows, seed=seed + 7777
+                    )
+                    updates.append((seq_id, keys, values))
+                    looped.append(seq_id, layer, keys, values)
+                batched.append_batch(layer, updates)
+        assert_same_cache_state(batched, looped, seq_ids)
+
+    def test_empty_update_sequences_skipped(self, factory):
+        """Zero-row updates contribute nothing — no chunk, no growth."""
+        batched, looped = twin_pools(factory, 3)
+        seq_ids = list(range(3))
+        seed = 5000
+        for layer in range(LAYERS):
+            updates = []
+            for seq_id, rows in zip(seq_ids, (2, 0, 3)):
+                seed += 1
+                keys = make_kv_matrix(tokens=rows, seed=seed)
+                values = make_kv_matrix(tokens=rows, seed=seed + 7777)
+                updates.append((seq_id, keys, values))
+                if rows:
+                    looped.append(seq_id, layer, keys, values)
+            batched.append_batch(layer, updates)
+        assert batched.get(1).length == 0
+        assert_same_cache_state(batched, looped, [0, 2])
+
+    def test_all_empty_batch_is_noop(self, factory):
+        pool = KVCachePool(factory)
+        pool.allocate(0)
+        pool.allocate(1)
+        empty = np.empty((0, DIM))
+        pool.append_batch(0, {0: (empty, empty), 1: (empty, empty)})
+        assert pool.get(0).length == 0
+        assert pool.batched_encodes == 0
+
+    def test_single_nonempty_update_falls_back_to_append(self, factory):
+        batched, looped = twin_pools(factory, 2)
+        keys = make_kv_matrix(tokens=2, seed=6000)
+        values = make_kv_matrix(tokens=2, seed=6001)
+        batched.append_batch(0, {0: (keys, values)})
+        looped.append(0, 0, keys, values)
+        assert batched.batched_encodes == 0
+        assert_same_cache_state(batched, looped, [0])
+
+    def test_shape_mismatch_rejected(self, factory):
+        pool = KVCachePool(factory)
+        pool.allocate(0)
+        with pytest.raises(ValueError):
+            pool.append_batch(
+                0,
+                {0: (make_kv_matrix(2, seed=1),
+                     make_kv_matrix(3, seed=2))},
+            )
+
+    def test_unknown_sequence_rejected(self, factory):
+        pool = KVCachePool(factory)
+        with pytest.raises(KeyError):
+            pool.append_batch(
+                0,
+                {"ghost": (make_kv_matrix(1, seed=1),
+                           make_kv_matrix(1, seed=2))},
+            )
+
+    def test_fused_pool_counts_batched_encodes(self, calibration):
+        factory = shared_backend_factory(
+            "oaken", calibration=calibration
+        )
+        pool = KVCachePool(factory)
+        for seq_id in range(3):
+            pool.allocate(seq_id)
+        pool.append_batch(
+            0,
+            {
+                seq_id: (
+                    make_kv_matrix(1, seed=seq_id),
+                    make_kv_matrix(1, seed=50 + seq_id),
+                )
+                for seq_id in range(3)
+            },
+        )
+        assert pool.batched_encodes == 2  # one per tensor kind
+        assert pool.summary()["batched_encodes"] == 2.0
+
+    def test_adapter_backends_fall_back_to_loop(self, calibration):
+        factory = shared_backend_factory(
+            "kivi", calibration=calibration
+        )
+        batched, looped = twin_pools(factory, 2)
+        seed = 7000
+        for layer in range(LAYERS):
+            updates = {}
+            for seq_id in range(2):
+                seed += 1
+                keys = make_kv_matrix(tokens=2, seed=seed)
+                values = make_kv_matrix(tokens=2, seed=seed + 7777)
+                updates[seq_id] = (keys, values)
+                looped.append(seq_id, layer, keys, values)
+            batched.append_batch(layer, updates)
+        assert batched.batched_encodes == 0
+        assert_same_cache_state(batched, looped, [0, 1])
+
+    def test_batched_appends_feed_batched_reads(self, calibration):
+        """The fused write and read paths compose bit-for-bit."""
+        factory = shared_backend_factory(
+            "oaken", calibration=calibration
+        )
+        batched, looped = twin_pools(factory, 3)
+        seq_ids = list(range(3))
+        seed = 8000
+        for step in range(3):
+            for layer in range(LAYERS):
+                updates = {}
+                for seq_id in seq_ids:
+                    seed += 1
+                    keys = make_kv_matrix(tokens=1, seed=seed)
+                    values = make_kv_matrix(
+                        tokens=1, seed=seed + 7777
+                    )
+                    updates[seq_id] = (keys, values)
+                    looped.append(seq_id, layer, keys, values)
+                batched.append_batch(layer, updates)
+            for layer in range(LAYERS):
+                assert_batch_equals_loop(
+                    batched, looped, layer, seq_ids
+                )
+        assert batched.batched_encodes > 0
+        assert batched.batched_decodes > 0
 
 
 class TestLifecycle:

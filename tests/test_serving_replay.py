@@ -40,8 +40,14 @@ class TestReplayEndToEnd:
         replay = report.replay
         assert replay is not None
         assert replay["method"] == method
-        # Batched multi-sequence reads ran every generation iteration.
+        # Batched multi-sequence reads and appends ran every
+        # generation iteration.
         assert replay["batched_reads"] > 0
+        assert replay["batched_appends"] > 0
+        if method == "oaken":
+            # Fused backends batch the kernel calls themselves.
+            assert replay["batched_encodes"] > 0
+            assert replay["batched_decodes"] > 0
         # Admission worked off measured footprint, which exists.
         assert 0 < replay["measured_kv_bits"] <= 16.0
         assert replay["peak_pool_bytes"] > 0
