@@ -55,4 +55,11 @@ def test_hotpath_speedups(bench_out):
     baseline = bench["baseline_read"]
     assert baseline["reads_identical"]
     assert baseline["speedup_amortized"] > 1.0
+    # The vectorized datapath twins must stay bit- and cycle-identical
+    # to the scalar golden model while clearing 10x (full-size target
+    # is far higher; the scalar tier is a python loop).
+    datapath = bench["datapath"]
+    assert datapath["bits_identical"]
+    assert datapath["cycles_identical"]
+    assert datapath["speedup_vectorized"] > 10.0
     assert elapsed < 60.0

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.baselines.base import KVCacheQuantizer
 from repro.core.config import OakenConfig
+from repro.core.modes import EXACT_F64, ComputeModeLike, resolve_compute_mode
 from repro.core.quantizer import OakenQuantizer
 from repro.core.thresholds import profile_thresholds
 from repro.quant.metrics import StorageFootprint
@@ -25,6 +26,9 @@ class OakenKVQuantizer(KVCacheQuantizer):
         tensor_kind: ``"key"`` or ``"value"`` (Oaken treats both with
             the same per-token algorithm but profiles them separately).
         config: Oaken configuration; defaults to the paper's 4/90/6.
+        mode: :class:`~repro.core.modes.ComputeMode` for the fused
+            kernels; defaults to ``exact_f64``, the accuracy harness's
+            bit-exact anchor.
     """
 
     name = "oaken"
@@ -36,9 +40,11 @@ class OakenKVQuantizer(KVCacheQuantizer):
         self,
         tensor_kind: str = "key",
         config: Optional[OakenConfig] = None,
+        mode: ComputeModeLike = None,
     ):
         super().__init__(tensor_kind)
         self.config = config if config is not None else OakenConfig()
+        self.mode = resolve_compute_mode(mode, EXACT_F64)
         self._quantizer: Optional[OakenQuantizer] = None
 
     @property
@@ -47,7 +53,9 @@ class OakenKVQuantizer(KVCacheQuantizer):
 
     def _calibrate(self, samples: Sequence[np.ndarray]) -> None:
         thresholds = profile_thresholds(samples, self.config)
-        self._quantizer = OakenQuantizer(self.config, thresholds)
+        self._quantizer = OakenQuantizer(
+            self.config, thresholds, self.mode
+        )
 
     @property
     def quantizer(self) -> OakenQuantizer:

@@ -11,7 +11,7 @@ Run it as a module::
     PYTHONPATH=src python -m repro.bench --quick         # CI-sized
     PYTHONPATH=src python -m repro.bench --out my.json
 
-Six benchmarks are recorded:
+Seven benchmarks are recorded:
 
 ``encode_roundtrip``
     Quantize + dequantize of a [tokens, dim] KV matrix (default
@@ -45,21 +45,34 @@ Six benchmarks are recorded:
     amortized ``stable_prefix`` reads (re-quantize only the window
     delta) vs. full per-read re-quantization of the history.
 
+``datapath``
+    The two-tier hardware datapath: the scalar element-streaming
+    Figure 9 golden model vs. its vectorized whole-tensor twins.
+    Bits and modeled cycle reports must be identical — asserted while
+    timing.
+
 Interpretation: each entry carries absolute seconds and a ``speedup``
 (baseline time / optimized time).  Regressions show up as a speedup
 drop between two commits' ``BENCH_quant.json``; the smoke test in
 ``tests/test_bench.py`` keeps the harness itself runnable in under a
-minute at reduced sizes.  See ``docs/benchmarks.md`` for the full
-regression rule.
+minute at reduced sizes.  The module CLI can enforce the rule
+(``--check BENCH_quant.json``) and produce noise-floor baselines
+(``--runs N`` best-of-runs merge).  See ``docs/benchmarks.md`` for
+the full regression rule.
 """
 
 from repro.bench.hotpath import (
     bench_baseline_reads,
     bench_bitpack,
+    bench_datapath,
     bench_encode_roundtrip,
     bench_generation,
     bench_pool_appends,
     bench_pool_reads,
+    find_regressions,
+    iter_speedups,
+    merge_reports,
+    missing_speedups,
     run_benchmarks,
     write_report,
 )
@@ -67,10 +80,15 @@ from repro.bench.hotpath import (
 __all__ = [
     "bench_baseline_reads",
     "bench_bitpack",
+    "bench_datapath",
     "bench_encode_roundtrip",
     "bench_generation",
     "bench_pool_appends",
     "bench_pool_reads",
+    "find_regressions",
+    "iter_speedups",
+    "merge_reports",
+    "missing_speedups",
     "run_benchmarks",
     "write_report",
 ]

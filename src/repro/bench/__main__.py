@@ -3,14 +3,33 @@
 Options mirror :func:`repro.bench.hotpath.run_benchmarks`; the default
 invocation runs the full-size suite ([4096, 4096] encode, 512-step
 generation) and writes ``BENCH_quant.json`` in the working directory.
+
+Two additions back the repo's regression rule:
+
+* ``--runs N`` repeats the whole suite N times and writes the
+  best-of-runs merge (min seconds, max speedups per leaf) — the
+  noise-floor baseline to commit, so run-to-run wobble does not read
+  as regression against it.
+* ``--check PATH`` compares every ``speedup_*`` entry of this run
+  against a committed report and exits non-zero when one fell below
+  ``--check-factor`` times its committed value — the CI smoke gate.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.bench.hotpath import DEFAULT_OUT, format_summary, run_benchmarks
+from repro.bench.hotpath import (
+    DEFAULT_OUT,
+    find_regressions,
+    format_summary,
+    merge_reports,
+    missing_speedups,
+    run_benchmarks,
+    write_report,
+)
 
 
 def main(argv=None) -> int:
@@ -43,17 +62,77 @@ def main(argv=None) -> int:
         "--repeats", type=int, default=3,
         help="best-of-N repeats for kernel timings (default 3)",
     )
-    args = parser.parse_args(argv)
-    report = run_benchmarks(
-        quick=args.quick,
-        out_path=args.out,
-        tokens=args.tokens,
-        dim=args.dim,
-        steps=args.steps,
-        repeats=args.repeats,
+    parser.add_argument(
+        "--runs", type=int, default=1,
+        help="run the whole suite N times and write the best-of-runs "
+        "merge (min seconds / max speedups per entry)",
     )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare speedup_* entries against a committed report "
+        "and exit 2 on regression",
+    )
+    parser.add_argument(
+        "--check-factor", type=float, default=0.15,
+        help="regression threshold: fail when a speedup falls below "
+        "FACTOR x its committed value (default 0.15; absorbs "
+        "quick-vs-full sizes and CI hardware variance — a lost hot "
+        "path collapses toward 1x and always trips it)",
+    )
+    args = parser.parse_args(argv)
+    if args.runs < 1:
+        parser.error("--runs must be >= 1")
+
+    reports = []
+    for run in range(args.runs):
+        reports.append(
+            run_benchmarks(
+                quick=args.quick,
+                out_path=None,
+                tokens=args.tokens,
+                dim=args.dim,
+                steps=args.steps,
+                repeats=args.repeats,
+            )
+        )
+        if args.runs > 1:
+            print(f"run {run + 1}/{args.runs} complete")
+    report = reports[0] if args.runs == 1 else merge_reports(reports)
+
+    if args.out:
+        write_report(report, args.out)
     print(format_summary(report))
-    print(f"\nreport written to {args.out}")
+    if args.out:
+        print(f"\nreport written to {args.out}")
+
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            committed = json.load(handle)
+        regressions = find_regressions(
+            report, committed, args.check_factor
+        )
+        missing = missing_speedups(report, committed)
+        if regressions or missing:
+            print(
+                f"\nREGRESSION vs {args.check} "
+                f"(threshold {args.check_factor:.2f}x):"
+            )
+            for path, measured, reference in regressions:
+                print(
+                    f"  {path}: {measured:.2f}x "
+                    f"(committed {reference:.2f}x, "
+                    f"floor {reference * args.check_factor:.2f}x)"
+                )
+            for path in missing:
+                print(
+                    f"  {path}: missing from this run "
+                    "(committed entry no longer emitted)"
+                )
+            return 2
+        print(
+            f"\nspeedup check vs {args.check} passed "
+            f"(threshold {args.check_factor:.2f}x)"
+        )
     return 0
 
 

@@ -42,6 +42,13 @@ from repro.core.config import OakenConfig
 from repro.core.encoding import EncodedKV, sparse_record_bits
 from repro.core.grouping import GroupPartition, GroupThresholds, assign_groups
 from repro.core.kvcache import LayerKVCache, QuantizedKVCache
+from repro.core.modes import (
+    COMPUTE_MODES,
+    DEPLOY_F32,
+    EXACT_F64,
+    ComputeMode,
+    resolve_compute_mode,
+)
 from repro.core.persistence import load_profile, save_profile
 from repro.core.quantizer import OakenQuantizer
 from repro.core.serialization import (
@@ -52,6 +59,10 @@ from repro.core.serialization import (
 from repro.core.thresholds import OfflineProfiler, profile_thresholds
 
 __all__ = [
+    "COMPUTE_MODES",
+    "ComputeMode",
+    "DEPLOY_F32",
+    "EXACT_F64",
     "EncodedKV",
     "GroupPartition",
     "GroupThresholds",
@@ -64,6 +75,7 @@ __all__ = [
     "deserialize",
     "load_profile",
     "profile_thresholds",
+    "resolve_compute_mode",
     "save_profile",
     "serialize",
     "serialized_nbytes",

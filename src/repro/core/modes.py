@@ -1,0 +1,148 @@
+"""The ComputeMode precision policy threaded from core to serving.
+
+Every numeric path in the repo that trades precision for speed used to
+take an ad-hoc ``compute_dtype=`` kwarg; what dtype to use, what model
+anchors correctness in that dtype, and how far results may drift were
+three separate, implicit decisions.  :class:`ComputeMode` bundles them
+into one frozen policy object that is threaded from
+:class:`~repro.core.quantizer.OakenQuantizer` through the datapath
+engines and :func:`repro.engine.create_backend` up to the serving
+replay config:
+
+* :data:`EXACT_F64` — float64 kernels, bit-identical to the frozen
+  seed implementation (:mod:`repro.core.reference`) and to the scalar
+  hardware-datapath golden model.  The bench baseline and the
+  bit-exactness anchor; the golden tests pin it.
+* :data:`DEPLOY_F32` — float32 kernels, the serving/replay default.
+  Anchored to ``exact_f64`` output under the tolerance contract below
+  (at most one code level of drift for values within float32 epsilon
+  of a rounding boundary or group threshold).
+
+The tolerance contract is explicit on the object: ``code_tolerance``
+is the maximum per-element integer-code deviation versus the mode's
+golden model, and ``value_rtol`` bounds the float-domain drift of a
+reconstructed value beyond the shared quantization error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ComputeMode:
+    """One named precision policy.
+
+    Attributes:
+        name: registry key (``"exact_f64"`` or ``"deploy_f32"``).
+        compute_dtype: working dtype of every kernel running under the
+            policy (numpy dtype).
+        golden: which model anchors correctness in this mode —
+            ``"seed-reference"`` (bit-identical to the frozen seed
+            kernels and the scalar datapath golden model) or
+            ``"exact-f64"`` (compared against exact_f64 output under
+            the tolerance fields).
+        code_tolerance: maximum per-element integer-code deviation
+            versus the golden model (0 = bit-exact).
+        value_rtol: relative float-domain tolerance for reconstructed
+            values beyond the quantization error both modes share.
+    """
+
+    name: str
+    compute_dtype: np.dtype
+    golden: str
+    code_tolerance: int
+    value_rtol: float
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Alias of :attr:`compute_dtype`."""
+        return self.compute_dtype
+
+    @property
+    def exact(self) -> bool:
+        """Whether this mode promises bit-exactness (tolerance 0)."""
+        return self.code_tolerance == 0
+
+    def cast(self, values: np.ndarray) -> np.ndarray:
+        """``values`` in this mode's working dtype (no-op when equal)."""
+        values = np.asarray(values)
+        if values.dtype == self.compute_dtype:
+            return values
+        return values.astype(self.compute_dtype)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.name
+
+
+#: Bit-exact float64 policy: the bench baseline and golden anchor.
+EXACT_F64 = ComputeMode(
+    name="exact_f64",
+    compute_dtype=np.dtype(np.float64),
+    golden="seed-reference",
+    code_tolerance=0,
+    value_rtol=0.0,
+)
+
+#: Float32 deployment policy: the serving / replay default.
+DEPLOY_F32 = ComputeMode(
+    name="deploy_f32",
+    compute_dtype=np.dtype(np.float32),
+    golden="exact-f64",
+    code_tolerance=1,
+    value_rtol=1e-6,
+)
+
+#: Name -> mode registry (the two shipped policies).
+COMPUTE_MODES = {
+    EXACT_F64.name: EXACT_F64,
+    DEPLOY_F32.name: DEPLOY_F32,
+}
+
+#: Anything :func:`resolve_compute_mode` accepts.
+ComputeModeLike = Union[ComputeMode, str, type, np.dtype, None]
+
+
+def resolve_compute_mode(
+    mode: ComputeModeLike = None,
+    default: ComputeMode = EXACT_F64,
+) -> ComputeMode:
+    """Normalize a mode spec to one of the shipped policies.
+
+    Accepts a :class:`ComputeMode`, a registry name, a float32/float64
+    dtype-like (the legacy ``compute_dtype=`` spelling), or ``None``
+    for ``default``.  Raises ValueError for anything else, including
+    unsupported dtypes.
+    """
+    if mode is None:
+        return default
+    if isinstance(mode, ComputeMode):
+        return mode
+    if isinstance(mode, str) and mode in COMPUTE_MODES:
+        return COMPUTE_MODES[mode]
+    try:
+        dtype = np.dtype(mode)
+    except TypeError:
+        raise ValueError(
+            f"unknown compute mode {mode!r}; expected one of "
+            f"{sorted(COMPUTE_MODES)} or a float32/float64 dtype-like"
+        ) from None
+    for candidate in COMPUTE_MODES.values():
+        if candidate.compute_dtype == dtype:
+            return candidate
+    raise ValueError(
+        f"compute_dtype must be float32 or float64, got {dtype}"
+    )
+
+
+__all__ = [
+    "COMPUTE_MODES",
+    "ComputeMode",
+    "ComputeModeLike",
+    "DEPLOY_F32",
+    "EXACT_F64",
+    "resolve_compute_mode",
+]

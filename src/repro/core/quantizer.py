@@ -31,11 +31,13 @@ extracted first, per-(token, band) scale bounds come from segment
 reductions over only the outlier elements, and the dense matrix is
 touched exactly once — unlike the seed implementation (preserved in
 :mod:`repro.core.reference`), which ran one full [T, D] pass per sparse
-band.  In the default ``compute_dtype=float64`` mode the fused kernel
-is bit-identical to the seed kernels; ``compute_dtype=float32`` trades
-exactness within one code level (for values that land within float32
-epsilon of a rounding boundary or group threshold) for roughly half
-the memory traffic on the hot deployment path.
+band.  The working dtype comes from the quantizer's
+:class:`~repro.core.modes.ComputeMode` policy: in the default
+``exact_f64`` mode the fused kernel is bit-identical to the seed
+kernels; ``deploy_f32`` trades exactness within one code level (for
+values that land within float32 epsilon of a rounding boundary or
+group threshold) for roughly half the memory traffic on the hot
+deployment path.
 """
 
 from __future__ import annotations
@@ -47,6 +49,12 @@ import numpy as np
 from repro.core.config import OakenConfig
 from repro.core.encoding import EncodedKV, sparse_record_bits
 from repro.core.grouping import GroupThresholds
+from repro.core.modes import (
+    EXACT_F64,
+    ComputeMode,
+    ComputeModeLike,
+    resolve_compute_mode,
+)
 from repro.core.thresholds import profile_thresholds
 
 #: Guard below which a quantization range is treated as degenerate.
@@ -367,19 +375,22 @@ class OakenQuantizer:
         thresholds: offline-profiled group thresholds for the tensor
             this quantizer will serve (one quantizer per layer per
             key/value tensor, per Observation 1).
-        compute_dtype: working dtype of the fused kernels.  ``float64``
-            (default) is bit-identical to the seed encoder and to the
-            scalar hardware-datapath golden model; ``float32`` halves
-            the memory traffic of the dense pass and may move codes by
-            at most one level for values within float32 epsilon of a
-            rounding boundary or group threshold.
+        mode: the :class:`~repro.core.modes.ComputeMode` precision
+            policy (a mode object, a registry name, or a float32/
+            float64 dtype-like for backward compatibility).  The
+            default ``exact_f64`` is bit-identical to the seed encoder
+            and to the scalar hardware-datapath golden model;
+            ``deploy_f32`` halves the memory traffic of the dense pass
+            and may move codes by at most one level for values within
+            float32 epsilon of a rounding boundary or group threshold
+            (the mode's tolerance contract).
     """
 
     def __init__(
         self,
         config: OakenConfig,
         thresholds: GroupThresholds,
-        compute_dtype=np.float64,
+        mode: ComputeModeLike = None,
     ):
         if thresholds.num_outer_bands != config.num_outer_bands:
             raise ValueError(
@@ -389,25 +400,25 @@ class OakenQuantizer:
             raise ValueError(
                 "thresholds have a different inner band count than config"
             )
-        wdtype = np.dtype(compute_dtype)
-        if wdtype not in (np.dtype(np.float32), np.dtype(np.float64)):
-            raise ValueError(
-                f"compute_dtype must be float32 or float64, got {wdtype}"
-            )
         self.config = config
         self.thresholds = thresholds
-        self.compute_dtype = wdtype
+        self.mode: ComputeMode = resolve_compute_mode(mode, EXACT_F64)
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """Working dtype of the fused kernels (from the mode policy)."""
+        return self.mode.compute_dtype
 
     @classmethod
     def from_samples(
         cls,
         samples: Sequence[np.ndarray],
         config: Optional[OakenConfig] = None,
-        compute_dtype=np.float64,
+        mode: ComputeModeLike = None,
     ) -> "OakenQuantizer":
         """Profile thresholds offline from samples and build a quantizer."""
         cfg = config if config is not None else OakenConfig()
-        return cls(cfg, profile_thresholds(samples, cfg), compute_dtype)
+        return cls(cfg, profile_thresholds(samples, cfg), mode)
 
     # ------------------------------------------------------------------
     # quantization

@@ -63,6 +63,13 @@ from repro.baselines.registry import (
 )
 from repro.core.config import OakenConfig
 from repro.core.kvcache import QuantizedKVCache
+from repro.core.modes import (
+    DEPLOY_F32,
+    EXACT_F64,
+    ComputeMode,
+    ComputeModeLike,
+    resolve_compute_mode,
+)
 from repro.core.quantizer import OakenQuantizer
 from repro.core.thresholds import profile_thresholds
 from repro.quant.metrics import StorageFootprint
@@ -137,13 +144,18 @@ class FusedCacheBackend(QuantizedKVCache):
     method = "oaken"
     kind = "fused"
 
+    @property
+    def mode(self) -> ComputeMode:
+        """The cache's :class:`ComputeMode` (from its quantizers)."""
+        return self.layers[0].key_quantizer.mode
+
     @classmethod
     def from_calibration(
         cls,
         calibration: Sequence[LayerCalibration],
         config: Optional[OakenConfig] = None,
         incremental: bool = True,
-        compute_dtype=np.float64,
+        mode: ComputeModeLike = None,
     ) -> "FusedCacheBackend":
         """Profile per-layer thresholds and build a fresh cache.
 
@@ -151,9 +163,13 @@ class FusedCacheBackend(QuantizedKVCache):
             calibration: one (keys, values) sample entry per layer.
             config: Oaken configuration (paper 4/90/6 default).
             incremental: memoize decoded chunks (default).
-            compute_dtype: fused-kernel working dtype.
+            mode: :class:`~repro.core.modes.ComputeMode` policy for the
+                fused kernels.  The engine-layer default is
+                ``deploy_f32`` (the serving policy); pass
+                ``"exact_f64"`` for the bit-exactness anchor.
         """
         cfg = config if config is not None else OakenConfig()
+        resolved = resolve_compute_mode(mode, DEPLOY_F32)
         key_quantizers = []
         value_quantizers = []
         for keys, values in calibration:
@@ -161,14 +177,14 @@ class FusedCacheBackend(QuantizedKVCache):
                 OakenQuantizer(
                     cfg,
                     profile_thresholds(_as_runs(keys), cfg),
-                    compute_dtype,
+                    resolved,
                 )
             )
             value_quantizers.append(
                 OakenQuantizer(
                     cfg,
                     profile_thresholds(_as_runs(values), cfg),
-                    compute_dtype,
+                    resolved,
                 )
             )
         return cls(key_quantizers, value_quantizers, incremental)
@@ -177,26 +193,34 @@ class FusedCacheBackend(QuantizedKVCache):
 class _BaselineStream:
     """One tensor's streaming state under a batch-transform method.
 
-    Appends accumulate the exact rows; ``read`` returns the method's
-    ``roundtrip`` of the full [T, D] history, recomputed whenever the
-    length changed since the last read.  The recompute is *amortized*
-    through :meth:`KVCacheQuantizer.stable_prefix`: decoded rows the
-    method guarantees stable under history growth are kept from the
-    previous read, and only the suffix is re-quantized.  For row-local
-    methods (fp16/oaken/qserve/atom/tender) that is just the new rows;
-    for sliding-window methods (KIVI) it is the window plus its
-    delta; history-global methods (KVQuant's online topK) declare no
-    stable prefix and recompute fully — every case bit-identical to
-    the one-shot batch transform.  Footprints are memoized by length
-    the same way.
+    Appends land in an amortized growing buffer (capacity doubles when
+    exhausted), so the accumulated [T, D] history is always one
+    contiguous array and :meth:`matrix` is a constant-time view — the
+    seed behaviour of re-``np.concatenate``-ing the chunk list on
+    every access paid O(T) copies per generation step.
+
+    ``read`` returns the method's ``roundtrip`` of the full history,
+    recomputed whenever the length changed since the last read.  The
+    recompute is *amortized* through
+    :meth:`KVCacheQuantizer.stable_prefix`: decoded rows the method
+    guarantees stable under history growth are kept from the previous
+    read, and only the suffix is re-quantized.  For row-local methods
+    (fp16/oaken/qserve/atom/tender) that is just the new rows; for
+    sliding-window methods (KIVI) it is the window plus its delta;
+    history-global methods (KVQuant's online topK) declare no stable
+    prefix and recompute fully — every case bit-identical to the
+    one-shot batch transform.  Footprints are memoized by length the
+    same way.
     """
+
+    #: First buffer allocation, in rows.
+    _INITIAL_CAPACITY = 16
 
     def __init__(self, quantizer: KVCacheQuantizer, amortize: bool = True):
         self.quantizer = quantizer
         self.amortize = amortize
-        self._rows: List[np.ndarray] = []
+        self._buffer: Optional[np.ndarray] = None
         self._length = 0
-        self._matrix: Optional[np.ndarray] = None
         self._decoded: Optional[np.ndarray] = None
         self._decoded_length = -1
         self._footprint: Optional[StorageFootprint] = None
@@ -206,48 +230,88 @@ class _BaselineStream:
     def length(self) -> int:
         return self._length
 
+    @property
+    def needs_decode(self) -> bool:
+        """Whether the decode memo is stale (appends since last read)."""
+        return self._length > 0 and self._decoded_length != self._length
+
+    def _reserve(self, rows: int, dim: int) -> None:
+        """Grow the history buffer to hold ``rows`` more rows."""
+        need = self._length + rows
+        if self._buffer is None:
+            capacity = max(self._INITIAL_CAPACITY, need)
+            self._buffer = np.empty((capacity, dim), dtype=np.float64)
+            return
+        if self._buffer.shape[1] != dim:
+            raise ValueError(
+                f"appended rows have width {dim}, history has "
+                f"{self._buffer.shape[1]}"
+            )
+        if need <= self._buffer.shape[0]:
+            return
+        capacity = max(self._buffer.shape[0] * 2, need)
+        grown = np.empty((capacity, dim), dtype=np.float64)
+        grown[: self._length] = self._buffer[: self._length]
+        self._buffer = grown
+
     def append(self, rows: np.ndarray) -> None:
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
-        self._rows.append(rows.copy())
+        self._reserve(rows.shape[0], rows.shape[1])
+        self._buffer[self._length : self._length + rows.shape[0]] = rows
         self._length += rows.shape[0]
-        self._matrix = None
 
     def matrix(self) -> np.ndarray:
-        """The exact accumulated [T, D] history."""
-        if self._matrix is None:
-            if not self._rows:
-                raise RuntimeError("cache is empty")
-            self._matrix = (
-                self._rows[0]
-                if len(self._rows) == 1
-                else np.concatenate(self._rows)
+        """The exact accumulated [T, D] history (a read-only view).
+
+        A zero-row append still establishes the history (an empty
+        [0, D] matrix), matching the seed chunk-list behaviour; only a
+        stream that never saw an append raises.
+        """
+        if self._buffer is None:
+            raise RuntimeError("cache is empty")
+        view = self._buffer[: self._length]
+        view.flags.writeable = False
+        return view
+
+    def pending(self) -> Tuple[int, np.ndarray]:
+        """``(stable, suffix)`` the decode memo does not cover.
+
+        ``stable`` is how many memoized decoded rows survive per the
+        method's ``stable_prefix`` contract; ``suffix`` is the exact
+        history from that row on — the rows :meth:`read` would
+        re-quantize.  Callers (the pool's batched adapter read) may
+        roundtrip the suffix themselves and hand the result to
+        :meth:`commit_decoded`.
+        """
+        stable = 0
+        if self.amortize and self._decoded_length > 0:
+            stable = self.quantizer.stable_prefix(
+                self._decoded_length, self._length
             )
-        return self._matrix
+            stable = max(0, min(stable, self._decoded_length))
+        return stable, self.matrix()[stable:]
+
+    def commit_decoded(
+        self, decoded_suffix: np.ndarray, stable: int
+    ) -> None:
+        """Install the roundtripped suffix into the decode memo."""
+        if stable > 0:
+            decoded = np.concatenate(
+                [self._decoded[:stable], decoded_suffix]
+            )
+        else:
+            decoded = np.asarray(decoded_suffix, dtype=np.float32)
+        decoded.flags.writeable = False
+        self._decoded = decoded
+        self._decoded_length = self._length
 
     def read(self) -> np.ndarray:
         if self._decoded_length != self._length:
-            matrix = self.matrix()
-            stable = 0
-            if self.amortize and self._decoded_length > 0:
-                stable = self.quantizer.stable_prefix(
-                    self._decoded_length, self._length
-                )
-                stable = max(0, min(stable, self._decoded_length))
-            if stable > 0:
-                suffix = np.asarray(
-                    self.quantizer.roundtrip(matrix[stable:]),
-                    dtype=np.float32,
-                )
-                decoded = np.concatenate(
-                    [self._decoded[:stable], suffix]
-                )
-            else:
-                decoded = np.asarray(
-                    self.quantizer.roundtrip(matrix), dtype=np.float32
-                )
-            decoded.flags.writeable = False
-            self._decoded = decoded
-            self._decoded_length = self._length
+            stable, suffix = self.pending()
+            decoded_suffix = np.asarray(
+                self.quantizer.roundtrip(suffix), dtype=np.float32
+            )
+            self.commit_decoded(decoded_suffix, stable)
         return self._decoded
 
     def footprint(self) -> StorageFootprint:
@@ -278,6 +342,7 @@ class BaselineCacheBackend:
         value_quantizers: Sequence[KVCacheQuantizer],
         method: Optional[str] = None,
         amortize: bool = True,
+        mode: ComputeModeLike = None,
     ):
         if len(key_quantizers) != len(value_quantizers):
             raise ValueError(
@@ -286,12 +351,28 @@ class BaselineCacheBackend:
         self.method = (
             method if method is not None else key_quantizers[0].name
         )
+        # Registry methods define their own arithmetic; the mode tag
+        # records the engine-layer policy the backend was built under
+        # (it parameterizes the oaken adapter's kernels, see
+        # create_quantizer).
+        self.mode: ComputeMode = resolve_compute_mode(mode, DEPLOY_F32)
         self._keys = [
             _BaselineStream(q, amortize) for q in key_quantizers
         ]
         self._values = [
             _BaselineStream(q, amortize) for q in value_quantizers
         ]
+
+    def layer_streams(
+        self, layer: int
+    ) -> Tuple[_BaselineStream, _BaselineStream]:
+        """One layer's (key, value) streaming state.
+
+        The hook :meth:`repro.engine.KVCachePool.read_batch` uses to
+        gather pending suffixes across the resident set for row-local
+        methods.
+        """
+        return self._keys[layer], self._values[layer]
 
     @property
     def num_layers(self) -> int:
@@ -364,6 +445,7 @@ def create_quantizer(
     method: str,
     tensor_kind: str = "key",
     config: Optional[OakenConfig] = None,
+    mode: ComputeModeLike = None,
 ) -> KVCacheQuantizer:
     """The one per-tensor factory: registry lookup plus Oaken config.
 
@@ -376,16 +458,26 @@ def create_quantizer(
         tensor_kind: ``"key"`` or ``"value"``.
         config: Oaken configuration override; only valid for the
             ``"oaken"`` method.
+        mode: :class:`~repro.core.modes.ComputeMode` for the oaken
+            adapter's fused kernels; the per-tensor default stays
+            ``exact_f64`` (the accuracy harness's bit-exact anchor),
+            unlike :func:`create_backend`'s ``deploy_f32``.  Ignored
+            by registry methods that define their own arithmetic.
     """
-    if config is not None:
-        if method != "oaken":
+    if config is not None or mode is not None:
+        if method != "oaken" and config is not None:
             raise ValueError(
                 "config overrides are only supported for 'oaken', "
                 f"got method {method!r}"
             )
-        from repro.baselines.oaken_adapter import OakenKVQuantizer
+        if method == "oaken":
+            from repro.baselines.oaken_adapter import OakenKVQuantizer
 
-        return OakenKVQuantizer(tensor_kind, config)
+            return OakenKVQuantizer(
+                tensor_kind,
+                config,
+                mode=resolve_compute_mode(mode, EXACT_F64),
+            )
     return create_method(method, tensor_kind)
 
 
@@ -394,8 +486,9 @@ def _fit_quantizer(
     tensor_kind: str,
     samples: Optional[List[np.ndarray]],
     config: Optional[OakenConfig],
+    mode: Optional[ComputeMode] = None,
 ) -> KVCacheQuantizer:
-    quantizer = create_quantizer(method, tensor_kind, config)
+    quantizer = create_quantizer(method, tensor_kind, config, mode)
     if samples is not None:
         quantizer.fit(samples)
     elif quantizer.requires_calibration:
@@ -414,7 +507,7 @@ def create_backend(
     calibration: Optional[Sequence[LayerCalibration]] = None,
     config: Optional[OakenConfig] = None,
     incremental: bool = True,
-    compute_dtype=np.float64,
+    mode: ComputeModeLike = None,
 ) -> CacheBackend:
     """Build a :class:`CacheBackend` for any registered method.
 
@@ -436,7 +529,12 @@ def create_backend(
             sequences of per-run matrices.
         config: Oaken configuration (oaken-family backends only).
         incremental: fused backend only — memoize decoded chunks.
-        compute_dtype: fused backend only — kernel working dtype.
+        mode: :class:`~repro.core.modes.ComputeMode` policy for the
+            oaken-family kernels.  The engine-layer default is
+            ``deploy_f32`` — the serving policy, anchored to the
+            float32 datapath golden model; pass ``"exact_f64"`` for
+            the bit-exact bench baseline.  Methods that define their
+            own arithmetic carry the mode as a tag only.
 
     Returns:
         A fresh, fitted backend with an empty cache.
@@ -451,6 +549,7 @@ def create_backend(
             f"unknown method {method!r}; available: "
             f"{sorted(available_methods())}"
         )
+    resolved = resolve_compute_mode(mode, DEPLOY_F32)
     if kind == "auto":
         kind = "fused" if method == "oaken" else "adapter"
     if kind == "fused":
@@ -468,7 +567,7 @@ def create_backend(
             calibration,
             config=config,
             incremental=incremental,
-            compute_dtype=compute_dtype,
+            mode=resolved,
         )
 
     if calibration is not None:
@@ -492,13 +591,15 @@ def create_backend(
             key_samples = _as_runs(keys)
             value_samples = _as_runs(values)
         key_quantizers.append(
-            _fit_quantizer(method, "key", key_samples, config)
+            _fit_quantizer(method, "key", key_samples, config, resolved)
         )
         value_quantizers.append(
-            _fit_quantizer(method, "value", value_samples, config)
+            _fit_quantizer(
+                method, "value", value_samples, config, resolved
+            )
         )
     return BaselineCacheBackend(
-        key_quantizers, value_quantizers, method=method
+        key_quantizers, value_quantizers, method=method, mode=resolved
     )
 
 
@@ -510,7 +611,7 @@ def shared_backend_factory(
     calibration: Optional[Sequence[LayerCalibration]] = None,
     config: Optional[OakenConfig] = None,
     incremental: bool = True,
-    compute_dtype=np.float64,
+    mode: ComputeModeLike = None,
 ) -> Callable[[], CacheBackend]:
     """A zero-argument backend factory with shared fitted quantizers.
 
@@ -532,7 +633,7 @@ def shared_backend_factory(
         calibration=calibration,
         config=config,
         incremental=incremental,
-        compute_dtype=compute_dtype,
+        mode=mode,
     )
     if isinstance(template, QuantizedKVCache):
         key_quantizers = [
@@ -551,10 +652,14 @@ def shared_backend_factory(
 
     key_quantizers = [s.quantizer for s in template._keys]
     value_quantizers = [s.quantizer for s in template._values]
+    adapter_mode = template.mode
 
     def adapter_factory() -> CacheBackend:
         return BaselineCacheBackend(
-            key_quantizers, value_quantizers, method=method
+            key_quantizers,
+            value_quantizers,
+            method=method,
+            mode=adapter_mode,
         )
 
     return adapter_factory
@@ -567,12 +672,13 @@ def backend_for_model(
     calibration_tokens: Optional[np.ndarray] = None,
     config: Optional[OakenConfig] = None,
     incremental: bool = True,
+    mode: ComputeModeLike = None,
 ) -> CacheBackend:
     """Collect per-layer calibration KV from ``model`` and build.
 
     Args:
         model: a :class:`~repro.models.transformer.DecoderModel`.
-        method / kind / config / incremental: see
+        method / kind / config / incremental / mode: see
             :func:`create_backend`.
         calibration_tokens: [B, T] token batch run through the model
             to collect exact per-layer KV; required for methods with
@@ -590,6 +696,7 @@ def backend_for_model(
         calibration=calibration,
         config=config,
         incremental=incremental,
+        mode=mode,
     )
 
 

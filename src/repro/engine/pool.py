@@ -52,7 +52,11 @@ import numpy as np
 from repro.core.encoding import concat_encoded, split_encoded
 from repro.core.kvcache import LayerKVCache, QuantizedKVCache
 from repro.core.quantizer import QuantizeScratch
-from repro.engine.backend import CacheBackend
+from repro.engine.backend import (
+    BaselineCacheBackend,
+    CacheBackend,
+    _BaselineStream,
+)
 
 #: One sequence's new rows for :meth:`KVCachePool.append_batch`:
 #: either a mapping ``{seq_id: (keys, values)}`` or an iterable of
@@ -86,6 +90,7 @@ class KVCachePool:
         self._peak_bytes = 0.0
         self.batched_decodes = 0
         self.batched_encodes = 0
+        self.batched_roundtrips = 0
         # Reusable fused-encode work buffers (keys, values).  Batch
         # encodes run sequentially on the pool, so one scratch pair
         # serves every layer; buffers grow to the largest batch seen.
@@ -239,7 +244,12 @@ class KVCachePool:
         sequences are fused-kernel caches sharing per-layer quantizers
         (a :func:`~repro.engine.backend.shared_backend_factory` pool),
         all pending chunks decode in one merged kernel call per
-        tensor; otherwise this falls back to the per-sequence loop.
+        tensor.  Adapter caches batch too, when the method permits:
+        row-local registry methods (fp16/oaken/qserve/atom/tender)
+        sharing fitted quantizers roundtrip every sequence's pending
+        suffix in one merged [sum t_i, D] transform per tensor.
+        History-global methods (kivi, kvquant) and mixed pools fall
+        back to the per-sequence loop.
         """
         caches = [self._caches[s] for s in seq_ids]
         # Duplicate ids map to the same cache; decode each cache's
@@ -249,7 +259,80 @@ class KVCachePool:
         fusible = self._fusible_layers(unique, layer)
         if fusible is not None:
             self._decode_pending_batch(fusible)
+        else:
+            adapter = self._batchable_adapter_streams(unique, layer)
+            if adapter is not None:
+                for streams in adapter:
+                    self._roundtrip_pending_batch(streams)
         return [cache.read(layer) for cache in caches]
+
+    def _batchable_adapter_streams(
+        self, caches: List[CacheBackend], layer: int
+    ) -> Optional[Tuple[List[_BaselineStream], List[_BaselineStream]]]:
+        """Adapter streams eligible for one merged roundtrip per tensor.
+
+        Mirrors :meth:`_fusible_layers` for
+        :class:`~repro.engine.backend.BaselineCacheBackend` caches:
+        batching is sound only for *row-local* methods (a row's
+        roundtrip depends on that row alone, so concatenating many
+        sequences' pending rows into one [sum t_i, D] transform is
+        bit-identical to per-sequence calls) sharing one fitted
+        quantizer per tensor (a shared-factory pool) with amortized
+        reads enabled.  KIVI's sliding window and KVQuant's online
+        topK are history-global and fall back to the per-sequence
+        loop.
+        """
+        if len(caches) < 2:
+            return None
+        key_streams: List[_BaselineStream] = []
+        value_streams: List[_BaselineStream] = []
+        for cache in caches:
+            if not isinstance(cache, BaselineCacheBackend):
+                return None
+            keys, values = cache.layer_streams(layer)
+            key_streams.append(keys)
+            value_streams.append(values)
+        for streams in (key_streams, value_streams):
+            first = streams[0].quantizer
+            if not first.row_local:
+                return None
+            for stream in streams:
+                if stream.quantizer is not first or not stream.amortize:
+                    return None
+        return key_streams, value_streams
+
+    def _roundtrip_pending_batch(
+        self, streams: List[_BaselineStream]
+    ) -> None:
+        """One tensor's pending suffixes through a single roundtrip."""
+        work = []
+        for stream in streams:
+            if not stream.needs_decode:
+                continue
+            stable, suffix = stream.pending()
+            work.append((stream, stable, suffix))
+        if len(work) < 2:
+            return  # nothing to merge; lazy per-sequence reads suffice
+        quantizer = work[0][0].quantizer
+        merged = np.asarray(
+            quantizer.roundtrip(
+                np.concatenate([suffix for _, _, suffix in work])
+            ),
+            dtype=np.float32,
+        )
+        self.batched_roundtrips += 1
+        offset = 0
+        for stream, stable, suffix in work:
+            rows = suffix.shape[0]
+            chunk = merged[offset : offset + rows]
+            if stable == 0:
+                # A bare slice would become the stream's decode memo as
+                # a view, pinning the whole merged tensor per stream;
+                # the stable > 0 path copies inside commit_decoded's
+                # concatenate already.
+                chunk = chunk.copy()
+            stream.commit_decoded(chunk, stable)
+            offset += rows
 
     def _fusible_layers(
         self,
@@ -391,4 +474,5 @@ class KVCachePool:
             "effective_bitwidth": ebw,
             "batched_decodes": float(self.batched_decodes),
             "batched_encodes": float(self.batched_encodes),
+            "batched_roundtrips": float(self.batched_roundtrips),
         }

@@ -1,25 +1,47 @@
-"""Functional, bit-exact streaming models of the Figure 9 engines.
+"""Functional, bit-exact two-tier models of the Figure 9 engines.
 
 Where :mod:`repro.hardware.engines` and :mod:`repro.hardware.pipeline`
 price the quantization/dequantization engines analytically, this
-package *implements* them structurally: every module in the paper's
-Figure 9 (decomposer, min/max finder, σ-calculator, inlier/outlier
-quantizers, zero-remove/zero-insert shifters, outlier index buffer,
-OR-merge concatenator) is a class processing element streams, and the
-test suite asserts the streamed bits equal the vectorized reference
-quantizer's output exactly — the same functional-equivalence check the
-authors ran between their RTL and their algorithm.
+package *implements* them structurally, at two tiers:
+
+* the **scalar tier** (:mod:`~repro.hardware.datapath.quant_stages`,
+  :mod:`~repro.hardware.datapath.dequant_stages`) — every module in
+  the paper's Figure 9 (decomposer, min/max finder, σ-calculator,
+  inlier/outlier quantizers, zero-remove/zero-insert shifters,
+  outlier index buffer, OR-merge concatenator) is a class processing
+  element streams.  This is the frozen *structural golden model*: the
+  test suite asserts the streamed bits equal the vectorized reference
+  quantizer's output exactly — the same functional-equivalence check
+  the authors ran between their RTL and their algorithm.
+* the **vectorized tier** (:mod:`~repro.hardware.datapath.vectorized`)
+  — a whole-tensor twin of each stage running the same arithmetic
+  over ``[T, D]`` arrays in one pass, element-for-element equivalent
+  to the scalar tier (bit-exact in ``exact_f64``; float32-register
+  identical in ``deploy_f32``) and orders of magnitude faster on the
+  host.  This is the tier every system-level consumer drives.
+
+Both tiers honour the :class:`~repro.core.modes.ComputeMode` precision
+policy: ``exact_f64`` anchors bit-exactness, ``deploy_f32`` runs every
+stage's arithmetic in float32 — the datapath's float32 golden model
+that makes ``deploy_f32`` safe as the serving default.
 
 Public API:
 
 * :class:`StreamingQuantEngine` / :class:`StreamingDequantEngine` —
-  the engines, returning ``(EncodedKV | matrix, CycleReport)``.
+  the scalar engines, returning ``(EncodedKV | matrix, CycleReport)``.
+* :class:`VectorizedQuantEngine` / :class:`VectorizedDequantEngine` —
+  the whole-tensor twins, same contract, same modeled cycles.
 * :class:`DatapathTiming` / :class:`DequantTiming` — lane widths,
   clocks, and turnaround latencies.
 * :class:`CycleReport` — per-stage busy-cycle occupancy.
+* :class:`EngineBackedQuantizer` — either tier behind the
+  ``quantize``/``dequantize`` surface of the software quantizer.
 """
 
-from repro.hardware.datapath.adapter import EngineBackedQuantizer
+from repro.hardware.datapath.adapter import (
+    ENGINE_TIERS,
+    EngineBackedQuantizer,
+)
 from repro.hardware.datapath.dequant_engine import (
     DequantTiming,
     StreamingDequantEngine,
@@ -50,10 +72,23 @@ from repro.hardware.datapath.records import (
     StageActivity,
     TokenQuantResult,
 )
+from repro.hardware.datapath.vectorized import (
+    VectorizedDecomposer,
+    VectorizedDequantEngine,
+    VectorizedFusedConcatenator,
+    VectorizedInlierDequantizer,
+    VectorizedMinMaxFinder,
+    VectorizedOutlierDequantizer,
+    VectorizedOutlierExtractor,
+    VectorizedQuantEngine,
+    VectorizedScaleCalculator,
+    VectorizedZeroInsertShifter,
+)
 
 __all__ = [
     "COORecord",
     "CycleReport",
+    "ENGINE_TIERS",
     "EngineBackedQuantizer",
     "DatapathTiming",
     "Decomposer",
@@ -72,5 +107,15 @@ __all__ = [
     "StreamingDequantEngine",
     "StreamingQuantEngine",
     "TokenQuantResult",
+    "VectorizedDecomposer",
+    "VectorizedDequantEngine",
+    "VectorizedFusedConcatenator",
+    "VectorizedInlierDequantizer",
+    "VectorizedMinMaxFinder",
+    "VectorizedOutlierDequantizer",
+    "VectorizedOutlierExtractor",
+    "VectorizedQuantEngine",
+    "VectorizedScaleCalculator",
+    "VectorizedZeroInsertShifter",
     "ZeroInsertShifter",
 ]

@@ -1,13 +1,20 @@
-"""Hardware-in-the-loop adapter: streaming engines behind the KV cache.
+"""Hardware-in-the-loop adapter: datapath engines behind the KV cache.
 
 :class:`EngineBackedQuantizer` exposes the same ``quantize`` /
 ``dequantize`` surface as :class:`~repro.core.quantizer.OakenQuantizer`
-but routes every call through the structural Figure 9 engines,
+but routes every call through the Figure 9 engine models,
 accumulating their cycle reports.  Dropping it into
 :class:`~repro.core.kvcache.QuantizedKVCache` (or the model substrate's
 quantized generation) runs the whole software stack on the hardware
 datapath — the system-level counterpart of the per-tensor equivalence
 tests, and the source of end-to-end engine cycle counts.
+
+Two engine tiers are available (see
+:mod:`repro.hardware.datapath.vectorized`): the default
+``engine="vectorized"`` runs the whole-tensor twins — same bits, same
+modeled cycles, orders of magnitude faster on the host — while
+``engine="scalar"`` drives the frozen element-streaming golden model.
+Both honour the adapter's :class:`~repro.core.modes.ComputeMode`.
 """
 
 from __future__ import annotations
@@ -19,6 +26,12 @@ import numpy as np
 from repro.core.config import OakenConfig
 from repro.core.encoding import EncodedKV
 from repro.core.grouping import GroupThresholds
+from repro.core.modes import (
+    EXACT_F64,
+    ComputeMode,
+    ComputeModeLike,
+    resolve_compute_mode,
+)
 from repro.hardware.datapath.dequant_engine import (
     DequantTiming,
     StreamingDequantEngine,
@@ -27,6 +40,13 @@ from repro.hardware.datapath.quant_engine import (
     DatapathTiming,
     StreamingQuantEngine,
 )
+from repro.hardware.datapath.vectorized import (
+    VectorizedDequantEngine,
+    VectorizedQuantEngine,
+)
+
+#: Engine tiers the adapter can drive.
+ENGINE_TIERS = ("vectorized", "scalar")
 
 
 class EngineBackedQuantizer:
@@ -36,6 +56,10 @@ class EngineBackedQuantizer:
         config: quantizer hyper-parameters.
         thresholds: offline-profiled thresholds.
         quant_timing / dequant_timing: datapath physical parameters.
+        mode: :class:`~repro.core.modes.ComputeMode` precision policy
+            (default ``exact_f64``, the golden anchor).
+        engine: ``"vectorized"`` (default — the whole-tensor twins) or
+            ``"scalar"`` (the frozen element-streaming golden model).
 
     Attributes:
         quant_cycles: engine cycles spent quantizing so far.
@@ -48,17 +72,39 @@ class EngineBackedQuantizer:
         thresholds: GroupThresholds,
         quant_timing: Optional[DatapathTiming] = None,
         dequant_timing: Optional[DequantTiming] = None,
+        mode: ComputeModeLike = None,
+        engine: str = "vectorized",
     ):
+        if engine not in ENGINE_TIERS:
+            raise ValueError(
+                f"unknown engine tier {engine!r}; expected one of "
+                f"{ENGINE_TIERS}"
+            )
         self.config = config
         self.thresholds = thresholds
-        self._quant = StreamingQuantEngine(
-            config, thresholds, timing=quant_timing
-        )
-        self._dequant = StreamingDequantEngine(
-            config, thresholds, timing=dequant_timing
-        )
+        self.mode: ComputeMode = resolve_compute_mode(mode, EXACT_F64)
+        self.engine = engine
+        if engine == "scalar":
+            self._quant = StreamingQuantEngine(
+                config, thresholds, timing=quant_timing, mode=self.mode
+            )
+            self._dequant = StreamingDequantEngine(
+                config, thresholds, timing=dequant_timing, mode=self.mode
+            )
+        else:
+            self._quant = VectorizedQuantEngine(
+                config, thresholds, timing=quant_timing, mode=self.mode
+            )
+            self._dequant = VectorizedDequantEngine(
+                config, thresholds, timing=dequant_timing, mode=self.mode
+            )
         self.quant_cycles = 0
         self.dequant_cycles = 0
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """Working dtype of the engine stages (from the mode policy)."""
+        return self.mode.compute_dtype
 
     def quantize(self, values: np.ndarray) -> EncodedKV:
         """Stream a [T, D] matrix through the quantization engine."""

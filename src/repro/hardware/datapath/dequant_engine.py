@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.config import OakenConfig
 from repro.core.encoding import EncodedKV
 from repro.core.grouping import GroupThresholds
+from repro.core.modes import EXACT_F64, ComputeModeLike, resolve_compute_mode
 from repro.hardware.datapath.dequant_stages import (
     DequantScales,
     InlierDequantizer,
@@ -60,6 +61,9 @@ class StreamingDequantEngine:
         config: quantizer hyper-parameters (must match the encoder's).
         thresholds: offline thresholds (shift edges for reconstruction).
         timing: lane width and clock of the datapath.
+        mode: the :class:`~repro.core.modes.ComputeMode` stage mode
+            (``exact_f64`` golden default; ``deploy_f32`` runs the
+            un-scale/un-shift arithmetic in float32).
     """
 
     def __init__(
@@ -67,14 +71,16 @@ class StreamingDequantEngine:
         config: OakenConfig,
         thresholds: GroupThresholds,
         timing: Optional[DequantTiming] = None,
+        mode: ComputeModeLike = None,
     ):
         self.config = config
         self.thresholds = thresholds
         self.timing = timing if timing is not None else DequantTiming()
+        self.mode = resolve_compute_mode(mode, EXACT_F64)
         self._index_buffer = OutlierIndexBuffer()
         self._shifter = ZeroInsertShifter(config)
-        self._inlier = InlierDequantizer(config, thresholds)
-        self._outlier = OutlierDequantizer(config, thresholds)
+        self._inlier = InlierDequantizer(config, thresholds, self.mode)
+        self._outlier = OutlierDequantizer(config, thresholds, self.mode)
 
     # ------------------------------------------------------------------
 
@@ -123,16 +129,17 @@ class StreamingDequantEngine:
         """Reconstruct one token row through the streaming datapath."""
         cfg = self.config
         dim = encoded.dim
+        w = self.mode.compute_dtype.type
         scales = DequantScales(
-            middle_lo=float(encoded.middle_lo[token]),
-            middle_hi=float(encoded.middle_hi[token]),
-            band_lo=tuple(float(v) for v in encoded.band_lo[token]),
-            band_hi=tuple(float(v) for v in encoded.band_hi[token]),
+            middle_lo=w(encoded.middle_lo[token]),
+            middle_hi=w(encoded.middle_hi[token]),
+            band_lo=tuple(w(v) for v in encoded.band_lo[token]),
+            band_hi=tuple(w(v) for v in encoded.band_hi[token]),
         )
         records = self._records_of_token(encoded, token)
         self._index_buffer.load(records)
 
-        row = np.zeros(dim, dtype=np.float64)
+        row = np.zeros(dim, dtype=self.mode.compute_dtype)
         for position in range(dim):
             slot = int(encoded.dense_codes[token, position])
             record = self._index_buffer.lookup(position)

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.config import OakenConfig
 from repro.core.grouping import GroupThresholds
+from repro.core.modes import EXACT_F64, ComputeModeLike, resolve_compute_mode
 from repro.hardware.datapath.records import COORecord, scale_sigma
 
 
@@ -72,11 +73,26 @@ class DequantScales:
 
 
 class InlierDequantizer:
-    """Dense-path decode: Eq. 3 inverse plus the middle group un-shift."""
+    """Dense-path decode: Eq. 3 inverse plus the middle group un-shift.
 
-    def __init__(self, config: OakenConfig, thresholds: GroupThresholds):
+    The un-shift edges live in stage registers at the
+    :class:`~repro.core.modes.ComputeMode` working precision, and the
+    divide/add arithmetic runs in that dtype (float32 under the
+    deploy_f32 stage mode).
+    """
+
+    def __init__(
+        self,
+        config: OakenConfig,
+        thresholds: GroupThresholds,
+        mode: ComputeModeLike = None,
+    ):
         self.config = config
-        self._mid_lo_edge, self._mid_hi_edge = thresholds.middle_shift_edges()
+        self.mode = resolve_compute_mode(mode, EXACT_F64)
+        w = self.mode.compute_dtype.type
+        mid_lo, mid_hi = thresholds.middle_shift_edges()
+        self._mid_lo_edge = w(mid_lo)
+        self._mid_hi_edge = w(mid_hi)
 
     def decode(self, code: int, scales: DequantScales) -> float:
         """Reconstruct one dense slot's value from its stored code.
@@ -86,10 +102,11 @@ class InlierDequantizer:
         sparse path), and the un-shift direction follows the sign of the
         decoded shifted value.
         """
+        w = self.mode.compute_dtype.type
         lo = scales.middle_lo
         hi = scales.middle_hi
         sigma = scale_sigma(lo, hi, self.config.inlier_bits)
-        shifted = float(code) / sigma + lo
+        shifted = w(code) / sigma + lo
         if not self.config.group_shift:
             return shifted
         if shifted >= 0:
@@ -100,9 +117,23 @@ class InlierDequantizer:
 class OutlierDequantizer:
     """Sparse-path decode: magnitude un-scale plus band un-shift."""
 
-    def __init__(self, config: OakenConfig, thresholds: GroupThresholds):
+    def __init__(
+        self,
+        config: OakenConfig,
+        thresholds: GroupThresholds,
+        mode: ComputeModeLike = None,
+    ):
         self.config = config
         self.thresholds = thresholds
+        self.mode = resolve_compute_mode(mode, EXACT_F64)
+        w = self.mode.compute_dtype.type
+        self._band_edges = tuple(
+            (w(lo), w(hi))
+            for lo, hi in (
+                thresholds.band_shift_edges(b)
+                for b in range(thresholds.num_sparse_bands)
+            )
+        )
 
     def decode(
         self,
@@ -119,17 +150,18 @@ class OutlierDequantizer:
         this path also proves the fused encoding lost nothing.
         """
         cfg = self.config
+        w = self.mode.compute_dtype.type
         if fp16_value is not None:
             # Naive 23-bit layout: the record carries the exact value.
-            return float(fp16_value)
+            return w(fp16_value)
         lo = scales.band_lo[band]
         hi = scales.band_hi[band]
         bits = cfg.outlier_bits - 1 if cfg.group_shift else cfg.outlier_bits
         sigma = scale_sigma(lo, hi, bits)
-        magnitude = float(mag_code) / sigma + lo
+        magnitude = w(mag_code) / sigma + lo
         if not cfg.group_shift:
             return magnitude
-        lo_edge, hi_edge = self.thresholds.band_shift_edges(band)
+        lo_edge, hi_edge = self._band_edges[band]
         if side:
             return hi_edge + magnitude
         return lo_edge - magnitude

@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.config import OakenConfig
 from repro.core.encoding import EncodedKV
 from repro.core.grouping import MIDDLE_GROUP, GroupThresholds
+from repro.core.modes import EXACT_F64, ComputeModeLike, resolve_compute_mode
 from repro.hardware.datapath.quant_stages import (
     Decomposer,
     FusedConcatenator,
@@ -74,6 +75,11 @@ class StreamingQuantEngine:
         thresholds: offline-profiled thresholds held in the engine's
             control registers.
         timing: lane width and clock of the datapath.
+        mode: the :class:`~repro.core.modes.ComputeMode` stage mode.
+            The default ``exact_f64`` is the frozen structural golden
+            model; ``deploy_f32`` runs every stage's arithmetic in
+            float32, the scalar anchor for the vectorized engine's
+            float32 path.
     """
 
     def __init__(
@@ -81,6 +87,7 @@ class StreamingQuantEngine:
         config: OakenConfig,
         thresholds: GroupThresholds,
         timing: Optional[DatapathTiming] = None,
+        mode: ComputeModeLike = None,
     ):
         if thresholds.num_outer_bands != config.num_outer_bands:
             raise ValueError("thresholds/config outer band mismatch")
@@ -89,8 +96,9 @@ class StreamingQuantEngine:
         self.config = config
         self.thresholds = thresholds
         self.timing = timing if timing is not None else DatapathTiming()
-        self._decomposer = Decomposer(config, thresholds)
-        self._scale_calc = ScaleCalculator(config)
+        self.mode = resolve_compute_mode(mode, EXACT_F64)
+        self._decomposer = Decomposer(config, thresholds, self.mode)
+        self._scale_calc = ScaleCalculator(config, self.mode)
 
     # ------------------------------------------------------------------
     # per-token functional path
@@ -110,7 +118,8 @@ class StreamingQuantEngine:
         Returns:
             The fused dense row, COO stream, and per-group scales.
         """
-        values = [float(v) for v in np.asarray(vector, dtype=np.float64)]
+        row = self.mode.cast(np.asarray(vector, dtype=np.float64))
+        values = list(row)
         dim = len(values)
         cfg = self.config
         minmax = MinMaxFinder(cfg.num_sparse_bands)

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.config import OakenConfig
 from repro.core.grouping import MIDDLE_GROUP, GroupThresholds
+from repro.core.modes import EXACT_F64, ComputeModeLike, resolve_compute_mode
 from repro.hardware.datapath.records import (
     COORecord,
     RoutedElement,
@@ -43,12 +44,36 @@ class Decomposer:
     Holds the offline thresholds in its control registers and, per
     element, performs the handful of compares that replace the online
     topK of prior work, then subtracts the band edge (group shift).
+
+    The control registers hold the thresholds at the stage-mode
+    precision (the :class:`~repro.core.modes.ComputeMode` working
+    dtype), so the float32 stage mode compares and shifts exactly as
+    float32 hardware would.
     """
 
-    def __init__(self, config: OakenConfig, thresholds: GroupThresholds):
+    def __init__(
+        self,
+        config: OakenConfig,
+        thresholds: GroupThresholds,
+        mode: ComputeModeLike = None,
+    ):
         self.config = config
         self.thresholds = thresholds
-        self._mid_lo_edge, self._mid_hi_edge = thresholds.middle_shift_edges()
+        self.mode = resolve_compute_mode(mode, EXACT_F64)
+        w = self.mode.compute_dtype.type
+        self._outer_lo = tuple(w(v) for v in thresholds.outer_lo)
+        self._outer_hi = tuple(w(v) for v in thresholds.outer_hi)
+        self._inner_mag = tuple(w(v) for v in thresholds.inner_mag)
+        mid_lo, mid_hi = thresholds.middle_shift_edges()
+        self._mid_lo_edge = w(mid_lo)
+        self._mid_hi_edge = w(mid_hi)
+        self._band_edges = tuple(
+            (w(lo), w(hi))
+            for lo, hi in (
+                thresholds.band_shift_edges(b)
+                for b in range(thresholds.num_sparse_bands)
+            )
+        )
 
     def classify(self, value: float) -> int:
         """Group id of one element (scalar twin of ``assign_groups``)."""
@@ -56,13 +81,13 @@ class Decomposer:
         # Outer bands, outermost first: the first band whose edges the
         # value exceeds claims it.
         for band in range(thr.num_outer_bands):
-            if value > thr.outer_hi[band] or value < thr.outer_lo[band]:
+            if value > self._outer_hi[band] or value < self._outer_lo[band]:
                 return band
         # Inner shells, innermost first, so nested shells claim from
         # the inside out.
         magnitude = abs(value)
         for j in range(thr.num_inner_bands - 1, -1, -1):
-            if magnitude <= thr.inner_mag[j]:
+            if magnitude <= self._inner_mag[j]:
                 return thr.num_outer_bands + j
         return MIDDLE_GROUP
 
@@ -83,7 +108,7 @@ class Decomposer:
                 position=position, group=group, shifted=shifted,
                 side=False, raw=value,
             )
-        lo_edge, hi_edge = self.thresholds.band_shift_edges(group)
+        lo_edge, hi_edge = self._band_edges[group]
         if cfg.group_shift:
             side = value > 0
             shifted = value - hi_edge if side else lo_edge - value
@@ -92,7 +117,7 @@ class Decomposer:
             shifted = value
         return RoutedElement(
             position=position, group=group, shifted=shifted,
-            side=side, raw=value,
+            side=bool(side), raw=value,
         )
 
 
@@ -148,11 +173,13 @@ class ScaleCalculator:
     Runs once per token per group, between the two streaming passes.
     Stores lo/hi at FP16 precision first — exactly what the hardware
     writes alongside the data — then derives sigma from the rounded
-    bounds, matching the vectorized reference implementation.
+    bounds, matching the vectorized reference implementation.  Under
+    the deploy_f32 stage mode the subtract/divide runs in float32.
     """
 
-    def __init__(self, config: OakenConfig):
+    def __init__(self, config: OakenConfig, mode: ComputeModeLike = None):
         self.config = config
+        self.mode = resolve_compute_mode(mode, EXACT_F64)
 
     def group_bits(self, group: int) -> int:
         """Code width of a group (inlier vs outlier path)."""
@@ -165,8 +192,9 @@ class ScaleCalculator:
 
     def scale(self, group: int, lo: float, hi: float) -> GroupScale:
         """Turn one group's raw range into its FP16 scale triple."""
-        lo16 = fp16_round(lo)
-        hi16 = fp16_round(hi)
+        wdtype = self.mode.compute_dtype
+        lo16 = fp16_round(lo, wdtype)
+        hi16 = fp16_round(hi, wdtype)
         bits = self.group_bits(group)
         return GroupScale(
             lo=lo16, hi=hi16, sigma=scale_sigma(lo16, hi16, bits), bits=bits

@@ -171,8 +171,16 @@ class CycleReport:
         }
 
 
-def fp16_round(value: float) -> float:
-    """Round one scalar to FP16 precision, as the hardware stores scales."""
+def fp16_round(value: float, dtype=None) -> float:
+    """Round one scalar to FP16 precision, as the hardware stores scales.
+
+    ``dtype`` selects the stage-mode working type of the result: the
+    default returns a python float (the float64 golden path);
+    ``np.float32`` returns a float32 scalar for the deploy_f32 stage
+    mode (fp16 values are exactly representable in both).
+    """
+    if dtype is not None:
+        return np.dtype(dtype).type(np.float16(value))
     return float(np.float16(value))
 
 
@@ -183,8 +191,17 @@ def scale_sigma(lo: float, hi: float, bits: int, eps: float = 1e-12) -> float:
     :mod:`repro.core.quantizer`, and the seed ``_rowwise_encode`` kept
     in :mod:`repro.core.reference`): a degenerate span (empty group or
     constant values) gets sigma 1.0 so codes collapse to zero.
+
+    The arithmetic runs in the dtype of its operands: numpy float32
+    scalars under the deploy_f32 stage mode, python/float64 floats on
+    the golden path — so one definition serves both ComputeModes.
     """
     span = hi - lo
+    if isinstance(span, np.floating):
+        w = span.dtype.type
+        if span > w(eps):
+            return w(2.0**bits - 1.0) / max(span, w(eps))
+        return w(1.0)
     if span > eps:
         return (2.0**bits - 1.0) / max(span, eps)
     return 1.0

@@ -54,13 +54,16 @@ def build_cache_for_model(
     config: Optional[OakenConfig] = None,
     method: str = "oaken",
     kind: str = "auto",
+    mode=None,
 ) -> CacheBackend:
     """Calibrate on sample text and build a fresh cache backend.
 
     Historically this built the paper method's fused cache; it now
     routes through :func:`repro.engine.backend_for_model`, so any
     registry method becomes generatable — ``method="kivi"`` hands the
-    generation loop a streaming KIVI cache.
+    generation loop a streaming KIVI cache.  ``mode`` selects the
+    :class:`~repro.core.modes.ComputeMode`; the engine-layer default
+    is ``deploy_f32``, pass ``"exact_f64"`` for bit-exact work.
     """
     return backend_for_model(
         model,
@@ -68,6 +71,7 @@ def build_cache_for_model(
         kind=kind,
         calibration_tokens=calibration_tokens,
         config=config,
+        mode=mode,
     )
 
 

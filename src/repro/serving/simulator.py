@@ -64,6 +64,11 @@ class CacheReplayConfig:
             bounded stand-in for its prompt; footprint estimates scale
             per token, so a sample suffices).
         seed: synthetic KV stream seed.
+        mode: :class:`~repro.core.modes.ComputeMode` name for the
+            replay's cache kernels.  Serving replays ``deploy_f32`` by
+            default — the float32 deployment policy anchored to the
+            datapath's float32 golden model; ``"exact_f64"`` restores
+            the bit-exact bench configuration.
     """
 
     method: str = "oaken"
@@ -73,6 +78,7 @@ class CacheReplayConfig:
     calibration_tokens: int = 64
     prompt_rows: int = 8
     seed: int = 0
+    mode: str = "deploy_f32"
 
 
 class _CacheReplay:
@@ -110,7 +116,10 @@ class _CacheReplay:
             config.num_layers, config.calibration_tokens
         )
         factory = shared_backend_factory(
-            config.method, config.kind, calibration=calibration
+            config.method,
+            config.kind,
+            calibration=calibration,
+            mode=config.mode,
         )
         self.pool = KVCachePool(factory)
         device = system.device_for(arch)
@@ -233,6 +242,7 @@ class _CacheReplay:
         """Replay measurements attached to the serving report."""
         return {
             "method": self.config.method,
+            "mode": self.config.mode,
             "measured_kv_bits": self.measured_kv_bits(),
             "peak_pool_bytes": self.pool.peak_bytes,
             "batched_reads": float(self.batched_reads),

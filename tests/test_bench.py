@@ -27,7 +27,7 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     bench = on_disk["benchmarks"]
     assert set(bench) == {
         "encode_roundtrip", "generation", "bitpack", "pool_read",
-        "pool_append", "baseline_read",
+        "pool_append", "baseline_read", "datapath",
     }
 
     enc = bench["encode_roundtrip"]
@@ -48,6 +48,12 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     baseline = bench["baseline_read"]
     assert baseline["reads_identical"] is True
     assert baseline["speedup_amortized"] > 1.0
+    datapath = bench["datapath"]
+    assert datapath["bits_identical"] is True
+    assert datapath["cycles_identical"] is True
+    # The scalar tier is a per-element python loop; even at smoke
+    # sizes the vectorized twins clear an order of magnitude.
+    assert datapath["speedup_vectorized"] > 10.0
 
     summary = format_summary(report)
     assert "encode roundtrip" in summary
@@ -55,6 +61,7 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     assert "pool reads" in summary
     assert "pool appends" in summary
     assert "baseline reads" in summary
+    assert "datapath engines" in summary
 
 
 def test_no_output_file_when_disabled(tmp_path, monkeypatch):
@@ -68,3 +75,35 @@ def test_no_output_file_when_disabled(tmp_path, monkeypatch):
         repeats=1,
     )
     assert not (tmp_path / "BENCH_quant.json").exists()
+
+
+def test_merge_and_regression_helpers():
+    """Best-of-runs merge + the speedup regression gate semantics."""
+    from repro.bench import find_regressions, merge_reports, missing_speedups
+
+    def report(seconds, speedup, extra=True):
+        bench = {"encode": {"fused_s": seconds, "speedup_roundtrip": speedup}}
+        if extra:
+            bench["datapath"] = {"speedup_vectorized": 300.0}
+        return {"schema": "repro.bench/v1", "quick": True,
+                "benchmarks": bench}
+
+    merged = merge_reports([report(0.5, 4.0), report(0.4, 3.5)])
+    assert merged["merged_runs"] == 2
+    enc = merged["benchmarks"]["encode"]
+    assert enc["fused_s"] == 0.4          # min of the _s leaves
+    assert enc["speedup_roundtrip"] == 4.0  # max of the speedups
+
+    committed = report(0.4, 4.0)
+    # Within the factor: no regression.
+    assert find_regressions(report(0.5, 3.0), committed, 0.5) == []
+    # Collapsed speedup trips the gate.
+    regressions = find_regressions(report(0.5, 1.1), committed, 0.5)
+    assert regressions == [("encode.speedup_roundtrip", 1.1, 4.0)]
+    # A committed entry the current run no longer emits is lost
+    # coverage and must be reported.
+    assert missing_speedups(report(0.5, 4.0, extra=False), committed) == [
+        "datapath.speedup_vectorized"
+    ]
+    # Entries only the current run has never fail retroactively.
+    assert missing_speedups(committed, report(0.5, 4.0, extra=False)) == []

@@ -1,0 +1,207 @@
+"""The ComputeMode policy and its plumbing from core to serving.
+
+One policy object carries compute dtype, golden-model anchor and
+tolerance contract; these tests pin where each default lands:
+``exact_f64`` stays the core-layer / accuracy-harness / golden-test
+anchor, while ``deploy_f32`` is the engine-layer and serving-replay
+default — threaded through :func:`repro.engine.create_backend`,
+:func:`repro.engine.shared_backend_factory`, every registry method's
+backend, and :class:`repro.serving.simulator.CacheReplayConfig`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import BASELINE_NAMES
+from repro.core import (
+    COMPUTE_MODES,
+    DEPLOY_F32,
+    EXACT_F64,
+    ComputeMode,
+    OakenConfig,
+    OakenQuantizer,
+    resolve_compute_mode,
+)
+from repro.core.thresholds import profile_thresholds
+from repro.engine import (
+    FusedCacheBackend,
+    create_backend,
+    create_quantizer,
+    shared_backend_factory,
+)
+
+from conftest import make_kv_matrix
+
+LAYERS = 2
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return [
+        (make_kv_matrix(seed=70 + layer), make_kv_matrix(seed=80 + layer))
+        for layer in range(LAYERS)
+    ]
+
+
+class TestResolveComputeMode:
+    def test_registry_names(self):
+        assert resolve_compute_mode("exact_f64") is EXACT_F64
+        assert resolve_compute_mode("deploy_f32") is DEPLOY_F32
+        assert set(COMPUTE_MODES) == {"exact_f64", "deploy_f32"}
+
+    def test_mode_objects_pass_through(self):
+        assert resolve_compute_mode(DEPLOY_F32) is DEPLOY_F32
+
+    def test_dtype_likes_resolve(self):
+        """The legacy compute_dtype spellings map onto the policies."""
+        assert resolve_compute_mode(np.float64) is EXACT_F64
+        assert resolve_compute_mode(np.float32) is DEPLOY_F32
+        assert resolve_compute_mode("float32") is DEPLOY_F32
+        assert resolve_compute_mode(np.dtype(np.float64)) is EXACT_F64
+
+    def test_none_takes_the_callers_default(self):
+        assert resolve_compute_mode(None) is EXACT_F64
+        assert resolve_compute_mode(None, DEPLOY_F32) is DEPLOY_F32
+
+    def test_rejects_unsupported_specs(self):
+        with pytest.raises(ValueError):
+            resolve_compute_mode("fast")
+        with pytest.raises(ValueError):
+            resolve_compute_mode(np.int32)
+        with pytest.raises(ValueError):
+            resolve_compute_mode(object())
+
+    def test_policy_contract_fields(self):
+        assert EXACT_F64.exact and EXACT_F64.code_tolerance == 0
+        assert EXACT_F64.golden == "seed-reference"
+        assert not DEPLOY_F32.exact and DEPLOY_F32.code_tolerance == 1
+        assert DEPLOY_F32.golden == "exact-f64"
+        assert DEPLOY_F32.compute_dtype == np.float32
+
+    def test_cast_uses_the_policy_dtype(self):
+        x = np.ones((2, 2), dtype=np.float64)
+        assert DEPLOY_F32.cast(x).dtype == np.float32
+        assert EXACT_F64.cast(x) is x
+
+
+class TestCoreLayerDefaults:
+    def test_quantizer_pins_exact_f64(self, kv_samples):
+        """The golden anchor: a bare OakenQuantizer stays bit-exact."""
+        config = OakenConfig()
+        quantizer = OakenQuantizer(
+            config, profile_thresholds(kv_samples, config)
+        )
+        assert quantizer.mode is EXACT_F64
+        assert quantizer.compute_dtype == np.float64
+
+    def test_create_quantizer_pins_exact_f64(self):
+        """The accuracy harness's per-tensor factory stays f64."""
+        quantizer = create_quantizer("oaken", "key")
+        assert quantizer.mode is EXACT_F64
+
+    def test_create_quantizer_accepts_mode_for_oaken(self):
+        quantizer = create_quantizer("oaken", "key", mode="deploy_f32")
+        assert quantizer.mode is DEPLOY_F32
+
+    @pytest.mark.parametrize(
+        "method", [m for m in BASELINE_NAMES if m != "oaken"]
+    )
+    def test_create_quantizer_mode_is_inert_for_baselines(self, method):
+        """Registry methods define their own arithmetic; mode is a tag."""
+        quantizer = create_quantizer(method, "key", mode="deploy_f32")
+        assert quantizer.name == method
+
+
+class TestEngineLayerDefaults:
+    @pytest.mark.parametrize("method", BASELINE_NAMES)
+    def test_create_backend_defaults_to_deploy_f32(
+        self, method, calibration
+    ):
+        backend = create_backend(method, calibration=calibration)
+        assert backend.mode is DEPLOY_F32
+
+    def test_fused_backend_mode_reaches_the_kernels(self, calibration):
+        backend = create_backend("oaken", calibration=calibration)
+        assert isinstance(backend, FusedCacheBackend)
+        for layer in backend.layers:
+            assert layer.key_quantizer.mode is DEPLOY_F32
+            assert layer.value_quantizer.mode is DEPLOY_F32
+
+    def test_exact_f64_opt_out(self, calibration):
+        backend = create_backend(
+            "oaken", calibration=calibration, mode="exact_f64"
+        )
+        assert backend.mode is EXACT_F64
+        for layer in backend.layers:
+            assert layer.key_quantizer.mode is EXACT_F64
+
+    def test_from_calibration_defaults_to_deploy_f32(self, calibration):
+        backend = FusedCacheBackend.from_calibration(calibration)
+        assert backend.mode is DEPLOY_F32
+
+    def test_shared_factory_propagates_mode(self, calibration):
+        for mode in (EXACT_F64, DEPLOY_F32):
+            factory = shared_backend_factory(
+                "oaken", calibration=calibration, mode=mode
+            )
+            assert factory().mode is mode
+        adapter_factory = shared_backend_factory(
+            "fp16", num_layers=LAYERS, mode="exact_f64"
+        )
+        assert adapter_factory().mode is EXACT_F64
+
+    def test_f32_backend_stays_close_to_f64(self, calibration):
+        """The deploy default obeys the documented tolerance contract."""
+        keys = make_kv_matrix(tokens=24, seed=90)
+        values = make_kv_matrix(tokens=24, seed=91)
+        deploy = create_backend("oaken", calibration=calibration)
+        exact = create_backend(
+            "oaken", calibration=calibration, mode="exact_f64"
+        )
+        deploy.append(0, keys, values)
+        exact.append(0, keys, values)
+        dk, _ = deploy.read(0)
+        ek, _ = exact.read(0)
+        # One code level of the middle group, plus fp16 scale slack.
+        config = OakenConfig()
+        assert float(np.abs(dk - ek).max()) < 1.0 / (
+            2**config.inlier_bits - 1
+        ) + 0.25
+
+
+class TestServingReplayDefault:
+    def test_replay_config_defaults_to_deploy_f32(self):
+        from repro.serving.simulator import CacheReplayConfig
+
+        assert CacheReplayConfig().mode == "deploy_f32"
+
+    def test_replay_threads_mode_into_the_pool(self):
+        from repro.data.traces import TraceRequest
+        from repro.hardware.overheads import get_system
+        from repro.models.config import get_model
+        from repro.serving.simulator import (
+            CacheReplayConfig,
+            simulate_trace,
+        )
+
+        trace = [
+            TraceRequest(arrival_s=0.0, input_tokens=32, output_tokens=4)
+            for _ in range(3)
+        ]
+        report = simulate_trace(
+            get_system("oaken-lpddr"),
+            get_model("llama2-13b").arch,
+            trace,
+            3,
+            replay=CacheReplayConfig(method="oaken"),
+        )
+        assert report.replay is not None
+        assert report.replay["mode"] == "deploy_f32"
+        exact = simulate_trace(
+            get_system("oaken-lpddr"),
+            get_model("llama2-13b").arch,
+            trace,
+            3,
+            replay=CacheReplayConfig(method="oaken", mode="exact_f64"),
+        )
+        assert exact.replay["mode"] == "exact_f64"

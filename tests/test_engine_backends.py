@@ -74,10 +74,14 @@ class TestRegistryConformance:
         streamed_k, streamed_v = backend.read(0)
 
         calib_keys, calib_values = calibration[0]
-        reference_key = create_quantizer(method, "key").fit([calib_keys])
-        reference_value = create_quantizer(method, "value").fit(
-            [calib_values]
-        )
+        # The reference transform must run under the backend's
+        # ComputeMode (the engine layer defaults to deploy_f32).
+        reference_key = create_quantizer(
+            method, "key", mode=backend.mode
+        ).fit([calib_keys])
+        reference_value = create_quantizer(
+            method, "value", mode=backend.mode
+        ).fit([calib_values])
         streamed = streamed_k if tensor_kind == "key" else streamed_v
         reference = (
             reference_key if tensor_kind == "key" else reference_value
@@ -119,8 +123,12 @@ class TestFusedBackend:
             )
         fk, fv = fused.read(0)
         calib_keys, calib_values = calibration[0]
-        ref_k = create_quantizer("oaken", "key").fit([calib_keys])
-        ref_v = create_quantizer("oaken", "value").fit([calib_values])
+        ref_k = create_quantizer(
+            "oaken", "key", mode=fused.mode
+        ).fit([calib_keys])
+        ref_v = create_quantizer(
+            "oaken", "value", mode=fused.mode
+        ).fit([calib_values])
         np.testing.assert_array_equal(fk, ref_k.roundtrip(keys))
         np.testing.assert_array_equal(fv, ref_v.roundtrip(values))
 
@@ -190,3 +198,15 @@ class TestModelIntegration:
         assert result.tokens.shape == (1, 10)
         assert result.cache.length == 9
         assert result.cache.nbytes() > 0
+
+
+class TestZeroRowAppend:
+    def test_empty_append_establishes_empty_history(self):
+        """A zero-row append reads back as an empty [0, D] history
+        (the seed chunk-list behaviour), not an error."""
+        backend = create_backend("fp16", num_layers=1)
+        backend.append(0, np.empty((0, 16)), np.empty((0, 16)))
+        assert backend.length == 0
+        keys, values = backend.read(0)
+        assert keys.shape == (0, 16)
+        assert values.shape == (0, 16)

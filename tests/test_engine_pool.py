@@ -438,3 +438,79 @@ class TestFootprint:
         assert summary["sequences"] == 1.0
         assert summary["tokens"] == 2.0
         assert summary["bytes"] > 0
+
+
+class TestAdapterBatchedReads:
+    """Row-local adapter pools merge pending suffixes into one
+    roundtrip per tensor — bit-identical to per-sequence reads."""
+
+    ROW_LOCAL = ["fp16", "oaken", "qserve", "atom", "tender"]
+    HISTORY_GLOBAL = ["kivi", "kvquant"]
+
+    def _stream_pools(self, method, calibration, count=3, steps=3):
+        factory = shared_backend_factory(
+            method, "adapter", calibration=calibration
+        )
+        batched, looped = twin_pools(factory, count)
+        seq_ids = list(range(count))
+        seed = 9100
+        for step in range(steps):
+            for layer in range(LAYERS):
+                for seq_id in seq_ids:
+                    seed += 1
+                    append_rows(
+                        (batched, looped), seq_id, layer, seed,
+                        rows=1 + (seq_id + step) % 2,
+                    )
+                assert_batch_equals_loop(
+                    batched, looped, layer, seq_ids
+                )
+        return batched, looped, seq_ids
+
+    @pytest.mark.parametrize("method", ROW_LOCAL)
+    def test_row_local_methods_batch_bit_identically(
+        self, method, calibration
+    ):
+        batched, looped, seq_ids = self._stream_pools(
+            method, calibration
+        )
+        assert batched.batched_roundtrips > 0
+        assert looped.batched_roundtrips == 0
+        assert_same_cache_state(batched, looped, seq_ids)
+
+    @pytest.mark.parametrize("method", HISTORY_GLOBAL)
+    def test_history_global_methods_fall_back(
+        self, method, calibration
+    ):
+        batched, looped, seq_ids = self._stream_pools(
+            method, calibration
+        )
+        assert batched.batched_roundtrips == 0
+        assert_same_cache_state(batched, looped, seq_ids)
+
+    def test_counter_reported_in_summary(self, calibration):
+        factory = shared_backend_factory(
+            "fp16", "adapter", num_layers=LAYERS
+        )
+        pool = KVCachePool(factory)
+        for seq_id in range(2):
+            pool.allocate(seq_id)
+            append_rows((pool,), seq_id, 0, 9900 + seq_id)
+        pool.read_batch(0, [0, 1])
+        assert pool.batched_roundtrips == 2  # one per tensor kind
+        assert pool.summary()["batched_roundtrips"] == 2.0
+
+    def test_single_pending_sequence_reads_lazily(self, calibration):
+        """With one stale sequence there is nothing to merge."""
+        factory = shared_backend_factory(
+            "fp16", "adapter", num_layers=LAYERS
+        )
+        pool = KVCachePool(factory)
+        for seq_id in range(2):
+            pool.allocate(seq_id)
+            append_rows((pool,), seq_id, 0, 9950 + seq_id)
+        pool.read(1, 0)  # sequence 1 is now memoized
+        reads = pool.read_batch(0, [0, 1])
+        assert pool.batched_roundtrips == 0
+        for keys, values in reads:
+            assert keys.shape[0] == 1

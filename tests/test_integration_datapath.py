@@ -84,7 +84,9 @@ class TestCacheEquivalence:
         calibration = rng.integers(
             0, model.shape.vocab, size=(2, 48)
         )
-        vectorized = build_cache_for_model(model, calibration)
+        vectorized = build_cache_for_model(
+            model, calibration, mode="exact_f64"
+        )
         engined = engine_backed_twin(vectorized)
         kv = model.collect_layer_kv(calibration)
         for layer, (keys, values) in enumerate(kv):
@@ -99,7 +101,9 @@ class TestCacheEquivalence:
     def test_cache_accounting_identical(self, model):
         rng = np.random.default_rng(13)
         calibration = rng.integers(0, model.shape.vocab, size=(2, 48))
-        vectorized = build_cache_for_model(model, calibration)
+        vectorized = build_cache_for_model(
+            model, calibration, mode="exact_f64"
+        )
         engined = engine_backed_twin(vectorized)
         kv = model.collect_layer_kv(calibration)
         for layer, (keys, values) in enumerate(kv):
@@ -117,7 +121,9 @@ class TestModelLevelEquivalence:
         produces exactly the vectorized path's tokens."""
         rng = np.random.default_rng(17)
         calibration = rng.integers(0, model.shape.vocab, size=(2, 48))
-        vectorized = build_cache_for_model(model, calibration)
+        vectorized = build_cache_for_model(
+            model, calibration, mode="exact_f64"
+        )
         engined = engine_backed_twin(vectorized)
         prompt = rng.integers(0, model.shape.vocab, size=(1, 8))
         reference = generate_with_quantized_cache(
@@ -134,7 +140,7 @@ class TestModelLevelEquivalence:
         rng = np.random.default_rng(19)
         calibration = rng.integers(0, model.shape.vocab, size=(2, 48))
         cache = engine_backed_twin(
-            build_cache_for_model(model, calibration)
+            build_cache_for_model(model, calibration, mode="exact_f64")
         )
         prompt = rng.integers(0, model.shape.vocab, size=(1, 4))
         generate_with_quantized_cache(

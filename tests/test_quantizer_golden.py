@@ -192,9 +192,7 @@ class TestFloat32Mode:
         config = OakenConfig()
         thresholds = profile_thresholds(kv_samples, config)
         exact = OakenQuantizer(config, thresholds)
-        fast = OakenQuantizer(
-            config, thresholds, compute_dtype=np.float32
-        )
+        fast = OakenQuantizer(config, thresholds, mode="deploy_f32")
         a = exact.roundtrip(kv_matrix)
         b = fast.roundtrip(kv_matrix)
         # Scales are FP16-rounded in both modes; a one-level code move
@@ -211,9 +209,9 @@ class TestFloat32Mode:
         config = OakenConfig()
         thresholds = profile_thresholds(kv_samples, config)
         exact = OakenQuantizer(config, thresholds)
-        fast = OakenQuantizer(
-            config, thresholds, compute_dtype=np.float32
-        )
+        # The legacy dtype-like spelling resolves to the same policy.
+        fast = OakenQuantizer(config, thresholds, mode=np.float32)
+        assert fast.mode.name == "deploy_f32"
         a = exact.quantize(kv_matrix)
         b = fast.quantize(kv_matrix)
         if a.num_outliers == b.num_outliers and np.array_equal(
@@ -226,4 +224,6 @@ class TestFloat32Mode:
         config = OakenConfig()
         thresholds = profile_thresholds(kv_samples, config)
         with pytest.raises(ValueError):
-            OakenQuantizer(config, thresholds, compute_dtype=np.int32)
+            OakenQuantizer(config, thresholds, mode=np.int32)
+        with pytest.raises(ValueError):
+            OakenQuantizer(config, thresholds, mode="float16")
