@@ -10,7 +10,7 @@ quantizer instances because several methods treat them differently
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -87,6 +87,36 @@ class KVCacheQuantizer(abc.ABC):
         This is the transform the attention computation observes when
         reading the KV cache back from memory.
         """
+
+    def roundtrip_batch(
+        self, blocks: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Roundtrip many [t_i, D] blocks, merging when sound.
+
+        The batched-quantize contract behind the serving pool's
+        multi-sequence adapter paths: for *row-local* methods (a
+        roundtrip row depends only on that input row) the blocks are
+        concatenated into one [sum t_i, D] matrix, transformed with a
+        **single** :meth:`roundtrip` call, and split back — bit-for-bit
+        what per-block calls would return, at one transform's worth of
+        per-call overhead.  History-global methods (whose output
+        depends on the whole matrix, e.g. KVQuant's online topK or
+        KIVI's sliding window) must not be merged across sequences and
+        fall back to one :meth:`roundtrip` per block.
+
+        Returned entries may be read-only views into one shared merged
+        result; copy before mutating or holding long-term.
+        """
+        blocks = [np.atleast_2d(block) for block in blocks]
+        if not self.row_local or len(blocks) < 2:
+            return [np.asarray(self.roundtrip(block)) for block in blocks]
+        merged = np.asarray(self.roundtrip(np.concatenate(blocks)))
+        out: List[np.ndarray] = []
+        offset = 0
+        for block in blocks:
+            out.append(merged[offset : offset + block.shape[0]])
+            offset += block.shape[0]
+        return out
 
     def stable_prefix(self, old_tokens: int, new_tokens: int) -> int:
         """How many cached roundtrip rows survive history growth.

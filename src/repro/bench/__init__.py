@@ -11,7 +11,7 @@ Run it as a module::
     PYTHONPATH=src python -m repro.bench --quick         # CI-sized
     PYTHONPATH=src python -m repro.bench --out my.json
 
-Seven benchmarks are recorded:
+Eight benchmarks are recorded:
 
 ``encode_roundtrip``
     Quantize + dequantize of a [tokens, dim] KV matrix (default
@@ -38,7 +38,10 @@ Seven benchmarks are recorded:
 ``pool_append``
     Multi-sequence serving writes: :meth:`KVCachePool.append_batch`
     (one fused encode across the batch's new rows, scattered back per
-    sequence) vs. per-sequence looped appends.
+    sequence) vs. per-sequence looped appends.  A second section times
+    the adapter write path for a row-local registry method — one
+    merged ``roundtrip_batch`` per tensor across the resident set vs.
+    per-sequence roundtrips (``speedup_adapter_batched``).
 
 ``baseline_read``
     Streaming sliding-window reads through the adapter backend:
@@ -50,6 +53,13 @@ Seven benchmarks are recorded:
     Figure 9 golden model vs. its vectorized whole-tensor twins.
     Bits and modeled cycle reports must be identical — asserted while
     timing.
+
+``replay``
+    End-to-end engine cycles from an engine-backed serving replay: a
+    closed trace through :func:`simulate_trace` with
+    ``CacheReplayConfig(engine_cycles=True)``, reported as replayed
+    tokens per engine megacycle (the modeled-hardware throughput
+    trajectory).
 
 Interpretation: each entry carries absolute seconds and a ``speedup``
 (baseline time / optimized time).  Regressions show up as a speedup
@@ -69,6 +79,7 @@ from repro.bench.hotpath import (
     bench_generation,
     bench_pool_appends,
     bench_pool_reads,
+    bench_replay_cycles,
     find_regressions,
     iter_speedups,
     merge_reports,
@@ -85,6 +96,7 @@ __all__ = [
     "bench_generation",
     "bench_pool_appends",
     "bench_pool_reads",
+    "bench_replay_cycles",
     "find_regressions",
     "iter_speedups",
     "merge_reports",

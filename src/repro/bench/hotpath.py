@@ -48,6 +48,28 @@ def _best_time(fn: Callable[[], object], repeats: int) -> float:
     return best
 
 
+def _best_run(fn: Callable[[], Tuple[float, object]], repeats: int):
+    """Best-of-``repeats`` for a self-timing run.
+
+    ``fn`` builds its own state and returns ``(seconds, result)``; the
+    minimum seconds across repeats is kept (with that run's result).
+    This is the deflaking treatment for the stepped-loop benchmarks
+    (pool reads/appends, baseline reads, generation): a single pass is
+    one wall-clock sample, and under full-suite or CI host load one
+    scheduler hiccup on either side can push a genuine speedup below
+    its smoke floor.  The minimum of N independent passes converges on
+    the noise floor instead, making the ``> 1.0`` gates
+    load-independent.
+    """
+    best = float("inf")
+    final = None
+    for _ in range(max(1, repeats)):
+        seconds, result = fn()
+        if seconds < best:
+            best, final = seconds, result
+    return best, final
+
+
 def bench_encode_roundtrip(
     tokens: int = 4096,
     dim: int = 4096,
@@ -113,6 +135,7 @@ def bench_generation(
     steps: int = 512,
     model_name: str = "llama2-7b",
     seed: int = 0,
+    repeats: int = 1,
 ) -> Dict[str, float]:
     """Time a ``steps``-token quantized-cache generation, seed vs fused.
 
@@ -120,6 +143,10 @@ def bench_generation(
     step through the reference kernels (the O(T^2) behaviour); the
     fused side streams appends and reads incrementally.  Both must
     produce the exact same token sequence, which is asserted.
+    ``repeats`` takes the best-of-N of each side's full run — the
+    smoke-size deflaking treatment; full-size runs keep the default 1
+    (they are long, internally averaged over hundreds of steps, and
+    the committed baseline is a ``--runs N`` merge anyway).
     """
     from repro.data.corpus import calibration_corpus
     from repro.models.config import get_model
@@ -143,8 +170,12 @@ def bench_generation(
     # timing, so neither timed run absorbs first-call overheads.
     run(OakenQuantizer, True, length=min(8, steps))
     run(ReferenceOakenQuantizer, False, length=min(8, steps))
-    fused_s, fused_tokens = run(OakenQuantizer, True)
-    seed_s, seed_tokens = run(ReferenceOakenQuantizer, False)
+    fused_s, fused_tokens = _best_run(
+        lambda: run(OakenQuantizer, True), repeats
+    )
+    seed_s, seed_tokens = _best_run(
+        lambda: run(ReferenceOakenQuantizer, False), repeats
+    )
     if not np.array_equal(seed_tokens, fused_tokens):
         raise AssertionError(
             "fused generation diverged from the seed datapath"
@@ -307,6 +338,7 @@ def bench_pool_reads(
     dim: int = 64,
     layers: int = 2,
     seed: int = 0,
+    repeats: int = 2,
 ) -> Dict[str, float]:
     """Time multi-sequence cache reads: batched pool vs. looped.
 
@@ -317,7 +349,9 @@ def bench_pool_reads(
     the batched side calls :meth:`KVCachePool.read_batch`, which
     merges every sequence's pending chunks into one fused decode per
     tensor.  Only read time is measured (appends are identical on
-    both sides), and both sides must return bit-identical histories.
+    both sides), each side's stream is repeated ``repeats`` times with
+    the best total kept (load-independent smoke floors), and both
+    sides must return bit-identical histories.
     """
     from repro.engine import (
         KVCachePool,
@@ -357,8 +391,8 @@ def bench_pool_reads(
         return read_s, final
 
     run(True)  # warm allocator / numpy state
-    batched_s, batched_reads = run(True)
-    looped_s, looped_reads = run(False)
+    batched_s, batched_reads = _best_run(lambda: run(True), repeats)
+    looped_s, looped_reads = _best_run(lambda: run(False), repeats)
     for batched_layer, looped_layer in zip(batched_reads, looped_reads):
         for (bk, bv), (lk, lv) in zip(batched_layer, looped_layer):
             if not (
@@ -372,6 +406,7 @@ def bench_pool_reads(
         "steps": steps,
         "dim": dim,
         "layers": layers,
+        "repeats": repeats,
         "looped_s": looped_s,
         "batched_s": batched_s,
         "speedup_batched": looped_s / batched_s,
@@ -385,6 +420,8 @@ def bench_pool_appends(
     dim: int = 64,
     layers: int = 2,
     seed: int = 0,
+    repeats: int = 2,
+    adapter_method: str = "atom",
 ) -> Dict[str, float]:
     """Time multi-sequence cache appends: batched pool vs. looped.
 
@@ -395,8 +432,21 @@ def bench_pool_appends(
     [1, D] fused encode each); the batched side calls
     :meth:`KVCachePool.append_batch`, which gathers the batch's rows
     into one [batch, D] fused encode per tensor and scatters the
-    encoded chunks back.  Only append time is measured, and both
-    sides must leave bit-identical caches (asserted via full reads).
+    encoded chunks back.  Only append time is measured, each side's
+    stream is repeated ``repeats`` times with the best total kept,
+    and both sides must leave bit-identical caches (asserted via full
+    reads).
+
+    A second section times the **adapter** write path for a row-local
+    registry method (``adapter_method``): adapter appends are lazy
+    buffer copies (the quantize happens at read), so what is measured
+    per step is append *plus* the read that makes the decoded history
+    current.  The looped side pays ``batch`` per-sequence [1, D]
+    roundtrips per tensor; the batched side's ``append_batch``
+    quantizes the whole resident set's new rows in one merged
+    [batch, D] ``roundtrip_batch`` per tensor, after which
+    ``read_batch`` serves pure memo hits — tracked as
+    ``speedup_adapter_batched``.
     """
     from repro.engine import (
         KVCachePool,
@@ -408,6 +458,9 @@ def bench_pool_appends(
         layers, 256
     )
     factory = shared_backend_factory("oaken", calibration=calibration)
+    adapter_factory = shared_backend_factory(
+        adapter_method, "adapter", calibration=calibration
+    )
 
     def run(batched: bool):
         pool = KVCachePool(factory)
@@ -435,26 +488,78 @@ def bench_pool_appends(
         ]
         return append_s, final
 
+    def run_adapter(batched: bool):
+        pool = KVCachePool(adapter_factory)
+        seq_ids = list(range(batch))
+        for seq_id in seq_ids:
+            pool.allocate(seq_id)
+        stream = SyntheticKVStream(dim, seed=seed + 1)
+        append_s = 0.0
+        for _ in range(steps):
+            for layer in range(layers):
+                updates = [
+                    (seq_id, stream.draw(1), stream.draw(1))
+                    for seq_id in seq_ids
+                ]
+                start = time.perf_counter()
+                if batched:
+                    pool.append_batch(layer, updates)
+                    pool.read_batch(layer, seq_ids)
+                else:
+                    for seq_id, keys, values in updates:
+                        pool.append(seq_id, layer, keys, values)
+                    for seq_id in seq_ids:
+                        pool.read(seq_id, layer)
+                append_s += time.perf_counter() - start
+        final = [
+            [pool.read(seq_id, layer) for seq_id in seq_ids]
+            for layer in range(layers)
+        ]
+        return append_s, final
+
+    def check_identical(batched_state, looped_state, label):
+        for batched_layer, looped_layer in zip(
+            batched_state, looped_state
+        ):
+            for (bk, bv), (lk, lv) in zip(batched_layer, looped_layer):
+                if not (
+                    np.array_equal(bk, lk) and np.array_equal(bv, lv)
+                ):
+                    raise AssertionError(
+                        f"batched pool {label} diverged from looped "
+                        f"{label}s"
+                    )
+
     run(True)  # warm allocator / numpy state
-    batched_s, batched_state = run(True)
-    looped_s, looped_state = run(False)
-    for batched_layer, looped_layer in zip(batched_state, looped_state):
-        for (bk, bv), (lk, lv) in zip(batched_layer, looped_layer):
-            if not (
-                np.array_equal(bk, lk) and np.array_equal(bv, lv)
-            ):
-                raise AssertionError(
-                    "batched pool append diverged from looped appends"
-                )
+    batched_s, batched_state = _best_run(lambda: run(True), repeats)
+    looped_s, looped_state = _best_run(lambda: run(False), repeats)
+    check_identical(batched_state, looped_state, "append")
+
+    run_adapter(True)  # warm adapter-side state
+    adapter_batched_s, adapter_batched_state = _best_run(
+        lambda: run_adapter(True), repeats
+    )
+    adapter_looped_s, adapter_looped_state = _best_run(
+        lambda: run_adapter(False), repeats
+    )
+    check_identical(
+        adapter_batched_state, adapter_looped_state, "adapter append"
+    )
     return {
         "batch": batch,
         "steps": steps,
         "dim": dim,
         "layers": layers,
+        "repeats": repeats,
         "looped_s": looped_s,
         "batched_s": batched_s,
         "speedup_batched": looped_s / batched_s,
         "caches_identical": True,
+        "adapter_method": adapter_method,
+        "adapter_looped_s": adapter_looped_s,
+        "adapter_batched_s": adapter_batched_s,
+        "speedup_adapter_batched": adapter_looped_s / adapter_batched_s,
+        "adapter_caches_identical": True,
     }
 
 
@@ -463,6 +568,7 @@ def bench_baseline_reads(
     dim: int = 64,
     method: str = "kivi",
     seed: int = 0,
+    repeats: int = 2,
 ) -> Dict[str, float]:
     """Time streaming sliding-window reads: amortized vs. full recompute.
 
@@ -474,7 +580,10 @@ def bench_baseline_reads(
     keeps the decoded rows the method's ``stable_prefix`` contract
     guarantees stable and re-quantizes only the rows that entered or
     left the sliding window — O(window delta).  Only read time is
-    measured, and both sides must return bit-identical histories.
+    measured, each side's stream is repeated ``repeats`` times with
+    the best total kept (one load spike must not read as a lost
+    amortization), and both sides must return bit-identical
+    histories.
     """
     from repro.engine import SyntheticKVStream
     from repro.engine.backend import BaselineCacheBackend, create_quantizer
@@ -504,8 +613,8 @@ def bench_baseline_reads(
         return read_s, final
 
     run(True)  # warm allocator / numpy state
-    amortized_s, amortized_reads = run(True)
-    full_s, full_reads = run(False)
+    amortized_s, amortized_reads = _best_run(lambda: run(True), repeats)
+    full_s, full_reads = _best_run(lambda: run(False), repeats)
     for amortized, full in zip(amortized_reads, full_reads):
         if not np.array_equal(amortized, full):
             raise AssertionError(
@@ -516,10 +625,77 @@ def bench_baseline_reads(
         "method": method,
         "steps": steps,
         "dim": dim,
+        "repeats": repeats,
         "full_s": full_s,
         "amortized_s": amortized_s,
         "speedup_amortized": full_s / amortized_s,
         "reads_identical": True,
+    }
+
+
+def bench_replay_cycles(
+    requests: int = 12,
+    inputs: int = 48,
+    outputs: int = 24,
+    max_batch: int = 4,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """End-to-end engine cycles from an engine-backed serving replay.
+
+    Replays a closed trace of ``requests`` requests through
+    :func:`~repro.serving.simulator.simulate_trace` with
+    ``CacheReplayConfig(engine_cycles=True)``: every KV row the
+    scheduler streams through the pool's batched append/read paths is
+    priced by the Figure 9 datapath models, and the replay report's
+    accumulated cycle counts become a **cycle-throughput trajectory**
+    (replayed tokens per engine megacycle) for the serving
+    configuration — the modeled-hardware counterpart of the wall-clock
+    speedups elsewhere in this harness.  Host wall time is recorded
+    for the smoke budget but is not the metric.
+    """
+    from repro.data.traces import TraceRequest
+    from repro.hardware.overheads import get_system
+    from repro.models.config import get_model
+    from repro.serving.simulator import (
+        CacheReplayConfig,
+        simulate_trace,
+    )
+
+    trace = [
+        TraceRequest(
+            arrival_s=0.0, input_tokens=inputs, output_tokens=outputs
+        )
+        for _ in range(requests)
+    ]
+    start = time.perf_counter()
+    report = simulate_trace(
+        get_system("oaken-lpddr"),
+        get_model("llama2-13b").arch,
+        trace,
+        max_batch,
+        replay=CacheReplayConfig(
+            method="oaken", seed=seed, engine_cycles=True
+        ),
+    )
+    wall_s = time.perf_counter() - start
+    replay = report.replay
+    tokens = replay["replayed_tokens"]
+    cycles = replay["engine_cycles"]
+    return {
+        "requests": requests,
+        "inputs": inputs,
+        "outputs": outputs,
+        "max_batch": max_batch,
+        "generated_tokens": float(report.generated_tokens),
+        "replayed_tokens": tokens,
+        "engine_quant_cycles": replay["engine_quant_cycles"],
+        "engine_dequant_cycles": replay["engine_dequant_cycles"],
+        "engine_cycles": cycles,
+        "cycles_per_token": cycles / tokens if tokens else 0.0,
+        "tokens_per_mcycle": (
+            tokens / cycles * 1e6 if cycles else 0.0
+        ),
+        "wall_s": wall_s,
     }
 
 
@@ -536,6 +712,14 @@ def run_benchmarks(
     ``quick=True`` shrinks every size so the whole suite finishes in
     well under a minute (the CI smoke configuration); explicit
     ``tokens``/``dim``/``steps`` override either preset.
+
+    ``repeats`` feeds both the kernel timings (best-of-N calls) and
+    the stepped-loop benchmarks (best-of-N full streams) — at least
+    two stream repeats are always taken, so the smoke-size ``> 1.0``
+    floors stay load-independent even when a caller requests
+    ``repeats=1`` for the kernels.  Generation repeats only at quick
+    sizes (a full-size seed run is ~50 s; the committed baseline
+    absorbs noise through the ``--runs N`` merge instead).
     """
     enc_tokens = tokens if tokens is not None else (512 if quick else 4096)
     enc_dim = dim if dim is not None else (512 if quick else 4096)
@@ -543,9 +727,13 @@ def run_benchmarks(
     pack_count = 1 << 18 if quick else 1 << 22
     pool_batch = 8 if quick else 16
     pool_steps = 24 if quick else 48
-    baseline_steps = 96 if quick else 256
+    baseline_steps = 128 if quick else 256
     datapath_tokens = 48 if quick else 96
     datapath_dim = 128 if quick else 256
+    replay_requests = 6 if quick else 12
+    replay_outputs = 10 if quick else 24
+    stream_repeats = max(2, repeats)
+    gen_repeats = max(2, repeats) if quick else 1
 
     report: Dict[str, object] = {
         "schema": "repro.bench/v1",
@@ -557,21 +745,28 @@ def run_benchmarks(
             "encode_roundtrip": bench_encode_roundtrip(
                 tokens=enc_tokens, dim=enc_dim, repeats=repeats
             ),
-            "generation": bench_generation(steps=gen_steps),
+            "generation": bench_generation(
+                steps=gen_steps, repeats=gen_repeats
+            ),
             "bitpack": bench_bitpack(count=pack_count, repeats=repeats),
             "pool_read": bench_pool_reads(
-                batch=pool_batch, steps=pool_steps
+                batch=pool_batch, steps=pool_steps,
+                repeats=stream_repeats,
             ),
             "pool_append": bench_pool_appends(
-                batch=pool_batch, steps=pool_steps
+                batch=pool_batch, steps=pool_steps,
+                repeats=stream_repeats,
             ),
             "baseline_read": bench_baseline_reads(
-                steps=baseline_steps
+                steps=baseline_steps, repeats=stream_repeats
             ),
             "datapath": bench_datapath(
                 tokens=datapath_tokens,
                 dim=datapath_dim,
                 repeats=repeats,
+            ),
+            "replay": bench_replay_cycles(
+                requests=replay_requests, outputs=replay_outputs
             ),
         },
     }
@@ -721,6 +916,13 @@ def format_summary(report: Dict[str, object]) -> str:
             f"  batched {appends['batched_s']:.3f}s"
             f"  -> {appends['speedup_batched']:.1f}x",
         ]
+        if "speedup_adapter_batched" in appends:
+            lines.append(
+                f"  adapter ({appends['adapter_method']}): looped "
+                f"{appends['adapter_looped_s']:.3f}s  batched "
+                f"{appends['adapter_batched_s']:.3f}s"
+                f"  -> {appends['speedup_adapter_batched']:.1f}x"
+            )
     baseline = bench.get("baseline_read")
     if baseline is not None:
         lines += [
@@ -739,6 +941,15 @@ def format_summary(report: Dict[str, object]) -> str:
             f"  vectorized "
             f"{datapath['vectorized_quantize_s'] + datapath['vectorized_dequantize_s']:.4f}s"
             f"  -> {datapath['speedup_vectorized']:.0f}x",
+        ]
+    replay = bench.get("replay")
+    if replay is not None:
+        lines += [
+            f"serving replay ({replay['requests']} requests, "
+            f"engine-backed):",
+            f"  {replay['engine_cycles']:.0f} engine cycles / "
+            f"{replay['replayed_tokens']:.0f} tokens"
+            f"  -> {replay['tokens_per_mcycle']:.1f} tok/Mcycle",
         ]
     lines.append("bitpack fast paths:")
     for width, row in bench["bitpack"].items():

@@ -279,9 +279,9 @@ class _BaselineStream:
         ``stable`` is how many memoized decoded rows survive per the
         method's ``stable_prefix`` contract; ``suffix`` is the exact
         history from that row on — the rows :meth:`read` would
-        re-quantize.  Callers (the pool's batched adapter read) may
-        roundtrip the suffix themselves and hand the result to
-        :meth:`commit_decoded`.
+        re-quantize.  Callers (the pool's batched adapter read *and*
+        its eager batched append) may roundtrip the suffix themselves
+        and hand the result to :meth:`commit_decoded`.
         """
         stable = 0
         if self.amortize and self._decoded_length > 0:
@@ -368,9 +368,13 @@ class BaselineCacheBackend:
     ) -> Tuple[_BaselineStream, _BaselineStream]:
         """One layer's (key, value) streaming state.
 
-        The hook :meth:`repro.engine.KVCachePool.read_batch` uses to
-        gather pending suffixes across the resident set for row-local
-        methods.
+        The hook both batched pool directions use for row-local
+        methods: :meth:`repro.engine.KVCachePool.read_batch` gathers
+        pending suffixes across the resident set into one merged
+        roundtrip per tensor, and
+        :meth:`repro.engine.KVCachePool.append_batch` does the same
+        eagerly right after scattering the new rows, so subsequent
+        reads are pure memo hits.
         """
         return self._keys[layer], self._values[layer]
 

@@ -27,6 +27,12 @@ chunks are scattered back to each sequence's cache with
 :func:`~repro.core.encoding.split_encoded`.  The encode is row-local
 (per-token scales, token-ordered COO records), so the scattered chunks
 are bit-for-bit what a per-sequence ``append`` loop would have stored.
+Adapter pools holding row-local registry methods batch their writes
+too: the new rows are quantized eagerly through one merged
+``roundtrip_batch`` per tensor across the resident set (the
+``batched_append_roundtrips`` counter), leaving every sequence's
+decode memo current — the state a per-sequence append + read loop
+reaches, at one transform's worth of per-call overhead.
 
 Pool-wide footprint (current and peak encoded bytes, measured
 effective bitwidth) feeds the serving simulator's admission control in
@@ -91,6 +97,7 @@ class KVCachePool:
         self.batched_decodes = 0
         self.batched_encodes = 0
         self.batched_roundtrips = 0
+        self.batched_append_roundtrips = 0
         # Reusable fused-encode work buffers (keys, values).  Batch
         # encodes run sequentially on the pool, so one scratch pair
         # serves every layer; buffers grow to the largest batch seen.
@@ -161,12 +168,23 @@ class KVCachePool:
         granularity this turns ``2 * B`` tiny [1, D] encodes per layer
         into two [B, D] encodes.
 
-        Fusion requires fused-kernel caches sharing this layer's
-        fitted quantizers (a
-        :func:`~repro.engine.backend.shared_backend_factory` pool) and
-        at least two sequences with new rows; otherwise this falls
+        Fusion requires caches sharing this layer's fitted quantizers
+        (a :func:`~repro.engine.backend.shared_backend_factory` pool)
+        and at least two sequences with new rows; otherwise this falls
         back to the per-sequence loop.  Sequences updating with zero
         rows are skipped entirely (no empty chunk is stored).
+
+        Adapter caches batch too, when the method permits: for
+        row-local registry methods (fp16/oaken/qserve/atom/tender) the
+        new rows are appended per sequence and every stale decode
+        suffix is then quantized through **one** merged
+        :meth:`~repro.baselines.base.KVCacheQuantizer.roundtrip_batch`
+        call per tensor across the resident set, leaving each
+        sequence's decode memo current — the same end state a
+        per-sequence ``append`` + ``read`` loop reaches, bit-for-bit,
+        tracked by :attr:`batched_append_roundtrips`.  History-global
+        methods (kivi, kvquant) and mixed pools fall back to the plain
+        per-sequence append loop.
 
         Args:
             layer: decoder layer index.
@@ -200,15 +218,26 @@ class KVCachePool:
             layer,
             require_incremental=False,
         )
-        if layers is None:
-            for cache, keys, values in entries:
-                cache.append(layer, keys, values)
+        if layers is not None:
+            self._encode_scatter_batch(
+                layers,
+                [keys for _, keys, _ in entries],
+                [values for _, _, values in entries],
+            )
             return
-        self._encode_scatter_batch(
-            layers,
-            [keys for _, keys, _ in entries],
-            [values for _, _, values in entries],
+        unique = list(
+            dict.fromkeys(cache for cache, _, _ in entries)
         )
+        adapter = self._batchable_adapter_streams(unique, layer)
+        for cache, keys, values in entries:
+            cache.append(layer, keys, values)
+        if adapter is not None:
+            # Quantize the freshly appended rows eagerly: one merged
+            # row-local roundtrip per tensor across the resident set,
+            # so the work the next read would do per sequence is done
+            # here at batch granularity instead.
+            for streams in adapter:
+                self._roundtrip_pending_batch(streams, write_side=True)
 
     def _encode_scatter_batch(
         self,
@@ -302,9 +331,17 @@ class KVCachePool:
         return key_streams, value_streams
 
     def _roundtrip_pending_batch(
-        self, streams: List[_BaselineStream]
+        self,
+        streams: List[_BaselineStream],
+        write_side: bool = False,
     ) -> None:
-        """One tensor's pending suffixes through a single roundtrip."""
+        """One tensor's pending suffixes through a single roundtrip.
+
+        Shared by the read side (:meth:`read_batch`, counted in
+        :attr:`batched_roundtrips`) and the write side
+        (:meth:`append_batch`'s eager adapter quantize, counted in
+        :attr:`batched_append_roundtrips`).
+        """
         work = []
         for stream in streams:
             if not stream.needs_decode:
@@ -314,25 +351,22 @@ class KVCachePool:
         if len(work) < 2:
             return  # nothing to merge; lazy per-sequence reads suffice
         quantizer = work[0][0].quantizer
-        merged = np.asarray(
-            quantizer.roundtrip(
-                np.concatenate([suffix for _, _, suffix in work])
-            ),
-            dtype=np.float32,
+        chunks = quantizer.roundtrip_batch(
+            [suffix for _, _, suffix in work]
         )
-        self.batched_roundtrips += 1
-        offset = 0
-        for stream, stable, suffix in work:
-            rows = suffix.shape[0]
-            chunk = merged[offset : offset + rows]
-            if stable == 0:
+        if write_side:
+            self.batched_append_roundtrips += 1
+        else:
+            self.batched_roundtrips += 1
+        for (stream, stable, _), chunk in zip(work, chunks):
+            chunk = np.asarray(chunk, dtype=np.float32)
+            if stable == 0 and chunk.base is not None:
                 # A bare slice would become the stream's decode memo as
                 # a view, pinning the whole merged tensor per stream;
                 # the stable > 0 path copies inside commit_decoded's
                 # concatenate already.
                 chunk = chunk.copy()
             stream.commit_decoded(chunk, stable)
-            offset += rows
 
     def _fusible_layers(
         self,
@@ -475,4 +509,7 @@ class KVCachePool:
             "batched_decodes": float(self.batched_decodes),
             "batched_encodes": float(self.batched_encodes),
             "batched_roundtrips": float(self.batched_roundtrips),
+            "batched_append_roundtrips": float(
+                self.batched_append_roundtrips
+            ),
         }

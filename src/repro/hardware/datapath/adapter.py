@@ -112,6 +112,19 @@ class EngineBackedQuantizer:
         self.quant_cycles += report.total_cycles
         return encoded
 
+    def quantize_into(self, values: np.ndarray, scratch=None) -> EncodedKV:
+        """Streaming-append entry point (scratch-buffer signature).
+
+        The cache layer and the serving pool prefer ``quantize_into``
+        when a quantizer offers it; the engines allocate internally, so
+        ``scratch`` is accepted for interface compatibility and
+        ignored.  Cycle accounting is identical to :meth:`quantize` —
+        this is what lets an engine-backed cache ride the pool's
+        batched ``append_batch`` path while still accumulating modeled
+        datapath cycles.
+        """
+        return self.quantize(values)
+
     def dequantize(self, encoded: EncodedKV) -> np.ndarray:
         """Stream an encoded tensor through the dequantization engine."""
         matrix, report = self._dequant.dequantize_matrix(encoded)

@@ -21,7 +21,10 @@ Two capacity regimes:
   and decode across the resident set), and per-request KV rows stream
   through the actual quantization kernels.  Iteration pricing stays
   analytic (the hardware model), so throughput numbers remain
-  comparable across modes.
+  comparable across modes.  With ``engine_cycles=True`` the replay's
+  caches run on the Figure 9 datapath engine models instead of the
+  plain fused kernels, and the replay report carries accumulated
+  end-to-end engine cycles for the trace.
 """
 
 from __future__ import annotations
@@ -69,6 +72,18 @@ class CacheReplayConfig:
             default — the float32 deployment policy anchored to the
             datapath's float32 golden model; ``"exact_f64"`` restores
             the bit-exact bench configuration.
+        engine_cycles: route the replay's caches through
+            :class:`~repro.hardware.datapath.adapter.EngineBackedQuantizer`
+            instead of the plain fused kernels, so every KV row the
+            trace streams through the pool is priced by the Figure 9
+            datapath models and the replay report carries accumulated
+            end-to-end engine cycles (``engine_*`` keys).  Requires
+            ``method="oaken"`` (the engines model the paper datapath).
+        engine: engine tier for ``engine_cycles`` replays —
+            ``"vectorized"`` (default, the whole-tensor twins: same
+            bits, same modeled cycles) or ``"scalar"`` (the frozen
+            element-streaming golden model; orders of magnitude slower
+            on the host).
     """
 
     method: str = "oaken"
@@ -79,6 +94,8 @@ class CacheReplayConfig:
     prompt_rows: int = 8
     seed: int = 0
     mode: str = "deploy_f32"
+    engine_cycles: bool = False
+    engine: str = "vectorized"
 
 
 class _CacheReplay:
@@ -115,12 +132,16 @@ class _CacheReplay:
         calibration = self._stream.calibration(
             config.num_layers, config.calibration_tokens
         )
-        factory = shared_backend_factory(
-            config.method,
-            config.kind,
-            calibration=calibration,
-            mode=config.mode,
-        )
+        self._engine_quantizers: List = []
+        if config.engine_cycles:
+            factory = self._engine_backed_factory(calibration)
+        else:
+            factory = shared_backend_factory(
+                config.method,
+                config.kind,
+                calibration=calibration,
+                mode=config.mode,
+            )
         self.pool = KVCachePool(factory)
         device = system.device_for(arch)
         budget = device.memory.capacity_bytes * (
@@ -139,6 +160,63 @@ class _CacheReplay:
         probe = factory()
         probe.append(0, calibration[0][0], calibration[0][1])
         self._last_kv_bits = probe.effective_bitwidth()
+        # The probe streamed rows through the shared engine-backed
+        # quantizers; snapshot its cycles so the report counts only
+        # cycles the replayed trace itself spent.
+        self._probe_quant_cycles = sum(
+            q.quant_cycles for q in self._engine_quantizers
+        )
+        self._probe_dequant_cycles = sum(
+            q.dequant_cycles for q in self._engine_quantizers
+        )
+
+    def _engine_backed_factory(self, calibration):
+        """A shared-quantizer factory over the hardware datapath models.
+
+        Mirrors :func:`~repro.engine.shared_backend_factory` for the
+        fused oaken cache, but the per-layer quantizers are
+        :class:`~repro.hardware.datapath.adapter.EngineBackedQuantizer`
+        instances: every quantize/dequantize the pool issues (including
+        the batched multi-sequence paths) runs through the Figure 9
+        engine models and accumulates modeled cycle reports, which
+        :meth:`report` sums into end-to-end engine cycles.
+        """
+        from repro.core.config import OakenConfig
+        from repro.core.thresholds import profile_thresholds
+        from repro.engine.backend import FusedCacheBackend
+        from repro.hardware.datapath.adapter import EngineBackedQuantizer
+
+        if self.config.method != "oaken":
+            raise ValueError(
+                "engine_cycles replays model the paper datapath and "
+                f"require method='oaken', got {self.config.method!r}"
+            )
+        cfg = OakenConfig()
+        key_quantizers = []
+        value_quantizers = []
+        for keys, values in calibration:
+            key_quantizers.append(
+                EngineBackedQuantizer(
+                    cfg,
+                    profile_thresholds([keys], cfg),
+                    mode=self.config.mode,
+                    engine=self.config.engine,
+                )
+            )
+            value_quantizers.append(
+                EngineBackedQuantizer(
+                    cfg,
+                    profile_thresholds([values], cfg),
+                    mode=self.config.mode,
+                    engine=self.config.engine,
+                )
+            )
+        self._engine_quantizers = key_quantizers + value_quantizers
+
+        def factory():
+            return FusedCacheBackend(key_quantizers, value_quantizers)
+
+        return factory
 
     def _draw_rows(self, n: int) -> np.ndarray:
         return self._stream.draw(n)
@@ -240,7 +318,7 @@ class _CacheReplay:
 
     def report(self) -> Dict[str, float]:
         """Replay measurements attached to the serving report."""
-        return {
+        out = {
             "method": self.config.method,
             "mode": self.config.mode,
             "measured_kv_bits": self.measured_kv_bits(),
@@ -249,8 +327,29 @@ class _CacheReplay:
             "batched_appends": float(self.batched_appends),
             "batched_decodes": float(self.pool.batched_decodes),
             "batched_encodes": float(self.pool.batched_encodes),
+            "batched_roundtrips": float(self.pool.batched_roundtrips),
+            "batched_append_roundtrips": float(
+                self.pool.batched_append_roundtrips
+            ),
             "replayed_tokens": float(self.replayed_tokens),
         }
+        if self._engine_quantizers:
+            quant = sum(
+                q.quant_cycles for q in self._engine_quantizers
+            ) - self._probe_quant_cycles
+            dequant = sum(
+                q.dequant_cycles for q in self._engine_quantizers
+            ) - self._probe_dequant_cycles
+            out["engine"] = self.config.engine
+            out["engine_quant_cycles"] = float(quant)
+            out["engine_dequant_cycles"] = float(dequant)
+            out["engine_cycles"] = float(quant + dequant)
+            out["engine_cycles_per_token"] = (
+                (quant + dequant) / self.replayed_tokens
+                if self.replayed_tokens
+                else 0.0
+            )
+        return out
 
 
 @dataclass

@@ -249,3 +249,70 @@ class TestAccuracyOrdering:
             mses[name] = np.mean((restored - kv_matrix) ** 2)
         assert mses["kvquant"] < mses["tender"]
         assert mses["oaken"] < mses["qserve"] < mses["tender"]
+
+
+class TestRoundtripBatch:
+    """The batched-quantize contract behind the pool's merged adapter
+    paths: row-local methods merge blocks into one transform, every
+    method returns per-block results equal to per-block roundtrips."""
+
+    def blocks(self):
+        return [
+            make_kv_matrix(tokens=tokens, seed=30 + tokens)
+            for tokens in (1, 3, 2)
+        ]
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_matches_per_block_roundtrips(self, method):
+        quantizer = create_method(method, "key")
+        quantizer.fit([make_kv_matrix(seed=1)])
+        batch = quantizer.roundtrip_batch(self.blocks())
+        singles = [
+            np.asarray(quantizer.roundtrip(block))
+            for block in self.blocks()
+        ]
+        assert len(batch) == len(singles)
+        for got, want in zip(batch, singles):
+            np.testing.assert_array_equal(got, want)
+
+    def test_row_local_merges_into_one_transform(self):
+        calls = []
+
+        class Probe(FP16Baseline):
+            def roundtrip(self, values):
+                calls.append(values.shape[0])
+                return super().roundtrip(values)
+
+        probe = Probe("key")
+        out = probe.roundtrip_batch(
+            [make_kv_matrix(2, seed=1), make_kv_matrix(3, seed=2)]
+        )
+        assert calls == [5]  # one merged [2 + 3, D] call
+        assert [block.shape[0] for block in out] == [2, 3]
+
+    def test_history_global_stays_per_block(self):
+        calls = []
+
+        class Probe(KIVIQuantizer):
+            def roundtrip(self, values):
+                calls.append(values.shape[0])
+                return super().roundtrip(values)
+
+        probe = Probe("key")
+        probe.roundtrip_batch(
+            [make_kv_matrix(2, seed=1), make_kv_matrix(3, seed=2)]
+        )
+        assert calls == [2, 3]  # merging would change the window bits
+
+    def test_single_block_skips_the_merge(self):
+        calls = []
+
+        class Probe(FP16Baseline):
+            def roundtrip(self, values):
+                calls.append(values.shape[0])
+                return super().roundtrip(values)
+
+        probe = Probe("key")
+        out = probe.roundtrip_batch([make_kv_matrix(4, seed=3)])
+        assert calls == [4]
+        assert len(out) == 1

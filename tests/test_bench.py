@@ -1,10 +1,23 @@
-"""Smoke tests for the perf-regression harness (:mod:`repro.bench`)."""
+"""Smoke tests for the perf-regression harness (:mod:`repro.bench`).
+
+The smoke run's ``> 1.0`` speedup floors are deflaked inside the
+harness itself: every stepped-loop benchmark (pool reads/appends,
+baseline reads, and — at quick sizes — generation) times best-of-N
+independent streams, so one host load spike during a full-suite run
+cannot push a genuine speedup below its floor.  The tests carry the
+``bench`` marker so CI can rerun just this module on a timing failure
+without rerunning the whole suite.
+"""
 
 import json
 import time
 
+import pytest
+
 from repro.bench import run_benchmarks
 from repro.bench.hotpath import format_summary
+
+pytestmark = pytest.mark.bench
 
 
 def test_harness_runs_quickly_and_writes_json(tmp_path):
@@ -27,7 +40,7 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     bench = on_disk["benchmarks"]
     assert set(bench) == {
         "encode_roundtrip", "generation", "bitpack", "pool_read",
-        "pool_append", "baseline_read", "datapath",
+        "pool_append", "baseline_read", "datapath", "replay",
     }
 
     enc = bench["encode_roundtrip"]
@@ -42,26 +55,39 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     pool = bench["pool_read"]
     assert pool["reads_identical"] is True
     assert pool["speedup_batched"] > 1.0
+    assert pool["repeats"] >= 2  # best-of floor is load-independent
     appends = bench["pool_append"]
     assert appends["caches_identical"] is True
     assert appends["speedup_batched"] > 1.0
+    assert appends["adapter_caches_identical"] is True
+    assert appends["speedup_adapter_batched"] > 1.0
     baseline = bench["baseline_read"]
     assert baseline["reads_identical"] is True
     assert baseline["speedup_amortized"] > 1.0
+    assert baseline["repeats"] >= 2
     datapath = bench["datapath"]
     assert datapath["bits_identical"] is True
     assert datapath["cycles_identical"] is True
     # The scalar tier is a per-element python loop; even at smoke
     # sizes the vectorized twins clear an order of magnitude.
     assert datapath["speedup_vectorized"] > 10.0
+    replay = bench["replay"]
+    assert replay["replayed_tokens"] > 0
+    assert replay["engine_cycles"] > 0
+    assert replay["tokens_per_mcycle"] > 0
+    assert replay["engine_cycles"] == (
+        replay["engine_quant_cycles"] + replay["engine_dequant_cycles"]
+    )
 
     summary = format_summary(report)
     assert "encode roundtrip" in summary
     assert "generation" in summary
     assert "pool reads" in summary
     assert "pool appends" in summary
+    assert "adapter" in summary
     assert "baseline reads" in summary
     assert "datapath engines" in summary
+    assert "serving replay" in summary
 
 
 def test_no_output_file_when_disabled(tmp_path, monkeypatch):

@@ -373,6 +373,140 @@ class TestAppendBatch:
         assert batched.batched_decodes > 0
 
 
+class TestAdapterBatchedAppends:
+    """Row-local adapter pools quantize batched appends eagerly: one
+    merged ``roundtrip_batch`` per tensor across the resident set,
+    end state bit-identical to per-sequence ``append`` loops."""
+
+    ROW_LOCAL = ["fp16", "oaken", "qserve", "atom", "tender"]
+    HISTORY_GLOBAL = ["kivi", "kvquant"]
+
+    def _stream_pools(self, method, calibration, count=3, steps=3):
+        factory = shared_backend_factory(
+            method, "adapter", calibration=calibration
+        )
+        batched, looped = twin_pools(factory, count)
+        seq_ids = list(range(count))
+        seed = 9500
+        for step in range(steps):
+            for layer in range(LAYERS):
+                updates = []
+                for seq_id in seq_ids:
+                    seed += 1
+                    # Ragged batches: row counts differ per sequence.
+                    rows = 1 + (seq_id + step) % 2
+                    keys = make_kv_matrix(tokens=rows, seed=seed)
+                    values = make_kv_matrix(
+                        tokens=rows, seed=seed + 10000
+                    )
+                    updates.append((seq_id, keys, values))
+                    looped.append(seq_id, layer, keys, values)
+                batched.append_batch(layer, updates)
+        return batched, looped, seq_ids
+
+    @pytest.mark.parametrize("method", ROW_LOCAL)
+    def test_row_local_methods_batch_bit_identically(
+        self, method, calibration
+    ):
+        batched, looped, seq_ids = self._stream_pools(
+            method, calibration
+        )
+        assert batched.batched_append_roundtrips > 0
+        assert looped.batched_append_roundtrips == 0
+        assert_same_cache_state(batched, looped, seq_ids)
+
+    @pytest.mark.parametrize("method", HISTORY_GLOBAL)
+    def test_history_global_methods_fall_back(
+        self, method, calibration
+    ):
+        batched, looped, seq_ids = self._stream_pools(
+            method, calibration
+        )
+        assert batched.batched_append_roundtrips == 0
+        assert_same_cache_state(batched, looped, seq_ids)
+
+    def test_batched_appends_prime_reads(self, calibration):
+        """After an eager batched append, reads are pure memo hits:
+        no further merged roundtrip is needed on the read side."""
+        batched, looped, seq_ids = self._stream_pools(
+            "qserve", calibration
+        )
+        before = batched.batched_roundtrips
+        for layer in range(LAYERS):
+            assert_batch_equals_loop(batched, looped, layer, seq_ids)
+        assert batched.batched_roundtrips == before
+
+    def test_empty_updates_skipped_but_rest_batches(self, calibration):
+        factory = shared_backend_factory(
+            "fp16", "adapter", num_layers=LAYERS
+        )
+        batched, looped = twin_pools(factory, 3)
+        empty = np.empty((0, DIM))
+        updates = [(1, empty, empty)]
+        seed = 9700
+        for seq_id in (0, 2):
+            seed += 1
+            keys = make_kv_matrix(tokens=2, seed=seed)
+            values = make_kv_matrix(tokens=2, seed=seed + 10000)
+            updates.append((seq_id, keys, values))
+            looped.append(seq_id, 0, keys, values)
+        batched.append_batch(0, updates)
+        assert batched.get(1).length == 0
+        assert batched.batched_append_roundtrips == 2  # per tensor
+        assert_same_cache_state(batched, looped, [0, 2])
+
+    def test_single_sequence_batch_falls_back(self, calibration):
+        factory = shared_backend_factory(
+            "fp16", "adapter", num_layers=LAYERS
+        )
+        batched, looped = twin_pools(factory, 2)
+        keys = make_kv_matrix(tokens=2, seed=9800)
+        values = make_kv_matrix(tokens=2, seed=9801)
+        batched.append_batch(0, {0: (keys, values)})
+        looped.append(0, 0, keys, values)
+        assert batched.batched_append_roundtrips == 0
+        assert_same_cache_state(batched, looped, [0])
+
+    def test_duplicate_seq_ids_append_like_a_loop(self, calibration):
+        """Duplicated ids append twice, merge-quantize once."""
+        factory = shared_backend_factory(
+            "qserve", "adapter", calibration=calibration
+        )
+        batched, looped = twin_pools(factory, 2)
+        updates = []
+        seed = 9850
+        for seq_id in (0, 0, 1):
+            seed += 1
+            keys = make_kv_matrix(tokens=1, seed=seed)
+            values = make_kv_matrix(tokens=1, seed=seed + 10000)
+            updates.append((seq_id, keys, values))
+            looped.append(seq_id, 0, keys, values)
+        batched.append_batch(0, updates)
+        assert batched.get(0).length == 2
+        assert batched.batched_append_roundtrips == 2  # per tensor
+        assert_same_cache_state(batched, looped, [0, 1])
+
+    def test_counter_reported_in_summary(self, calibration):
+        factory = shared_backend_factory(
+            "fp16", "adapter", num_layers=LAYERS
+        )
+        pool = KVCachePool(factory)
+        for seq_id in range(2):
+            pool.allocate(seq_id)
+        pool.append_batch(
+            0,
+            {
+                seq_id: (
+                    make_kv_matrix(1, seed=9900 + seq_id),
+                    make_kv_matrix(1, seed=9950 + seq_id),
+                )
+                for seq_id in range(2)
+            },
+        )
+        assert pool.batched_append_roundtrips == 2  # one per tensor
+        assert pool.summary()["batched_append_roundtrips"] == 2.0
+
+
 class TestLifecycle:
     def test_double_allocate_rejected(self, factory):
         pool = KVCachePool(factory)

@@ -48,6 +48,10 @@ class TestReplayEndToEnd:
             # Fused backends batch the kernel calls themselves.
             assert replay["batched_encodes"] > 0
             assert replay["batched_decodes"] > 0
+        if method == "fp16":
+            # Row-local adapter pools batch their writes: one merged
+            # roundtrip per tensor across the resident set.
+            assert replay["batched_append_roundtrips"] > 0
         # Admission worked off measured footprint, which exists.
         assert 0 < replay["measured_kv_bits"] <= 16.0
         assert replay["peak_pool_bytes"] > 0
@@ -106,6 +110,86 @@ class TestReplayEndToEnd:
         replay_engine.retire([request])
         assert len(replay_engine.pool) == 0
         assert replay_engine.pool.peak_bytes > 0
+
+
+class TestEngineCycles:
+    """engine_cycles=True routes the replay pool through the datapath
+    engine models and reports accumulated end-to-end cycles."""
+
+    def test_engine_backed_replay_accumulates_cycles(self):
+        report = simulate_trace(
+            get_system("oaken-lpddr"), ARCH, closed_trace(), 4,
+            replay=CacheReplayConfig(method="oaken",
+                                     engine_cycles=True),
+        )
+        assert not report.oom
+        replay = report.replay
+        assert replay["engine"] == "vectorized"
+        assert replay["engine_quant_cycles"] > 0
+        assert replay["engine_dequant_cycles"] > 0
+        assert replay["engine_cycles"] == (
+            replay["engine_quant_cycles"]
+            + replay["engine_dequant_cycles"]
+        )
+        assert replay["engine_cycles_per_token"] > 0
+        # The engine-backed pool still rides the batched paths.
+        assert replay["batched_encodes"] > 0
+        assert replay["batched_decodes"] > 0
+
+    def test_default_replay_reports_no_cycles(self):
+        report = simulate_trace(
+            get_system("oaken-lpddr"), ARCH, closed_trace(), 4,
+            replay=CacheReplayConfig(method="oaken"),
+        )
+        assert "engine_cycles" not in report.replay
+
+    def test_engine_cycles_requires_the_paper_method(self):
+        with pytest.raises(ValueError, match="oaken"):
+            simulate_trace(
+                get_system("vllm"), ARCH, closed_trace(), 4,
+                replay=CacheReplayConfig(method="fp16",
+                                         engine_cycles=True),
+            )
+
+    def test_scalar_and_vectorized_tiers_model_equal_cycles(self):
+        """The cycle model prices the hardware, not the host: both
+        engine tiers must report identical totals for one trace."""
+        def run(engine):
+            return simulate_trace(
+                get_system("oaken-lpddr"), ARCH,
+                closed_trace(count=2, inputs=16, outputs=2), 2,
+                replay=CacheReplayConfig(
+                    method="oaken", engine_cycles=True, engine=engine
+                ),
+            ).replay
+
+        vectorized = run("vectorized")
+        scalar = run("scalar")
+        assert (
+            vectorized["engine_cycles"] == scalar["engine_cycles"] > 0
+        )
+
+    def test_measured_bits_match_plain_replay(self):
+        """Engine-backed caches are bit-compatible with the fused
+        kernels: the measured footprint is unchanged."""
+        plain = simulate_trace(
+            get_system("oaken-lpddr"), ARCH, closed_trace(), 4,
+            replay=CacheReplayConfig(method="oaken",
+                                     mode="exact_f64"),
+        )
+        backed = simulate_trace(
+            get_system("oaken-lpddr"), ARCH, closed_trace(), 4,
+            replay=CacheReplayConfig(method="oaken", mode="exact_f64",
+                                     engine_cycles=True),
+        )
+        assert (
+            backed.replay["measured_kv_bits"]
+            == plain.replay["measured_kv_bits"]
+        )
+        assert (
+            backed.replay["peak_pool_bytes"]
+            == plain.replay["peak_pool_bytes"]
+        )
 
 
 class TestMeasuredAdmission:
