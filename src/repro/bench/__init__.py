@@ -74,6 +74,7 @@ the full regression rule.
 from repro.bench.hotpath import (
     bench_baseline_reads,
     bench_bitpack,
+    bench_cluster,
     bench_datapath,
     bench_encode_roundtrip,
     bench_generation,
@@ -91,6 +92,7 @@ from repro.bench.hotpath import (
 __all__ = [
     "bench_baseline_reads",
     "bench_bitpack",
+    "bench_cluster",
     "bench_datapath",
     "bench_encode_roundtrip",
     "bench_generation",

@@ -699,6 +699,105 @@ def bench_replay_cycles(
     }
 
 
+def bench_cluster(
+    requests: int = 64,
+    replica_counts: Tuple[int, ...] = (1, 2, 4),
+    max_batch: int = 4,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Cluster replay scaling and resilience telemetry.
+
+    Replays one seeded trace through
+    :func:`~repro.serving.cluster.simulate_cluster` at each replica
+    count (fault-free), then once more at the largest count under a
+    deterministic fault plan (a mid-trace crash with recovery plus a
+    brownout).  Every metric is **simulation time** — deterministic
+    for a fixed seed, so the gate can hold this entry to exact
+    reproducibility rather than a noise factor; host wall time is
+    recorded for the smoke budget only.  ``speedup_replicas`` is the
+    sim-time token-rate scaling from one replica to the largest count.
+    """
+    from repro.data.traces import generate_trace
+    from repro.hardware.overheads import get_system
+    from repro.models.config import get_model
+    from repro.serving.cluster import ClusterConfig, simulate_cluster
+    from repro.serving.faults import (
+        FaultPlan,
+        brownout,
+        crash_and_recover,
+    )
+
+    system = get_system("oaken-hbm")
+    arch = get_model("llama2-13b").arch
+    trace = generate_trace("conversation", requests, seed=seed)
+    start = time.perf_counter()
+    scaling: Dict[str, Dict[str, float]] = {}
+    rates: Dict[int, float] = {}
+    makespans: Dict[int, float] = {}
+    for count in replica_counts:
+        report = simulate_cluster(
+            system, arch, trace,
+            ClusterConfig(replicas=count, max_batch=max_batch),
+        )
+        rates[count] = report.tokens_per_s
+        makespans[count] = report.total_time_s
+        scaling[f"replicas_{count}"] = {
+            "tokens_per_s": report.tokens_per_s,
+            "total_time_s": report.total_time_s,
+            "p99_queue_delay_s": report.p99_queue_delay_s,
+            "completed": float(report.completed),
+        }
+    top = max(replica_counts)
+    # Deterministic fault plan scaled to the fault-free makespan: one
+    # replica crashes a quarter of the way in and recovers, another
+    # browns out across the middle of the replay.
+    horizon = makespans[top]
+    plan = FaultPlan(
+        crash_and_recover(0, 0.25 * horizon, 0.25 * horizon)
+        + brownout(
+            top - 1, 0.4 * horizon, 0.3 * horizon, factor=3.0
+        )
+        if top > 1
+        else crash_and_recover(0, 0.25 * horizon, 0.25 * horizon)
+    )
+    faulted = simulate_cluster(
+        system, arch, trace,
+        ClusterConfig(replicas=top, max_batch=max_batch), plan,
+    )
+    if faulted.lost or faulted.duplicate_completions:
+        raise AssertionError(
+            "cluster exactly-once contract violated: "
+            f"lost={faulted.lost} "
+            f"duplicates={faulted.duplicate_completions}"
+        )
+    wall_s = time.perf_counter() - start
+    return {
+        "requests": requests,
+        "max_batch": max_batch,
+        "policy": "least_loaded",
+        "scaling": scaling,
+        "speedup_replicas": (
+            rates[top] / rates[min(replica_counts)]
+            if rates[min(replica_counts)] > 0
+            else 0.0
+        ),
+        "faulted": {
+            "replicas": float(top),
+            "completed": float(faulted.completed),
+            "failed": float(faulted.failed),
+            "failovers": float(faulted.failovers),
+            "requeues": float(faulted.requeues),
+            "retries": float(faulted.retries),
+            "detected_failures": float(faulted.detected_failures),
+            "downtime_s": faulted.downtime_s,
+            "tokens_per_s": faulted.tokens_per_s,
+            "total_time_s": faulted.total_time_s,
+            "p99_queue_delay_s": faulted.p99_queue_delay_s,
+        },
+        "wall_s": wall_s,
+    }
+
+
 def run_benchmarks(
     quick: bool = False,
     out_path: Optional[str] = DEFAULT_OUT,
@@ -732,6 +831,7 @@ def run_benchmarks(
     datapath_dim = 128 if quick else 256
     replay_requests = 6 if quick else 12
     replay_outputs = 10 if quick else 24
+    cluster_requests = 24 if quick else 64
     stream_repeats = max(2, repeats)
     gen_repeats = max(2, repeats) if quick else 1
 
@@ -768,6 +868,7 @@ def run_benchmarks(
             "replay": bench_replay_cycles(
                 requests=replay_requests, outputs=replay_outputs
             ),
+            "cluster": bench_cluster(requests=cluster_requests),
         },
     }
     if out_path:
@@ -950,6 +1051,28 @@ def format_summary(report: Dict[str, object]) -> str:
             f"  {replay['engine_cycles']:.0f} engine cycles / "
             f"{replay['replayed_tokens']:.0f} tokens"
             f"  -> {replay['tokens_per_mcycle']:.1f} tok/Mcycle",
+        ]
+    cluster = bench.get("cluster")
+    if cluster is not None:
+        counts = sorted(
+            int(key.rsplit("_", 1)[1]) for key in cluster["scaling"]
+        )
+        rates = "  ".join(
+            f"r{count}="
+            f"{cluster['scaling'][f'replicas_{count}']['tokens_per_s']:.1f}"
+            for count in counts
+        )
+        faulted = cluster["faulted"]
+        lines += [
+            f"cluster replay ({cluster['requests']} requests, "
+            f"{cluster['policy']}):",
+            f"  tok/s {rates}"
+            f"  -> {cluster['speedup_replicas']:.1f}x scaling",
+            f"  faulted r{faulted['replicas']:.0f}: "
+            f"{faulted['completed']:.0f} completed / "
+            f"{faulted['failed']:.0f} failed, "
+            f"{faulted['failovers']:.0f} failovers, "
+            f"downtime {faulted['downtime_s']:.2f}s",
         ]
     lines.append("bitpack fast paths:")
     for width, row in bench["bitpack"].items():

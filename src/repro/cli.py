@@ -392,6 +392,87 @@ def _profiling() -> str:
     return format_profiling_ablation(run_profiling_ablation())
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.data.traces import (
+        generate_burst_trace,
+        generate_multiturn_trace,
+        generate_trace,
+    )
+    from repro.hardware.overheads import get_system
+    from repro.models.config import get_model
+    from repro.serving.cluster import ClusterConfig, simulate_cluster
+    from repro.serving.faults import FaultPlan, generate_fault_plan
+
+    arch = get_model(args.model).arch
+    system = get_system(args.system)
+    if args.workload == "multiturn":
+        trace = generate_multiturn_trace(
+            args.trace, num_sessions=max(1, args.requests // 3),
+            seed=args.seed,
+        )
+    elif args.workload == "burst":
+        trace = generate_burst_trace(
+            args.trace, num_bursts=max(1, args.requests // 16),
+            burst_size=16, seed=args.seed,
+        )
+    else:
+        trace = generate_trace(args.trace, args.requests, seed=args.seed)
+    config = ClusterConfig(
+        replicas=args.replicas,
+        max_batch=args.batch,
+        policy=args.policy,
+    )
+    faults = None
+    if args.faults:
+        # Scale the fault horizon to the fault-free makespan so the
+        # plan actually lands inside the replay.
+        clean = simulate_cluster(system, arch, trace, config)
+        faults = generate_fault_plan(
+            args.replicas, max(1.0, clean.total_time_s),
+            seed=args.fault_seed,
+        )
+    report = simulate_cluster(system, arch, trace, config, faults)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0
+    if report.oom:
+        print(f"{args.system} / {args.model}: OOM")
+        return 1
+    print(
+        f"{args.system} / {args.model}: {report.replicas} replicas "
+        f"({report.policy}), {len(trace)} requests"
+    )
+    print(
+        f"  completed {report.completed}  failed {report.failed}  "
+        f"lost {report.lost}"
+    )
+    print(
+        f"  tokens/s {report.tokens_per_s:,.1f}  "
+        f"makespan {report.total_time_s:.2f} s  "
+        f"p99 queue delay {report.p99_queue_delay_s:.3f} s"
+    )
+    print(
+        f"  failovers {report.failovers}  requeues {report.requeues}  "
+        f"retries {report.retries}  "
+        f"capacity rejections {report.capacity_rejections}"
+    )
+    print(
+        f"  detected failures {report.detected_failures}  "
+        f"downtime {report.downtime_s:.2f} s"
+    )
+    for row in report.per_replica:
+        print(
+            f"    replica {row['replica']:.0f}: "
+            f"{row['generated_tokens']:.0f} tokens, "
+            f"busy {row['busy_s']:.2f} s, "
+            f"crashes {row['crashes']:.0f}, "
+            f"downtime {row['downtime_s']:.2f} s"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -472,6 +553,43 @@ def build_parser() -> argparse.ArgumentParser:
     overlap.add_argument("--new-kv-kb", type=float, default=512.0)
     overlap.add_argument("--attn-us", type=float, default=30.0)
     overlap.set_defaults(func=_cmd_overlap)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="fault-tolerant multi-replica serving replay",
+    )
+    from repro.serving.cluster import ROUTER_POLICIES
+
+    cluster.add_argument("--model", default="llama2-13b")
+    cluster.add_argument("--system", default="oaken-hbm")
+    cluster.add_argument("--replicas", type=int, default=2)
+    cluster.add_argument("--batch", type=int, default=8)
+    cluster.add_argument(
+        "--policy", default="least_loaded", choices=ROUTER_POLICIES
+    )
+    cluster.add_argument(
+        "--trace", default="conversation",
+        choices=("conversation", "burstgpt"),
+    )
+    cluster.add_argument(
+        "--workload", default="trace",
+        choices=("trace", "multiturn", "burst"),
+        help="arrival structure: plain trace, multi-turn sessions "
+             "(shared prefixes), or wave bursts",
+    )
+    cluster.add_argument("--requests", type=int, default=48)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument(
+        "--faults", action="store_true",
+        help="inject a seeded random fault plan (crashes, brownouts, "
+             "admission blackouts) scaled to the replay length",
+    )
+    cluster.add_argument("--fault-seed", type=int, default=0)
+    cluster.add_argument(
+        "--json", action="store_true",
+        help="emit the full ClusterReport as JSON",
+    )
+    cluster.set_defaults(func=_cmd_cluster)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"

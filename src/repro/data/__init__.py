@@ -18,6 +18,8 @@ from repro.data.qa_tasks import QABatch, build_qa_batch
 from repro.data.traces import (
     TRACE_NAMES,
     TraceRequest,
+    generate_burst_trace,
+    generate_multiturn_trace,
     generate_trace,
 )
 
@@ -29,5 +31,7 @@ __all__ = [
     "build_corpus",
     "build_qa_batch",
     "dataset_profile",
+    "generate_burst_trace",
+    "generate_multiturn_trace",
     "generate_trace",
 ]

@@ -36,11 +36,16 @@ class TraceRequest:
         arrival_s: arrival time in seconds from trace start.
         input_tokens: prompt length.
         output_tokens: generated length.
+        prefix_group: shared-prompt affinity group (requests in one
+            multi-turn session or burst wave carry the same id, so the
+            cluster router's ``prefix_affinity`` policy can home them
+            to one replica); -1 means no shared prefix.
     """
 
     arrival_s: float
     input_tokens: int
     output_tokens: int
+    prefix_group: int = -1
 
 
 @dataclass(frozen=True)
@@ -142,6 +147,156 @@ def generate_trace(
         )
         for i in range(num_requests)
     ]
+
+
+def generate_multiturn_trace(
+    name: str,
+    num_sessions: int = 32,
+    turns_mean: float = 3.0,
+    seed: int = 0,
+    max_tokens: int = 8192,
+) -> List[TraceRequest]:
+    """Sample a multi-turn conversation trace with shared prefixes.
+
+    Each session is a sequence of turns sharing one ``prefix_group``:
+    every turn's prompt carries the whole conversation so far (prior
+    prompts plus prior replies), so contexts grow across the session —
+    the workload where prefix-affinity routing keeps a session's KV on
+    one replica instead of re-prefilling it elsewhere.
+
+    Args:
+        name: base trace profile (``"conversation"`` or
+            ``"burstgpt"``) supplying length distributions and the
+            arrival process for session starts.
+        num_sessions: conversations to sample.
+        turns_mean: mean turns per session (geometric, >= 1).
+        seed: RNG seed; fully reproducible.
+        max_tokens: per-field length cap.
+
+    Returns:
+        Requests sorted by arrival time; turns in one session share a
+        ``prefix_group`` equal to the session index.
+    """
+    if name not in _PROFILES:
+        raise ValueError(
+            f"unknown trace {name!r}; available: {list(_PROFILES)}"
+        )
+    if num_sessions < 1:
+        raise ValueError("num_sessions must be >= 1")
+    if turns_mean < 1.0:
+        raise ValueError("turns_mean must be >= 1")
+    profile = _PROFILES[name]
+    rng = np.random.default_rng(
+        seed + zlib.crc32(f"multiturn:{name}".encode()) % 65536
+    )
+    shape = 1.0 / profile.burstiness
+    scale = 1.0 / (profile.arrival_rate * shape)
+    starts = np.cumsum(
+        rng.gamma(shape=shape, scale=scale, size=num_sessions)
+    )
+    requests: List[TraceRequest] = []
+    for session in range(num_sessions):
+        turns = 1 + int(rng.geometric(1.0 / turns_mean) - 1)
+        arrival = float(starts[session])
+        context = 0
+        for _ in range(turns):
+            prompt = int(
+                _lognormal_lengths(
+                    rng, profile.input_mean / max(1.0, turns_mean),
+                    profile.input_sigma, 1, lo=16, hi=max_tokens,
+                )[0]
+            )
+            output = int(
+                _lognormal_lengths(
+                    rng, profile.output_mean, profile.output_sigma, 1,
+                    lo=8, hi=max_tokens,
+                )[0]
+            )
+            # The turn re-sends the conversation so far: prior context
+            # plus the new user prompt, capped like any other field.
+            inputs = min(context + prompt, max_tokens)
+            requests.append(
+                TraceRequest(
+                    arrival_s=arrival,
+                    input_tokens=inputs,
+                    output_tokens=output,
+                    prefix_group=session,
+                )
+            )
+            context = inputs + output
+            # Think time before the next turn: exponential at the
+            # session-start rate, so turns interleave across sessions.
+            arrival += float(rng.exponential(1.0 / profile.arrival_rate))
+    requests.sort(key=lambda r: r.arrival_s)
+    return requests
+
+
+def generate_burst_trace(
+    name: str,
+    num_bursts: int = 8,
+    burst_size: int = 16,
+    burst_gap_s: float = 2.0,
+    seed: int = 0,
+    max_tokens: int = 8192,
+) -> List[TraceRequest]:
+    """Sample a wave-structured trace for resilience replays.
+
+    Requests arrive in near-simultaneous waves separated by quiet
+    gaps — the arrival pattern that stresses the cluster's admission
+    gating and backpressure hardest (a whole wave competes for slots
+    at once, then the system drains).  Each wave shares one
+    ``prefix_group`` (think: a cache-warmed canned prompt going
+    viral), so affinity routing concentrates a wave while least-loaded
+    routing spreads it.
+
+    Args:
+        name: base trace profile for length distributions.
+        num_bursts: waves in the trace.
+        burst_size: requests per wave.
+        burst_gap_s: mean quiet gap between wave starts.
+        seed: RNG seed; fully reproducible.
+        max_tokens: per-field length cap.
+
+    Returns:
+        Requests sorted by arrival time, ``prefix_group`` = wave index.
+    """
+    if name not in _PROFILES:
+        raise ValueError(
+            f"unknown trace {name!r}; available: {list(_PROFILES)}"
+        )
+    if num_bursts < 1 or burst_size < 1:
+        raise ValueError("num_bursts and burst_size must be >= 1")
+    if burst_gap_s <= 0.0:
+        raise ValueError("burst_gap_s must be > 0")
+    profile = _PROFILES[name]
+    rng = np.random.default_rng(
+        seed + zlib.crc32(f"burst:{name}".encode()) % 65536
+    )
+    requests: List[TraceRequest] = []
+    start = 0.0
+    for wave in range(num_bursts):
+        start += float(rng.exponential(burst_gap_s))
+        # Arrivals inside a wave land within ~100ms of the wave front.
+        jitter = np.sort(rng.exponential(0.05, size=burst_size))
+        inputs = _lognormal_lengths(
+            rng, profile.input_mean, profile.input_sigma, burst_size,
+            lo=16, hi=max_tokens,
+        )
+        outputs = _lognormal_lengths(
+            rng, profile.output_mean, profile.output_sigma, burst_size,
+            lo=8, hi=max_tokens,
+        )
+        for i in range(burst_size):
+            requests.append(
+                TraceRequest(
+                    arrival_s=start + float(jitter[i]),
+                    input_tokens=int(inputs[i]),
+                    output_tokens=int(outputs[i]),
+                    prefix_group=wave,
+                )
+            )
+    requests.sort(key=lambda r: r.arrival_s)
+    return requests
 
 
 def trace_summary(requests: List[TraceRequest]) -> dict:

@@ -41,6 +41,7 @@ from repro.engine.backend import (
     create_quantizer,
     shared_backend_factory,
 )
+from repro.engine.errors import CacheCapacityError
 from repro.engine.pool import KVCachePool
 from repro.engine.synthetic import SyntheticKVStream
 
@@ -49,6 +50,7 @@ __all__ = [
     "BASELINE_NAMES",
     "BaselineCacheBackend",
     "CacheBackend",
+    "CacheCapacityError",
     "FusedCacheBackend",
     "KVCachePool",
     "SyntheticKVStream",

@@ -1,0 +1,50 @@
+"""Typed failure modes of the cache engine.
+
+The serving layers distinguish *retryable* conditions (a pool refusing
+work for capacity — requeue the request somewhere else, or later) from
+programming errors (unknown sequence ids, shape mismatches — bugs that
+must surface).  Capacity refusals therefore carry a dedicated type
+with enough context to route the retry: which sequence was refused and
+the measured footprint the refusal was based on.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+
+class CacheCapacityError(RuntimeError):
+    """A pool append/admission was refused for capacity.
+
+    Raised by :class:`~repro.engine.pool.KVCachePool` when an append
+    would push the measured encoded footprint past ``capacity_bytes``,
+    and by admission paths projecting against a byte budget.  This is
+    the **retryable** rejection class: the request is well-formed, the
+    pool is full — callers (the cluster's requeue layer, a serving
+    router) may retry on another pool or after retirement.  Any other
+    exception escaping the append path is a bug, not backpressure.
+
+    Attributes:
+        seq_id: the refused sequence (request) id, when known.
+        requested_bytes: projected bytes the refused work would add.
+        measured_bytes: pool footprint measured at refusal time.
+        capacity_bytes: the budget the projection exceeded.
+    """
+
+    def __init__(
+        self,
+        seq_id: Optional[Hashable],
+        requested_bytes: float,
+        measured_bytes: float,
+        capacity_bytes: float,
+    ):
+        self.seq_id = seq_id
+        self.requested_bytes = float(requested_bytes)
+        self.measured_bytes = float(measured_bytes)
+        self.capacity_bytes = float(capacity_bytes)
+        super().__init__(
+            f"sequence {seq_id!r}: appending ~{requested_bytes:.0f} "
+            f"encoded bytes would exceed the pool budget "
+            f"({measured_bytes:.0f} of {capacity_bytes:.0f} bytes in "
+            "use); retryable rejection, not a bug"
+        )

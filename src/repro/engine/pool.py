@@ -63,6 +63,7 @@ from repro.engine.backend import (
     CacheBackend,
     _BaselineStream,
 )
+from repro.engine.errors import CacheCapacityError
 
 #: One sequence's new rows for :meth:`KVCachePool.append_batch`:
 #: either a mapping ``{seq_id: (keys, values)}`` or an iterable of
@@ -140,6 +141,32 @@ class KVCachePool:
     # streaming
     # ------------------------------------------------------------------
 
+    def _check_capacity(
+        self, seq_id: Optional[Hashable], new_tokens: int
+    ) -> None:
+        """Refuse an append that would blow the byte budget.
+
+        Projects ``new_tokens`` more cached rows at the pool's measured
+        bytes-per-token and raises the **typed, retryable**
+        :class:`~repro.engine.errors.CacheCapacityError` when the
+        projection exceeds ``capacity_bytes`` — carrying the sequence
+        id and the measured footprint, so a retry layer can distinguish
+        backpressure from bugs.  Unbounded pools (``capacity_bytes``
+        None) and unmeasured pools (nothing cached yet) never refuse,
+        matching :meth:`would_fit`.
+        """
+        if self.capacity_bytes is None or new_tokens <= 0:
+            return
+        used, _ = self.measure()
+        tokens = self.total_tokens()
+        if tokens == 0 or used == 0.0:
+            return
+        requested = new_tokens * (used / tokens)
+        if used + requested > self.capacity_bytes:
+            raise CacheCapacityError(
+                seq_id, requested, used, self.capacity_bytes
+            )
+
     def append(
         self,
         seq_id: Hashable,
@@ -147,7 +174,14 @@ class KVCachePool:
         keys: np.ndarray,
         values: np.ndarray,
     ) -> None:
-        """Append new KV rows to one sequence's layer cache."""
+        """Append new KV rows to one sequence's layer cache.
+
+        Raises:
+            CacheCapacityError: the pool has a ``capacity_bytes``
+                budget and the projected footprint of the new rows
+                would exceed it (nothing is appended).
+        """
+        self._check_capacity(seq_id, int(np.atleast_2d(keys).shape[0]))
         self._caches[seq_id].append(layer, keys, values)
 
     def read(
@@ -191,12 +225,19 @@ class KVCachePool:
             updates: ``{seq_id: (keys, values)}`` mapping or iterable
                 of ``(seq_id, keys, values)`` triples; ``keys`` and
                 ``values`` are same-shape [t, D] row blocks.
+
+        Raises:
+            CacheCapacityError: the pool has a ``capacity_bytes``
+                budget and the batch's projected footprint would
+                exceed it (no sequence is mutated).
         """
         if isinstance(updates, Mapping):
             items = [(s, k, v) for s, (k, v) in updates.items()]
         else:
             items = [(s, k, v) for s, k, v in updates]
         entries: List[Tuple[CacheBackend, np.ndarray, np.ndarray]] = []
+        first_seq: Optional[Hashable] = None
+        total_rows = 0
         for seq_id, keys, values in items:
             cache = self._caches[seq_id]
             keys = np.atleast_2d(keys)
@@ -208,7 +249,13 @@ class KVCachePool:
                 )
             if keys.shape[0] == 0:
                 continue
+            if first_seq is None:
+                first_seq = seq_id
+            total_rows += keys.shape[0]
             entries.append((cache, keys, values))
+        # One capacity projection for the whole batch, before anything
+        # mutates: a refused batch leaves every sequence untouched.
+        self._check_capacity(first_seq, total_rows)
         if len(entries) < 2:
             for cache, keys, values in entries:
                 cache.append(layer, keys, values)

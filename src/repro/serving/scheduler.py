@@ -95,6 +95,29 @@ class ContinuousBatchScheduler:
         return list(self._resident)
 
     @property
+    def queued(self) -> List[Request]:
+        """Arrived-but-unadmitted requests, FIFO order."""
+        return list(self._queue)
+
+    def evict(self, request_id: int) -> Optional[Request]:
+        """Remove one request from the scheduler, wherever it lives.
+
+        Used by the cluster replay's requeue layer: a request whose
+        cache admission failed (or whose replica is being drained) is
+        pulled out of the queue / resident set / prefill tracking and
+        handed back for placement elsewhere.  Returns the request, or
+        None when the scheduler does not hold it (already finished or
+        never submitted).  Finished requests are never evicted.
+        """
+        for bucket in (self._queue, self._resident):
+            for index, request in enumerate(bucket):
+                if request.request_id == request_id:
+                    del bucket[index]
+                    self._prefilling.pop(request_id, None)
+                    return request
+        return None
+
+    @property
     def finished(self) -> List[Request]:
         return list(self._finished)
 

@@ -316,6 +316,20 @@ class _CacheReplay:
             self.pool.free(request.request_id)
             self._contexts.pop(request.request_id, None)
 
+    def abort(self, request: Request) -> None:
+        """Back out a partially admitted request.
+
+        The cluster replay calls this when :meth:`admit` raises a
+        retryable :class:`~repro.engine.CacheCapacityError` partway
+        through streaming the prompt sample: whatever state the
+        admission left behind (an allocated cache, a context
+        reservation) is released so the request can be requeued on
+        another replica with no residue here.
+        """
+        if request.request_id in self.pool:
+            self.pool.free(request.request_id)
+        self._contexts.pop(request.request_id, None)
+
     def report(self) -> Dict[str, float]:
         """Replay measurements attached to the serving report."""
         out = {
@@ -350,6 +364,85 @@ class _CacheReplay:
                 else 0.0
             )
         return out
+
+
+def validate_trace(trace: Sequence[TraceRequest]) -> None:
+    """Reject empty or arrival-unsorted traces.
+
+    The replay's queueing-delay accounting assumes arrival order: an
+    unsorted trace silently mis-attributes waiting time (a late
+    arrival at the FIFO head stalls earlier ones).  Generators in
+    :mod:`repro.data.traces` always emit sorted traces; hand-built
+    ones must too.
+    """
+    if not trace:
+        raise ValueError("empty trace")
+    previous = trace[0].arrival_s
+    for index, item in enumerate(trace[1:], start=1):
+        if item.arrival_s < previous:
+            raise ValueError(
+                "trace must be sorted by arrival time: request "
+                f"{index} arrives at {item.arrival_s:.6f}s after "
+                f"request {index - 1} at {previous:.6f}s; sort the "
+                "trace by arrival_s before replaying"
+            )
+        previous = item.arrival_s
+
+
+def iteration_time_s(
+    system: ServingSystem,
+    arch: ArchShape,
+    plan,
+    prefill_chunk: Optional[int] = None,
+) -> float:
+    """Price one scheduler iteration with the hardware model.
+
+    The single costing rule shared by :func:`simulate_trace` and the
+    cluster replay (:mod:`repro.serving.cluster`), so the two can
+    never drift: admissions pay a prefill pass (chunked or
+    monolithic, with the systolic ragged-batch padding penalty), and
+    the generation iteration is priced at the resident batch's mean
+    context length.
+    """
+    step_time = 0.0
+    if prefill_chunk is not None:
+        # Chunked prefill: this iteration's prompt-token slice is
+        # fused with the generation batch; only its incremental
+        # compute is added (weights already stream once).
+        if plan.prefill_tokens:
+            device = system.device_for(arch)
+            chunk_flops = plan.prefill_tokens * (
+                arch.flops_per_token_nonattn()
+                + arch.flops_per_token_attn(
+                    max(1, plan.prefill_tokens)
+                )
+            )
+            step_time += chunk_flops / device.effective_flops
+    elif plan.admitted:
+        # Monolithic admission prefill.  Systolic platforms
+        # (ragged_batch_efficiency < 1) pad every prompt in the
+        # admission batch to the longest one (Figure 14's Tender
+        # penalty); others process at the mean length.
+        prompts = [r.input_tokens for r in plan.admitted]
+        if system.profile.ragged_batch_efficiency < 1.0:
+            prompt = max(prompts)
+            scale = 1.0 / system.profile.ragged_batch_efficiency
+        else:
+            prompt = int(np.mean(prompts))
+            scale = 1.0
+        step_time += scale * prefill_time(
+            system, arch, len(plan.admitted), max(1, prompt)
+        )
+    if plan.resident:
+        breakdown = generation_iteration(
+            system,
+            arch,
+            batch=len(plan.resident),
+            context=max(1, int(plan.mean_context)),
+            ragged=plan.ragged,
+        )
+        step_time += breakdown.total_s
+    return step_time
 
 
 @dataclass
@@ -425,8 +518,7 @@ def simulate_trace(
     Returns:
         A :class:`ServingReport`.
     """
-    if not trace:
-        raise ValueError("empty trace")
+    validate_trace(trace)
     worst_context = max(r.input_tokens + r.output_tokens for r in trace)
     cache_replay: Optional[_CacheReplay] = None
     if replay is None:
@@ -478,44 +570,7 @@ def simulate_trace(
         if cache_replay is not None:
             for request in plan.admitted:
                 cache_replay.admit(request)
-        step_time = 0.0
-        if prefill_chunk is not None:
-            # Chunked prefill: this iteration's prompt-token slice is
-            # fused with the generation batch; only its incremental
-            # compute is added (weights already stream once).
-            if plan.prefill_tokens:
-                device = system.device_for(arch)
-                chunk_flops = plan.prefill_tokens * (
-                    arch.flops_per_token_nonattn()
-                    + arch.flops_per_token_attn(
-                        max(1, plan.prefill_tokens)
-                    )
-                )
-                step_time += chunk_flops / device.effective_flops
-        elif plan.admitted:
-            # Monolithic admission prefill.  Systolic platforms
-            # (ragged_batch_efficiency < 1) pad every prompt in the
-            # admission batch to the longest one (Figure 14's Tender
-            # penalty); others process at the mean length.
-            prompts = [r.input_tokens for r in plan.admitted]
-            if system.profile.ragged_batch_efficiency < 1.0:
-                prompt = max(prompts)
-                scale = 1.0 / system.profile.ragged_batch_efficiency
-            else:
-                prompt = int(np.mean(prompts))
-                scale = 1.0
-            step_time += scale * prefill_time(
-                system, arch, len(plan.admitted), max(1, prompt)
-            )
-        if plan.resident:
-            breakdown = generation_iteration(
-                system,
-                arch,
-                batch=len(plan.resident),
-                context=max(1, int(plan.mean_context)),
-                ragged=plan.ragged,
-            )
-            step_time += breakdown.total_s
+        step_time = iteration_time_s(system, arch, plan, prefill_chunk)
         if cache_replay is not None:
             # Token-level replay: stream one KV row per resident
             # through the real quantized caches and exercise the

@@ -41,6 +41,7 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     assert set(bench) == {
         "encode_roundtrip", "generation", "bitpack", "pool_read",
         "pool_append", "baseline_read", "datapath", "replay",
+        "cluster",
     }
 
     enc = bench["encode_roundtrip"]
@@ -78,6 +79,13 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     assert replay["engine_cycles"] == (
         replay["engine_quant_cycles"] + replay["engine_dequant_cycles"]
     )
+    cluster = bench["cluster"]
+    # Sim-time metrics: deterministic, so exact floors are safe.
+    assert cluster["speedup_replicas"] > 1.0
+    assert cluster["faulted"]["failovers"] > 0
+    assert cluster["faulted"]["completed"] + cluster["faulted"][
+        "failed"
+    ] == cluster["requests"]
 
     summary = format_summary(report)
     assert "encode roundtrip" in summary
@@ -88,6 +96,7 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     assert "baseline reads" in summary
     assert "datapath engines" in summary
     assert "serving replay" in summary
+    assert "cluster replay" in summary
 
 
 def test_no_output_file_when_disabled(tmp_path, monkeypatch):

@@ -4,7 +4,11 @@ bit-for-bit."""
 import numpy as np
 import pytest
 
-from repro.engine import KVCachePool, shared_backend_factory
+from repro.engine import (
+    CacheCapacityError,
+    KVCachePool,
+    shared_backend_factory,
+)
 
 from conftest import make_kv_matrix
 
@@ -572,6 +576,75 @@ class TestFootprint:
         assert summary["sequences"] == 1.0
         assert summary["tokens"] == 2.0
         assert summary["bytes"] > 0
+
+
+class TestCapacityErrors:
+    """Typed capacity refusals: diagnosable, retryable, non-mutating."""
+
+    def tiny_pool(self, factory, capacity=10.0):
+        pool = KVCachePool(factory, capacity_bytes=capacity)
+        pool.allocate(0)
+        append_rows((pool,), 0, 0, seed=90, rows=4)
+        return pool
+
+    def test_append_raises_typed_error(self, factory):
+        pool = self.tiny_pool(factory)
+        with pytest.raises(CacheCapacityError) as excinfo:
+            append_rows((pool,), 0, 0, seed=91, rows=64)
+        error = excinfo.value
+        assert error.seq_id == 0
+        assert error.requested_bytes > 0
+        assert error.measured_bytes > 0
+        assert error.capacity_bytes == 10.0
+        assert "retryable" in str(error)
+
+    def test_error_is_a_runtime_error(self, factory):
+        pool = self.tiny_pool(factory)
+        with pytest.raises(RuntimeError):
+            append_rows((pool,), 0, 0, seed=92, rows=64)
+
+    def test_refused_append_leaves_pool_unchanged(self, factory):
+        pool = self.tiny_pool(factory)
+        before_tokens = pool.total_tokens()
+        before_bytes = pool.nbytes()
+        with pytest.raises(CacheCapacityError):
+            append_rows((pool,), 0, 0, seed=93, rows=64)
+        assert pool.total_tokens() == before_tokens
+        assert pool.nbytes() == before_bytes
+
+    def test_refused_batch_append_leaves_every_sequence_untouched(
+        self, factory
+    ):
+        pool = KVCachePool(factory)
+        pool.allocate(0)
+        pool.allocate(1)
+        append_rows((pool,), 0, 0, seed=90, rows=4)
+        append_rows((pool,), 1, 0, seed=94, rows=4)
+        # Bound the pool with headroom for a few tokens, not 64.
+        pool.capacity_bytes = pool.nbytes() * 1.5
+        before = pool.total_tokens()
+        batch = {
+            0: (make_kv_matrix(tokens=32, seed=95),
+                make_kv_matrix(tokens=32, seed=96)),
+            1: (make_kv_matrix(tokens=32, seed=97),
+                make_kv_matrix(tokens=32, seed=98)),
+        }
+        with pytest.raises(CacheCapacityError):
+            pool.append_batch(0, batch)
+        assert pool.total_tokens() == before
+
+    def test_unbounded_pool_never_raises(self, factory):
+        pool = KVCachePool(factory)
+        pool.allocate(0)
+        append_rows((pool,), 0, 0, seed=99, rows=64)
+
+    def test_first_append_to_empty_bounded_pool_admits(self, factory):
+        # Nothing measured yet: the projection is undefined, so the
+        # pool admits rather than refusing blind (matching would_fit).
+        pool = KVCachePool(factory, capacity_bytes=1.0)
+        pool.allocate(0)
+        append_rows((pool,), 0, 0, seed=100, rows=2)
+        assert pool.total_tokens() == 2
 
 
 class TestAdapterBatchedReads:

@@ -118,6 +118,28 @@ class TestTraceSimulation:
         with pytest.raises(ValueError):
             simulate_trace(get_system("vllm"), ARCH, [], 16)
 
+    def test_unsorted_trace_rejected(self):
+        trace = [
+            TraceRequest(arrival_s=2.0, input_tokens=64,
+                         output_tokens=8),
+            TraceRequest(arrival_s=1.0, input_tokens=64,
+                         output_tokens=8),
+        ]
+        with pytest.raises(ValueError) as excinfo:
+            simulate_trace(get_system("vllm"), ARCH, trace, 16)
+        message = str(excinfo.value)
+        assert "sorted by arrival" in message
+        assert "request 1" in message  # names the offending index
+
+    def test_equal_arrival_times_accepted(self):
+        trace = [
+            TraceRequest(arrival_s=1.0, input_tokens=64,
+                         output_tokens=8)
+            for _ in range(3)
+        ]
+        report = simulate_trace(get_system("vllm"), ARCH, trace, 16)
+        assert report.generated_tokens == 24
+
     def test_all_tokens_generated(self):
         trace = [
             TraceRequest(arrival_s=0.0, input_tokens=128,

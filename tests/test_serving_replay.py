@@ -261,3 +261,71 @@ class TestMeasuredAdmission:
         )
         assert report.oom
         assert report.replay is not None
+
+
+class TestReplayRobustness:
+    """OOM edges and admission-gate bookkeeping for the replay."""
+
+    def make_engine(self):
+        return _CacheReplay(
+            CacheReplayConfig(method="oaken"),
+            get_system("oaken-lpddr"),
+            ARCH,
+        )
+
+    def request(self, rid, inputs=64, outputs=64):
+        return Request(request_id=rid, arrival_s=0.0,
+                       input_tokens=inputs, output_tokens=outputs)
+
+    def test_zero_budget_is_oom_not_a_crash(self, monkeypatch):
+        """Weights alone exhaust the device -> an OOM report with the
+        replay measurements attached, never an exception or a silent
+        zero-throughput replay."""
+        import repro.serving.simulator as simulator
+
+        monkeypatch.setattr(
+            simulator, "weight_bytes", lambda *args, **kwargs: 1e18
+        )
+        report = simulate_trace(
+            get_system("oaken-hbm"), ARCH, closed_trace(2), 2,
+            replay=CacheReplayConfig(method="oaken"),
+        )
+        assert report.oom
+        assert report.effective_batch == 0
+        assert report.generation_throughput == 0.0
+        assert report.replay is not None
+        assert report.replay["method"] == "oaken"
+
+    def test_gate_rejection_reserves_nothing(self):
+        """A refused request leaves no residue in the reservation
+        table: re-offering it later (after retirements) can succeed."""
+        engine = self.make_engine()
+        first = self.request(0)
+        engine.admit(first)
+        engine.step([first])
+        engine.budget_bytes = 1.0
+        rejected = self.request(1)
+        assert not engine.admission_gate(rejected)
+        assert 1 not in engine._contexts
+        # free the resident; the once-rejected request now admits
+        # (empty reservation table always admits)
+        engine.retire([first])
+        assert engine.admission_gate(rejected)
+
+    def test_gate_approval_reserves_immediately(self):
+        engine = self.make_engine()
+        assert engine.admission_gate(self.request(0))
+        assert 0 in engine._contexts
+
+    def test_abort_backs_out_partial_admission(self):
+        engine = self.make_engine()
+        request = self.request(0)
+        engine.admit(request)
+        assert request.request_id in engine.pool
+        engine.abort(request)
+        assert request.request_id not in engine.pool
+        assert request.request_id not in engine._contexts
+
+    def test_abort_unknown_request_is_a_noop(self):
+        engine = self.make_engine()
+        engine.abort(self.request(42))  # never admitted: no error
