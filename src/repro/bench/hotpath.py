@@ -798,6 +798,123 @@ def bench_cluster(
     }
 
 
+def bench_tiering(
+    requests: int = 4,
+    inputs: int = 32,
+    outputs: int = 96,
+    max_batch: int = 4,
+    budget_fractions: Tuple[float, ...] = (1.0, 0.5, 0.25),
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Throughput and transfer-cycle overhead vs. device-tier budget.
+
+    Replays one closed long-decode trace through the serving replay
+    untiered (to measure the working set), then again behind the
+    tiered KV hierarchy at each ``budget_fractions`` slice of that
+    working set.  Every metric is **simulation time** plus the store's
+    modeled transfer cycles — deterministic for a fixed seed, like the
+    ``cluster`` entry.  Reported per budget: generation token rate,
+    hit rate, evictions, transfer cycles per replayed token, and an
+    *effective* token rate whose denominator folds the modeled
+    transfer time back in (1 GHz clock) — the memory-pressure
+    throughput curve.  The bit-exactness contract is asserted inline:
+    every tiered replay must generate exactly the untiered token
+    count (spilling changes placement and cost, never results).
+
+    ``speedup_prefetch`` is the transfer-cycle ratio of the
+    no-prefetch configuration to the default sequential
+    prefetch-on-read at the tightest budget: coalescing runs of
+    spilled pages into merged bursts is the tiered store's own hot
+    path, priced by the host link's burst-efficiency curve.
+    """
+    from repro.data.traces import TraceRequest
+    from repro.engine.tiering import DEFAULT_CLOCK_HZ
+    from repro.hardware.overheads import get_system
+    from repro.models.config import get_model
+    from repro.serving.simulator import (
+        CacheReplayConfig,
+        simulate_trace,
+    )
+
+    system = get_system("oaken-hbm")
+    arch = get_model("llama2-13b").arch
+    trace = [
+        TraceRequest(
+            arrival_s=0.0, input_tokens=inputs, output_tokens=outputs
+        )
+        for _ in range(requests)
+    ]
+    start = time.perf_counter()
+    flat = simulate_trace(
+        system, arch, trace, max_batch,
+        replay=CacheReplayConfig(seed=seed),
+    )
+    working_set = flat.replay["peak_pool_bytes"]
+    out: Dict[str, object] = {
+        "requests": requests,
+        "inputs": inputs,
+        "outputs": outputs,
+        "max_batch": max_batch,
+        "working_set_bytes": working_set,
+        "untiered_tokens_per_s": flat.generation_throughput,
+        "generated_tokens": float(flat.generated_tokens),
+    }
+    tightest = min(budget_fractions)
+    prefetch_cycles = 0.0
+    for fraction in budget_fractions:
+        budget_mb = working_set * fraction / 2.0**20
+        report = simulate_trace(
+            system, arch, trace, max_batch,
+            replay=CacheReplayConfig(
+                seed=seed, device_budget_mb=budget_mb
+            ),
+        )
+        if report.generated_tokens != flat.generated_tokens:
+            raise AssertionError(
+                "tiered replay changed the generated token count: "
+                f"{report.generated_tokens} != {flat.generated_tokens} "
+                f"at budget fraction {fraction}"
+            )
+        replay = report.replay
+        cycles = replay["tier_transfer_cycles"]
+        accesses = replay["tier_hits"] + replay["tier_misses"]
+        effective_s = report.total_time_s + cycles / DEFAULT_CLOCK_HZ
+        out[f"budget_{int(fraction * 100)}"] = {
+            "device_budget_mb": budget_mb,
+            "tokens_per_s": report.generation_throughput,
+            "tokens_per_s_effective": (
+                report.generated_tokens / effective_s
+                if effective_s > 0 else 0.0
+            ),
+            "hit_rate": (
+                replay["tier_hits"] / accesses if accesses else 1.0
+            ),
+            "evictions": replay["tier_evictions"],
+            "spilled_bytes": replay["tier_spilled_bytes"],
+            "transfer_cycles": cycles,
+            "transfer_cycles_per_token": (
+                replay["tier_transfer_cycles_per_token"]
+            ),
+        }
+        if fraction == tightest:
+            prefetch_cycles = cycles
+    no_prefetch = simulate_trace(
+        system, arch, trace, max_batch,
+        replay=CacheReplayConfig(
+            seed=seed,
+            device_budget_mb=working_set * tightest / 2.0**20,
+            prefetch_pages=0,
+        ),
+    )
+    no_prefetch_cycles = no_prefetch.replay["tier_transfer_cycles"]
+    out["no_prefetch_transfer_cycles"] = no_prefetch_cycles
+    out["speedup_prefetch"] = (
+        no_prefetch_cycles / prefetch_cycles if prefetch_cycles else 0.0
+    )
+    out["wall_s"] = time.perf_counter() - start
+    return out
+
+
 def run_benchmarks(
     quick: bool = False,
     out_path: Optional[str] = DEFAULT_OUT,
@@ -832,6 +949,7 @@ def run_benchmarks(
     replay_requests = 6 if quick else 12
     replay_outputs = 10 if quick else 24
     cluster_requests = 24 if quick else 64
+    tiering_outputs = 48 if quick else 96
     stream_repeats = max(2, repeats)
     gen_repeats = max(2, repeats) if quick else 1
 
@@ -869,6 +987,7 @@ def run_benchmarks(
                 requests=replay_requests, outputs=replay_outputs
             ),
             "cluster": bench_cluster(requests=cluster_requests),
+            "tiering": bench_tiering(outputs=tiering_outputs),
         },
     }
     if out_path:
@@ -1073,6 +1192,20 @@ def format_summary(report: Dict[str, object]) -> str:
             f"{faulted['failed']:.0f} failed, "
             f"{faulted['failovers']:.0f} failovers, "
             f"downtime {faulted['downtime_s']:.2f}s",
+        ]
+    tiering = bench.get("tiering")
+    if tiering is not None:
+        pressure = "  ".join(
+            f"{label.rsplit('_', 1)[1]}%="
+            f"{tiering[label]['transfer_cycles_per_token']:.0f}cyc/tok"
+            for label in ("budget_100", "budget_50", "budget_25")
+            if label in tiering
+        )
+        lines += [
+            f"tiered KV ({tiering['requests']} requests, "
+            f"working set {tiering['working_set_bytes']:.0f} B):",
+            f"  spill pressure {pressure}"
+            f"  prefetch -> {tiering['speedup_prefetch']:.2f}x",
         ]
     lines.append("bitpack fast paths:")
     for width, row in bench["bitpack"].items():

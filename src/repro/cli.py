@@ -24,6 +24,12 @@ Commands:
     placement policy.
 ``overlap``
     Section 5.3 overlap schedule: measured engine exposure at a batch.
+``replay``
+    Token-level serving replay of a synthetic trace through the real
+    quantized caches; ``--device-budget-mb`` enables the tiered paged
+    KV hierarchy (device pages + host spill, ``--eviction`` picks the
+    policy) so contexts larger than the device budget complete by
+    spilling instead of queueing.
 ``experiment``
     Regenerate a paper table/figure by id (fig01..fig14, table2..4,
     energy, profiling).
@@ -392,14 +398,112 @@ def _profiling() -> str:
     return format_profiling_ablation(run_profiling_ablation())
 
 
-def _cmd_cluster(args: argparse.Namespace) -> int:
-    import json
-
+def _build_trace(args: argparse.Namespace):
+    """Shared trace construction for the replay/cluster subcommands."""
     from repro.data.traces import (
         generate_burst_trace,
+        generate_longcontext_trace,
         generate_multiturn_trace,
         generate_trace,
     )
+
+    if args.workload == "multiturn":
+        return generate_multiturn_trace(
+            args.trace, num_sessions=max(1, args.requests // 3),
+            seed=args.seed,
+        )
+    if args.workload == "burst":
+        return generate_burst_trace(
+            args.trace, num_bursts=max(1, args.requests // 16),
+            burst_size=16, seed=args.seed,
+        )
+    if args.workload == "longcontext":
+        return generate_longcontext_trace(
+            args.trace, num_requests=args.requests, seed=args.seed,
+        )
+    return generate_trace(args.trace, args.requests, seed=args.seed)
+
+
+def _replay_config(args: argparse.Namespace):
+    """CacheReplayConfig from the tiering CLI flags, or None."""
+    from repro.serving.simulator import CacheReplayConfig
+
+    if args.device_budget_mb is None:
+        return None
+    return CacheReplayConfig(
+        method=args.method,
+        device_budget_mb=args.device_budget_mb,
+        eviction=args.eviction,
+    )
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.hardware.overheads import get_system
+    from repro.models.config import get_model
+    from repro.serving.simulator import CacheReplayConfig, simulate_trace
+
+    arch = get_model(args.model).arch
+    system = get_system(args.system)
+    trace = _build_trace(args)
+    replay = _replay_config(args)
+    if replay is None:
+        # Token-level replay is this subcommand's whole point: even
+        # without a device budget it runs the measured-footprint pool
+        # (untiered) rather than the analytic capacity model.
+        replay = CacheReplayConfig(method=args.method)
+    report = simulate_trace(
+        system, arch, trace, args.batch, replay=replay,
+    )
+    if args.json:
+        out = dict(report.__dict__)
+        print(json.dumps(out, indent=2, sort_keys=True))
+        return 0 if not report.oom else 1
+    if report.oom:
+        print(f"{args.system} / {args.model}: OOM")
+        return 1
+    print(
+        f"{args.system} / {args.model} @ batch {args.batch}, "
+        f"{len(trace)} requests ({args.workload}/{args.trace}, "
+        f"method {args.method})"
+    )
+    print(
+        f"  generated {report.generated_tokens} tokens, "
+        f"{report.generation_throughput:,.1f} tokens/s, "
+        f"makespan {report.total_time_s:.2f} s"
+    )
+    print(
+        f"  latency mean {report.mean_latency_s:.3f} s  "
+        f"p95 {report.p95_latency_s:.3f} s  "
+        f"ttft p95 {report.p95_ttft_s:.3f} s"
+    )
+    detail = report.replay or {}
+    print(
+        f"  pool peak {detail.get('peak_pool_bytes', 0.0):,.0f} B  "
+        f"gate refusals {detail.get('gate_refusals', 0.0):.0f}"
+    )
+    if args.device_budget_mb is not None:
+        print(
+            f"  tiering ({detail.get('eviction', args.eviction)}, "
+            f"{args.device_budget_mb} MiB device): "
+            f"hits {detail.get('tier_hits', 0.0):.0f}  "
+            f"misses {detail.get('tier_misses', 0.0):.0f}  "
+            f"evictions {detail.get('tier_evictions', 0.0):.0f}"
+        )
+        print(
+            f"    spilled {detail.get('tier_spilled_bytes', 0.0):,.0f} B  "
+            f"transfer {detail.get('tier_transfer_cycles', 0.0):,.0f} "
+            "cycles "
+            f"({detail.get('tier_transfer_cycles_per_token', 0.0):,.1f}"
+            "/token)"
+        )
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json
+
     from repro.hardware.overheads import get_system
     from repro.models.config import get_model
     from repro.serving.cluster import ClusterConfig, simulate_cluster
@@ -407,22 +511,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
     arch = get_model(args.model).arch
     system = get_system(args.system)
-    if args.workload == "multiturn":
-        trace = generate_multiturn_trace(
-            args.trace, num_sessions=max(1, args.requests // 3),
-            seed=args.seed,
-        )
-    elif args.workload == "burst":
-        trace = generate_burst_trace(
-            args.trace, num_bursts=max(1, args.requests // 16),
-            burst_size=16, seed=args.seed,
-        )
-    else:
-        trace = generate_trace(args.trace, args.requests, seed=args.seed)
+    trace = _build_trace(args)
     config = ClusterConfig(
         replicas=args.replicas,
         max_batch=args.batch,
         policy=args.policy,
+        replay=_replay_config(args),
     )
     faults = None
     if args.faults:
@@ -462,6 +556,15 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         f"  detected failures {report.detected_failures}  "
         f"downtime {report.downtime_s:.2f} s"
     )
+    if args.device_budget_mb is not None:
+        print(
+            f"  tiering ({args.eviction}, {args.device_budget_mb} MiB "
+            f"device): hits {report.tier_hits}  "
+            f"misses {report.tier_misses}  "
+            f"evictions {report.tier_evictions}  "
+            f"spilled {report.tier_spilled_bytes:,.0f} B  "
+            f"transfer {report.tier_transfer_cycles:,.0f} cycles"
+        )
     for row in report.per_replica:
         print(
             f"    replica {row['replica']:.0f}: "
@@ -554,6 +657,50 @@ def build_parser() -> argparse.ArgumentParser:
     overlap.add_argument("--attn-us", type=float, default=30.0)
     overlap.set_defaults(func=_cmd_overlap)
 
+    def _add_tiering_flags(p: argparse.ArgumentParser) -> None:
+        from repro.engine.tiering import EVICTION_POLICIES
+
+        p.add_argument(
+            "--device-budget-mb", type=float, default=None,
+            help="enable the tiered paged KV hierarchy with this "
+                 "device-tier budget (MiB); cold pages spill to the "
+                 "host tier instead of refusing admission",
+        )
+        p.add_argument(
+            "--eviction", default="lru", choices=EVICTION_POLICIES,
+            help="device-tier eviction policy (with --device-budget-mb)",
+        )
+
+    replay = sub.add_parser(
+        "replay",
+        help="token-level single-replica replay (tiered KV optional)",
+    )
+    replay.add_argument("--model", default="llama2-13b")
+    replay.add_argument("--system", default="oaken-hbm")
+    replay.add_argument("--batch", type=int, default=8)
+    replay.add_argument(
+        "--method", default="oaken", choices=BASELINE_NAMES,
+        help="registry method backing the miniature replay caches",
+    )
+    replay.add_argument(
+        "--trace", default="conversation",
+        choices=("conversation", "burstgpt"),
+    )
+    replay.add_argument(
+        "--workload", default="trace",
+        choices=("trace", "multiturn", "burst", "longcontext"),
+        help="arrival structure; longcontext stretches outputs far "
+             "past the device budget to exercise spill",
+    )
+    replay.add_argument("--requests", type=int, default=16)
+    replay.add_argument("--seed", type=int, default=0)
+    _add_tiering_flags(replay)
+    replay.add_argument(
+        "--json", action="store_true",
+        help="emit the full ServingReport as JSON",
+    )
+    replay.set_defaults(func=_cmd_replay)
+
     cluster = sub.add_parser(
         "cluster",
         help="fault-tolerant multi-replica serving replay",
@@ -565,6 +712,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--replicas", type=int, default=2)
     cluster.add_argument("--batch", type=int, default=8)
     cluster.add_argument(
+        "--method", default="oaken", choices=BASELINE_NAMES,
+        help="registry method for the replay caches "
+             "(with --device-budget-mb)",
+    )
+    cluster.add_argument(
         "--policy", default="least_loaded", choices=ROUTER_POLICIES
     )
     cluster.add_argument(
@@ -573,9 +725,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument(
         "--workload", default="trace",
-        choices=("trace", "multiturn", "burst"),
+        choices=("trace", "multiturn", "burst", "longcontext"),
         help="arrival structure: plain trace, multi-turn sessions "
-             "(shared prefixes), or wave bursts",
+             "(shared prefixes), wave bursts, or long-context spill",
     )
     cluster.add_argument("--requests", type=int, default=48)
     cluster.add_argument("--seed", type=int, default=0)
@@ -585,6 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
              "admission blackouts) scaled to the replay length",
     )
     cluster.add_argument("--fault-seed", type=int, default=0)
+    _add_tiering_flags(cluster)
     cluster.add_argument(
         "--json", action="store_true",
         help="emit the full ClusterReport as JSON",

@@ -19,6 +19,7 @@ from repro.data.traces import (
     TRACE_NAMES,
     TraceRequest,
     generate_burst_trace,
+    generate_longcontext_trace,
     generate_multiturn_trace,
     generate_trace,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "build_qa_batch",
     "dataset_profile",
     "generate_burst_trace",
+    "generate_longcontext_trace",
     "generate_multiturn_trace",
     "generate_trace",
 ]

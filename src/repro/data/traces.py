@@ -299,6 +299,78 @@ def generate_burst_trace(
     return requests
 
 
+def generate_longcontext_trace(
+    name: str = "burstgpt",
+    num_requests: int = 6,
+    input_tokens: int = 192,
+    output_tokens: int = 768,
+    stagger_s: float = 0.5,
+    seed: int = 0,
+    max_tokens: int = 16384,
+) -> List[TraceRequest]:
+    """Sample a long-context spill workload for the tiered KV store.
+
+    The opposite shape of the arrival-pressure traces: *few* sequences
+    whose decode phase runs long enough that their combined KV history
+    outgrows a small device-tier budget mid-flight.  A flat-budget pool
+    would have to reject or requeue them; the tiered hierarchy keeps
+    them resident by demoting cold pages to the host tier, which is
+    exactly the path this trace exists to exercise (the CI smoke job
+    replays it at a 25% device budget and asserts nonzero evictions
+    with zero lost requests).
+
+    Output lengths are lognormal around ``output_tokens`` with a tight
+    sigma and a floor at half the mean, so every sequence is genuinely
+    long-running rather than one tail sample.
+
+    Args:
+        name: base trace profile supplying the prompt-length flavor.
+        num_requests: sequences in the trace (few, by design).
+        input_tokens: mean prompt length (kept short — the pressure
+            should come from decode growth, not admission prefill).
+        output_tokens: mean decode length (long, the point).
+        stagger_s: mean gap between arrivals; sequences overlap for
+            most of their lifetime so the resident working set is the
+            sum of their histories.
+        seed: RNG seed; fully reproducible.
+        max_tokens: per-field length cap.
+
+    Returns:
+        Requests sorted by arrival time.
+    """
+    if name not in _PROFILES:
+        raise ValueError(
+            f"unknown trace {name!r}; available: {list(_PROFILES)}"
+        )
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if output_tokens < 1:
+        raise ValueError("output_tokens must be >= 1")
+    profile = _PROFILES[name]
+    rng = np.random.default_rng(
+        seed + zlib.crc32(f"longcontext:{name}".encode()) % 65536
+    )
+    arrivals = np.cumsum(
+        rng.exponential(stagger_s, size=num_requests)
+    )
+    inputs = _lognormal_lengths(
+        rng, float(input_tokens), profile.input_sigma, num_requests,
+        lo=16, hi=max_tokens,
+    )
+    outputs = _lognormal_lengths(
+        rng, float(output_tokens), 0.25, num_requests,
+        lo=max(8, output_tokens // 2), hi=max_tokens,
+    )
+    return [
+        TraceRequest(
+            arrival_s=float(arrivals[i]),
+            input_tokens=int(inputs[i]),
+            output_tokens=int(outputs[i]),
+        )
+        for i in range(num_requests)
+    ]
+
+
 def trace_summary(requests: List[TraceRequest]) -> dict:
     """Mean input/output lengths and arrival CV^2 (burstiness check)."""
     if not requests:

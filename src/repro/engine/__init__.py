@@ -29,6 +29,7 @@ Quickstart (full walkthrough in ``docs/engine_api.md``)::
     pool.read_batch(layer=0, seq_ids=["req-0", "req-1"])
 """
 
+from repro.engine.errors import CacheCapacityError, MemoryCapacityError
 from repro.engine.backend import (
     BACKEND_KINDS,
     BASELINE_NAMES,
@@ -41,9 +42,19 @@ from repro.engine.backend import (
     create_quantizer,
     shared_backend_factory,
 )
-from repro.engine.errors import CacheCapacityError
 from repro.engine.pool import KVCachePool
 from repro.engine.synthetic import SyntheticKVStream
+from repro.engine.tiering import (
+    EVICTION_POLICIES,
+    EvictionPolicy,
+    LRUPolicy,
+    PLRUPolicy,
+    PageKey,
+    TieredKVStore,
+    TransferModel,
+    create_eviction_policy,
+    default_transfer_model,
+)
 
 __all__ = [
     "BACKEND_KINDS",
@@ -51,12 +62,22 @@ __all__ = [
     "BaselineCacheBackend",
     "CacheBackend",
     "CacheCapacityError",
+    "EVICTION_POLICIES",
+    "EvictionPolicy",
     "FusedCacheBackend",
     "KVCachePool",
+    "LRUPolicy",
+    "MemoryCapacityError",
+    "PLRUPolicy",
+    "PageKey",
     "SyntheticKVStream",
+    "TieredKVStore",
+    "TransferModel",
     "available_methods",
     "backend_for_model",
     "create_backend",
+    "create_eviction_policy",
     "create_quantizer",
+    "default_transfer_model",
     "shared_backend_factory",
 ]

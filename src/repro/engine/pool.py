@@ -64,6 +64,7 @@ from repro.engine.backend import (
     _BaselineStream,
 )
 from repro.engine.errors import CacheCapacityError
+from repro.engine.tiering import TieredKVStore
 
 #: One sequence's new rows for :meth:`KVCachePool.append_batch`:
 #: either a mapping ``{seq_id: (keys, values)}`` or an iterable of
@@ -83,17 +84,31 @@ class KVCachePool:
             :class:`CacheBackend` per allocated sequence.
         capacity_bytes: optional encoded-byte budget used by
             :meth:`would_fit` for admission control; ``None`` means
-            unbounded.
+            unbounded.  With ``tiering`` set it bounds the *total*
+            (device + host) footprint; the device tier's own budget
+            lives on the store.
+        tiering: optional :class:`~repro.engine.tiering.TieredKVStore`
+            modeling where each sequence's encoded pages reside.  The
+            pool notifies it of every append (byte growth), read
+            (recency touches, spilled-page promotion) and free; cold
+            pages spill to host instead of the append being refused —
+            the evict-and-spill alternative to the
+            :class:`~repro.engine.errors.CacheCapacityError` reject
+            path.  Placement never changes decoded values: reads are
+            bit-identical with or without a store attached.
     """
 
     def __init__(
         self,
         backend_factory: Callable[[], CacheBackend],
         capacity_bytes: Optional[float] = None,
+        tiering: Optional[TieredKVStore] = None,
     ):
         self._factory = backend_factory
         self._caches: Dict[Hashable, CacheBackend] = {}
         self.capacity_bytes = capacity_bytes
+        self.tiering = tiering
+        self._tier_seen: Dict[Hashable, float] = {}
         self._peak_bytes = 0.0
         self.batched_decodes = 0
         self.batched_encodes = 0
@@ -117,10 +132,13 @@ class KVCachePool:
         return backend
 
     def free(self, seq_id: Hashable) -> None:
-        """Retire ``seq_id`` and release its cache."""
+        """Retire ``seq_id`` and release its cache (and its pages)."""
         if seq_id not in self._caches:
             raise KeyError(f"unknown sequence {seq_id!r}")
         del self._caches[seq_id]
+        if self.tiering is not None:
+            self.tiering.release(seq_id)
+            self._tier_seen.pop(seq_id, None)
 
     def get(self, seq_id: Hashable) -> CacheBackend:
         """The backend owning ``seq_id``'s cache."""
@@ -167,6 +185,23 @@ class KVCachePool:
                 seq_id, requested, used, self.capacity_bytes
             )
 
+    def _tier_record_append(self, seq_id: Hashable, layer: int) -> None:
+        """Push a sequence's encoded-byte growth into the tiered store.
+
+        The store models placement, not payloads, so growth is observed
+        as the delta of the cache's measured footprint (chunk
+        footprints are memoized, making this a cheap sum).  Charged to
+        the layer that grew; eviction pressure is pool-global either
+        way.
+        """
+        if self.tiering is None:
+            return
+        nbytes = float(self._caches[seq_id].nbytes())
+        delta = nbytes - self._tier_seen.get(seq_id, 0.0)
+        if delta > 0:
+            self.tiering.record_append(seq_id, layer, delta)
+        self._tier_seen[seq_id] = nbytes
+
     def append(
         self,
         seq_id: Hashable,
@@ -183,11 +218,14 @@ class KVCachePool:
         """
         self._check_capacity(seq_id, int(np.atleast_2d(keys).shape[0]))
         self._caches[seq_id].append(layer, keys, values)
+        self._tier_record_append(seq_id, layer)
 
     def read(
         self, seq_id: Hashable, layer: int
     ) -> Tuple[np.ndarray, np.ndarray]:
         """One sequence's dequantized (keys, values) history."""
+        if self.tiering is not None:
+            self.tiering.record_read(seq_id, layer)
         return self._caches[seq_id].read(layer)
 
     def append_batch(self, layer: int, updates: BatchUpdates) -> None:
@@ -235,7 +273,9 @@ class KVCachePool:
             items = [(s, k, v) for s, (k, v) in updates.items()]
         else:
             items = [(s, k, v) for s, k, v in updates]
-        entries: List[Tuple[CacheBackend, np.ndarray, np.ndarray]] = []
+        entries: List[
+            Tuple[Hashable, CacheBackend, np.ndarray, np.ndarray]
+        ] = []
         first_seq: Optional[Hashable] = None
         total_rows = 0
         for seq_id, keys, values in items:
@@ -252,31 +292,33 @@ class KVCachePool:
             if first_seq is None:
                 first_seq = seq_id
             total_rows += keys.shape[0]
-            entries.append((cache, keys, values))
+            entries.append((seq_id, cache, keys, values))
         # One capacity projection for the whole batch, before anything
         # mutates: a refused batch leaves every sequence untouched.
         self._check_capacity(first_seq, total_rows)
         if len(entries) < 2:
-            for cache, keys, values in entries:
+            for seq_id, cache, keys, values in entries:
                 cache.append(layer, keys, values)
+            self._tier_record_batch(entries, layer)
             return
         layers = self._fusible_layers(
-            [cache for cache, _, _ in entries],
+            [cache for _, cache, _, _ in entries],
             layer,
             require_incremental=False,
         )
         if layers is not None:
             self._encode_scatter_batch(
                 layers,
-                [keys for _, keys, _ in entries],
-                [values for _, _, values in entries],
+                [keys for _, _, keys, _ in entries],
+                [values for _, _, _, values in entries],
             )
+            self._tier_record_batch(entries, layer)
             return
         unique = list(
-            dict.fromkeys(cache for cache, _, _ in entries)
+            dict.fromkeys(cache for _, cache, _, _ in entries)
         )
         adapter = self._batchable_adapter_streams(unique, layer)
-        for cache, keys, values in entries:
+        for seq_id, cache, keys, values in entries:
             cache.append(layer, keys, values)
         if adapter is not None:
             # Quantize the freshly appended rows eagerly: one merged
@@ -285,6 +327,17 @@ class KVCachePool:
             # here at batch granularity instead.
             for streams in adapter:
                 self._roundtrip_pending_batch(streams, write_side=True)
+        self._tier_record_batch(entries, layer)
+
+    def _tier_record_batch(
+        self,
+        entries: List[Tuple[Hashable, CacheBackend, np.ndarray, np.ndarray]],
+        layer: int,
+    ) -> None:
+        if self.tiering is None:
+            return
+        for seq_id in dict.fromkeys(seq_id for seq_id, _, _, _ in entries):
+            self._tier_record_append(seq_id, layer)
 
     def _encode_scatter_batch(
         self,
@@ -328,6 +381,9 @@ class KVCachePool:
         back to the per-sequence loop.
         """
         caches = [self._caches[s] for s in seq_ids]
+        if self.tiering is not None:
+            for seq_id in dict.fromkeys(seq_ids):
+                self.tiering.record_read(seq_id, layer)
         # Duplicate ids map to the same cache; decode each cache's
         # pending chunks exactly once (committing twice would corrupt
         # the memoized prefix), then serve reads in request order.
@@ -545,9 +601,14 @@ class KVCachePool:
         return self.nbytes() + tokens * per_token <= self.capacity_bytes
 
     def summary(self) -> Dict[str, float]:
-        """Pool-wide reporting dict."""
+        """Pool-wide reporting dict.
+
+        With a tiered store attached, its counters join the dict under
+        a ``tier_`` prefix (``tier_hits``, ``tier_evictions``,
+        ``tier_transfer_cycles``, ...).
+        """
         total, ebw = self.measure()
-        return {
+        out = {
             "sequences": float(len(self._caches)),
             "tokens": float(self.total_tokens()),
             "bytes": total,
@@ -560,3 +621,7 @@ class KVCachePool:
                 self.batched_append_roundtrips
             ),
         }
+        if self.tiering is not None:
+            for key, value in self.tiering.summary().items():
+                out[f"tier_{key}"] = value
+        return out

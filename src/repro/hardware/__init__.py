@@ -62,7 +62,7 @@ from repro.hardware.interconnect import (
     TrafficClass,
     generation_fabric_report,
 )
-from repro.hardware.memory import HBM_80GB, LPDDR_256GB, MemorySpec
+from repro.hardware.memory import HBM_80GB, HOST_DDR, LPDDR_256GB, MemorySpec
 from repro.hardware.mmu import MemoryManagementUnit, PageTableKind
 from repro.hardware.pipeline import (
     StreamingEnginePipeline,
@@ -105,6 +105,7 @@ __all__ = [
     "FabricReport",
     "GenerationRun",
     "HBM_80GB",
+    "HOST_DDR",
     "MemoryFabric",
     "TrafficClass",
     "generation_fabric_report",

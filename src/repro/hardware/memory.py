@@ -92,3 +92,17 @@ LPDDR_256GB = MemorySpec(
 #: bandwidth/compute (Section 6.1: "keep computation capability and
 #: memory bandwidth consistent, while scaling capacity to 160 GB").
 HBM_160GB = MemorySpec(name="HBM", capacity_gb=160.0, bandwidth_gbps=2000.0)
+#: Host-side DDR spill target behind a PCIe-class link: the effective
+#: bandwidth a device sees when demoting/promoting KV pages to host
+#: memory.  The large burst size with a heavy per-transaction overhead
+#: models DMA setup cost — single 4 KiB pages move at ~50% efficiency
+#: while multi-page prefetched bursts approach peak, which is exactly
+#: the contiguity the tiered KV store's sequential page streams and
+#: prefetch-on-read exist to exploit.
+HOST_DDR = MemorySpec(
+    name="HOST_DDR",
+    capacity_gb=512.0,
+    bandwidth_gbps=64.0,
+    burst_bytes=65536,
+    transaction_overhead_bytes=4096,
+)

@@ -27,6 +27,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.engine.errors import MemoryCapacityError
+
 
 class PageTableKind(enum.Enum):
     """Which management table an entry belongs to."""
@@ -69,8 +71,33 @@ class _Page:
     used: int = 0
 
 
-class OutOfPagesError(RuntimeError):
-    """Raised when the physical page pool is exhausted."""
+class OutOfPagesError(MemoryCapacityError):
+    """Raised when the physical page pool is exhausted.
+
+    Member of the :class:`~repro.engine.errors.MemoryCapacityError`
+    family: carries ``seq_id`` (the sequence whose stream needed the
+    page), ``requested_bytes`` (one page), ``measured_bytes`` (bytes of
+    pages in use) and ``capacity_bytes`` (the whole physical pool), so
+    MMU exhaustion is inspectable the same way pool admission refusals
+    are.
+    """
+
+    def __init__(
+        self,
+        seq_id: Optional[int],
+        requested_bytes: float,
+        measured_bytes: float,
+        capacity_bytes: float,
+    ):
+        super().__init__(
+            seq_id,
+            requested_bytes,
+            measured_bytes,
+            capacity_bytes,
+            f"sequence {seq_id!r}: physical page pool exhausted "
+            f"({measured_bytes:.0f} of {capacity_bytes:.0f} bytes "
+            f"allocated; one more {requested_bytes:.0f} B page needed)",
+        )
 
 
 class MemoryManagementUnit:
@@ -101,8 +128,10 @@ class MemoryManagementUnit:
     def _take_page(self, key: StreamKey) -> _Page:
         if not self._free_pages:
             raise OutOfPagesError(
-                "physical page pool exhausted "
-                f"({self.num_pages} pages of {self.page_bytes} B)"
+                key.sequence,
+                float(self.page_bytes),
+                float(self.pages_in_use * self.page_bytes),
+                float(self.num_pages * self.page_bytes),
             )
         page = _Page(index=self._free_pages.pop())
         self._open_page[key] = page

@@ -109,7 +109,10 @@ class ClusterConfig:
             replica's :class:`~repro.engine.KVCachePool` so oversized
             admissions raise
             :class:`~repro.engine.CacheCapacityError` and exercise the
-            typed capacity-requeue path.
+            typed capacity-requeue path.  With the tiered hierarchy
+            also enabled (``replay.device_budget_mb``) this bounds the
+            *total* device+host footprint; device-tier pressure alone
+            spills instead of rejecting.
         prefill_chunk: Sarathi-style chunked prefill budget, forwarded
             to every replica's scheduler.
     """
@@ -303,6 +306,13 @@ class _Replica:
         if self.cache is not None:
             out["measured_kv_bits"] = self.cache.measured_kv_bits()
             out["replayed_tokens"] = float(self.cache.replayed_tokens)
+            if self.cache.tiering is not None:
+                # Final incarnation only: a crash reboots the replica's
+                # pool and store (KV does not survive), so these count
+                # the pages the surviving incarnation placed.
+                out["eviction"] = self.cache.tiering.policy_name
+                for key, value in self.cache.tiering.summary().items():
+                    out[f"tier_{key}"] = value
         return out
 
 
@@ -398,6 +408,15 @@ class ClusterReport:
     downtime_s: float = 0.0
     duplicate_completions: int = 0
     lost: int = 0
+    # Tiered KV hierarchy aggregates, summed across replicas (each
+    # replica's final incarnation) when the replay runs with
+    # ``device_budget_mb``; all zero otherwise.
+    tier_hits: int = 0
+    tier_misses: int = 0
+    tier_evictions: int = 0
+    tier_spilled_bytes: float = 0.0
+    tier_promoted_bytes: float = 0.0
+    tier_transfer_cycles: float = 0.0
     per_replica: List[Dict[str, float]] = field(default_factory=list)
 
     def as_dict(self) -> Dict:
@@ -746,9 +765,22 @@ class _ClusterSim:
             downtime += replica.downtime_s
         busy = 0.0
         generated = 0
+        tier_hits = tier_misses = tier_evictions = 0
+        tier_spilled = tier_promoted = tier_cycles = 0.0
         for replica in self.replicas:
             busy += replica.busy_s
             generated += replica.generated
+            if (
+                replica.cache is not None
+                and replica.cache.tiering is not None
+            ):
+                store = replica.cache.tiering
+                tier_hits += store.hits
+                tier_misses += store.misses
+                tier_evictions += store.evictions
+                tier_spilled += store.spilled_bytes
+                tier_promoted += store.promoted_bytes
+                tier_cycles += store.transfer_cycles
         return ClusterReport(
             system=self.system.name,
             replicas=self.config.replicas,
@@ -801,6 +833,12 @@ class _ClusterSim:
             downtime_s=downtime,
             duplicate_completions=self.duplicate_completions,
             lost=lost,
+            tier_hits=tier_hits,
+            tier_misses=tier_misses,
+            tier_evictions=tier_evictions,
+            tier_spilled_bytes=tier_spilled,
+            tier_promoted_bytes=tier_promoted,
+            tier_transfer_cycles=tier_cycles,
             per_replica=[r.telemetry() for r in self.replicas],
         )
 

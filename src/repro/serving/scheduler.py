@@ -59,7 +59,18 @@ class ContinuousBatchScheduler:
             everything behind it) queued for a later iteration.  The
             serving simulator's cache-replay mode uses this to drive
             admission from the measured pool footprint instead of the
-            residency cap alone.
+            residency cap alone; with the tiered KV hierarchy enabled
+            the gate never refuses (memory pressure spills to the host
+            tier instead of queueing), so :attr:`gate_refusals` staying
+            zero is how replay reports distinguish the evict-and-spill
+            admission mode from reject/queue backpressure.
+
+    Attributes:
+        gate_refusals: times the admission gate blocked the FIFO head
+            (and, transitively, everything behind it).  A direct
+            measure of admission backpressure, complementing queueing
+            delay: it counts the *iterations* lost to a full pool, not
+            just the seconds.
     """
 
     def __init__(self, max_batch: int,
@@ -74,6 +85,7 @@ class ContinuousBatchScheduler:
         self.max_batch = max_batch
         self.prefill_chunk = prefill_chunk
         self.admission_gate = admission_gate
+        self.gate_refusals = 0
         self._queue: List[Request] = []
         self._resident: List[Request] = []
         self._prefilling: dict = {}
@@ -147,6 +159,7 @@ class ContinuousBatchScheduler:
                 self.admission_gate is not None
                 and not self.admission_gate(self._queue[0])
             ):
+                self.gate_refusals += 1
                 break
             request = self._queue.pop(0)
             request.phase = RequestPhase.PREFILL

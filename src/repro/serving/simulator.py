@@ -84,6 +84,22 @@ class CacheReplayConfig:
             bits, same modeled cycles) or ``"scalar"`` (the frozen
             element-streaming golden model; orders of magnitude slower
             on the host).
+        device_budget_mb: enable the tiered KV memory hierarchy with
+            this device-tier budget (MiB) for the miniature pool.  The
+            pool then runs behind a
+            :class:`~repro.engine.tiering.TieredKVStore`: cold pages
+            spill to the modeled host tier instead of admissions being
+            refused (evict-and-spill), unlocking
+            longer-than-device-budget contexts, and the replay report
+            carries ``tier_*`` hit/miss/evict/transfer-cycle counters.
+            ``None`` (default) keeps the flat reject/queue admission.
+        eviction: tiered-mode eviction policy, ``"lru"`` or ``"plru"``.
+        page_bytes: tiered-mode page size.  Defaults to 1 KiB — the
+            miniature caches are a few KiB per sequence, so 4 KiB
+            hardware pages would be a single-page-per-stream
+            degenerate case at replay scale.
+        prefetch_pages: sequential spilled pages promoted alongside a
+            missed page (tiered mode; 0 disables prefetch).
     """
 
     method: str = "oaken"
@@ -96,6 +112,10 @@ class CacheReplayConfig:
     mode: str = "deploy_f32"
     engine_cycles: bool = False
     engine: str = "vectorized"
+    device_budget_mb: Optional[float] = None
+    eviction: str = "lru"
+    page_bytes: int = 1024
+    prefetch_pages: int = 1
 
 
 class _CacheReplay:
@@ -142,7 +162,17 @@ class _CacheReplay:
                 calibration=calibration,
                 mode=config.mode,
             )
-        self.pool = KVCachePool(factory)
+        self.tiering = None
+        if config.device_budget_mb is not None:
+            from repro.engine import TieredKVStore
+
+            self.tiering = TieredKVStore(
+                device_budget_bytes=config.device_budget_mb * 2.0**20,
+                page_bytes=config.page_bytes,
+                policy=config.eviction,
+                prefetch_pages=config.prefetch_pages,
+            )
+        self.pool = KVCachePool(factory, tiering=self.tiering)
         device = system.device_for(arch)
         budget = device.memory.capacity_bytes * (
             1.0 - device.reserved_fraction
@@ -249,8 +279,17 @@ class _CacheReplay:
         itself is only populated after the iteration plan returns.
         An empty reservation table always admits (refusing the sole
         request would deadlock the replay).
+
+        With the tiered store enabled (``device_budget_mb``) the gate
+        never refuses: memory pressure is absorbed by evict-and-spill
+        rather than backpressure, so residency is bounded only by the
+        scheduler's batch cap and the cost of pressure shows up as
+        ``tier_*`` transfer counters instead of queueing delay.
         """
         incoming = request.input_tokens + request.output_tokens
+        if self.tiering is not None:
+            self._contexts[request.request_id] = incoming
+            return True
         if not self._contexts:
             self._contexts[request.request_id] = incoming
             return True
@@ -360,6 +399,18 @@ class _CacheReplay:
             out["engine_cycles"] = float(quant + dequant)
             out["engine_cycles_per_token"] = (
                 (quant + dequant) / self.replayed_tokens
+                if self.replayed_tokens
+                else 0.0
+            )
+        if self.tiering is not None:
+            out["eviction"] = self.tiering.policy_name
+            out["device_budget_mb"] = float(
+                self.config.device_budget_mb or 0.0
+            )
+            for key, value in self.tiering.summary().items():
+                out[f"tier_{key}"] = value
+            out["tier_transfer_cycles_per_token"] = (
+                self.tiering.transfer_cycles / self.replayed_tokens
                 if self.replayed_tokens
                 else 0.0
             )
@@ -607,7 +658,12 @@ def simulate_trace(
         ),
         mean_tpot_s=float(np.mean(tpots)) if tpots else 0.0,
         replay=(
-            cache_replay.report() if cache_replay is not None else None
+            dict(
+                cache_replay.report(),
+                gate_refusals=float(scheduler.gate_refusals),
+            )
+            if cache_replay is not None
+            else None
         ),
     )
 

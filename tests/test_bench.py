@@ -41,7 +41,7 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     assert set(bench) == {
         "encode_roundtrip", "generation", "bitpack", "pool_read",
         "pool_append", "baseline_read", "datapath", "replay",
-        "cluster",
+        "cluster", "tiering",
     }
 
     enc = bench["encode_roundtrip"]
@@ -86,6 +86,19 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     assert cluster["faulted"]["completed"] + cluster["faulted"][
         "failed"
     ] == cluster["requests"]
+    tiering = bench["tiering"]
+    # Also sim-time: the pressure sweep must show rising transfer cost
+    # as the device budget shrinks, and merged prefetch must beat
+    # per-page promotion (the harness asserts token-count equality
+    # with the untiered run internally).
+    assert tiering["budget_25"]["transfer_cycles"] > (
+        tiering["budget_100"]["transfer_cycles"]
+    )
+    assert tiering["budget_25"]["evictions"] > 0
+    assert tiering["budget_25"]["hit_rate"] < (
+        tiering["budget_100"]["hit_rate"]
+    )
+    assert tiering["speedup_prefetch"] > 1.0
 
     summary = format_summary(report)
     assert "encode roundtrip" in summary
@@ -97,6 +110,7 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     assert "datapath engines" in summary
     assert "serving replay" in summary
     assert "cluster replay" in summary
+    assert "tiered KV" in summary
 
 
 def test_no_output_file_when_disabled(tmp_path, monkeypatch):

@@ -124,3 +124,60 @@ class TestNewSubsystemCommands:
         parser = build_parser()
         args = parser.parse_args(["experiment", "profiling"])
         assert args.id == "profiling"
+
+
+@pytest.mark.tiering
+class TestTieringCommands:
+    def test_replay_parser_defaults(self):
+        args = build_parser().parse_args(["replay"])
+        assert args.device_budget_mb is None
+        assert args.eviction == "lru"
+        assert callable(args.func)
+
+    def test_replay_untiered(self, capsys):
+        code = main(
+            ["replay", "--workload", "longcontext", "--requests", "2",
+             "--batch", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "generated" in out and "tiering" not in out
+
+    def test_replay_tiered_spill(self, capsys):
+        code = main(
+            ["replay", "--workload", "longcontext", "--requests", "2",
+             "--batch", "2", "--device-budget-mb", "0.02",
+             "--eviction", "plru"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tiering (plru" in out
+        assert "evictions" in out and "transfer" in out
+
+    def test_replay_json_carries_tier_counters(self, capsys):
+        import json
+
+        code = main(
+            ["replay", "--workload", "longcontext", "--requests", "2",
+             "--batch", "2", "--device-budget-mb", "0.02", "--json"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["replay"]["tier_evictions"] > 0
+        assert report["replay"]["gate_refusals"] == 0
+
+    def test_cluster_tiered(self, capsys):
+        code = main(
+            ["cluster", "--workload", "longcontext", "--requests", "2",
+             "--batch", "2", "--replicas", "2",
+             "--device-budget-mb", "0.02"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tiering (lru" in out
+
+    def test_bad_eviction_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["replay", "--eviction", "random"]
+            )

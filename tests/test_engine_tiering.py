@@ -1,0 +1,439 @@
+"""Tiered paged KV hierarchy: eviction policies, spill/promotion
+accounting, and the cross-tier bit-exactness gate.
+
+The contract under test is structural (the store is a placement model;
+payloads never leave the backend caches) but the gate is empirical: for
+every registry method, every pool read must be bit-identical between a
+tiered pool under forced eviction and an untiered twin, through both
+the looped and batched paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import BASELINE_NAMES
+from repro.engine import (
+    CacheCapacityError,
+    EVICTION_POLICIES,
+    KVCachePool,
+    LRUPolicy,
+    MemoryCapacityError,
+    PLRUPolicy,
+    PageKey,
+    TieredKVStore,
+    create_eviction_policy,
+    default_transfer_model,
+    shared_backend_factory,
+)
+
+from conftest import make_kv_matrix
+
+pytestmark = pytest.mark.tiering
+
+LAYERS = 2
+DIM = 64
+
+
+def _keys(n, layer=0, seq=0):
+    return [PageKey(seq, layer, i) for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# eviction policies
+# ----------------------------------------------------------------------
+
+
+class TestLRUPolicy:
+    def test_victim_is_insertion_order_without_touches(self):
+        policy = LRUPolicy(4)
+        keys = _keys(4)
+        for key in keys:
+            policy.insert(key)
+        evicted = []
+        while len(policy):
+            victim = policy.victim()
+            policy.remove(victim)
+            evicted.append(victim)
+        assert evicted == keys
+
+    def test_touch_protects_a_page(self):
+        policy = LRUPolicy(4)
+        keys = _keys(4)
+        for key in keys:
+            policy.insert(key)
+        policy.touch(keys[0])
+        assert policy.victim() == keys[1]
+
+    def test_duplicate_insert_raises(self):
+        policy = LRUPolicy(2)
+        policy.insert(PageKey(0, 0, 0))
+        with pytest.raises(KeyError):
+            policy.insert(PageKey(0, 0, 0))
+
+    def test_victim_on_empty_raises(self):
+        with pytest.raises(LookupError):
+            LRUPolicy(2).victim()
+
+
+class TestPLRUPolicy:
+    def test_rounds_ways_to_power_of_two(self):
+        policy = PLRUPolicy(5)
+        assert policy._ways == 8
+
+    def test_victim_is_always_occupied(self):
+        # Non-power-of-two fill: padding leaves must never be chosen.
+        policy = PLRUPolicy(5)
+        keys = _keys(5)
+        for key in keys:
+            policy.insert(key)
+        for _ in range(20):
+            victim = policy.victim()
+            assert victim in keys
+            policy.touch(victim)
+
+    def test_touch_steers_victim_away(self):
+        policy = PLRUPolicy(4)
+        keys = _keys(4)
+        for key in keys:
+            policy.insert(key)
+        policy.touch(keys[0])
+        assert policy.victim() != keys[0]
+
+    def test_deterministic_victim_sequence(self):
+        def run():
+            policy = PLRUPolicy(6)
+            keys = _keys(6)
+            for key in keys:
+                policy.insert(key)
+            for i in (0, 3, 1, 4, 0):
+                policy.touch(keys[i])
+            evicted = []
+            while len(policy):
+                victim = policy.victim()
+                policy.remove(victim)
+                evicted.append(victim)
+            return evicted
+
+        assert run() == run()
+
+    def test_remove_frees_the_slot(self):
+        policy = PLRUPolicy(2)
+        a, b = _keys(2)
+        policy.insert(a)
+        policy.insert(b)
+        with pytest.raises(LookupError):
+            policy.insert(PageKey(9, 9, 9))
+        policy.remove(a)
+        policy.insert(PageKey(9, 9, 9))
+        assert len(policy) == 2
+
+    def test_capacity_one(self):
+        policy = PLRUPolicy(1)
+        key = PageKey(0, 0, 0)
+        policy.insert(key)
+        assert policy.victim() == key
+
+
+class TestCreatePolicy:
+    @pytest.mark.parametrize("name", EVICTION_POLICIES)
+    def test_known_names(self, name):
+        policy = create_eviction_policy(name, 4)
+        assert policy.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown eviction policy"):
+            create_eviction_policy("mru", 4)
+
+
+# ----------------------------------------------------------------------
+# transfer pricing
+# ----------------------------------------------------------------------
+
+
+class TestTransferModel:
+    def test_zero_bytes_is_free(self):
+        assert default_transfer_model().transfer_cycles(0, 4096) == 0.0
+
+    def test_merged_run_beats_per_page_transfers(self):
+        # The prefetcher's whole value proposition: one 2-page transfer
+        # rides the burst curve better than two 1-page transfers.
+        model = default_transfer_model()
+        merged = model.transfer_cycles(2 * 4096, 2 * 4096)
+        split = 2 * model.transfer_cycles(4096, 4096)
+        assert merged < split
+
+    def test_monotone_in_bytes(self):
+        model = default_transfer_model()
+        assert model.transfer_cycles(8192, 4096) > model.transfer_cycles(
+            4096, 4096
+        )
+
+
+# ----------------------------------------------------------------------
+# the tiered store (placement model alone)
+# ----------------------------------------------------------------------
+
+
+def make_store(pages=2, page_bytes=512, policy="lru", prefetch=1):
+    return TieredKVStore(
+        device_budget_bytes=pages * page_bytes,
+        page_bytes=page_bytes,
+        policy=policy,
+        prefetch_pages=prefetch,
+    )
+
+
+class TestTieredKVStore:
+    def test_within_budget_never_evicts(self):
+        store = make_store(pages=4)
+        store.record_append(0, 0, 2 * 512)
+        store.record_read(0, 0)
+        assert store.evictions == 0
+        assert store.misses == 0
+        assert store.hits == 2
+        assert store.device_bytes == 2 * 512
+
+    @pytest.mark.parametrize("policy", EVICTION_POLICIES)
+    def test_forced_eviction_spills_to_host(self, policy):
+        store = make_store(pages=2, policy=policy)
+        store.record_append(0, 0, 5 * 512)
+        assert store.evictions >= 3
+        assert store.host_bytes > 0
+        assert store.spilled_bytes > 0
+        assert store.transfer_cycles > 0
+        assert store.device_bytes <= store.device_capacity_bytes
+
+    @pytest.mark.parametrize("policy", EVICTION_POLICIES)
+    def test_budget_invariant_under_churn(self, policy):
+        store = make_store(pages=3, policy=policy)
+        for step in range(40):
+            seq = step % 4
+            store.record_append(seq, step % LAYERS, 300)
+            store.record_read(seq, step % LAYERS)
+            assert store.device_bytes <= store.device_capacity_bytes
+            if step % 7 == 6:
+                store.release(seq)
+
+    def test_read_promotes_spilled_pages(self):
+        store = make_store(pages=2, prefetch=0)
+        store.record_append(0, 0, 5 * 512)
+        assert store.host_bytes > 0
+        store.record_read(0, 0)
+        assert store.misses > 0
+        assert store.promotions > 0
+        assert store.promoted_bytes > 0
+
+    def test_prefetch_merges_transfers(self):
+        # Identical workloads; the prefetching store must pay fewer
+        # transfer cycles on the read-back (merged runs) and record
+        # the pages it pulled ahead of demand.
+        stores = {
+            p: make_store(pages=2, prefetch=p) for p in (0, 4)
+        }
+        for store in stores.values():
+            store.record_append(0, 0, 6 * 512)
+            read_cycles = store.record_read(0, 0)
+            assert read_cycles > 0
+        assert stores[4].prefetched_pages > 0
+        assert stores[0].prefetched_pages == 0
+        assert stores[4].promoted_bytes == stores[0].promoted_bytes
+        assert stores[4].transfer_cycles < stores[0].transfer_cycles
+        assert stores[4].misses < stores[0].misses
+
+    def test_pressure_raises_transfer_cycles(self):
+        def cycles_at(pages):
+            store = make_store(pages=pages)
+            for seq in range(3):
+                store.record_append(seq, 0, 4 * 512)
+            for seq in range(3):
+                store.record_read(seq, 0)
+            return store.transfer_cycles
+
+        relaxed, tight = cycles_at(32), cycles_at(2)
+        assert relaxed == 0.0
+        assert tight > relaxed
+
+    def test_release_frees_every_tier(self):
+        store = make_store(pages=2)
+        store.record_append(0, 0, 5 * 512)
+        store.record_append(0, 1, 3 * 512)
+        store.record_append(1, 0, 512)
+        freed = store.release(0)
+        assert freed == 8
+        assert store.total_pages() == 1
+        store.release(1)
+        assert store.total_pages() == 0
+        assert store.device_bytes == 0
+        assert store.host_bytes == 0
+
+    def test_sub_page_budget_degrades_to_one_page(self):
+        store = TieredKVStore(device_budget_bytes=100, page_bytes=512)
+        assert store.capacity_pages == 1
+        store.record_append(0, 0, 3 * 512)
+        assert store.device_bytes <= 512
+
+    @pytest.mark.parametrize("policy", EVICTION_POLICIES)
+    def test_identical_histories_identical_summaries(self, policy):
+        def run():
+            store = make_store(pages=3, policy=policy)
+            for step in range(30):
+                store.record_append(step % 3, 0, 400)
+                store.record_read((step + 1) % 3, 0)
+            return store.summary()
+
+        assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# capacity error hierarchy
+# ----------------------------------------------------------------------
+
+
+class TestErrorHierarchy:
+    def test_cache_capacity_error_is_memory_capacity_error(self):
+        err = CacheCapacityError(7, 1024.0, 4096.0, 2048.0)
+        assert isinstance(err, MemoryCapacityError)
+        assert err.seq_id == 7
+        assert err.requested_bytes == 1024.0
+        assert err.measured_bytes == 4096.0
+        assert err.capacity_bytes == 2048.0
+
+    def test_out_of_pages_error_is_memory_capacity_error(self):
+        from repro.hardware.mmu import (
+            MemoryManagementUnit,
+            OutOfPagesError,
+            PageTableKind,
+        )
+
+        mmu = MemoryManagementUnit(capacity_bytes=2 * 4096, page_bytes=4096)
+        with pytest.raises(MemoryCapacityError) as excinfo:
+            for token in range(64):
+                mmu.write_entry(
+                    sequence=3, layer=0, head=0,
+                    kind=PageTableKind.DENSE, token=token, nbytes=512,
+                )
+        err = excinfo.value
+        assert isinstance(err, OutOfPagesError)
+        assert err.seq_id == 3
+        assert err.requested_bytes == 4096.0
+        assert err.capacity_bytes == 2 * 4096.0
+
+
+# ----------------------------------------------------------------------
+# cross-tier bit-exactness (the pinned gate)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return [
+        (make_kv_matrix(seed=70 + layer), make_kv_matrix(seed=80 + layer))
+        for layer in range(LAYERS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def factories(calibration):
+    """One shared fitted factory per registry method."""
+    return {
+        method: shared_backend_factory(method, calibration=calibration)
+        for method in BASELINE_NAMES
+    }
+
+
+def drive_pools(tiered, untiered, seq_ids):
+    """Interleaved single + batched appends and reads on twin pools."""
+    for pool in (tiered, untiered):
+        for seq_id in seq_ids:
+            pool.allocate(seq_id)
+    for step in range(6):
+        for layer in range(LAYERS):
+            entries = [
+                (
+                    seq_id,
+                    make_kv_matrix(tokens=4, seed=100 * step + seq_id),
+                    make_kv_matrix(tokens=4, seed=500 + 100 * step + seq_id),
+                )
+                for seq_id in seq_ids
+            ]
+            if step % 2 == 0:
+                for pool in (tiered, untiered):
+                    pool.append_batch(layer, entries)
+            else:
+                for seq_id, keys, values in entries:
+                    for pool in (tiered, untiered):
+                        pool.append(seq_id, layer, keys, values)
+        # Read the coldest sequence first so promotions interleave
+        # with appends rather than clustering at the end.
+        reader = seq_ids[step % len(seq_ids)]
+        for layer in range(LAYERS):
+            tk, tv = tiered.read(reader, layer)
+            uk, uv = untiered.read(reader, layer)
+            np.testing.assert_array_equal(tk, uk)
+            np.testing.assert_array_equal(tv, uv)
+
+
+class TestCrossTierBitExactness:
+    @pytest.mark.parametrize("method", BASELINE_NAMES)
+    @pytest.mark.parametrize("policy", EVICTION_POLICIES)
+    def test_reads_identical_under_forced_eviction(
+        self, method, policy, factories
+    ):
+        factory = factories[method]
+        store = TieredKVStore(
+            device_budget_bytes=4 * 512,
+            page_bytes=512,
+            policy=policy,
+        )
+        tiered = KVCachePool(factory, tiering=store)
+        untiered = KVCachePool(factory)
+        seq_ids = [0, 1, 2]
+        drive_pools(tiered, untiered, seq_ids)
+        # The run must actually have exercised the hierarchy.
+        assert store.evictions > 0
+        assert store.misses > 0
+        assert store.device_bytes <= store.device_capacity_bytes
+        # Final sweep: every stream, batched against looped.
+        for layer in range(LAYERS):
+            batch = tiered.read_batch(layer, seq_ids)
+            for seq_id, (bk, bv) in zip(seq_ids, batch):
+                uk, uv = untiered.read(seq_id, layer)
+                np.testing.assert_array_equal(bk, uk)
+                np.testing.assert_array_equal(bv, uv)
+
+    def test_free_releases_tier_pages(self, factories):
+        store = TieredKVStore(
+            device_budget_bytes=2 * 512, page_bytes=512
+        )
+        pool = KVCachePool(factories["oaken"], tiering=store)
+        seq_ids = [0, 1]
+        for seq_id in seq_ids:
+            pool.allocate(seq_id)
+        for layer in range(LAYERS):
+            for seq_id in seq_ids:
+                pool.append(
+                    seq_id, layer,
+                    make_kv_matrix(tokens=8, seed=seq_id),
+                    make_kv_matrix(tokens=8, seed=10 + seq_id),
+                )
+        assert store.total_pages() > 0
+        for seq_id in seq_ids:
+            pool.free(seq_id)
+        assert store.total_pages() == 0
+
+    def test_pool_summary_carries_tier_counters(self, factories):
+        store = TieredKVStore(
+            device_budget_bytes=2 * 512, page_bytes=512
+        )
+        pool = KVCachePool(factories["oaken"], tiering=store)
+        pool.allocate(0)
+        pool.append(
+            0, 0,
+            make_kv_matrix(tokens=16, seed=1),
+            make_kv_matrix(tokens=16, seed=2),
+        )
+        pool.read(0, 0)
+        summary = pool.summary()
+        assert summary["tier_pages_allocated"] > 0
+        assert "tier_transfer_cycles" in summary
+        assert "tier_evictions" in summary
