@@ -80,7 +80,9 @@ from repro.bench.hotpath import (
     bench_generation,
     bench_pool_appends,
     bench_pool_reads,
+    bench_prefix_sharing,
     bench_replay_cycles,
+    bench_tiering,
     find_regressions,
     iter_speedups,
     merge_reports,
@@ -98,7 +100,9 @@ __all__ = [
     "bench_generation",
     "bench_pool_appends",
     "bench_pool_reads",
+    "bench_prefix_sharing",
     "bench_replay_cycles",
+    "bench_tiering",
     "find_regressions",
     "iter_speedups",
     "merge_reports",

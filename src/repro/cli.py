@@ -404,6 +404,7 @@ def _build_trace(args: argparse.Namespace):
         generate_burst_trace,
         generate_longcontext_trace,
         generate_multiturn_trace,
+        generate_rag_trace,
         generate_trace,
     )
 
@@ -417,6 +418,11 @@ def _build_trace(args: argparse.Namespace):
             args.trace, num_bursts=max(1, args.requests // 16),
             burst_size=16, seed=args.seed,
         )
+    if args.workload == "rag":
+        return generate_rag_trace(
+            args.trace, num_bursts=max(1, args.requests // 8),
+            burst_size=8, seed=args.seed,
+        )
     if args.workload == "longcontext":
         return generate_longcontext_trace(
             args.trace, num_requests=args.requests, seed=args.seed,
@@ -429,6 +435,10 @@ def _replay_config(args: argparse.Namespace):
     from repro.serving.simulator import CacheReplayConfig
 
     if args.device_budget_mb is None:
+        if getattr(args, "cache_replay", False):
+            # Pool-backed replay without a device budget: measured
+            # admission plus prefix sharing (forks), untiered.
+            return CacheReplayConfig(method=args.method)
         return None
     return CacheReplayConfig(
         method=args.method,
@@ -688,9 +698,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument(
         "--workload", default="trace",
-        choices=("trace", "multiturn", "burst", "longcontext"),
-        help="arrival structure; longcontext stretches outputs far "
-             "past the device budget to exercise spill",
+        choices=("trace", "multiturn", "burst", "rag", "longcontext"),
+        help="arrival structure; multiturn/rag carry shared prefixes "
+             "the pool forks, longcontext stretches outputs far past "
+             "the device budget to exercise spill",
     )
     replay.add_argument("--requests", type=int, default=16)
     replay.add_argument("--seed", type=int, default=0)
@@ -725,12 +736,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument(
         "--workload", default="trace",
-        choices=("trace", "multiturn", "burst", "longcontext"),
+        choices=("trace", "multiturn", "burst", "rag", "longcontext"),
         help="arrival structure: plain trace, multi-turn sessions "
-             "(shared prefixes), wave bursts, or long-context spill",
+             "(shared prefixes), wave bursts, shared-system-prompt "
+             "RAG bursts, or long-context spill",
     )
     cluster.add_argument("--requests", type=int, default=48)
     cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument(
+        "--cache-replay", action="store_true",
+        help="drive a real KVCachePool per replica even without "
+             "--device-budget-mb, so shared-prefix workloads fork "
+             "instead of re-prefilling (forks / shared_bytes_saved "
+             "in the report)",
+    )
     cluster.add_argument(
         "--faults", action="store_true",
         help="inject a seeded random fault plan (crashes, brownouts, "

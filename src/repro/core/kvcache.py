@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.config import OakenConfig
-from repro.core.encoding import EncodedKV
+from repro.core.encoding import EncodedKV, split_encoded
 from repro.core.quantizer import OakenQuantizer, QuantizeScratch
 
 
@@ -203,6 +203,81 @@ class LayerKVCache:
             [self.value_quantizer.dequantize(c) for c in self._value_chunks]
         )
         return keys, values
+
+    def split_chunk_boundary(
+        self, prefix_len: int
+    ) -> Tuple[int, List[Tuple[EncodedKV, EncodedKV]]]:
+        """Ensure a chunk boundary at row ``prefix_len``; in place.
+
+        The prefix-sharing pool forks a sequence by aliasing the chunk
+        objects covering its first ``prefix_len`` rows.  When the
+        boundary falls inside a chunk, that chunk is split with
+        :func:`~repro.core.encoding.split_encoded` and the two pieces
+        replace it in this cache's lists — a bit-exact rewrite (both
+        encode and decode are row-local) that leaves every read
+        unchanged, including the incremental decode memo, whose chunk
+        counter is re-based when an already-memoized chunk splits.
+
+        Returns:
+            ``(count, replaced)`` — the number of chunks now covering
+            exactly ``prefix_len`` rows, and the ``(key, value)`` chunk
+            pairs this call replaced (at most one pair; the pool uses
+            it to retire stale refcount entries).
+        """
+        if prefix_len < 0 or prefix_len > self._length:
+            raise ValueError(
+                f"prefix_len {prefix_len} outside cached length "
+                f"{self._length}"
+            )
+        replaced: List[Tuple[EncodedKV, EncodedKV]] = []
+        rows = 0
+        index = 0
+        while rows < prefix_len:
+            key_chunk = self._key_chunks[index]
+            if rows + key_chunk.num_tokens <= prefix_len:
+                rows += key_chunk.num_tokens
+                index += 1
+                continue
+            split_at = prefix_len - rows
+            value_chunk = self._value_chunks[index]
+            counts = [split_at, key_chunk.num_tokens - split_at]
+            self._key_chunks[index : index + 1] = split_encoded(
+                key_chunk, counts
+            )
+            self._value_chunks[index : index + 1] = split_encoded(
+                value_chunk, counts
+            )
+            # A memoized chunk that splits is now *two* memoized
+            # chunks; re-base the decode counters so pending_chunks
+            # keeps pointing past the memoized prefix.
+            for memo in (self._key_decoded, self._value_decoded):
+                if memo.chunks_decoded > index:
+                    memo.chunks_decoded += 1
+            replaced.append((key_chunk, value_chunk))
+            rows = prefix_len
+            index += 1
+        return index, replaced
+
+    def adopt_prefix(
+        self,
+        key_chunks: List[EncodedKV],
+        value_chunks: List[EncodedKV],
+        length: int,
+    ) -> None:
+        """Install an aliased committed prefix into this empty cache.
+
+        The chunks are shared *objects* (not copies) from the parent's
+        lists; because chunks are immutable and appends only extend the
+        lists, parent and child diverge naturally from the first
+        post-fork append — copy-on-write with no copy.
+        """
+        if self._length or self._key_chunks:
+            raise RuntimeError(
+                "adopt_prefix requires an empty cache"
+            )
+        self._key_chunks = list(key_chunks)
+        self._value_chunks = list(value_chunks)
+        self._length = length
 
     def pending_chunks(self) -> Tuple[List[EncodedKV], List[EncodedKV]]:
         """Chunks appended since the last read (incremental mode only).

@@ -21,6 +21,7 @@ from repro.data.traces import (
     generate_burst_trace,
     generate_longcontext_trace,
     generate_multiturn_trace,
+    generate_rag_trace,
     generate_trace,
 )
 
@@ -35,5 +36,6 @@ __all__ = [
     "generate_burst_trace",
     "generate_longcontext_trace",
     "generate_multiturn_trace",
+    "generate_rag_trace",
     "generate_trace",
 ]

@@ -40,12 +40,18 @@ class TraceRequest:
             multi-turn session or burst wave carry the same id, so the
             cluster router's ``prefix_affinity`` policy can home them
             to one replica); -1 means no shared prefix.
+        shared_tokens: leading prompt tokens identical to the group's
+            committed prefix (the prior conversation context, or the
+            wave's canned system prompt).  A prefix-sharing pool can
+            fork these instead of re-encoding them; always
+            ``<= input_tokens``, and 0 when nothing is shared.
     """
 
     arrival_s: float
     input_tokens: int
     output_tokens: int
     prefix_group: int = -1
+    shared_tokens: int = 0
 
 
 @dataclass(frozen=True)
@@ -221,6 +227,9 @@ def generate_multiturn_trace(
                     input_tokens=inputs,
                     output_tokens=output,
                     prefix_group=session,
+                    # The prior context is byte-identical to what the
+                    # previous turn committed — forkable, not re-encoded.
+                    shared_tokens=min(context, inputs),
                 )
             )
             context = inputs + output
@@ -293,6 +302,82 @@ def generate_burst_trace(
                     input_tokens=int(inputs[i]),
                     output_tokens=int(outputs[i]),
                     prefix_group=wave,
+                )
+            )
+    requests.sort(key=lambda r: r.arrival_s)
+    return requests
+
+
+def generate_rag_trace(
+    name: str = "conversation",
+    num_bursts: int = 6,
+    burst_size: int = 8,
+    system_tokens: int = 512,
+    burst_gap_s: float = 2.0,
+    seed: int = 0,
+    max_tokens: int = 8192,
+) -> List[TraceRequest]:
+    """Sample a shared-system-prompt RAG burst workload.
+
+    The prefix-sharing stress shape: every request in a wave carries
+    the *same* long system prompt (instructions plus retrieved
+    context) followed by a short unique query.  Without sharing, a
+    wave of N requests re-encodes the system prompt N times and the
+    pool charges N copies; with copy-on-write forking the prompt is
+    encoded once per wave and charged once, so admission capacity
+    scales with the unique-query bytes instead.  The ``prefix_sharing``
+    bench replays this trace against both pools.
+
+    Args:
+        name: base trace profile supplying query/output lengths.
+        num_bursts: waves (each with a distinct system prompt).
+        burst_size: requests per wave sharing that prompt.
+        system_tokens: shared system-prompt length per wave.
+        burst_gap_s: mean quiet gap between wave starts.
+        seed: RNG seed; fully reproducible.
+        max_tokens: per-field length cap.
+
+    Returns:
+        Requests sorted by arrival time; ``prefix_group`` = wave index
+        and ``shared_tokens`` = the wave's system-prompt length.
+    """
+    if name not in _PROFILES:
+        raise ValueError(
+            f"unknown trace {name!r}; available: {list(_PROFILES)}"
+        )
+    if num_bursts < 1 or burst_size < 1:
+        raise ValueError("num_bursts and burst_size must be >= 1")
+    if system_tokens < 1:
+        raise ValueError("system_tokens must be >= 1")
+    if burst_gap_s <= 0.0:
+        raise ValueError("burst_gap_s must be > 0")
+    profile = _PROFILES[name]
+    rng = np.random.default_rng(
+        seed + zlib.crc32(f"rag:{name}".encode()) % 65536
+    )
+    requests: List[TraceRequest] = []
+    start = 0.0
+    for wave in range(num_bursts):
+        start += float(rng.exponential(burst_gap_s))
+        jitter = np.sort(rng.exponential(0.05, size=burst_size))
+        # Unique user queries are short; the system prompt dominates.
+        queries = _lognormal_lengths(
+            rng, profile.input_mean / 8.0, profile.input_sigma,
+            burst_size, lo=8, hi=max_tokens,
+        )
+        outputs = _lognormal_lengths(
+            rng, profile.output_mean, profile.output_sigma, burst_size,
+            lo=8, hi=max_tokens,
+        )
+        for i in range(burst_size):
+            inputs = min(system_tokens + int(queries[i]), max_tokens)
+            requests.append(
+                TraceRequest(
+                    arrival_s=start + float(jitter[i]),
+                    input_tokens=inputs,
+                    output_tokens=int(outputs[i]),
+                    prefix_group=wave,
+                    shared_tokens=min(system_tokens, inputs),
                 )
             )
     requests.sort(key=lambda r: r.arrival_s)

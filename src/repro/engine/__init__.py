@@ -43,6 +43,7 @@ from repro.engine.backend import (
     shared_backend_factory,
 )
 from repro.engine.pool import KVCachePool
+from repro.engine.sharing import SharedChunkRegistry
 from repro.engine.synthetic import SyntheticKVStream
 from repro.engine.tiering import (
     EVICTION_POLICIES,
@@ -70,6 +71,7 @@ __all__ = [
     "MemoryCapacityError",
     "PLRUPolicy",
     "PageKey",
+    "SharedChunkRegistry",
     "SyntheticKVStream",
     "TieredKVStore",
     "TransferModel",

@@ -64,6 +64,7 @@ from repro.engine.backend import (
     _BaselineStream,
 )
 from repro.engine.errors import CacheCapacityError
+from repro.engine.sharing import SharedChunkRegistry
 from repro.engine.tiering import TieredKVStore
 
 #: One sequence's new rows for :meth:`KVCachePool.append_batch`:
@@ -109,6 +110,8 @@ class KVCachePool:
         self.capacity_bytes = capacity_bytes
         self.tiering = tiering
         self._tier_seen: Dict[Hashable, float] = {}
+        self._sharing = SharedChunkRegistry()
+        self.forks = 0
         self._peak_bytes = 0.0
         self.batched_decodes = 0
         self.batched_encodes = 0
@@ -131,14 +134,200 @@ class KVCachePool:
         self._caches[seq_id] = backend
         return backend
 
-    def free(self, seq_id: Hashable) -> None:
-        """Retire ``seq_id`` and release its cache (and its pages)."""
-        if seq_id not in self._caches:
-            raise KeyError(f"unknown sequence {seq_id!r}")
-        del self._caches[seq_id]
+    def fork(
+        self,
+        parent_seq_id: Hashable,
+        new_seq_id: Hashable,
+        prefix_len: int,
+    ) -> CacheBackend:
+        """Fork ``new_seq_id`` from a committed prefix of the parent.
+
+        The child shares the parent's first ``prefix_len`` rows by
+        **aliasing the encoded chunk objects** covering them (splitting
+        the boundary chunk in place first, a bit-exact rewrite) — no
+        bytes are copied and, because the pool's accounting charges
+        every shared chunk once, no new footprint is added.  Chunks are
+        immutable and appends only extend the lists, so parent and
+        child diverge copy-on-write at their first post-fork appends;
+        shared chunks are freed only when the last holder is freed.
+
+        Contract: the child's :meth:`read` is bit-identical to an
+        unshared sequence that appended the same rows — for every
+        registry method, with and without tiering, under looped and
+        batched paths (``tests/test_engine_sharing.py`` replays
+        randomized op sequences against a mirrored no-sharing pool to
+        pin this).
+
+        Chunk aliasing requires a fused (:class:`QuantizedKVCache`)
+        pool sharing fitted quantizers — a
+        :func:`~repro.engine.backend.shared_backend_factory` pool.
+        Adapter pools (registry baselines) fork by copying the exact
+        prefix rows instead: reads are identically bit-exact, but no
+        bytes are saved (their storage model has no shareable unit).
+
+        Args:
+            parent_seq_id: live sequence to fork from.
+            new_seq_id: id for the child (must not be allocated).
+            prefix_len: rows of committed history to share; must not
+                exceed the parent's cached length.
+
+        Returns:
+            The child's backend.
+        """
+        if parent_seq_id not in self._caches:
+            raise KeyError(
+                f"unknown sequence {parent_seq_id!r}; cannot fork "
+                "from a sequence that is not allocated"
+            )
+        if new_seq_id in self._caches:
+            raise ValueError(
+                f"sequence {new_seq_id!r} already allocated"
+            )
+        parent = self._caches[parent_seq_id]
+        prefix_len = int(prefix_len)
+        if prefix_len < 0 or prefix_len > parent.length:
+            raise ValueError(
+                f"prefix_len {prefix_len} outside parent "
+                f"{parent_seq_id!r}'s cached length {parent.length}"
+            )
+        child = self._factory()
+        if isinstance(parent, QuantizedKVCache) and isinstance(
+            child, QuantizedKVCache
+        ):
+            self._fork_fused(
+                parent_seq_id, parent, new_seq_id, child, prefix_len
+            )
+        elif isinstance(parent, BaselineCacheBackend) and isinstance(
+            child, BaselineCacheBackend
+        ):
+            self._fork_adapter(parent, child, prefix_len)
+        else:
+            raise TypeError(
+                "fork supports fused (QuantizedKVCache) and adapter "
+                f"(BaselineCacheBackend) pools, got {type(parent).__name__}"
+            )
+        self._caches[new_seq_id] = child
+        self.forks += 1
         if self.tiering is not None:
+            # The shared prefix already resides in the owner's pages;
+            # seed the child's watermark so only divergent growth is
+            # charged, and touch the owner's pages so a fresh fork
+            # finds its prefix hot.
+            self._tier_seen[new_seq_id] = float(child.nbytes())
+            for layer in range(parent.num_layers):
+                if self._sharing.shared_owners(new_seq_id, layer):
+                    self.tiering.record_read(parent_seq_id, layer)
+        return child
+
+    def _fork_fused(
+        self,
+        parent_seq_id: Hashable,
+        parent: QuantizedKVCache,
+        new_seq_id: Hashable,
+        child: QuantizedKVCache,
+        prefix_len: int,
+    ) -> None:
+        """Alias the committed prefix chunks into the child's layers."""
+        for layer_index, (parent_layer, child_layer) in enumerate(
+            zip(parent.layers, child.layers)
+        ):
+            if (
+                child_layer.key_quantizer
+                is not parent_layer.key_quantizer
+                or child_layer.value_quantizer
+                is not parent_layer.value_quantizer
+            ):
+                raise ValueError(
+                    "fork requires sequences sharing fitted "
+                    "quantizers; build the pool with "
+                    "shared_backend_factory"
+                )
+            count, replaced = parent_layer.split_chunk_boundary(
+                prefix_len
+            )
+            for old_key, old_value in replaced:
+                for old in (old_key, old_value):
+                    for transfer in self._sharing.on_replace(
+                        parent_seq_id, old
+                    ):
+                        self._tier_transfer(transfer)
+            child_layer.adopt_prefix(
+                parent_layer._key_chunks[:count],
+                parent_layer._value_chunks[:count],
+                prefix_len,
+            )
+            for key_chunk, value_chunk in zip(
+                child_layer._key_chunks, child_layer._value_chunks
+            ):
+                self._sharing.share(
+                    key_chunk, layer_index, parent_seq_id, new_seq_id
+                )
+                self._sharing.share(
+                    value_chunk, layer_index, parent_seq_id, new_seq_id
+                )
+
+    @staticmethod
+    def _fork_adapter(
+        parent: BaselineCacheBackend,
+        child: BaselineCacheBackend,
+        prefix_len: int,
+    ) -> None:
+        """Copy the exact prefix rows into the child's streams.
+
+        Adapter storage is the exact accumulated history (quantization
+        happens at read time), so copying the first ``prefix_len``
+        rows reproduces an unshared twin bit-for-bit — including
+        history-global methods, whose reads depend only on the exact
+        rows.
+        """
+        if prefix_len == 0:
+            return
+        for layer in range(parent.num_layers):
+            parent_keys, parent_values = parent.layer_streams(layer)
+            child_keys, child_values = child.layer_streams(layer)
+            child_keys.append(parent_keys.matrix()[:prefix_len])
+            child_values.append(parent_values.matrix()[:prefix_len])
+
+    def _tier_transfer(self, transfer) -> None:
+        """Re-home transferred shared bytes in the tiered store."""
+        if self.tiering is None:
+            return
+        new_owner, layer, nbytes = transfer
+        self.tiering.record_append(new_owner, layer, nbytes)
+
+    def free(self, seq_id: Hashable) -> bool:
+        """Retire ``seq_id`` and release its cache (and its pages).
+
+        Shared chunks the sequence holds are dereferenced, not
+        destroyed: their storage survives until the last holder is
+        freed (and, under tiering, their pages are re-homed to a
+        surviving holder when the freed sequence owned them).
+
+        Returns:
+            ``True`` when any storage bytes were actually released;
+            ``False`` when everything the sequence held survives
+            through forked holders (or the cache was empty).
+
+        Raises:
+            KeyError: ``seq_id`` is not allocated — including the
+                double-free case, where it was already freed.
+        """
+        if seq_id not in self._caches:
+            raise KeyError(
+                f"cannot free sequence {seq_id!r}: not allocated "
+                "(double free, or never allocated)"
+            )
+        cache = self._caches.pop(seq_id)
+        retained, transfers = self._sharing.release_seq(seq_id)
+        if self.tiering is not None:
+            # Drop the freed sequence's pages first, then re-home the
+            # surviving shared bytes, so the migration never doubles
+            # transient device pressure.
             self.tiering.release(seq_id)
             self._tier_seen.pop(seq_id, None)
+        for transfer in transfers:
+            self._tier_transfer(transfer)
+        return cache.nbytes() - retained > 0.0
 
     def get(self, seq_id: Hashable) -> CacheBackend:
         """The backend owning ``seq_id``'s cache."""
@@ -220,12 +409,27 @@ class KVCachePool:
         self._caches[seq_id].append(layer, keys, values)
         self._tier_record_append(seq_id, layer)
 
+    def _tier_record_read(self, seq_id: Hashable, layer: int) -> None:
+        """Touch a read's pages — including shared-prefix pages.
+
+        A forked sequence's prefix bytes live in the *owner's* pages,
+        so reading through any holder must also touch the owner's
+        stream: shared pages stay as hot as their hottest holder and
+        are never evicted out from under a fork (and spilled shared
+        pages promote back on any holder's read).
+        """
+        if self.tiering is None:
+            return
+        self.tiering.record_read(seq_id, layer)
+        for owner in self._sharing.shared_owners(seq_id, layer):
+            if owner in self._caches:
+                self.tiering.record_read(owner, layer)
+
     def read(
         self, seq_id: Hashable, layer: int
     ) -> Tuple[np.ndarray, np.ndarray]:
         """One sequence's dequantized (keys, values) history."""
-        if self.tiering is not None:
-            self.tiering.record_read(seq_id, layer)
+        self._tier_record_read(seq_id, layer)
         return self._caches[seq_id].read(layer)
 
     def append_batch(self, layer: int, updates: BatchUpdates) -> None:
@@ -383,7 +587,7 @@ class KVCachePool:
         caches = [self._caches[s] for s in seq_ids]
         if self.tiering is not None:
             for seq_id in dict.fromkeys(seq_ids):
-                self.tiering.record_read(seq_id, layer)
+                self._tier_record_read(seq_id, layer)
         # Duplicate ids map to the same cache; decode each cache's
         # pending chunks exactly once (committing twice would corrupt
         # the memoized prefix), then serve reads in request order.
@@ -557,6 +761,10 @@ class KVCachePool:
             if ebw > 0.0:
                 bits += nbytes * 8.0
                 elements += nbytes * 8.0 / ebw
+        # Chunks aliased across forked sequences were summed once per
+        # holder above; subtract the overcount so shared bytes are
+        # charged exactly once pool-wide (the admission-control number).
+        total -= self._sharing.extra_bytes()
         if total > self._peak_bytes:
             self._peak_bytes = total
         return total, (bits / elements if elements else 0.0)
@@ -620,7 +828,9 @@ class KVCachePool:
             "batched_append_roundtrips": float(
                 self.batched_append_roundtrips
             ),
+            "forks": float(self.forks),
         }
+        out.update(self._sharing.summary())
         if self.tiering is not None:
             for key, value in self.tiering.summary().items():
                 out[f"tier_{key}"] = value

@@ -182,6 +182,8 @@ class _ClusterRequest:
             arrival_s=self.trace.arrival_s,
             input_tokens=self.trace.input_tokens,
             output_tokens=self.trace.output_tokens,
+            prefix_group=getattr(self.trace, "prefix_group", -1),
+            shared_tokens=getattr(self.trace, "shared_tokens", 0),
         )
         return self.live
 
@@ -306,6 +308,10 @@ class _Replica:
         if self.cache is not None:
             out["measured_kv_bits"] = self.cache.measured_kv_bits()
             out["replayed_tokens"] = float(self.cache.replayed_tokens)
+            out["forks"] = float(self.cache.pool.forks)
+            out["shared_bytes_saved"] = self.cache.pool.summary()[
+                "shared_bytes_saved"
+            ]
             if self.cache.tiering is not None:
                 # Final incarnation only: a crash reboots the replica's
                 # pool and store (KV does not survive), so these count
@@ -417,6 +423,10 @@ class ClusterReport:
     tier_spilled_bytes: float = 0.0
     tier_promoted_bytes: float = 0.0
     tier_transfer_cycles: float = 0.0
+    # Prefix-sharing aggregates, summed across replicas' surviving
+    # incarnations in cache-replay mode; zero in analytic mode.
+    forks: int = 0
+    shared_bytes_saved: float = 0.0
     per_replica: List[Dict[str, float]] = field(default_factory=list)
 
     def as_dict(self) -> Dict:
@@ -767,9 +777,16 @@ class _ClusterSim:
         generated = 0
         tier_hits = tier_misses = tier_evictions = 0
         tier_spilled = tier_promoted = tier_cycles = 0.0
+        forks = 0
+        shared_saved = 0.0
         for replica in self.replicas:
             busy += replica.busy_s
             generated += replica.generated
+            if replica.cache is not None:
+                forks += replica.cache.pool.forks
+                shared_saved += replica.cache.pool.summary()[
+                    "shared_bytes_saved"
+                ]
             if (
                 replica.cache is not None
                 and replica.cache.tiering is not None
@@ -839,6 +856,8 @@ class _ClusterSim:
             tier_spilled_bytes=tier_spilled,
             tier_promoted_bytes=tier_promoted,
             tier_transfer_cycles=tier_cycles,
+            forks=forks,
+            shared_bytes_saved=shared_saved,
             per_replica=[r.telemetry() for r in self.replicas],
         )
 

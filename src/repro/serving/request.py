@@ -30,6 +30,12 @@ class Request:
         first_token_s: when the first output token landed (-1 until
             then) — the numerator of time-to-first-token.
         finish_s: when the last token was generated (-1 until done).
+        prefix_group: shared-prompt affinity group carried over from
+            the trace (-1 when the request shares nothing); the
+            prefix-sharing replay forks within a live group instead of
+            re-encoding.
+        shared_tokens: leading prompt tokens identical to the group's
+            committed prefix (always ``<= input_tokens``).
     """
 
     request_id: int
@@ -41,6 +47,8 @@ class Request:
     start_s: float = -1.0
     first_token_s: float = -1.0
     finish_s: float = -1.0
+    prefix_group: int = -1
+    shared_tokens: int = 0
 
     @property
     def context_length(self) -> int:

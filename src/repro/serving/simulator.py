@@ -180,6 +180,16 @@ class _CacheReplay:
         budget -= weight_bytes(arch, system.weight_bits)
         self.budget_bytes = max(0.0, budget)
         self._contexts: Dict[int, int] = {}
+        # Prefix sharing: one live *anchor* request per prefix group,
+        # whose committed prompt rows later group members fork instead
+        # of re-encoding.  ``_groups`` remembers membership (insertion
+        # order = admission order, which makes anchor promotion on
+        # retire deterministic); ``_prompt_rows_of`` bounds how deep a
+        # fork may reach (only the prompt sample is shared content —
+        # decode rows are per-request).
+        self._anchors: Dict[int, int] = {}
+        self._groups: Dict[int, int] = {}
+        self._prompt_rows_of: Dict[int, int] = {}
         self.batched_reads = 0
         self.batched_appends = 0
         self.replayed_tokens = 0
@@ -269,6 +279,23 @@ class _CacheReplay:
         if bits > 0.0:
             self._last_kv_bits = bits
 
+    def _live_anchor(self, request: Request) -> Optional[int]:
+        """The group anchor ``request`` could fork from, if any.
+
+        Liveness is judged by the reservation table rather than the
+        pool, so an anchor approved earlier in the *same* arrival wave
+        (reserved but not yet admitted) already counts — the wave is
+        exactly where charging the shared prompt once matters most.
+        """
+        if request.prefix_group < 0 or request.shared_tokens <= 0:
+            return None
+        anchor = self._anchors.get(request.prefix_group)
+        if anchor is None or anchor == request.request_id:
+            return None
+        if anchor not in self._contexts:
+            return None
+        return anchor
+
     def admission_gate(self, request: Request) -> bool:
         """Admit while measured-footprint projections fit the budget.
 
@@ -280,6 +307,12 @@ class _CacheReplay:
         An empty reservation table always admits (refusing the sole
         request would deadlock the replay).
 
+        When the request can fork a live group anchor, its shared
+        prompt tokens are already charged under the anchor's
+        reservation, so the projection counts only the unshared
+        remainder — the admission-capacity face of the pool's
+        charge-shared-bytes-once accounting.
+
         With the tiered store enabled (``device_budget_mb``) the gate
         never refuses: memory pressure is absorbed by evict-and-spill
         rather than backpressure, so residency is bounded only by the
@@ -287,6 +320,9 @@ class _CacheReplay:
         ``tier_*`` transfer counters instead of queueing delay.
         """
         incoming = request.input_tokens + request.output_tokens
+        if self._live_anchor(request) is not None:
+            shared = min(request.shared_tokens, request.input_tokens)
+            incoming = max(1, incoming - shared)
         if self.tiering is not None:
             self._contexts[request.request_id] = incoming
             return True
@@ -310,20 +346,53 @@ class _CacheReplay:
     # -- lifecycle -----------------------------------------------------
 
     def admit(self, request: Request) -> None:
-        """Allocate a cache and stream a prompt sample through it."""
-        self.pool.allocate(request.request_id)
+        """Allocate a cache and stream a prompt sample through it.
+
+        When the request names a prefix group with a live anchor, the
+        shared fraction of its prompt sample is **forked** from the
+        anchor's committed rows (copy-on-write aliasing, no re-encode)
+        and only the unshared remainder is streamed through the
+        kernels; otherwise the whole sample is encoded fresh and the
+        request becomes its group's anchor for later arrivals.
+        """
+        rid = request.request_id
         rows = min(self.config.prompt_rows, max(1, request.input_tokens))
-        for layer in range(self.config.num_layers):
-            self.pool.append(
-                request.request_id,
-                layer,
-                self._draw_rows(rows),
-                self._draw_rows(rows),
+        shared_rows = 0
+        anchor = self._live_anchor(request)
+        if anchor is not None and anchor in self.pool:
+            frac = request.shared_tokens / max(1, request.input_tokens)
+            shared_rows = min(
+                int(rows * frac), self._prompt_rows_of.get(anchor, 0)
             )
-        self._contexts[request.request_id] = (
-            request.input_tokens + request.output_tokens
-        )
-        self.replayed_tokens += rows
+        if shared_rows > 0:
+            self.pool.fork(anchor, rid, shared_rows)
+        else:
+            self.pool.allocate(rid)
+        fresh = rows - shared_rows
+        if fresh > 0:
+            for layer in range(self.config.num_layers):
+                self.pool.append(
+                    rid,
+                    layer,
+                    self._draw_rows(fresh),
+                    self._draw_rows(fresh),
+                )
+        incoming = request.input_tokens + request.output_tokens
+        if shared_rows > 0:
+            incoming = max(
+                1,
+                incoming - min(request.shared_tokens,
+                               request.input_tokens),
+            )
+        self._contexts[rid] = incoming
+        self._prompt_rows_of[rid] = rows
+        if request.prefix_group >= 0:
+            self._groups[rid] = request.prefix_group
+            if self._anchors.get(request.prefix_group) not in self.pool:
+                self._anchors[request.prefix_group] = rid
+        # Only freshly encoded rows count as replayed: forked rows are
+        # aliased, never re-streamed — that is the feature.
+        self.replayed_tokens += fresh
 
     def step(self, resident: Sequence[Request]) -> None:
         """One generation iteration: batched append, batched read."""
@@ -349,11 +418,30 @@ class _CacheReplay:
         # the final report both consume these measurements.
         self._refresh_measurement()
 
+    def _forget(self, rid: int) -> None:
+        """Drop ``rid``'s sharing bookkeeping; promote anchors.
+
+        If ``rid`` anchored a prefix group, the earliest-admitted
+        surviving member takes over (its forked chunks keep the shared
+        storage alive in the pool, so later arrivals can still fork);
+        a group with no survivors loses its anchor entirely.
+        """
+        self._contexts.pop(rid, None)
+        self._prompt_rows_of.pop(rid, None)
+        group = self._groups.pop(rid, None)
+        if group is None or self._anchors.get(group) != rid:
+            return
+        for member, member_group in self._groups.items():
+            if member_group == group and member in self.pool:
+                self._anchors[group] = member
+                return
+        self._anchors.pop(group, None)
+
     def retire(self, requests: Sequence[Request]) -> None:
         """Free retired sequences' caches."""
         for request in requests:
             self.pool.free(request.request_id)
-            self._contexts.pop(request.request_id, None)
+            self._forget(request.request_id)
 
     def abort(self, request: Request) -> None:
         """Back out a partially admitted request.
@@ -367,7 +455,7 @@ class _CacheReplay:
         """
         if request.request_id in self.pool:
             self.pool.free(request.request_id)
-        self._contexts.pop(request.request_id, None)
+        self._forget(request.request_id)
 
     def report(self) -> Dict[str, float]:
         """Replay measurements attached to the serving report."""
@@ -385,6 +473,10 @@ class _CacheReplay:
                 self.pool.batched_append_roundtrips
             ),
             "replayed_tokens": float(self.replayed_tokens),
+            "forks": float(self.pool.forks),
+            "shared_bytes_saved": self.pool.summary()[
+                "shared_bytes_saved"
+            ],
         }
         if self._engine_quantizers:
             quant = sum(
@@ -604,6 +696,8 @@ def simulate_trace(
                 arrival_s=item.arrival_s,
                 input_tokens=item.input_tokens,
                 output_tokens=item.output_tokens,
+                prefix_group=item.prefix_group,
+                shared_tokens=item.shared_tokens,
             )
         )
 
@@ -716,6 +810,8 @@ def simulate_synthesized_batches(
                 arrival_s=0.0,
                 input_tokens=item.input_tokens,
                 output_tokens=min(item.output_tokens, clip),
+                prefix_group=item.prefix_group,
+                shared_tokens=item.shared_tokens,
             )
             for item in group
         ]

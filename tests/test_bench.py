@@ -41,7 +41,7 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     assert set(bench) == {
         "encode_roundtrip", "generation", "bitpack", "pool_read",
         "pool_append", "baseline_read", "datapath", "replay",
-        "cluster", "tiering",
+        "cluster", "tiering", "prefix_sharing",
     }
 
     enc = bench["encode_roundtrip"]
@@ -99,6 +99,16 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
         tiering["budget_100"]["hit_rate"]
     )
     assert tiering["speedup_prefetch"] > 1.0
+    sharing = bench["prefix_sharing"]
+    # Byte accounting, also sim-time deterministic: the sharing run
+    # must hold a strictly smaller peak than its no-sharing twin and
+    # admit strictly more sequences into the bounded pool (the
+    # harness asserts token-count equality and nonzero forks
+    # internally).
+    assert sharing["forks"] > 0
+    assert sharing["shared_bytes_saved"] > 0
+    assert sharing["speedup_footprint"] > 1.0
+    assert sharing["speedup_admission"] > 1.0
 
     summary = format_summary(report)
     assert "encode roundtrip" in summary
@@ -111,6 +121,7 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     assert "serving replay" in summary
     assert "cluster replay" in summary
     assert "tiered KV" in summary
+    assert "prefix sharing" in summary
 
 
 def test_no_output_file_when_disabled(tmp_path, monkeypatch):

@@ -181,3 +181,39 @@ class TestTieringCommands:
             build_parser().parse_args(
                 ["replay", "--eviction", "random"]
             )
+
+
+@pytest.mark.sharing
+class TestSharingCommands:
+    def test_replay_rag_workload_forks(self, capsys):
+        import json
+
+        code = main(
+            ["replay", "--workload", "rag", "--requests", "8",
+             "--batch", "4", "--seed", "7", "--json"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["replay"]["forks"] > 0
+        assert report["replay"]["shared_bytes_saved"] > 0
+
+    def test_cluster_cache_replay_forks(self, capsys):
+        import json
+
+        code = main(
+            ["cluster", "--workload", "rag", "--requests", "8",
+             "--batch", "4", "--replicas", "2", "--seed", "7",
+             "--policy", "prefix_affinity", "--cache-replay", "--json"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["lost"] == 0
+        assert report["forks"] > 0
+        assert report["shared_bytes_saved"] > 0
+
+    def test_cluster_without_cache_replay_stays_analytic(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.cache_replay is False
+        from repro.cli import _replay_config
+
+        assert _replay_config(args) is None

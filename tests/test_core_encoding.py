@@ -10,6 +10,7 @@ from repro.core.encoding import (
     split_encoded,
 )
 from repro.core.quantizer import OakenQuantizer
+from repro.engine import BASELINE_NAMES, create_quantizer
 
 from conftest import make_kv_matrix
 
@@ -173,3 +174,93 @@ class TestSplitEncoded:
             split_encoded(batch, [1, 1])
         with pytest.raises(ValueError):
             split_encoded(batch, [5, -1])
+
+    # -- property-based fuzz ------------------------------------------
+
+    # The Table 3 encoding variants: default fused 5-bit records,
+    # naive 23-bit records (fp16 outlier payloads, exercising the
+    # sparse_fp16 arrays), 4-bit outliers folded into the dense slot,
+    # and the 4-group 16-bit-record layout.
+    FUZZ_CONFIGS = {
+        "fused-5b": OakenConfig(),
+        "naive-fp16": OakenConfig(fused_encoding=False),
+        "outlier-4b": OakenConfig.from_ratio_string(
+            "4/90/3/3", outlier_bits=4
+        ),
+        "groups-16b": OakenConfig.from_ratio_string("4/90/3/3"),
+    }
+
+    @pytest.mark.parametrize("variant", sorted(FUZZ_CONFIGS))
+    @pytest.mark.parametrize("seed", range(5))
+    def test_concat_of_split_is_identity_under_random_geometry(
+        self, variant, seed
+    ):
+        """concat(split(x, k)) == x for seeded random chunk shapes.
+
+        Geometries deliberately include the degenerate cases: empty
+        pieces, single rows, ragged runs, and whole-batch splits.
+        """
+        config = self.FUZZ_CONFIGS[variant]
+        quantizer = OakenQuantizer.from_samples(
+            [make_kv_matrix(tokens=96, dim=64, seed=6)], config
+        )
+        rng = np.random.default_rng(seed)
+        for round_index in range(8):
+            tokens = int(rng.integers(1, 24))
+            batch = quantizer.quantize(
+                make_kv_matrix(
+                    tokens=tokens, dim=64, seed=100 * seed + round_index
+                )
+            )
+            # Random composition of tokens into (possibly empty) parts.
+            parts = []
+            remaining = tokens
+            while remaining > 0:
+                take = int(rng.integers(0, remaining + 1))
+                parts.append(take)
+                remaining -= take
+            if not parts or rng.integers(2):
+                parts.append(0)
+            pieces = split_encoded(batch, parts)
+            assert [p.num_tokens for p in pieces] == parts
+            self._assert_chunks_equal(concat_encoded(pieces), batch)
+
+    def test_split_points_preserve_row_footprint(self):
+        """Splitting never changes total bytes (row-additive storage)."""
+        quantizer = OakenQuantizer.from_samples(
+            [make_kv_matrix(tokens=96, dim=64, seed=6)]
+        )
+        batch = quantizer.quantize(make_kv_matrix(tokens=17, dim=64, seed=7))
+        pieces = split_encoded(batch, [5, 0, 1, 11])
+        assert sum(p.nbytes() for p in pieces) == batch.nbytes()
+
+
+class TestRegistryBlockwiseRoundtrips:
+    """The registry-wide face of the split/concat contract.
+
+    Only Oaken emits :class:`EncodedKV`, so for the other registry
+    methods the equivalent property is at the roundtrip level:
+    ``roundtrip_batch`` over a seeded random block geometry must be
+    bit-identical to per-block ``roundtrip`` calls — the invariant the
+    pool's batched adapter paths (and the mirror pool in the sharing
+    differential harness) lean on.
+    """
+
+    @pytest.mark.parametrize("method", sorted(BASELINE_NAMES))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batched_blocks_match_per_block(self, method, seed):
+        quantizer = create_quantizer(method)
+        quantizer.fit([make_kv_matrix(tokens=96, dim=64, seed=8)])
+        rng = np.random.default_rng(seed)
+        blocks = [
+            make_kv_matrix(
+                tokens=int(rng.integers(1, 9)), dim=64,
+                seed=200 * seed + i,
+            )
+            for i in range(int(rng.integers(2, 6)))
+        ]
+        batched = quantizer.roundtrip_batch(blocks)
+        for block, merged in zip(blocks, batched):
+            np.testing.assert_array_equal(
+                merged, quantizer.roundtrip(block)
+            )

@@ -532,6 +532,26 @@ class TestLifecycle:
         pool.free("a")
         assert len(pool) == 1
 
+    def test_free_reports_whether_bytes_released(self, factory):
+        pool = KVCachePool(factory)
+        pool.allocate("empty")
+        pool.allocate("full")
+        pool.append(
+            "full", 0,
+            make_kv_matrix(tokens=2, seed=1),
+            make_kv_matrix(tokens=2, seed=2),
+        )
+        # A never-appended cache holds no bytes: nothing to release.
+        assert pool.free("empty") is False
+        assert pool.free("full") is True
+
+    def test_double_free_raises_keyerror_naming_sequence(self, factory):
+        pool = KVCachePool(factory)
+        pool.allocate("victim")
+        pool.free("victim")
+        with pytest.raises(KeyError, match="victim"):
+            pool.free("victim")
+
 
 class TestFootprint:
     def test_pool_bytes_sum_sequences(self, factory):

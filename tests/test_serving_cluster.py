@@ -238,6 +238,84 @@ class TestRouterPolicies:
         assert rep.lost == 0
 
 
+def _shared_group_trace(count=10, group=7, shared=48):
+    """One prefix group whose members can fork a 48-token prefix."""
+    return [
+        TraceRequest(
+            arrival_s=0.05 * i, input_tokens=64, output_tokens=8,
+            prefix_group=group, shared_tokens=shared,
+        )
+        for i in range(count)
+    ]
+
+
+@pytest.mark.sharing
+class TestForkedSessionRouting:
+    """Prefix-affinity routing composed with copy-on-write forking:
+    a group's shared chunks live on its home replica, and failover
+    re-forks on the takeover replica without breaking exactly-once."""
+
+    REPLAY = CacheReplayConfig(num_layers=1, dim=16, prompt_rows=8)
+
+    def test_forked_sessions_land_on_the_home_replica(self):
+        rep = run_cluster(
+            _shared_group_trace(), replicas=3,
+            policy="prefix_affinity", replay=self.REPLAY,
+        )
+        assert rep.completed == 10 and rep.lost == 0
+        busy = [
+            row for row in rep.per_replica
+            if row["generated_tokens"] > 0
+        ]
+        # The whole group homes to one replica, and that replica is
+        # where every fork (and all the shared bytes) happened.
+        assert len(busy) == 1
+        assert busy[0]["forks"] > 0
+        assert busy[0]["shared_bytes_saved"] > 0.0
+        assert rep.forks == busy[0]["forks"]
+        for row in rep.per_replica:
+            if row["replica"] != busy[0]["replica"]:
+                assert row["forks"] == 0.0
+
+    def test_failover_reforks_on_the_takeover_replica(self):
+        trace = _shared_group_trace(count=12)
+        clean = run_cluster(
+            trace, replicas=2, policy="prefix_affinity",
+            replay=self.REPLAY,
+        )
+        home = max(
+            clean.per_replica, key=lambda row: row["generated_tokens"]
+        )["replica"]
+        rep = run_cluster(
+            trace, replicas=2, policy="prefix_affinity",
+            replay=self.REPLAY,
+            faults=FaultPlan(events=crash_forever(int(home), at_s=0.2)),
+        )
+        # Exactly-once survives the failover: orphans requeue on the
+        # surviving replica, which re-forks the group there (its own
+        # first arrival becomes the new anchor).
+        assert rep.completed + rep.failed == len(trace)
+        assert rep.lost == 0
+        assert rep.duplicate_completions == 0
+        survivor = [
+            row for row in rep.per_replica if row["replica"] != home
+        ][0]
+        assert survivor["forks"] > 0
+        assert survivor["shared_bytes_saved"] > 0.0
+
+    def test_rerun_determinism_with_forking(self):
+        trace = generate_multiturn_trace(
+            "conversation", num_sessions=6, seed=11
+        )
+        kwargs = dict(
+            replicas=2, policy="prefix_affinity", replay=self.REPLAY
+        )
+        a = run_cluster(trace, **kwargs)
+        b = run_cluster(trace, **kwargs)
+        assert a.forks == b.forks > 0
+        assert a.as_dict() == b.as_dict()
+
+
 class TestBackpressure:
     def test_queue_limit_sheds_to_retry_queue(self):
         trace = generate_burst_trace(
