@@ -563,6 +563,210 @@ def bench_pool_appends(
     }
 
 
+def bench_pool_arena(
+    batches: Tuple[int, ...] = (64, 128),
+    steps: int = 32,
+    dim: int = 64,
+    layers: int = 2,
+    seed: int = 0,
+    repeats: int = 2,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Arena vs. chunked pool at serving batch sizes (64 and 128).
+
+    The batch-16 ``pool_read``/``pool_append`` entries compare batched
+    against looped pool calls; this sweep compares the **batched**
+    chunked pool against the same batched calls backed by the
+    structure-of-arrays arena (``KVCachePool(arena=True)``), where the
+    remaining cost is per-chunk object traffic rather than kernel
+    launches.  ``steps`` generation iterations per batch size, one new
+    row per sequence per layer per iteration, appends and reads timed
+    separately; both sides must return bit-identical histories.
+    Results are filed under the ``pool_read.batchN`` /
+    ``pool_append.batchN`` sub-entries with ``speedup_arena`` per
+    batch size.
+    """
+    from repro.engine import (
+        KVCachePool,
+        SyntheticKVStream,
+        shared_backend_factory,
+    )
+
+    calibration = SyntheticKVStream(dim, seed=seed).calibration(
+        layers, 256
+    )
+    factory = shared_backend_factory("oaken", calibration=calibration)
+
+    def run(batch: int, arena: bool):
+        pool = KVCachePool(factory, arena=arena)
+        seq_ids = list(range(batch))
+        for seq_id in seq_ids:
+            pool.allocate(seq_id)
+        stream = SyntheticKVStream(dim, seed=seed + 1)
+        append_s = 0.0
+        read_s = 0.0
+        final = None
+        for _ in range(steps):
+            for layer in range(layers):
+                keys = stream.draw(batch)
+                values = stream.draw(batch)
+                updates = [
+                    (seq_id, keys[i : i + 1], values[i : i + 1])
+                    for i, seq_id in enumerate(seq_ids)
+                ]
+                start = time.perf_counter()
+                pool.append_batch(layer, updates)
+                append_s += time.perf_counter() - start
+            start = time.perf_counter()
+            final = [
+                pool.read_batch(layer, seq_ids)
+                for layer in range(layers)
+            ]
+            read_s += time.perf_counter() - start
+        # Row-slice views are only stable until the next pool
+        # mutation; copy so cross-pool comparison outlives the run.
+        final = [
+            [(k.copy(), v.copy()) for k, v in layer_reads]
+            for layer_reads in final
+        ]
+        return append_s, read_s, final
+
+    def best(batch: int, arena: bool):
+        best_total = float("inf")
+        parts = final = None
+        for _ in range(max(1, repeats)):
+            append_s, read_s, result = run(batch, arena)
+            if append_s + read_s < best_total:
+                best_total = append_s + read_s
+                parts, final = (append_s, read_s), result
+        return parts, final
+
+    reads: Dict[str, Dict[str, float]] = {}
+    appends: Dict[str, Dict[str, float]] = {}
+    run(min(batches), True)  # warm allocator / numpy state
+    for batch in batches:
+        (arena_append_s, arena_read_s), arena_final = best(batch, True)
+        (chunk_append_s, chunk_read_s), chunk_final = best(batch, False)
+        for arena_layer, chunk_layer in zip(arena_final, chunk_final):
+            for (ak, av), (ck, cv) in zip(arena_layer, chunk_layer):
+                if not (
+                    np.array_equal(ak, ck) and np.array_equal(av, cv)
+                ):
+                    raise AssertionError(
+                        f"arena pool reads diverged from the chunked "
+                        f"pool at batch {batch}"
+                    )
+        common = {
+            "batch": batch,
+            "steps": steps,
+            "dim": dim,
+            "layers": layers,
+            "repeats": repeats,
+            "reads_identical": True,
+        }
+        reads[f"batch{batch}"] = {
+            **common,
+            "batched_s": chunk_read_s,
+            "arena_s": arena_read_s,
+            "speedup_arena": chunk_read_s / arena_read_s,
+        }
+        appends[f"batch{batch}"] = {
+            **common,
+            "batched_s": chunk_append_s,
+            "arena_s": arena_append_s,
+            "speedup_arena": chunk_append_s / arena_append_s,
+        }
+    return {"read": reads, "append": appends}
+
+
+def bench_replay_arena(
+    batches: Tuple[int, ...] = (64, 128),
+    inputs: int = 32,
+    outputs: int = 24,
+    seed: int = 0,
+    repeats: int = 2,
+) -> Dict[str, Dict[str, float]]:
+    """End-to-end serving replay throughput, arena vs. chunked pool.
+
+    Replays one closed trace per batch size (enough requests to fill
+    the resident cap and force retire/readmit churn) through
+    :func:`~repro.serving.simulator.simulate_trace` twice — once with
+    the chunked pool, once with ``CacheReplayConfig(arena=True)`` —
+    and times the host wall clock.  The generated token counts must be
+    identical (the arena changes storage, never results), retirement
+    churn must actually compact the arena, and ``speedup_arena`` is
+    the wall-clock ratio: the replay-visible share of the Python
+    overhead the arena removes.  Filed under ``replay.batchN``.
+    """
+    from repro.data.traces import TraceRequest
+    from repro.hardware.overheads import get_system
+    from repro.models.config import get_model
+    from repro.serving.simulator import (
+        CacheReplayConfig,
+        simulate_trace,
+    )
+
+    system = get_system("oaken-hbm")
+    arch = get_model("llama2-13b").arch
+    out: Dict[str, Dict[str, float]] = {}
+    for batch in batches:
+        requests = batch + max(8, batch // 8)
+        trace = [
+            TraceRequest(
+                arrival_s=0.0,
+                input_tokens=inputs,
+                output_tokens=outputs,
+            )
+            for _ in range(requests)
+        ]
+
+        def run(arena: bool):
+            start = time.perf_counter()
+            report = simulate_trace(
+                system, arch, trace, batch,
+                replay=CacheReplayConfig(seed=seed, arena=arena),
+            )
+            return time.perf_counter() - start, report
+
+        run(True)  # warm allocator / numpy state
+        arena_s, arena_report = _best_run(lambda: run(True), repeats)
+        chunked_s, chunked_report = _best_run(
+            lambda: run(False), repeats
+        )
+        if (
+            arena_report.generated_tokens
+            != chunked_report.generated_tokens
+        ):
+            raise AssertionError(
+                "arena replay changed the generated token count: "
+                f"{arena_report.generated_tokens} != "
+                f"{chunked_report.generated_tokens}"
+            )
+        compactions = arena_report.replay["arena_compactions"]
+        if not compactions:
+            raise AssertionError(
+                f"batch-{batch} replay churn never compacted the arena"
+            )
+        tokens = float(arena_report.generated_tokens)
+        out[f"batch{batch}"] = {
+            "requests": float(requests),
+            "max_batch": float(batch),
+            "inputs": float(inputs),
+            "outputs": float(outputs),
+            "repeats": float(repeats),
+            "generated_tokens": tokens,
+            "tokens_identical": True,
+            "chunked_s": chunked_s,
+            "arena_s": arena_s,
+            "chunked_tokens_per_s": (
+                tokens / chunked_s if chunked_s else 0.0
+            ),
+            "arena_tokens_per_s": tokens / arena_s if arena_s else 0.0,
+            "arena_compactions": float(compactions),
+            "speedup_arena": chunked_s / arena_s if arena_s else 0.0,
+        }
+    return out
+
+
 def bench_baseline_reads(
     steps: int = 256,
     dim: int = 64,
@@ -1106,8 +1310,36 @@ def run_benchmarks(
     cluster_requests = 24 if quick else 64
     tiering_outputs = 48 if quick else 96
     sharing_bursts = 3 if quick else 4
+    arena_steps = 10 if quick else 32
+    arena_inputs = 24 if quick else 32
+    arena_outputs = 16 if quick else 24
     stream_repeats = max(2, repeats)
     gen_repeats = max(2, repeats) if quick else 1
+
+    # The arena sweeps always cover both serving batch sizes — the
+    # committed speedup_arena gate paths must exist at quick sizes too
+    # — so quick mode shrinks steps/outputs instead of the batch axis.
+    arena_pool = bench_pool_arena(
+        steps=arena_steps, repeats=stream_repeats
+    )
+    pool_read = bench_pool_reads(
+        batch=pool_batch, steps=pool_steps, repeats=stream_repeats
+    )
+    pool_read.update(arena_pool["read"])
+    pool_append = bench_pool_appends(
+        batch=pool_batch, steps=pool_steps, repeats=stream_repeats
+    )
+    pool_append.update(arena_pool["append"])
+    replay = bench_replay_cycles(
+        requests=replay_requests, outputs=replay_outputs
+    )
+    replay.update(
+        bench_replay_arena(
+            inputs=arena_inputs,
+            outputs=arena_outputs,
+            repeats=stream_repeats,
+        )
+    )
 
     report: Dict[str, object] = {
         "schema": "repro.bench/v1",
@@ -1123,14 +1355,8 @@ def run_benchmarks(
                 steps=gen_steps, repeats=gen_repeats
             ),
             "bitpack": bench_bitpack(count=pack_count, repeats=repeats),
-            "pool_read": bench_pool_reads(
-                batch=pool_batch, steps=pool_steps,
-                repeats=stream_repeats,
-            ),
-            "pool_append": bench_pool_appends(
-                batch=pool_batch, steps=pool_steps,
-                repeats=stream_repeats,
-            ),
+            "pool_read": pool_read,
+            "pool_append": pool_append,
             "baseline_read": bench_baseline_reads(
                 steps=baseline_steps, repeats=stream_repeats
             ),
@@ -1139,9 +1365,7 @@ def run_benchmarks(
                 dim=datapath_dim,
                 repeats=repeats,
             ),
-            "replay": bench_replay_cycles(
-                requests=replay_requests, outputs=replay_outputs
-            ),
+            "replay": replay,
             "cluster": bench_cluster(requests=cluster_requests),
             "tiering": bench_tiering(outputs=tiering_outputs),
             "prefix_sharing": bench_prefix_sharing(
@@ -1261,6 +1485,25 @@ def write_report(report: Dict[str, object], path: str) -> None:
         handle.write("\n")
 
 
+def _arena_sweep_lines(entry: Dict[str, object]) -> List[str]:
+    """Summary lines for the ``batchN`` arena sub-entries, if present."""
+    lines: List[str] = []
+    for key in sorted(
+        (
+            k for k in entry
+            if k.startswith("batch") and k[len("batch"):].isdigit()
+        ),
+        key=lambda k: int(k[len("batch"):]),
+    ):
+        sub = entry[key]
+        lines.append(
+            f"  arena batch={sub['batch']}: chunked "
+            f"{sub['batched_s']:.3f}s  arena {sub['arena_s']:.3f}s"
+            f"  -> {sub['speedup_arena']:.1f}x"
+        )
+    return lines
+
+
 def format_summary(report: Dict[str, object]) -> str:
     """Human-readable one-screen summary of a harness report."""
     bench = report["benchmarks"]
@@ -1286,6 +1529,7 @@ def format_summary(report: Dict[str, object]) -> str:
             f"  batched {pool['batched_s']:.3f}s"
             f"  -> {pool['speedup_batched']:.1f}x",
         ]
+        lines += _arena_sweep_lines(pool)
     appends = bench.get("pool_append")
     if appends is not None:
         lines += [
@@ -1302,6 +1546,7 @@ def format_summary(report: Dict[str, object]) -> str:
                 f"{appends['adapter_batched_s']:.3f}s"
                 f"  -> {appends['speedup_adapter_batched']:.1f}x"
             )
+        lines += _arena_sweep_lines(appends)
     baseline = bench.get("baseline_read")
     if baseline is not None:
         lines += [
@@ -1330,6 +1575,20 @@ def format_summary(report: Dict[str, object]) -> str:
             f"{replay['replayed_tokens']:.0f} tokens"
             f"  -> {replay['tokens_per_mcycle']:.1f} tok/Mcycle",
         ]
+        for key in sorted(
+            (
+                k for k in replay
+                if k.startswith("batch") and k[len("batch"):].isdigit()
+            ),
+            key=lambda k: int(k[len("batch"):]),
+        ):
+            sub = replay[key]
+            lines.append(
+                f"  arena batch={sub['max_batch']:.0f}: chunked "
+                f"{sub['chunked_s']:.3f}s  arena {sub['arena_s']:.3f}s"
+                f"  -> {sub['speedup_arena']:.2f}x "
+                f"({sub['arena_compactions']:.0f} compactions)"
+            )
     cluster = bench.get("cluster")
     if cluster is not None:
         counts = sorted(

@@ -434,17 +434,46 @@ def _replay_config(args: argparse.Namespace):
     """CacheReplayConfig from the tiering CLI flags, or None."""
     from repro.serving.simulator import CacheReplayConfig
 
+    arena = getattr(args, "arena", False)
     if args.device_budget_mb is None:
-        if getattr(args, "cache_replay", False):
+        if getattr(args, "cache_replay", False) or arena:
             # Pool-backed replay without a device budget: measured
             # admission plus prefix sharing (forks), untiered.
-            return CacheReplayConfig(method=args.method)
+            return CacheReplayConfig(method=args.method, arena=arena)
         return None
     return CacheReplayConfig(
         method=args.method,
         device_budget_mb=args.device_budget_mb,
         eviction=args.eviction,
+        arena=arena,
     )
+
+
+def _run_profiled(args: argparse.Namespace, fn):
+    """Run ``fn`` under cProfile when profiling flags are set.
+
+    ``--profile`` prints the top ``--profile-top`` cumulative-time rows
+    to **stderr** (stdout stays clean for ``--json`` pipelines);
+    ``--profile-out FILE`` dumps the raw pstats data for ``snakeviz``
+    or ``pstats.Stats(FILE)`` sessions.  Without either flag this is a
+    plain call.
+    """
+    profile_out = getattr(args, "profile_out", None)
+    if not getattr(args, "profile", False) and not profile_out:
+        return fn()
+    import cProfile
+    import pstats
+    import sys
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn)
+    stats = pstats.Stats(profiler, stream=sys.stderr)
+    stats.sort_stats("cumulative")
+    if getattr(args, "profile", False):
+        stats.print_stats(getattr(args, "profile_top", 20))
+    if profile_out:
+        stats.dump_stats(profile_out)
+    return result
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -462,9 +491,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         # Token-level replay is this subcommand's whole point: even
         # without a device budget it runs the measured-footprint pool
         # (untiered) rather than the analytic capacity model.
-        replay = CacheReplayConfig(method=args.method)
-    report = simulate_trace(
-        system, arch, trace, args.batch, replay=replay,
+        replay = CacheReplayConfig(method=args.method, arena=args.arena)
+    report = _run_profiled(
+        args,
+        lambda: simulate_trace(
+            system, arch, trace, args.batch, replay=replay,
+        ),
     )
     if args.json:
         out = dict(report.__dict__)
@@ -537,7 +569,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             args.replicas, max(1.0, clean.total_time_s),
             seed=args.fault_seed,
         )
-    report = simulate_cluster(system, arch, trace, config, faults)
+    report = _run_profiled(
+        args,
+        lambda: simulate_cluster(system, arch, trace, config, faults),
+    )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
         return 0
@@ -681,6 +716,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="device-tier eviction policy (with --device-budget-mb)",
         )
 
+    def _add_profile_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--profile", action="store_true",
+            help="wrap the run in cProfile and print the top "
+                 "cumulative-time hot spots to stderr",
+        )
+        p.add_argument(
+            "--profile-top", type=int, default=20, metavar="N",
+            help="rows printed by --profile (default 20)",
+        )
+        p.add_argument(
+            "--profile-out", default=None, metavar="FILE",
+            help="dump raw pstats data to FILE (works without "
+                 "--profile; load with pstats.Stats(FILE))",
+        )
+
     replay = sub.add_parser(
         "replay",
         help="token-level single-replica replay (tiered KV optional)",
@@ -705,7 +756,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("--requests", type=int, default=16)
     replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument(
+        "--arena", action="store_true",
+        help="back the replay pool with the structure-of-arrays KV "
+             "arena (bit-identical reads, arena_* occupancy counters "
+             "in the report; fused methods only)",
+    )
     _add_tiering_flags(replay)
+    _add_profile_flags(replay)
     replay.add_argument(
         "--json", action="store_true",
         help="emit the full ServingReport as JSON",
@@ -756,7 +814,13 @@ def build_parser() -> argparse.ArgumentParser:
              "admission blackouts) scaled to the replay length",
     )
     cluster.add_argument("--fault-seed", type=int, default=0)
+    cluster.add_argument(
+        "--arena", action="store_true",
+        help="back each replica's replay pool with the "
+             "structure-of-arrays KV arena (implies --cache-replay)",
+    )
     _add_tiering_flags(cluster)
+    _add_profile_flags(cluster)
     cluster.add_argument(
         "--json", action="store_true",
         help="emit the full ClusterReport as JSON",

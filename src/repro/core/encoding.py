@@ -223,6 +223,59 @@ def concat_encoded(chunks: Sequence[EncodedKV]) -> EncodedKV:
     )
 
 
+def encoded_rows_view(
+    config: OakenConfig,
+    thresholds: GroupThresholds,
+    dense_codes: np.ndarray,
+    middle_lo: np.ndarray,
+    middle_hi: np.ndarray,
+    band_lo: np.ndarray,
+    band_hi: np.ndarray,
+    record_counts: np.ndarray,
+    sparse_pos: np.ndarray,
+    sparse_band: np.ndarray,
+    sparse_side: np.ndarray,
+    sparse_mag_code: np.ndarray,
+    sparse_fp16: Optional[np.ndarray] = None,
+) -> EncodedKV:
+    """Assemble an :class:`EncodedKV` view over gathered storage rows.
+
+    The structure-of-arrays arena keeps the fields of many chunks in
+    flat buffers and has no chunk objects on its hot path; when a
+    consumer needs chunk identity — a fused decode, tiering/sharing
+    diagnostics — it gathers the relevant rows and materializes a chunk
+    view here, lazily.  The arrays are adopted as-is (row-parallel
+    fields may alias arena buffers; decode never mutates its input), and
+    ``sparse_token`` is rebuilt from per-row record counts, preserving
+    the token-major COO stream order :func:`split_encoded` relies on.
+
+    Args:
+        record_counts: [T] outlier records per gathered row, in row
+            order; the sparse arrays hold exactly these records,
+            concatenated row by row.
+    """
+    num_rows = int(dense_codes.shape[0])
+    sparse_token = np.repeat(
+        np.arange(num_rows, dtype=np.int64), record_counts
+    )
+    return EncodedKV(
+        config=config,
+        thresholds=thresholds,
+        shape=(num_rows, int(dense_codes.shape[1])),
+        dense_codes=dense_codes,
+        middle_lo=middle_lo,
+        middle_hi=middle_hi,
+        band_lo=band_lo,
+        band_hi=band_hi,
+        sparse_token=sparse_token,
+        sparse_pos=sparse_pos,
+        sparse_band=sparse_band,
+        sparse_side=sparse_side,
+        sparse_mag_code=sparse_mag_code,
+        sparse_fp16=sparse_fp16,
+    )
+
+
 def split_encoded(
     encoded: EncodedKV, row_counts: Sequence[int]
 ) -> List[EncodedKV]:

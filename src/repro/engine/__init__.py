@@ -29,6 +29,7 @@ Quickstart (full walkthrough in ``docs/engine_api.md``)::
     pool.read_batch(layer=0, seq_ids=["req-0", "req-1"])
 """
 
+from repro.engine.arena import ArenaCacheBackend, KVArena
 from repro.engine.errors import CacheCapacityError, MemoryCapacityError
 from repro.engine.backend import (
     BACKEND_KINDS,
@@ -58,9 +59,11 @@ from repro.engine.tiering import (
 )
 
 __all__ = [
+    "ArenaCacheBackend",
     "BACKEND_KINDS",
     "BASELINE_NAMES",
     "BaselineCacheBackend",
+    "KVArena",
     "CacheBackend",
     "CacheCapacityError",
     "EVICTION_POLICIES",

@@ -58,6 +58,7 @@ import numpy as np
 from repro.core.encoding import concat_encoded, split_encoded
 from repro.core.kvcache import LayerKVCache, QuantizedKVCache
 from repro.core.quantizer import QuantizeScratch
+from repro.engine.arena import ArenaCacheBackend, KVArena
 from repro.engine.backend import (
     BaselineCacheBackend,
     CacheBackend,
@@ -97,6 +98,19 @@ class KVCachePool:
             :class:`~repro.engine.errors.CacheCapacityError` reject
             path.  Placement never changes decoded values: reads are
             bit-identical with or without a store attached.
+        arena: opt into the structure-of-arrays resident set
+            (:class:`~repro.engine.arena.KVArena`).  Applies only to
+            fused pools (the factory yields
+            :class:`~repro.core.kvcache.QuantizedKVCache` backends):
+            one template backend is built to harvest the shared
+            per-layer quantizers, and every sequence then lives as a
+            row-slice in flat per-layer buffers — no per-chunk objects
+            on the hot path, reads bit-identical to the chunked pool.
+            Arena forks copy prefix rows (the adapter-fork contract:
+            bit-exact reads, no byte sharing), so the COW registry is
+            bypassed.  For adapter (registry-baseline) pools the flag
+            is a structural no-op: their flat ``_BaselineStream``
+            buffers already are an arena.
     """
 
     def __init__(
@@ -104,9 +118,18 @@ class KVCachePool:
         backend_factory: Callable[[], CacheBackend],
         capacity_bytes: Optional[float] = None,
         tiering: Optional[TieredKVStore] = None,
+        arena: bool = False,
     ):
         self._factory = backend_factory
         self._caches: Dict[Hashable, CacheBackend] = {}
+        self._arena: Optional[KVArena] = None
+        if arena:
+            template = backend_factory()
+            if isinstance(template, QuantizedKVCache):
+                self._arena = KVArena(
+                    [lc.key_quantizer for lc in template.layers],
+                    [lc.value_quantizer for lc in template.layers],
+                )
         self.capacity_bytes = capacity_bytes
         self.tiering = tiering
         self._tier_seen: Dict[Hashable, float] = {}
@@ -126,11 +149,19 @@ class KVCachePool:
     # allocation
     # ------------------------------------------------------------------
 
+    @property
+    def arena_enabled(self) -> bool:
+        """Whether the structure-of-arrays resident set is active."""
+        return self._arena is not None
+
     def allocate(self, seq_id: Hashable) -> CacheBackend:
         """Create a fresh cache for ``seq_id``."""
         if seq_id in self._caches:
             raise ValueError(f"sequence {seq_id!r} already allocated")
-        backend = self._factory()
+        if self._arena is not None:
+            backend: CacheBackend = self._arena.allocate(seq_id)
+        else:
+            backend = self._factory()
         self._caches[seq_id] = backend
         return backend
 
@@ -190,6 +221,20 @@ class KVCachePool:
                 f"prefix_len {prefix_len} outside parent "
                 f"{parent_seq_id!r}'s cached length {parent.length}"
             )
+        if self._arena is not None:
+            # Arena forks copy the prefix rows (bit-exact reads, no
+            # byte aliasing — the adapter contract class), so the COW
+            # registry stays out of the loop entirely.
+            arena_child = self._arena.fork(
+                parent_seq_id, new_seq_id, prefix_len
+            )
+            self._caches[new_seq_id] = arena_child
+            self.forks += 1
+            if self.tiering is not None:
+                self._tier_seen[new_seq_id] = float(
+                    arena_child.nbytes()
+                )
+            return arena_child
         child = self._factory()
         if isinstance(parent, QuantizedKVCache) and isinstance(
             child, QuantizedKVCache
@@ -318,6 +363,15 @@ class KVCachePool:
                 "(double free, or never allocated)"
             )
         cache = self._caches.pop(seq_id)
+        if self._arena is not None:
+            # Measure before the rows are marked dead; freeing may
+            # trigger deterministic compaction of the arena.
+            released = float(cache.nbytes())
+            self._arena.free(seq_id)
+            if self.tiering is not None:
+                self.tiering.release(seq_id)
+                self._tier_seen.pop(seq_id, None)
+            return released > 0.0
         retained, transfers = self._sharing.release_seq(seq_id)
         if self.tiering is not None:
             # Drop the freed sequence's pages first, then re-home the
@@ -500,6 +554,19 @@ class KVCachePool:
         # One capacity projection for the whole batch, before anything
         # mutates: a refused batch leaves every sequence untouched.
         self._check_capacity(first_seq, total_rows)
+        if self._arena is not None:
+            if entries:
+                self._arena.append_batch(
+                    layer,
+                    [
+                        (seq_id, keys, values)
+                        for seq_id, _, keys, values in entries
+                    ],
+                )
+                if len(entries) >= 2:
+                    self.batched_encodes += 2
+            self._tier_record_batch(entries, layer)
+            return
         if len(entries) < 2:
             for seq_id, cache, keys, values in entries:
                 cache.append(layer, keys, values)
@@ -592,6 +659,13 @@ class KVCachePool:
         # pending chunks exactly once (committing twice would corrupt
         # the memoized prefix), then serve reads in request order.
         unique = list(dict.fromkeys(caches))
+        if self._arena is not None:
+            ran = self._arena.decode_pending(
+                layer, [cache.seq_id for cache in unique]
+            )
+            if ran and len(unique) >= 2:
+                self.batched_decodes += 2
+            return [cache.read(layer) for cache in caches]
         fusible = self._fusible_layers(unique, layer)
         if fusible is not None:
             self._decode_pending_batch(fusible)
@@ -814,6 +888,16 @@ class KVCachePool:
         With a tiered store attached, its counters join the dict under
         a ``tier_`` prefix (``tier_hits``, ``tier_evictions``,
         ``tier_transfer_cycles``, ...).
+
+        With the arena active, occupancy counters join too:
+        ``arena_rows_live`` / ``arena_rows_dead`` (summed over layers),
+        ``arena_compactions``, and ``arena_capacity_bytes`` — the
+        preallocated buffer bytes including slack.  ``bytes`` and
+        ``peak_bytes`` stay *live-content* footprints (bit-identical
+        to the chunked pool's accounting), which is what the
+        measured-footprint admission gate budgets against; the slack
+        the doubling policy holds beyond that is exactly
+        ``arena_capacity_bytes`` minus the encoded share of ``bytes``.
         """
         total, ebw = self.measure()
         out = {
@@ -831,6 +915,8 @@ class KVCachePool:
             "forks": float(self.forks),
         }
         out.update(self._sharing.summary())
+        if self._arena is not None:
+            out.update(self._arena.summary())
         if self.tiering is not None:
             for key, value in self.tiering.summary().items():
                 out[f"tier_{key}"] = value

@@ -608,7 +608,7 @@ class _ClusterSim:
         generated_now = len(plan.resident)
         if replica.cache is not None:
             try:
-                replica.cache.step(plan.resident)
+                replica.cache.step(plan.resident, plan.resident_ids)
             except CacheCapacityError as error:
                 # Mid-step append refusal: the batch append left every
                 # sequence untouched; evict the named offender and let

@@ -35,6 +35,10 @@ class IterationPlan:
             nonzero in chunked-prefill mode, where admissions prefill
             incrementally instead of stalling the batch — the
             Sarathi-style scheduling the paper's serving layer cites).
+        resident_ids: the resident requests' ids, in ``resident``
+            order, computed once here so per-iteration consumers (the
+            cache replay's batched append/read pair per layer) never
+            rebuild the id list per layer inside the hot loop.
     """
 
     admitted: List[Request]
@@ -42,6 +46,7 @@ class IterationPlan:
     mean_context: float
     ragged: bool
     prefill_tokens: int = 0
+    resident_ids: Tuple[int, ...] = ()
 
 
 class ContinuousBatchScheduler:
@@ -208,6 +213,7 @@ class ContinuousBatchScheduler:
             mean_context=float(sum(contexts)) / len(contexts),
             ragged=ragged,
             prefill_tokens=prefill_tokens,
+            resident_ids=tuple(r.request_id for r in generating),
         )
 
     def complete_iteration(self, now_s: float) -> List[Request]:

@@ -100,6 +100,16 @@ class CacheReplayConfig:
             degenerate case at replay scale.
         prefetch_pages: sequential spilled pages promoted alongside a
             missed page (tiered mode; 0 disables prefetch).
+        arena: back the replay pool's resident set with the
+            structure-of-arrays arena
+            (:class:`~repro.engine.KVCachePool` with ``arena=True``):
+            every sequence lives as a row-slice in flat per-layer
+            buffers, removing per-chunk Python objects from the
+            append/read hot path.  Reads are bit-identical either way;
+            the report gains ``arena_*`` occupancy counters.  Only
+            fused pools adopt the arena, so this composes with
+            ``method="oaken"`` (including ``engine_cycles``) and is a
+            structural no-op for adapter baselines.
     """
 
     method: str = "oaken"
@@ -116,6 +126,7 @@ class CacheReplayConfig:
     eviction: str = "lru"
     page_bytes: int = 1024
     prefetch_pages: int = 1
+    arena: bool = False
 
 
 class _CacheReplay:
@@ -172,7 +183,9 @@ class _CacheReplay:
                 policy=config.eviction,
                 prefetch_pages=config.prefetch_pages,
             )
-        self.pool = KVCachePool(factory, tiering=self.tiering)
+        self.pool = KVCachePool(
+            factory, tiering=self.tiering, arena=config.arena
+        )
         device = system.device_for(arch)
         budget = device.memory.capacity_bytes * (
             1.0 - device.reserved_fraction
@@ -394,25 +407,45 @@ class _CacheReplay:
         # aliased, never re-streamed — that is the feature.
         self.replayed_tokens += fresh
 
-    def step(self, resident: Sequence[Request]) -> None:
-        """One generation iteration: batched append, batched read."""
+    def step(
+        self,
+        resident: Sequence[Request],
+        resident_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        """One generation iteration: batched append, batched read.
+
+        Exactly one ``append_batch`` / ``read_batch`` pair per layer:
+        the iteration's fresh rows are drawn as one [B, D] block per
+        tensor and handed to the pool as per-sequence row views, so
+        the per-sequence Python loop (and its per-row RNG calls) never
+        runs here.  ``resident_ids``, when the scheduler's
+        :class:`~repro.serving.scheduler.IterationPlan` provides it,
+        skips rebuilding the id list from the request objects.
+        """
         if not resident:
             return
-        seq_ids = [r.request_id for r in resident]
+        seq_ids = (
+            list(resident_ids)
+            if resident_ids is not None
+            else [r.request_id for r in resident]
+        )
+        batch = len(seq_ids)
         for layer in range(self.config.num_layers):
             # One fused encode across the whole resident batch per
             # tensor, mirroring the fused decode on the read side.
+            keys = self._draw_rows(batch)
+            values = self._draw_rows(batch)
             self.pool.append_batch(
                 layer,
-                {
-                    seq_id: (self._draw_rows(1), self._draw_rows(1))
-                    for seq_id in seq_ids
-                },
+                [
+                    (seq_id, keys[i : i + 1], values[i : i + 1])
+                    for i, seq_id in enumerate(seq_ids)
+                ],
             )
             self.batched_appends += 1
             self.pool.read_batch(layer, seq_ids)
             self.batched_reads += 1
-        self.replayed_tokens += len(seq_ids)
+        self.replayed_tokens += batch
         # Refresh the measured footprint (peak bytes, effective
         # bitwidth) while the pool is populated; admission gating and
         # the final report both consume these measurements.
@@ -459,6 +492,7 @@ class _CacheReplay:
 
     def report(self) -> Dict[str, float]:
         """Replay measurements attached to the serving report."""
+        summary = self.pool.summary()
         out = {
             "method": self.config.method,
             "mode": self.config.mode,
@@ -474,10 +508,17 @@ class _CacheReplay:
             ),
             "replayed_tokens": float(self.replayed_tokens),
             "forks": float(self.pool.forks),
-            "shared_bytes_saved": self.pool.summary()[
-                "shared_bytes_saved"
-            ],
+            "shared_bytes_saved": summary["shared_bytes_saved"],
         }
+        if self.pool.arena_enabled:
+            out["arena"] = 1.0
+            for key in (
+                "arena_rows_live",
+                "arena_rows_dead",
+                "arena_compactions",
+                "arena_capacity_bytes",
+            ):
+                out[key] = summary[key]
         if self._engine_quantizers:
             quant = sum(
                 q.quant_cycles for q in self._engine_quantizers
@@ -721,7 +762,7 @@ def simulate_trace(
             # through the real quantized caches and exercise the
             # batched multi-sequence append and read paths, as the
             # accelerator's MMU would every iteration.
-            cache_replay.step(plan.resident)
+            cache_replay.step(plan.resident, plan.resident_ids)
         now += step_time
         busy += step_time
         retired = scheduler.complete_iteration(now)

@@ -62,6 +62,15 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     assert appends["speedup_batched"] > 1.0
     assert appends["adapter_caches_identical"] is True
     assert appends["speedup_adapter_batched"] > 1.0
+    # Arena sweep: both serving batch sizes present under pool_read /
+    # pool_append, bit-identical reads, and the SoA arena faster than
+    # the chunked pool even at smoke sizes.
+    for entry in (pool, appends):
+        for key in ("batch64", "batch128"):
+            sub = entry[key]
+            assert sub["reads_identical"] is True
+            assert sub["speedup_arena"] > 1.0
+            assert sub["repeats"] >= 2
     baseline = bench["baseline_read"]
     assert baseline["reads_identical"] is True
     assert baseline["speedup_amortized"] > 1.0
@@ -79,6 +88,14 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     assert replay["engine_cycles"] == (
         replay["engine_quant_cycles"] + replay["engine_dequant_cycles"]
     )
+    # End-to-end replay sweep: the arena must not change the tokens a
+    # trace generates, must actually compact under retirement churn,
+    # and must beat the chunked pool on host wall clock.
+    for key in ("batch64", "batch128"):
+        sub = replay[key]
+        assert sub["tokens_identical"] is True
+        assert sub["arena_compactions"] > 0
+        assert sub["speedup_arena"] > 1.0
     cluster = bench["cluster"]
     # Sim-time metrics: deterministic, so exact floors are safe.
     assert cluster["speedup_replicas"] > 1.0
@@ -116,6 +133,9 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     assert "pool reads" in summary
     assert "pool appends" in summary
     assert "adapter" in summary
+    assert "arena batch=64" in summary
+    assert "arena batch=128" in summary
+    assert "compactions" in summary
     assert "baseline reads" in summary
     assert "datapath engines" in summary
     assert "serving replay" in summary
