@@ -72,4 +72,10 @@ def test_hotpath_speedups(bench_out):
     replay = bench["replay"]
     assert replay["engine_cycles"] > 0
     assert replay["tokens_per_mcycle"] > 0
+    # Vectorized analytic sweep: element-identical to the scalar loop
+    # (bench_analytic raises on any divergence) and clearly faster
+    # even at the quick grid size.
+    analytic = bench["analytic"]
+    assert analytic["runs_identical"] == 1.0
+    assert analytic["speedup_vectorized"] > 2.0
     assert elapsed < 60.0

@@ -13,31 +13,22 @@ Two additions back the repo's regression rule:
 * ``--check PATH`` compares every ``speedup_*`` entry of this run
   against a committed report and exits non-zero when one fell below
   ``--check-factor`` times its committed value — the CI smoke gate.
+
+``python -m repro bench`` mounts the same flags via
+:func:`add_arguments` and dispatches to the same :func:`run`, so the
+two spellings cannot drift (pinned by ``tests/test_cli_commands.py``).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
-from repro.bench.hotpath import (
-    DEFAULT_OUT,
-    find_regressions,
-    format_summary,
-    merge_reports,
-    missing_speedups,
-    run_benchmarks,
-    write_report,
-)
 
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Mount the bench flags on ``parser`` (shared by both spellings)."""
+    from repro.bench.hotpath import DEFAULT_OUT
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.bench",
-        description="Time the quantized-KV hot paths against the seed "
-        "implementation and write a machine-readable report.",
-    )
     parser.add_argument(
         "--out", default=DEFAULT_OUT,
         help=f"output JSON path (default: {DEFAULT_OUT})",
@@ -79,12 +70,26 @@ def main(argv=None) -> int:
         "quick-vs-full sizes and CI hardware variance — a lost hot "
         "path collapses toward 1x and always trips it)",
     )
-    args = parser.parse_args(argv)
+
+
+def run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.hotpath import (
+        find_regressions,
+        format_summary,
+        merge_reports,
+        missing_speedups,
+        run_benchmarks,
+        write_report,
+    )
+
     if args.runs < 1:
-        parser.error("--runs must be >= 1")
+        print("error: --runs must be >= 1", file=sys.stderr)
+        return 2
 
     reports = []
-    for run in range(args.runs):
+    for index in range(args.runs):
         reports.append(
             run_benchmarks(
                 quick=args.quick,
@@ -96,7 +101,7 @@ def main(argv=None) -> int:
             )
         )
         if args.runs > 1:
-            print(f"run {run + 1}/{args.runs} complete")
+            print(f"run {index + 1}/{args.runs} complete")
     report = reports[0] if args.runs == 1 else merge_reports(reports)
 
     if args.out:
@@ -134,6 +139,21 @@ def main(argv=None) -> int:
             f"(threshold {args.check_factor:.2f}x)"
         )
     return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Time the quantized-KV hot paths against the seed "
+        "implementation and write a machine-readable report.",
+    )
+    add_arguments(parser)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return run(args)
 
 
 if __name__ == "__main__":

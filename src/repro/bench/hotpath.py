@@ -1274,6 +1274,90 @@ def bench_prefix_sharing(
     }
 
 
+def bench_analytic(
+    models: Optional[Tuple[str, ...]] = None,
+    batches: Tuple[int, ...] = (16, 32, 64, 128, 256),
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Scalar-vs-vectorized analytic serving sweep.
+
+    Times the frozen per-point loop —
+    :func:`repro.hardware.perf.simulate_generation_run` once per
+    (model, system, batch) cell — against one
+    :func:`repro.hardware.sweep.simulate_generation_grid` call over the
+    same Figure 11-style grid.  Before timing, every cell of the grid
+    result is compared field-for-field against the scalar runs with
+    ``==`` (``runs_identical``): the sweep is a *vectorization*, not an
+    approximation, so any drift fails the benchmark outright rather
+    than shipping a fast-but-different number.
+    """
+    from repro.experiments.fig11 import (
+        FIG11_MODELS,
+        FIG11_SYSTEMS,
+        systems_for_model,
+    )
+    from repro.hardware.perf import simulate_generation_run
+    from repro.hardware.sweep import GridPoint, simulate_generation_grid
+    from repro.hardware.overheads import get_system
+    from repro.models.config import get_model
+
+    start = time.perf_counter()
+    model_names = FIG11_MODELS if models is None else models
+    points = [
+        GridPoint(model=model, system=name, batch=batch)
+        for model in model_names
+        for batch in batches
+        for name in systems_for_model(model, FIG11_SYSTEMS)
+    ]
+    archs = {name: get_model(name).arch for name in model_names}
+    systems = {name: get_system(name) for name in FIG11_SYSTEMS}
+
+    def scalar_pass():
+        return [
+            simulate_generation_run(
+                systems[p.system], archs[p.model], p.batch
+            )
+            for p in points
+        ]
+
+    def vector_pass():
+        return simulate_generation_grid(points)
+
+    # Identity first (unconditional, not best-of): the speedup below is
+    # only meaningful while the two paths agree exactly.
+    scalar_runs = scalar_pass()
+    grid = vector_pass()
+    fields = (
+        "oom", "effective_batch", "tokens_per_s",
+        "prefill_s", "generation_s",
+    )
+    for i, run in enumerate(scalar_runs):
+        vec = grid.run(i)
+        for field in fields:
+            if getattr(run, field) != getattr(vec, field):
+                raise AssertionError(
+                    f"vectorized sweep diverged at point {points[i]} "
+                    f"field {field}: scalar {getattr(run, field)!r} "
+                    f"!= vectorized {getattr(vec, field)!r}"
+                )
+
+    scalar_s = _best_time(scalar_pass, repeats)
+    vectorized_s = _best_time(vector_pass, repeats)
+    return {
+        "points": len(points),
+        "models": len(model_names),
+        "systems": len(FIG11_SYSTEMS),
+        "batches": len(batches),
+        "runs_identical": 1.0,
+        "scalar_s": scalar_s,
+        "vectorized_s": vectorized_s,
+        "speedup_vectorized": (
+            scalar_s / vectorized_s if vectorized_s > 0 else 0.0
+        ),
+        "wall_s": time.perf_counter() - start,
+    }
+
+
 def run_benchmarks(
     quick: bool = False,
     out_path: Optional[str] = DEFAULT_OUT,
@@ -1313,6 +1397,10 @@ def run_benchmarks(
     arena_steps = 10 if quick else 32
     arena_inputs = 24 if quick else 32
     arena_outputs = 16 if quick else 24
+    analytic_models = (
+        ("llama2-7b", "llama2-70b") if quick else None
+    )
+    analytic_batches = (16, 64, 256) if quick else (16, 32, 64, 128, 256)
     stream_repeats = max(2, repeats)
     gen_repeats = max(2, repeats) if quick else 1
 
@@ -1370,6 +1458,11 @@ def run_benchmarks(
             "tiering": bench_tiering(outputs=tiering_outputs),
             "prefix_sharing": bench_prefix_sharing(
                 num_bursts=sharing_bursts
+            ),
+            "analytic": bench_analytic(
+                models=analytic_models,
+                batches=analytic_batches,
+                repeats=max(3, repeats),
             ),
         },
     }
@@ -1636,6 +1729,15 @@ def format_summary(report: Dict[str, object]) -> str:
             f"  admission {sharing['admitted_nosharing']:.0f}"
             f" -> {sharing['admitted_sharing']:.0f} seqs"
             f"  -> {sharing['speedup_admission']:.1f}x",
+        ]
+    analytic = bench.get("analytic")
+    if analytic is not None:
+        lines += [
+            f"analytic sweep ({analytic['points']} grid points):",
+            f"  scalar {analytic['scalar_s']:.3f}s"
+            f"  vectorized {analytic['vectorized_s']:.4f}s"
+            f"  -> {analytic['speedup_vectorized']:.1f}x"
+            " (element-identical)",
         ]
     lines.append("bitpack fast paths:")
     for width, row in bench["bitpack"].items():

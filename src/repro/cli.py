@@ -1,846 +1,18 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Back-compat shim for the old monolithic CLI module.
 
-Commands:
-
-``list-models``
-    The model zoo with both architecture and simulation shapes.
-``list-systems``
-    The serving systems and their devices / effective KV bitwidths.
-``quantize``
-    Demo of any registry quantization method (``--method``) on
-    synthetic KV data, reporting the footprint and reconstruction
-    quality; the paper method additionally accepts any group
-    configuration.  All methods build through the unified
-    ``repro.engine`` factory.
-``throughput``
-    One simulated generation run (model x system x batch).
-``capacity``
-    Capacity planner: max batch per serving system at a context length.
-``datapath``
-    Stream synthetic KV through the Figure 9 engine datapaths, verify
-    bit-exactness against the golden model, report cycles/occupancy.
-``fabric``
-    Memory-fabric contention report (Section 5.1) for a batch and
-    placement policy.
-``overlap``
-    Section 5.3 overlap schedule: measured engine exposure at a batch.
-``replay``
-    Token-level serving replay of a synthetic trace through the real
-    quantized caches; ``--device-budget-mb`` enables the tiered paged
-    KV hierarchy (device pages + host spill, ``--eviction`` picks the
-    policy) so contexts larger than the device budget complete by
-    spilling instead of queueing.
-``experiment``
-    Regenerate a paper table/figure by id (fig01..fig14, table2..4,
-    energy, profiling).
+The implementation moved to the :mod:`repro.commands` package (one
+module per subcommand).  This module keeps the historical import
+surface alive: ``from repro.cli import build_parser, main`` and the
+private helpers a few tests reach for.
 """
 
 from __future__ import annotations
 
-import argparse
-import sys
-from typing import Callable, Dict, List, Optional
-
-import numpy as np
-
-
-def _cmd_list_models(args: argparse.Namespace) -> int:
-    from repro.experiments.common import TextTable
-    from repro.models.config import MODEL_ZOO
-
-    table = TextTable(
-        [
-            "name", "family", "layers", "d_model", "kv_heads",
-            "params_B", "kv_KB/token", "sim_layers", "sim_d",
-        ]
-    )
-    for spec in MODEL_ZOO.values():
-        arch = spec.arch
-        table.add_row(
-            [
-                spec.name,
-                spec.family,
-                arch.n_layers,
-                arch.d_model,
-                arch.n_kv_heads,
-                arch.params / 1e9,
-                arch.kv_bytes_per_token() / 1024.0,
-                spec.sim.n_layers,
-                spec.sim.d_model,
-            ]
-        )
-    print(table.render())
-    return 0
-
-
-def _cmd_list_systems(args: argparse.Namespace) -> int:
-    from repro.experiments.common import TextTable
-    from repro.hardware.overheads import SERVING_SYSTEMS
-    from repro.models.config import get_model
-
-    arch = get_model(args.model).arch
-    table = TextTable(
-        ["system", "device", "memory", "GB", "GB/s", "kv_bits"]
-    )
-    for system in SERVING_SYSTEMS.values():
-        device = system.device_for(arch)
-        table.add_row(
-            [
-                system.name,
-                device.name,
-                device.memory.name,
-                device.memory.capacity_gb,
-                device.memory.bandwidth_gbps,
-                system.kv_bits(arch),
-            ]
-        )
-    print(f"(devices resolved for {args.model})")
-    print(table.render())
-    return 0
-
-
-def _cmd_quantize(args: argparse.Namespace) -> int:
-    from repro.core.config import OakenConfig
-    from repro.core.serialization import serialize
-    from repro.engine import create_quantizer
-    from repro.quant.metrics import signal_to_quantization_noise
-
-    rng = np.random.default_rng(args.seed)
-    x = rng.standard_normal((args.tokens, args.dim))
-    outlier_channels = rng.choice(
-        args.dim, size=max(1, args.dim // 20), replace=False
-    )
-    x[:, outlier_channels] *= 10.0
-
-    # Every registry method builds through the one engine factory; the
-    # group-ratio knobs only parameterize the paper method.
-    config = None
-    if args.method == "oaken":
-        config = OakenConfig.from_ratio_string(
-            args.ratios, outlier_bits=args.outlier_bits
-        )
-    quantizer = create_quantizer(args.method, "key", config=config)
-    quantizer.fit([x])
-    print(f"method: {args.method}")
-    if config is not None:
-        print(f"groups: {args.ratios} @ {args.outlier_bits}-bit outliers")
-    print(f"tokens x dim: {args.tokens} x {args.dim}")
-    if args.method == "oaken":
-        # Encode once; the report lines all derive from this layout.
-        encoded = quantizer.quantizer.quantize(x)
-        restored = quantizer.quantizer.dequantize(encoded)
-        footprint = encoded.footprint()
-        print(f"outliers: {encoded.num_outliers / x.size:.2%}")
-    else:
-        restored = quantizer.roundtrip(x)
-        footprint = quantizer.footprint(x)
-    print(f"effective bits/element: {footprint.effective_bitwidth:.3f}")
-    print(f"compression vs FP16: {footprint.compression_ratio():.2f}x")
-    print(
-        "SQNR: "
-        f"{signal_to_quantization_noise(x, restored):.1f} dB"
-    )
-    if args.method == "oaken":
-        blob = serialize(encoded)
-        print(f"serialized stream: {len(blob):,} bytes")
-    return 0
-
-
-def _cmd_throughput(args: argparse.Namespace) -> int:
-    from repro.hardware.overheads import get_system
-    from repro.hardware.perf import simulate_generation_run
-    from repro.models.config import get_model
-
-    arch = get_model(args.model).arch
-    run = simulate_generation_run(
-        get_system(args.system), arch, args.batch,
-        input_tokens=args.input_tokens,
-        output_tokens=args.output_tokens,
-    )
-    if run.oom:
-        print(f"{args.system} / {args.model} @ batch {args.batch}: OOM")
-        return 1
-    print(
-        f"{args.system} / {args.model} @ batch {args.batch} "
-        f"({args.input_tokens}:{args.output_tokens}):"
-    )
-    print(f"  throughput:      {run.tokens_per_s:,.0f} tokens/s")
-    print(f"  effective batch: {run.effective_batch}")
-    print(f"  prefill:         {run.prefill_s:.3f} s")
-    print(f"  generation:      {run.generation_s:.3f} s")
-    if run.breakdown is not None:
-        b = run.breakdown
-        print(
-            f"  mid-run iter:    nonattn {b.nonattn_s * 1e3:.2f} ms, "
-            f"attn {b.attn_s * 1e3:.2f} ms, exposed overhead "
-            f"{b.exposed_overhead_s * 1e3:.2f} ms"
-        )
-    return 0
-
-
-def _cmd_capacity(args: argparse.Namespace) -> int:
-    from repro.experiments.common import TextTable
-    from repro.hardware.overheads import SERVING_SYSTEMS
-    from repro.hardware.perf import max_supported_batch
-    from repro.models.config import get_model
-
-    arch = get_model(args.model).arch
-    table = TextTable(
-        ["system", "device", "kv_bits", f"max_batch@{args.context}"]
-    )
-    for system in SERVING_SYSTEMS.values():
-        table.add_row(
-            [
-                system.name,
-                system.device_for(arch).name,
-                f"{system.kv_bits(arch):.2f}",
-                max_supported_batch(system, arch, args.context),
-            ]
-        )
-    print(f"capacity plan for {args.model} at {args.context} tokens")
-    print(table.render())
-    return 0
-
-
-def _cmd_datapath(args: argparse.Namespace) -> int:
-    from repro.core.config import OakenConfig
-    from repro.core.quantizer import OakenQuantizer
-    from repro.core.thresholds import profile_thresholds
-    from repro.hardware.datapath import (
-        StreamingDequantEngine,
-        StreamingQuantEngine,
-    )
-
-    config = OakenConfig.from_ratio_string(args.ratios)
-    rng = np.random.default_rng(args.seed)
-    samples = [
-        rng.standard_normal((64, args.dim)) * 3.0 for _ in range(8)
-    ]
-    thresholds = profile_thresholds(samples, config)
-    slab = rng.standard_normal((args.tokens, args.dim)) * 3.0
-
-    quant = StreamingQuantEngine(config, thresholds)
-    dequant = StreamingDequantEngine(config, thresholds)
-    golden = OakenQuantizer(config, thresholds)
-    encoded, quant_cycles = quant.quantize_matrix(slab)
-    restored, dequant_cycles = dequant.dequantize_matrix(encoded)
-    reference = golden.quantize(slab)
-    bits_match = bool(
-        np.array_equal(encoded.dense_codes, reference.dense_codes)
-        and np.array_equal(restored, golden.dequantize(reference))
-    )
-    print(f"{args.tokens} tokens x {args.dim} dim, groups {args.ratios}")
-    print(f"bit-exact vs golden model: {bits_match}")
-    for name, report in (
-        ("quant ", quant_cycles), ("dequant", dequant_cycles),
-    ):
-        print(
-            f"{name} engine: {report.total_cycles} cycles "
-            f"({report.time_s(1.0) * 1e6:.2f} us @ 1 GHz)"
-        )
-        for stage, fraction in sorted(report.occupancy().items()):
-            print(f"    {stage:22s} {fraction:6.2%}")
-    return 0 if bits_match else 1
-
-
-def _cmd_fabric(args: argparse.Namespace) -> int:
-    from repro.hardware.interconnect import generation_fabric_report
-    from repro.hardware.memory import HBM_80GB, LPDDR_256GB
-
-    spec = LPDDR_256GB if args.memory == "lpddr" else HBM_80GB
-    report = generation_fabric_report(
-        spec,
-        batch=args.batch,
-        kv_bytes_per_request=args.kv_mb * 1024 * 1024,
-        weight_bytes=args.weights_mb * 1024 * 1024,
-        striped=not args.skewed,
-        burst_bytes=args.burst_bytes,
-    )
-    placement = "skewed" if args.skewed else "striped/paged"
-    print(
-        f"{spec.name}, batch {args.batch}, {placement} placement"
-    )
-    print(f"  makespan:        {report.makespan_s * 1e3:.3f} ms")
-    print(
-        f"  effective BW:    {report.effective_bandwidth_gbps:.0f} GB/s "
-        f"({report.bandwidth_utilization:.1%} of peak)"
-    )
-    print(f"  fairness spread: {report.fairness_spread():.2f}")
-    return 0
-
-
-def _cmd_overlap(args: argparse.Namespace) -> int:
-    from repro.hardware.overlap import simulate_overlap
-
-    report = simulate_overlap(
-        batch=args.batch,
-        kv_read_bytes=args.kv_mb * 1024 * 1024,
-        new_kv_bytes=args.new_kv_kb * 1024,
-        attention_s=args.attn_us * 1e-6,
-    )
-    print(f"overlap schedule at batch {args.batch}:")
-    print(f"  makespan:        {report.makespan_s * 1e3:.3f} ms")
-    print(f"  ideal (free engines): {report.ideal_makespan_s * 1e3:.3f} ms")
-    print(
-        f"  exposed engine time:  {report.exposed_s * 1e6:.1f} us "
-        f"({100 * report.exposed_s / report.makespan_s:.2f}% of "
-        "iteration)"
-    )
-    print(f"  hidden fraction: {report.hidden_fraction:.3f}")
-    return 0
-
-
-def _cmd_experiment(args: argparse.Namespace) -> int:
-    runners: Dict[str, Callable[[], str]] = {
-        "fig01": lambda: _fig01(),
-        "fig03": lambda: _fig03(),
-        "fig04": lambda: _fig04(),
-        "fig05": lambda: _fig05(),
-        "fig06": lambda: _fig06(),
-        "fig11": lambda: _fig11(),
-        "fig12": lambda: _fig12(),
-        "fig13": lambda: _fig13(),
-        "fig14": lambda: _fig14(),
-        "table2": lambda: _table2(),
-        "table3": lambda: _table3(),
-        "table4": lambda: _table4(),
-        "energy": lambda: _energy(),
-        "profiling": lambda: _profiling(),
-    }
-    if args.id not in runners:
-        print(
-            f"unknown experiment {args.id!r}; available: "
-            f"{', '.join(sorted(runners))}",
-            file=sys.stderr,
-        )
-        return 2
-    print(runners[args.id]())
-    return 0
-
-
-def _fig01() -> str:
-    from repro.experiments.fig01 import format_fig01, run_fig01
-    return format_fig01(run_fig01())
-
-
-def _fig03() -> str:
-    from repro.experiments.fig03 import format_fig03, run_fig03
-    return format_fig03(run_fig03())
-
-
-def _fig04() -> str:
-    from repro.experiments.fig04 import format_fig04, run_fig04
-    return format_fig04(run_fig04())
-
-
-def _fig05() -> str:
-    from repro.experiments.fig05 import (
-        format_fig05, run_fig05_memory, run_fig05_quant,
-    )
-    return format_fig05(run_fig05_memory(), run_fig05_quant())
-
-
-def _fig06() -> str:
-    from repro.experiments.fig06 import format_fig06, run_fig06
-    return format_fig06(run_fig06(batch=4, length=96))
-
-
-def _fig11() -> str:
-    from repro.experiments.fig11 import format_fig11, run_fig11
-    return format_fig11(run_fig11())
-
-
-def _fig12() -> str:
-    from repro.experiments.fig12 import (
-        format_fig12, run_fig12a, run_fig12b,
-    )
-    return format_fig12(run_fig12a(eval_batch=4), run_fig12b())
-
-
-def _fig13() -> str:
-    from repro.experiments.fig13 import format_fig13, run_fig13
-    return format_fig13(run_fig13())
-
-
-def _fig14() -> str:
-    from repro.experiments.fig14 import format_fig14, run_fig14
-    return format_fig14(run_fig14(num_requests=128))
-
-
-def _table2() -> str:
-    from repro.experiments.table2 import format_table2, run_table2
-    return format_table2(
-        run_table2(models=("llama2-7b", "opt-6.7b"), eval_batch=5,
-                   qa_items=32)
-    )
-
-
-def _table3() -> str:
-    from repro.experiments.table3 import format_table3, run_table3
-    return format_table3(run_table3(eval_batch=4))
-
-
-def _table4() -> str:
-    from repro.experiments.table4 import format_table4, run_table4
-    return format_table4(run_table4())
-
-
-def _energy() -> str:
-    from repro.experiments.energy import format_energy, run_energy
-    return format_energy(run_energy())
-
-
-def _profiling() -> str:
-    from repro.experiments.ablation_profiling import (
-        format_profiling_ablation,
-        run_profiling_ablation,
-    )
-    return format_profiling_ablation(run_profiling_ablation())
-
-
-def _build_trace(args: argparse.Namespace):
-    """Shared trace construction for the replay/cluster subcommands."""
-    from repro.data.traces import (
-        generate_burst_trace,
-        generate_longcontext_trace,
-        generate_multiturn_trace,
-        generate_rag_trace,
-        generate_trace,
-    )
-
-    if args.workload == "multiturn":
-        return generate_multiturn_trace(
-            args.trace, num_sessions=max(1, args.requests // 3),
-            seed=args.seed,
-        )
-    if args.workload == "burst":
-        return generate_burst_trace(
-            args.trace, num_bursts=max(1, args.requests // 16),
-            burst_size=16, seed=args.seed,
-        )
-    if args.workload == "rag":
-        return generate_rag_trace(
-            args.trace, num_bursts=max(1, args.requests // 8),
-            burst_size=8, seed=args.seed,
-        )
-    if args.workload == "longcontext":
-        return generate_longcontext_trace(
-            args.trace, num_requests=args.requests, seed=args.seed,
-        )
-    return generate_trace(args.trace, args.requests, seed=args.seed)
-
-
-def _replay_config(args: argparse.Namespace):
-    """CacheReplayConfig from the tiering CLI flags, or None."""
-    from repro.serving.simulator import CacheReplayConfig
-
-    arena = getattr(args, "arena", False)
-    if args.device_budget_mb is None:
-        if getattr(args, "cache_replay", False) or arena:
-            # Pool-backed replay without a device budget: measured
-            # admission plus prefix sharing (forks), untiered.
-            return CacheReplayConfig(method=args.method, arena=arena)
-        return None
-    return CacheReplayConfig(
-        method=args.method,
-        device_budget_mb=args.device_budget_mb,
-        eviction=args.eviction,
-        arena=arena,
-    )
-
-
-def _run_profiled(args: argparse.Namespace, fn):
-    """Run ``fn`` under cProfile when profiling flags are set.
-
-    ``--profile`` prints the top ``--profile-top`` cumulative-time rows
-    to **stderr** (stdout stays clean for ``--json`` pipelines);
-    ``--profile-out FILE`` dumps the raw pstats data for ``snakeviz``
-    or ``pstats.Stats(FILE)`` sessions.  Without either flag this is a
-    plain call.
-    """
-    profile_out = getattr(args, "profile_out", None)
-    if not getattr(args, "profile", False) and not profile_out:
-        return fn()
-    import cProfile
-    import pstats
-    import sys
-
-    profiler = cProfile.Profile()
-    result = profiler.runcall(fn)
-    stats = pstats.Stats(profiler, stream=sys.stderr)
-    stats.sort_stats("cumulative")
-    if getattr(args, "profile", False):
-        stats.print_stats(getattr(args, "profile_top", 20))
-    if profile_out:
-        stats.dump_stats(profile_out)
-    return result
-
-
-def _cmd_replay(args: argparse.Namespace) -> int:
-    import json
-
-    from repro.hardware.overheads import get_system
-    from repro.models.config import get_model
-    from repro.serving.simulator import CacheReplayConfig, simulate_trace
-
-    arch = get_model(args.model).arch
-    system = get_system(args.system)
-    trace = _build_trace(args)
-    replay = _replay_config(args)
-    if replay is None:
-        # Token-level replay is this subcommand's whole point: even
-        # without a device budget it runs the measured-footprint pool
-        # (untiered) rather than the analytic capacity model.
-        replay = CacheReplayConfig(method=args.method, arena=args.arena)
-    report = _run_profiled(
-        args,
-        lambda: simulate_trace(
-            system, arch, trace, args.batch, replay=replay,
-        ),
-    )
-    if args.json:
-        out = dict(report.__dict__)
-        print(json.dumps(out, indent=2, sort_keys=True))
-        return 0 if not report.oom else 1
-    if report.oom:
-        print(f"{args.system} / {args.model}: OOM")
-        return 1
-    print(
-        f"{args.system} / {args.model} @ batch {args.batch}, "
-        f"{len(trace)} requests ({args.workload}/{args.trace}, "
-        f"method {args.method})"
-    )
-    print(
-        f"  generated {report.generated_tokens} tokens, "
-        f"{report.generation_throughput:,.1f} tokens/s, "
-        f"makespan {report.total_time_s:.2f} s"
-    )
-    print(
-        f"  latency mean {report.mean_latency_s:.3f} s  "
-        f"p95 {report.p95_latency_s:.3f} s  "
-        f"ttft p95 {report.p95_ttft_s:.3f} s"
-    )
-    detail = report.replay or {}
-    print(
-        f"  pool peak {detail.get('peak_pool_bytes', 0.0):,.0f} B  "
-        f"gate refusals {detail.get('gate_refusals', 0.0):.0f}"
-    )
-    if args.device_budget_mb is not None:
-        print(
-            f"  tiering ({detail.get('eviction', args.eviction)}, "
-            f"{args.device_budget_mb} MiB device): "
-            f"hits {detail.get('tier_hits', 0.0):.0f}  "
-            f"misses {detail.get('tier_misses', 0.0):.0f}  "
-            f"evictions {detail.get('tier_evictions', 0.0):.0f}"
-        )
-        print(
-            f"    spilled {detail.get('tier_spilled_bytes', 0.0):,.0f} B  "
-            f"transfer {detail.get('tier_transfer_cycles', 0.0):,.0f} "
-            "cycles "
-            f"({detail.get('tier_transfer_cycles_per_token', 0.0):,.1f}"
-            "/token)"
-        )
-    return 0
-
-
-def _cmd_cluster(args: argparse.Namespace) -> int:
-    import json
-
-    from repro.hardware.overheads import get_system
-    from repro.models.config import get_model
-    from repro.serving.cluster import ClusterConfig, simulate_cluster
-    from repro.serving.faults import FaultPlan, generate_fault_plan
-
-    arch = get_model(args.model).arch
-    system = get_system(args.system)
-    trace = _build_trace(args)
-    config = ClusterConfig(
-        replicas=args.replicas,
-        max_batch=args.batch,
-        policy=args.policy,
-        replay=_replay_config(args),
-    )
-    faults = None
-    if args.faults:
-        # Scale the fault horizon to the fault-free makespan so the
-        # plan actually lands inside the replay.
-        clean = simulate_cluster(system, arch, trace, config)
-        faults = generate_fault_plan(
-            args.replicas, max(1.0, clean.total_time_s),
-            seed=args.fault_seed,
-        )
-    report = _run_profiled(
-        args,
-        lambda: simulate_cluster(system, arch, trace, config, faults),
-    )
-    if args.json:
-        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
-        return 0
-    if report.oom:
-        print(f"{args.system} / {args.model}: OOM")
-        return 1
-    print(
-        f"{args.system} / {args.model}: {report.replicas} replicas "
-        f"({report.policy}), {len(trace)} requests"
-    )
-    print(
-        f"  completed {report.completed}  failed {report.failed}  "
-        f"lost {report.lost}"
-    )
-    print(
-        f"  tokens/s {report.tokens_per_s:,.1f}  "
-        f"makespan {report.total_time_s:.2f} s  "
-        f"p99 queue delay {report.p99_queue_delay_s:.3f} s"
-    )
-    print(
-        f"  failovers {report.failovers}  requeues {report.requeues}  "
-        f"retries {report.retries}  "
-        f"capacity rejections {report.capacity_rejections}"
-    )
-    print(
-        f"  detected failures {report.detected_failures}  "
-        f"downtime {report.downtime_s:.2f} s"
-    )
-    if args.device_budget_mb is not None:
-        print(
-            f"  tiering ({args.eviction}, {args.device_budget_mb} MiB "
-            f"device): hits {report.tier_hits}  "
-            f"misses {report.tier_misses}  "
-            f"evictions {report.tier_evictions}  "
-            f"spilled {report.tier_spilled_bytes:,.0f} B  "
-            f"transfer {report.tier_transfer_cycles:,.0f} cycles"
-        )
-    for row in report.per_replica:
-        print(
-            f"    replica {row['replica']:.0f}: "
-            f"{row['generated_tokens']:.0f} tokens, "
-            f"busy {row['busy_s']:.2f} s, "
-            f"crashes {row['crashes']:.0f}, "
-            f"downtime {row['downtime_s']:.2f} s"
-        )
-    return 0
-
-
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the CLI argument parser."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Oaken (ISCA 2025) reproduction toolkit",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    sub.add_parser(
-        "list-models", help="show the model zoo"
-    ).set_defaults(func=_cmd_list_models)
-
-    systems = sub.add_parser(
-        "list-systems", help="show serving systems and devices"
-    )
-    systems.add_argument("--model", default="llama2-7b")
-    systems.set_defaults(func=_cmd_list_systems)
-
-    quantize = sub.add_parser(
-        "quantize", help="quantizer demo on synthetic KV data"
-    )
-    from repro.baselines.registry import BASELINE_NAMES
-
-    quantize.add_argument(
-        "--method", default="oaken", choices=BASELINE_NAMES,
-        help="any registry method, built via repro.engine",
-    )
-    quantize.add_argument("--ratios", default="4/90/6")
-    quantize.add_argument("--outlier-bits", type=int, default=5)
-    quantize.add_argument("--tokens", type=int, default=256)
-    quantize.add_argument("--dim", type=int, default=128)
-    quantize.add_argument("--seed", type=int, default=0)
-    quantize.set_defaults(func=_cmd_quantize)
-
-    throughput = sub.add_parser(
-        "throughput", help="simulate one generation run"
-    )
-    throughput.add_argument("--model", default="llama2-7b")
-    throughput.add_argument("--system", default="oaken-lpddr")
-    throughput.add_argument("--batch", type=int, default=64)
-    throughput.add_argument("--input-tokens", type=int, default=1024)
-    throughput.add_argument("--output-tokens", type=int, default=1024)
-    throughput.set_defaults(func=_cmd_throughput)
-
-    capacity = sub.add_parser(
-        "capacity", help="max batch per serving system at a context"
-    )
-    capacity.add_argument("--model", default="llama2-13b")
-    capacity.add_argument("--context", type=int, default=2048)
-    capacity.set_defaults(func=_cmd_capacity)
-
-    datapath = sub.add_parser(
-        "datapath", help="stream KV through the Figure 9 datapaths"
-    )
-    datapath.add_argument("--ratios", default="4/90/6")
-    datapath.add_argument("--tokens", type=int, default=32)
-    datapath.add_argument("--dim", type=int, default=128)
-    datapath.add_argument("--seed", type=int, default=0)
-    datapath.set_defaults(func=_cmd_datapath)
-
-    fabric = sub.add_parser(
-        "fabric", help="memory-fabric contention report (Section 5.1)"
-    )
-    fabric.add_argument("--memory", choices=("lpddr", "hbm"),
-                        default="lpddr")
-    fabric.add_argument("--batch", type=int, default=16)
-    fabric.add_argument("--kv-mb", type=float, default=25.0)
-    fabric.add_argument("--weights-mb", type=float, default=400.0)
-    fabric.add_argument("--skewed", action="store_true")
-    fabric.add_argument("--burst-bytes", type=float, default=None)
-    fabric.set_defaults(func=_cmd_fabric)
-
-    overlap = sub.add_parser(
-        "overlap", help="Section 5.3 overlap schedule report"
-    )
-    overlap.add_argument("--batch", type=int, default=64)
-    overlap.add_argument("--kv-mb", type=float, default=158.0)
-    overlap.add_argument("--new-kv-kb", type=float, default=512.0)
-    overlap.add_argument("--attn-us", type=float, default=30.0)
-    overlap.set_defaults(func=_cmd_overlap)
-
-    def _add_tiering_flags(p: argparse.ArgumentParser) -> None:
-        from repro.engine.tiering import EVICTION_POLICIES
-
-        p.add_argument(
-            "--device-budget-mb", type=float, default=None,
-            help="enable the tiered paged KV hierarchy with this "
-                 "device-tier budget (MiB); cold pages spill to the "
-                 "host tier instead of refusing admission",
-        )
-        p.add_argument(
-            "--eviction", default="lru", choices=EVICTION_POLICIES,
-            help="device-tier eviction policy (with --device-budget-mb)",
-        )
-
-    def _add_profile_flags(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--profile", action="store_true",
-            help="wrap the run in cProfile and print the top "
-                 "cumulative-time hot spots to stderr",
-        )
-        p.add_argument(
-            "--profile-top", type=int, default=20, metavar="N",
-            help="rows printed by --profile (default 20)",
-        )
-        p.add_argument(
-            "--profile-out", default=None, metavar="FILE",
-            help="dump raw pstats data to FILE (works without "
-                 "--profile; load with pstats.Stats(FILE))",
-        )
-
-    replay = sub.add_parser(
-        "replay",
-        help="token-level single-replica replay (tiered KV optional)",
-    )
-    replay.add_argument("--model", default="llama2-13b")
-    replay.add_argument("--system", default="oaken-hbm")
-    replay.add_argument("--batch", type=int, default=8)
-    replay.add_argument(
-        "--method", default="oaken", choices=BASELINE_NAMES,
-        help="registry method backing the miniature replay caches",
-    )
-    replay.add_argument(
-        "--trace", default="conversation",
-        choices=("conversation", "burstgpt"),
-    )
-    replay.add_argument(
-        "--workload", default="trace",
-        choices=("trace", "multiturn", "burst", "rag", "longcontext"),
-        help="arrival structure; multiturn/rag carry shared prefixes "
-             "the pool forks, longcontext stretches outputs far past "
-             "the device budget to exercise spill",
-    )
-    replay.add_argument("--requests", type=int, default=16)
-    replay.add_argument("--seed", type=int, default=0)
-    replay.add_argument(
-        "--arena", action="store_true",
-        help="back the replay pool with the structure-of-arrays KV "
-             "arena (bit-identical reads, arena_* occupancy counters "
-             "in the report; fused methods only)",
-    )
-    _add_tiering_flags(replay)
-    _add_profile_flags(replay)
-    replay.add_argument(
-        "--json", action="store_true",
-        help="emit the full ServingReport as JSON",
-    )
-    replay.set_defaults(func=_cmd_replay)
-
-    cluster = sub.add_parser(
-        "cluster",
-        help="fault-tolerant multi-replica serving replay",
-    )
-    from repro.serving.cluster import ROUTER_POLICIES
-
-    cluster.add_argument("--model", default="llama2-13b")
-    cluster.add_argument("--system", default="oaken-hbm")
-    cluster.add_argument("--replicas", type=int, default=2)
-    cluster.add_argument("--batch", type=int, default=8)
-    cluster.add_argument(
-        "--method", default="oaken", choices=BASELINE_NAMES,
-        help="registry method for the replay caches "
-             "(with --device-budget-mb)",
-    )
-    cluster.add_argument(
-        "--policy", default="least_loaded", choices=ROUTER_POLICIES
-    )
-    cluster.add_argument(
-        "--trace", default="conversation",
-        choices=("conversation", "burstgpt"),
-    )
-    cluster.add_argument(
-        "--workload", default="trace",
-        choices=("trace", "multiturn", "burst", "rag", "longcontext"),
-        help="arrival structure: plain trace, multi-turn sessions "
-             "(shared prefixes), wave bursts, shared-system-prompt "
-             "RAG bursts, or long-context spill",
-    )
-    cluster.add_argument("--requests", type=int, default=48)
-    cluster.add_argument("--seed", type=int, default=0)
-    cluster.add_argument(
-        "--cache-replay", action="store_true",
-        help="drive a real KVCachePool per replica even without "
-             "--device-budget-mb, so shared-prefix workloads fork "
-             "instead of re-prefilling (forks / shared_bytes_saved "
-             "in the report)",
-    )
-    cluster.add_argument(
-        "--faults", action="store_true",
-        help="inject a seeded random fault plan (crashes, brownouts, "
-             "admission blackouts) scaled to the replay length",
-    )
-    cluster.add_argument("--fault-seed", type=int, default=0)
-    cluster.add_argument(
-        "--arena", action="store_true",
-        help="back each replica's replay pool with the "
-             "structure-of-arrays KV arena (implies --cache-replay)",
-    )
-    _add_tiering_flags(cluster)
-    _add_profile_flags(cluster)
-    cluster.add_argument(
-        "--json", action="store_true",
-        help="emit the full ClusterReport as JSON",
-    )
-    cluster.set_defaults(func=_cmd_cluster)
-
-    experiment = sub.add_parser(
-        "experiment", help="regenerate a paper table/figure"
-    )
-    experiment.add_argument(
-        "id",
-        help="fig01|fig03|fig04|fig05|fig06|fig11|fig12|fig13|fig14|"
-             "table2|table3|table4|energy|profiling",
-    )
-    experiment.set_defaults(func=_cmd_experiment)
-    return parser
-
-
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    return args.func(args)
+from repro.commands import build_parser, main
+from repro.commands.common import (
+    build_trace as _build_trace,
+    replay_config as _replay_config,
+    run_profiled as _run_profiled,
+)
+
+__all__ = ["build_parser", "main"]

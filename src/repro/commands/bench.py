@@ -1,0 +1,20 @@
+"""``repro bench`` — the perf harness behind one front door.
+
+Thin mount over :mod:`repro.bench.__main__`: both ``python -m repro
+bench`` and ``python -m repro.bench`` share one flag set
+(:func:`add_arguments`) and one runner (:func:`run`), so the spellings
+cannot drift.
+"""
+
+from __future__ import annotations
+
+
+def register(sub) -> None:
+    from repro.bench.__main__ import add_arguments, run
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the quantized-KV hot paths, write BENCH_quant.json",
+    )
+    add_arguments(bench)
+    bench.set_defaults(func=run)

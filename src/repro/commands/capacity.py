@@ -1,0 +1,46 @@
+"""``repro capacity`` — max batch per serving system at a context.
+
+The whole system column is priced in one vectorized
+:func:`repro.hardware.sweep.capacity_grid` call, element-identical to
+the scalar planner.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+def register(sub) -> None:
+    capacity = sub.add_parser(
+        "capacity", help="max batch per serving system at a context"
+    )
+    capacity.add_argument("--model", default="llama2-13b")
+    capacity.add_argument("--context", type=int, default=2048)
+    capacity.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.experiments.common import TextTable
+    from repro.hardware.overheads import SERVING_SYSTEMS
+    from repro.hardware.sweep import capacity_grid
+    from repro.models.config import get_model
+
+    arch = get_model(args.model).arch
+    names = list(SERVING_SYSTEMS)
+    batches = capacity_grid(names, args.model, [args.context])
+    table = TextTable(
+        ["system", "device", "kv_bits", f"max_batch@{args.context}"]
+    )
+    for i, name in enumerate(names):
+        system = SERVING_SYSTEMS[name]
+        table.add_row(
+            [
+                system.name,
+                system.device_for(arch).name,
+                f"{system.kv_bits(arch):.2f}",
+                int(batches[i, 0]),
+            ]
+        )
+    print(f"capacity plan for {args.model} at {args.context} tokens")
+    print(table.render())
+    return 0

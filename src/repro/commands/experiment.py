@@ -1,0 +1,127 @@
+"""``repro experiment`` — regenerate a paper table/figure by id."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+
+def register(sub) -> None:
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument(
+        "id",
+        help="fig01|fig03|fig04|fig05|fig06|fig11|fig12|fig13|fig14|"
+             "table2|table3|table4|energy|profiling",
+    )
+    experiment.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    runners: Dict[str, Callable[[], str]] = {
+        "fig01": lambda: _fig01(),
+        "fig03": lambda: _fig03(),
+        "fig04": lambda: _fig04(),
+        "fig05": lambda: _fig05(),
+        "fig06": lambda: _fig06(),
+        "fig11": lambda: _fig11(),
+        "fig12": lambda: _fig12(),
+        "fig13": lambda: _fig13(),
+        "fig14": lambda: _fig14(),
+        "table2": lambda: _table2(),
+        "table3": lambda: _table3(),
+        "table4": lambda: _table4(),
+        "energy": lambda: _energy(),
+        "profiling": lambda: _profiling(),
+    }
+    if args.id not in runners:
+        print(
+            f"unknown experiment {args.id!r}; available: "
+            f"{', '.join(sorted(runners))}",
+            file=sys.stderr,
+        )
+        return 2
+    print(runners[args.id]())
+    return 0
+
+
+def _fig01() -> str:
+    from repro.experiments.fig01 import format_fig01, run_fig01
+    return format_fig01(run_fig01())
+
+
+def _fig03() -> str:
+    from repro.experiments.fig03 import format_fig03, run_fig03
+    return format_fig03(run_fig03())
+
+
+def _fig04() -> str:
+    from repro.experiments.fig04 import format_fig04, run_fig04
+    return format_fig04(run_fig04())
+
+
+def _fig05() -> str:
+    from repro.experiments.fig05 import (
+        format_fig05, run_fig05_memory, run_fig05_quant,
+    )
+    return format_fig05(run_fig05_memory(), run_fig05_quant())
+
+
+def _fig06() -> str:
+    from repro.experiments.fig06 import format_fig06, run_fig06
+    return format_fig06(run_fig06(batch=4, length=96))
+
+
+def _fig11() -> str:
+    from repro.experiments.fig11 import format_fig11, run_fig11
+    return format_fig11(run_fig11())
+
+
+def _fig12() -> str:
+    from repro.experiments.fig12 import (
+        format_fig12, run_fig12a, run_fig12b,
+    )
+    return format_fig12(run_fig12a(eval_batch=4), run_fig12b())
+
+
+def _fig13() -> str:
+    from repro.experiments.fig13 import format_fig13, run_fig13
+    return format_fig13(run_fig13())
+
+
+def _fig14() -> str:
+    from repro.experiments.fig14 import format_fig14, run_fig14
+    return format_fig14(run_fig14(num_requests=128))
+
+
+def _table2() -> str:
+    from repro.experiments.table2 import format_table2, run_table2
+    return format_table2(
+        run_table2(models=("llama2-7b", "opt-6.7b"), eval_batch=5,
+                   qa_items=32)
+    )
+
+
+def _table3() -> str:
+    from repro.experiments.table3 import format_table3, run_table3
+    return format_table3(run_table3(eval_batch=4))
+
+
+def _table4() -> str:
+    from repro.experiments.table4 import format_table4, run_table4
+    return format_table4(run_table4())
+
+
+def _energy() -> str:
+    from repro.experiments.energy import format_energy, run_energy
+    return format_energy(run_energy())
+
+
+def _profiling() -> str:
+    from repro.experiments.ablation_profiling import (
+        format_profiling_ablation,
+        run_profiling_ablation,
+    )
+    return format_profiling_ablation(run_profiling_ablation())

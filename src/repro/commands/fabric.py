@@ -1,0 +1,45 @@
+"""``repro fabric`` — memory-fabric contention report (Section 5.1)."""
+
+from __future__ import annotations
+
+import argparse
+
+
+def register(sub) -> None:
+    fabric = sub.add_parser(
+        "fabric", help="memory-fabric contention report (Section 5.1)"
+    )
+    fabric.add_argument("--memory", choices=("lpddr", "hbm"),
+                        default="lpddr")
+    fabric.add_argument("--batch", type=int, default=16)
+    fabric.add_argument("--kv-mb", type=float, default=25.0)
+    fabric.add_argument("--weights-mb", type=float, default=400.0)
+    fabric.add_argument("--skewed", action="store_true")
+    fabric.add_argument("--burst-bytes", type=float, default=None)
+    fabric.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.hardware.interconnect import generation_fabric_report
+    from repro.hardware.memory import HBM_80GB, LPDDR_256GB
+
+    spec = LPDDR_256GB if args.memory == "lpddr" else HBM_80GB
+    report = generation_fabric_report(
+        spec,
+        batch=args.batch,
+        kv_bytes_per_request=args.kv_mb * 1024 * 1024,
+        weight_bytes=args.weights_mb * 1024 * 1024,
+        striped=not args.skewed,
+        burst_bytes=args.burst_bytes,
+    )
+    placement = "skewed" if args.skewed else "striped/paged"
+    print(
+        f"{spec.name}, batch {args.batch}, {placement} placement"
+    )
+    print(f"  makespan:        {report.makespan_s * 1e3:.3f} ms")
+    print(
+        f"  effective BW:    {report.effective_bandwidth_gbps:.0f} GB/s "
+        f"({report.bandwidth_utilization:.1%} of peak)"
+    )
+    print(f"  fairness spread: {report.fairness_spread():.2f}")
+    return 0

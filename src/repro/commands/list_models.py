@@ -1,0 +1,40 @@
+"""``repro list-models`` — show the model zoo."""
+
+from __future__ import annotations
+
+import argparse
+
+
+def register(sub) -> None:
+    sub.add_parser(
+        "list-models", help="show the model zoo"
+    ).set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.experiments.common import TextTable
+    from repro.models.config import MODEL_ZOO
+
+    table = TextTable(
+        [
+            "name", "family", "layers", "d_model", "kv_heads",
+            "params_B", "kv_KB/token", "sim_layers", "sim_d",
+        ]
+    )
+    for spec in MODEL_ZOO.values():
+        arch = spec.arch
+        table.add_row(
+            [
+                spec.name,
+                spec.family,
+                arch.n_layers,
+                arch.d_model,
+                arch.n_kv_heads,
+                arch.params / 1e9,
+                arch.kv_bytes_per_token() / 1024.0,
+                spec.sim.n_layers,
+                spec.sim.d_model,
+            ]
+        )
+    print(table.render())
+    return 0

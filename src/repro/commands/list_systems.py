@@ -1,0 +1,39 @@
+"""``repro list-systems`` — show serving systems and devices."""
+
+from __future__ import annotations
+
+import argparse
+
+
+def register(sub) -> None:
+    systems = sub.add_parser(
+        "list-systems", help="show serving systems and devices"
+    )
+    systems.add_argument("--model", default="llama2-7b")
+    systems.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.experiments.common import TextTable
+    from repro.hardware.overheads import SERVING_SYSTEMS
+    from repro.models.config import get_model
+
+    arch = get_model(args.model).arch
+    table = TextTable(
+        ["system", "device", "memory", "GB", "GB/s", "kv_bits"]
+    )
+    for system in SERVING_SYSTEMS.values():
+        device = system.device_for(arch)
+        table.add_row(
+            [
+                system.name,
+                device.name,
+                device.memory.name,
+                device.memory.capacity_gb,
+                device.memory.bandwidth_gbps,
+                system.kv_bits(arch),
+            ]
+        )
+    print(f"(devices resolved for {args.model})")
+    print(table.render())
+    return 0

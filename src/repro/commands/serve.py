@@ -1,0 +1,77 @@
+"""``repro serve`` — replay a trace from a JSON config file.
+
+The config is a flat JSON object with a ``"mode"`` key (``"replay"``
+or ``"cluster"``); every other key is a long flag of that subcommand
+with underscores for dashes (``"device_budget_mb": 24`` becomes
+``--device-budget-mb 24``, booleans become flag presence).  The mapped
+argv is re-parsed through the real subcommand parser, so unknown keys
+and bad values fail with the same argparse diagnostics a direct
+invocation would give.  See ``docs/cli.md`` for the schema and
+``examples/serve_replay.json`` for a worked config.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List
+
+MODES = ("replay", "cluster")
+
+
+def register(sub) -> None:
+    serve = sub.add_parser(
+        "serve",
+        help="replay a trace through the pool or cluster from a JSON "
+             "config file",
+    )
+    serve.add_argument(
+        "config", help="path to a JSON serve config (see docs/cli.md)"
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="force JSON report output regardless of the config",
+    )
+    serve.set_defaults(func=run)
+
+
+def config_to_argv(config: Dict[str, Any]) -> List[str]:
+    """Map a serve config (minus ``mode``) to subcommand argv."""
+    argv: List[str] = []
+    for key, value in config.items():
+        flag = "--" + key.replace("_", "-")
+        if isinstance(value, bool):
+            if value:
+                argv.append(flag)
+        else:
+            argv.extend([flag, str(value)])
+    return argv
+
+
+def run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.commands import build_parser
+
+    with open(args.config, "r", encoding="utf-8") as handle:
+        config = json.load(handle)
+    if not isinstance(config, dict):
+        print(
+            f"{args.config}: serve config must be a JSON object",
+            file=sys.stderr,
+        )
+        return 2
+    config = dict(config)
+    mode = config.pop("mode", None)
+    if mode not in MODES:
+        print(
+            f"{args.config}: \"mode\" must be one of "
+            f"{'/'.join(MODES)}, got {mode!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        config["json"] = True
+    argv = [mode] + config_to_argv(config)
+    ns = build_parser().parse_args(argv)
+    return ns.func(ns)

@@ -20,9 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.experiments.common import TextTable
-from repro.hardware.overheads import get_system
-from repro.hardware.perf import simulate_generation_run
-from repro.models.config import get_model
+from repro.hardware.sweep import GridPoint, simulate_generation_grid
 
 #: Figure legend order.
 FIG11_SYSTEMS = (
@@ -78,26 +76,32 @@ def run_fig11(
     input_tokens: int = 1024,
     output_tokens: int = 1024,
 ) -> List[ThroughputCell]:
-    """Run the full throughput grid (analytic, fast)."""
-    cells: List[ThroughputCell] = []
-    for model in models:
-        arch = get_model(model).arch
-        for batch in batches:
-            for name in systems_for_model(model, systems):
-                run = simulate_generation_run(
-                    get_system(name), arch, batch,
-                    input_tokens, output_tokens,
-                )
-                cells.append(
-                    ThroughputCell(
-                        model=model,
-                        system=name,
-                        batch=batch,
-                        tokens_per_s=run.tokens_per_s,
-                        oom=run.oom,
-                    )
-                )
-    return cells
+    """Run the full throughput grid (analytic, fast).
+
+    The whole grid is evaluated in one vectorized sweep
+    (:func:`repro.hardware.sweep.simulate_generation_grid`),
+    element-identical to looping the scalar
+    :func:`repro.hardware.perf.simulate_generation_run` — pinned by
+    ``tests/test_analytic_vectorized.py``.
+    """
+    points = [
+        GridPoint(model=model, system=name, batch=batch)
+        for model in models
+        for batch in batches
+        for name in systems_for_model(model, systems)
+    ]
+    grid = simulate_generation_grid(points, input_tokens, output_tokens)
+    return [
+        ThroughputCell(
+            model=point.model,
+            system=point.system,
+            batch=point.batch,
+            tokens_per_s=float(grid.tokens_per_s[i]) if not grid.oom[i]
+            else 0.0,
+            oom=bool(grid.oom[i]),
+        )
+        for i, point in enumerate(points)
+    ]
 
 
 def speedup_at_batch(

@@ -14,7 +14,14 @@ from typing import List, Sequence
 
 from repro.core.config import OakenConfig
 from repro.experiments.common import TextTable
-from repro.hardware.area import AreaModel, AreaReport
+from repro.hardware.area import (
+    AreaModel,
+    AreaReport,
+    MPU_AREA_MM2,
+    OTHER_AREA_MM2,
+    VPU_AREA_MM2,
+    area_grid,
+)
 
 
 @dataclass
@@ -32,20 +39,39 @@ def run_table4(
     configs: Sequence[OakenConfig] = (OakenConfig(),),
     labels: Sequence[str] = ("4/90/6 (paper default)",),
 ) -> List[Table4Result]:
-    """Compute the area/power accounting for each configuration."""
+    """Compute the area/power accounting for each configuration.
+
+    The whole config sweep is priced by the vectorized
+    :func:`repro.hardware.area.area_grid` (element-identical to the
+    scalar :class:`AreaModel`, pinned by
+    ``tests/test_analytic_vectorized.py``); results materialize the
+    same per-config :class:`AreaReport` rows as before.
+    """
     if len(configs) != len(labels):
         raise ValueError("configs and labels must align")
+    grid = area_grid(configs)
     results: List[Table4Result] = []
-    for config, label in zip(configs, labels):
-        model = AreaModel(config)
-        report = model.core_report()
+    for i, label in enumerate(labels):
+        report = AreaReport(
+            areas_mm2={
+                "matrix_processing_unit": MPU_AREA_MM2,
+                "vector_processing_unit": VPU_AREA_MM2,
+                "quant_engine": float(grid["quant_engine_mm2"][i]),
+                "dequant_engine": float(grid["dequant_engine_mm2"][i]),
+                "other": OTHER_AREA_MM2,
+            }
+        )
         results.append(
             Table4Result(
                 config_label=label,
                 report=report,
-                oaken_overhead_percent=report.oaken_overhead_percent,
-                accelerator_power_w=model.accelerator_power_w(),
-                power_saving_vs_a100_percent=model.power_saving_vs_gpu(),
+                oaken_overhead_percent=float(
+                    grid["oaken_overhead_percent"][i]
+                ),
+                accelerator_power_w=float(grid["accelerator_power_w"][i]),
+                power_saving_vs_a100_percent=float(
+                    grid["power_saving_vs_gpu_percent"][i]
+                ),
             )
         )
     return results

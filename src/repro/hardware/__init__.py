@@ -45,7 +45,7 @@ from repro.hardware.accelerator import (
     DeviceSpec,
     get_device,
 )
-from repro.hardware.area import AreaModel, AreaReport
+from repro.hardware.area import AreaModel, AreaReport, area_grid
 from repro.hardware.cache_layout import (
     OakenCacheLayout,
     naive_interleaved_schedule,
@@ -95,6 +95,14 @@ from repro.hardware.perf import (
     prefill_time,
     simulate_generation_run,
 )
+from repro.hardware.sweep import (
+    GenerationGrid,
+    GridPoint,
+    capacity_grid,
+    grid_points,
+    iteration_grid,
+    simulate_generation_grid,
+)
 
 __all__ = [
     "AreaModel",
@@ -140,4 +148,11 @@ __all__ = [
     "max_supported_batch",
     "prefill_time",
     "simulate_generation_run",
+    "GenerationGrid",
+    "GridPoint",
+    "area_grid",
+    "capacity_grid",
+    "grid_points",
+    "iteration_grid",
+    "simulate_generation_grid",
 ]

@@ -25,7 +25,9 @@ the full 256-core accelerator lands on the paper's 222.7 W.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Sequence
+
+import numpy as np
 
 from repro.core.config import OakenConfig
 
@@ -127,3 +129,51 @@ class AreaModel:
     def power_saving_vs_gpu(self, gpu_tdp_w: float = 400.0) -> float:
         """Power reduction vs a GPU TDP in percent (paper: 44.3%)."""
         return 100.0 * (1.0 - self.accelerator_power_w() / gpu_tdp_w)
+
+
+def area_grid(
+    configs: Sequence[OakenConfig], gpu_tdp_w: float = 400.0
+) -> Dict[str, np.ndarray]:
+    """Vectorized :class:`AreaModel` accounting over many configs.
+
+    Evaluates the Table 4 sweep as array operations over the config
+    axis, element-identical to instantiating :class:`AreaModel` per
+    config (same expression order throughout).  Keys:
+
+    ``quant_engine_mm2`` / ``dequant_engine_mm2``
+        scaled engine areas per config.
+    ``core_area_mm2``
+        total per-core area (Table 4 bottom row).
+    ``oaken_overhead_percent``
+        engines' share of core area (paper: 8.21%).
+    ``accelerator_power_w`` / ``power_saving_vs_gpu_percent``
+        the headline power ratios.
+    """
+    bands = np.array(
+        [c.num_sparse_bands for c in configs], dtype=np.int64
+    )
+    outlier_bits = np.array(
+        [c.outlier_bits for c in configs], dtype=np.int64
+    )
+    extra_bands = bands - _REFERENCE_SPARSE_BANDS
+    scale = 1.0 + _BAND_AREA_FACTOR * extra_bands
+    scale = scale * (outlier_bits / 5.0 * 0.25 + 0.75)
+    scale = np.maximum(scale, 0.5)
+    quant = QUANT_ENGINE_AREA_MM2 * scale
+    dequant = DEQUANT_ENGINE_AREA_MM2 * scale
+    # Same summation order as sum(AreaReport.areas_mm2.values()).
+    core = MPU_AREA_MM2 + VPU_AREA_MM2 + quant + dequant + OTHER_AREA_MM2
+    engines = quant + dequant
+    overhead = 100.0 * engines / core
+    baseline_area = CORE_AREA_MM2 * NUM_CORES
+    density = TOTAL_POWER_W / baseline_area
+    power = core * NUM_CORES * density
+    saving = 100.0 * (1.0 - power / gpu_tdp_w)
+    return {
+        "quant_engine_mm2": quant,
+        "dequant_engine_mm2": dequant,
+        "core_area_mm2": core,
+        "oaken_overhead_percent": overhead,
+        "accelerator_power_w": power,
+        "power_saving_vs_gpu_percent": saving,
+    }

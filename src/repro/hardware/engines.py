@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class QuantEngine:
@@ -50,6 +52,18 @@ class QuantEngine:
             return 0.0
         fill = self.pipeline_cycles / (self.freq_ghz * 1e9)
         return fill + elements / self.elements_per_second
+
+    def time_s_batch(self, elements: np.ndarray) -> np.ndarray:
+        """Batched twin of :meth:`time_s`: one entry per element count.
+
+        Element-identical to calling :meth:`time_s` per entry (same
+        fill + stream expression; non-positive counts are zero).
+        """
+        elements = np.asarray(elements)
+        fill = self.pipeline_cycles / (self.freq_ghz * 1e9)
+        return np.where(
+            elements <= 0, 0.0, fill + elements / self.elements_per_second
+        )
 
     def throughput_gbps(self, input_bits: float = 16.0) -> float:
         """Input-side stream rate in GB/s."""
@@ -80,6 +94,18 @@ class DequantEngine:
             return 0.0
         fill = self.pipeline_cycles / (self.freq_ghz * 1e9)
         return fill + elements / self.elements_per_second
+
+    def time_s_batch(self, elements: np.ndarray) -> np.ndarray:
+        """Batched twin of :meth:`time_s`: one entry per element count.
+
+        Element-identical to calling :meth:`time_s` per entry (same
+        fill + stream expression; non-positive counts are zero).
+        """
+        elements = np.asarray(elements)
+        fill = self.pipeline_cycles / (self.freq_ghz * 1e9)
+        return np.where(
+            elements <= 0, 0.0, fill + elements / self.elements_per_second
+        )
 
     def throughput_gbps(self, stored_bits: float = 4.82) -> float:
         """Compressed-side stream rate in GB/s."""

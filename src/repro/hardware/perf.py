@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.core.modes import ComputeModeLike, resolve_compute_mode
 from repro.hardware.accelerator import DeviceSpec
 from repro.hardware.overheads import ServingSystem
 from repro.models.config import ArchShape
@@ -96,6 +97,7 @@ def generation_iteration(
     batch: int,
     context: int,
     ragged: bool = False,
+    mode: ComputeModeLike = None,
 ) -> IterationBreakdown:
     """Latency breakdown of one generation iteration.
 
@@ -106,10 +108,22 @@ def generation_iteration(
         context: current per-request context length (tokens in cache).
         ragged: apply the mixed-prompt-length compute penalty
             (trace-driven workloads, Figure 14).
+        mode: ComputeMode policy; ``exact_f64`` (default) runs this
+            frozen float64 path, ``deploy_f32`` runs the identical
+            operation sequence in float32 stage registers (shared
+            with the vectorized sweep, so scalar and batched f32
+            results are one code path).
 
     Returns:
         An :class:`IterationBreakdown`.
     """
+    resolved = resolve_compute_mode(mode)
+    if not resolved.exact:
+        from repro.hardware.sweep import iteration_breakdown_lowp
+
+        return iteration_breakdown_lowp(
+            system, arch, batch, context, ragged, resolved
+        )
     device = system.device_for(arch)
     profile = system.profile
     kv_bits = system.kv_bits(arch)
@@ -182,8 +196,16 @@ def prefill_time(
     arch: ArchShape,
     batch: int,
     prompt_tokens: int,
+    mode: ComputeModeLike = None,
 ) -> float:
     """Prefill-phase latency: compute-bound parallel token processing."""
+    resolved = resolve_compute_mode(mode)
+    if not resolved.exact:
+        from repro.hardware.sweep import prefill_time_lowp
+
+        return prefill_time_lowp(
+            system, arch, batch, prompt_tokens, resolved
+        )
     device = system.device_for(arch)
     # Causal attention over the prompt sums to roughly
     # prompt * attn_flops(prompt / 2) per request.
@@ -230,6 +252,7 @@ def simulate_generation_run(
     input_tokens: int = 1024,
     output_tokens: int = 1024,
     ragged: bool = False,
+    mode: ComputeModeLike = None,
 ) -> GenerationRun:
     """Simulate a batched run and return its throughput.
 
@@ -237,6 +260,14 @@ def simulate_generation_run(
     serving — throughput saturates.  Dedicated accelerators OOM when
     the requested batch cannot fit (Figure 4's missing bars).
     """
+    resolved = resolve_compute_mode(mode)
+    if not resolved.exact:
+        from repro.hardware.sweep import generation_run_lowp
+
+        return generation_run_lowp(
+            system, arch, batch, input_tokens, output_tokens,
+            ragged, resolved,
+        )
     total_context = input_tokens + output_tokens
     fit = max_supported_batch(system, arch, total_context)
     device = system.device_for(arch)

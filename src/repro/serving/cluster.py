@@ -622,6 +622,11 @@ class _ClusterSim:
                         self.requests[error.seq_id], now, failover=False
                     )
                 generated_now = max(0, generated_now - 1)
+            # Charge modeled tier-transfer time (admissions + this
+            # step's spill traffic) into the iteration when the replay
+            # config opted in; brownout already applied — transfers are
+            # memory-system time, not compute subject to the slowdown.
+            step_time += replica.cache.transfer_penalty_s()
         replica.stepping = True
         self._push(
             now + step_time, _STEP_DONE,

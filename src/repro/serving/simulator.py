@@ -110,6 +110,14 @@ class CacheReplayConfig:
             fused pools adopt the arena, so this composes with
             ``method="oaken"`` (including ``engine_cycles``) and is a
             structural no-op for adapter baselines.
+        charge_transfer_cycles: charge the tiered hierarchy's modeled
+            transfer time (``tier_transfer_cycles`` at the transfer
+            model's clock) into scheduler iteration time, so spill
+            pressure slows the replayed makespan instead of being
+            reported-but-free.  Off by default: the historical replay
+            treats transfers as fully overlapped, and every committed
+            number keeps meaning that unless the flag is raised.  A
+            no-op without ``device_budget_mb``.
     """
 
     method: str = "oaken"
@@ -127,6 +135,7 @@ class CacheReplayConfig:
     page_bytes: int = 1024
     prefetch_pages: int = 1
     arena: bool = False
+    charge_transfer_cycles: bool = False
 
 
 class _CacheReplay:
@@ -206,6 +215,7 @@ class _CacheReplay:
         self.batched_reads = 0
         self.batched_appends = 0
         self.replayed_tokens = 0
+        self._charged_transfer_cycles = 0.0
         # Prime the measurement by quantizing a calibration probe
         # through a throwaway backend, so the very first arrival wave
         # is already projected at a *measured* bitwidth rather than
@@ -469,6 +479,24 @@ class _CacheReplay:
                 self._anchors[group] = member
                 return
         self._anchors.pop(group, None)
+
+    def transfer_penalty_s(self) -> float:
+        """Tier-transfer seconds accrued since the last call.
+
+        Converts the :class:`~repro.engine.tiering.TieredKVStore`'s
+        cumulative modeled ``transfer_cycles`` delta to seconds at the
+        transfer model's clock.  The delta covers everything since the
+        previous charge — admissions and the iteration's own
+        spill/promote traffic alike — so the scheduler can fold it into
+        one iteration's step time without double counting.  Zero unless
+        ``charge_transfer_cycles`` is set and the replay is tiered.
+        """
+        if self.tiering is None or not self.config.charge_transfer_cycles:
+            return 0.0
+        total = self.tiering.transfer_cycles
+        delta = total - self._charged_transfer_cycles
+        self._charged_transfer_cycles = total
+        return max(0.0, delta) / self.tiering.transfer.clock_hz
 
     def retire(self, requests: Sequence[Request]) -> None:
         """Free retired sequences' caches."""
@@ -763,6 +791,7 @@ def simulate_trace(
             # batched multi-sequence append and read paths, as the
             # accelerator's MMU would every iteration.
             cache_replay.step(plan.resident, plan.resident_ids)
+            step_time += cache_replay.transfer_penalty_s()
         now += step_time
         busy += step_time
         retired = scheduler.complete_iteration(now)

@@ -1,0 +1,264 @@
+"""Element-identity of the vectorized analytic sweeps vs the scalar path.
+
+The contract mirrors ``tests/test_datapath_vectorized.py``: the batched
+sweep (:mod:`repro.hardware.sweep`, :func:`repro.hardware.area.area_grid`,
+``*.time_s_batch``) must agree with the scalar golden models **exactly**
+— ``==``, not ``allclose`` — over the full Table 4 / Figure 11 config
+grids, in both ComputeModes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OakenConfig
+from repro.core.modes import DEPLOY_F32, EXACT_F64
+from repro.experiments.fig11 import (
+    FIG11_BATCHES,
+    FIG11_MODELS,
+    FIG11_SYSTEMS,
+    run_fig11,
+    systems_for_model,
+)
+from repro.experiments.table4 import run_table4
+from repro.hardware.area import AreaModel, area_grid
+from repro.hardware.engines import DequantEngine, QuantEngine
+from repro.hardware.overheads import SERVING_SYSTEMS, get_system
+from repro.hardware.perf import (
+    generation_iteration,
+    max_supported_batch,
+    prefill_time,
+    simulate_generation_run,
+)
+from repro.hardware.sweep import (
+    GridPoint,
+    capacity_grid,
+    grid_points,
+    iteration_grid,
+    simulate_generation_grid,
+)
+from repro.models.config import get_model
+
+#: The full Figure 11 grid: 6 models x 5 batches x per-model systems.
+FIG11_POINTS = [
+    GridPoint(model=model, system=system, batch=batch)
+    for model in FIG11_MODELS
+    for batch in FIG11_BATCHES
+    for system in systems_for_model(model, FIG11_SYSTEMS)
+]
+
+#: Table 4 config sweep: paper default + the ablation knobs that scale
+#: the engines (band count, outlier bitwidth).
+TABLE4_CONFIGS = [
+    OakenConfig(),
+    OakenConfig.from_ratio_string("2/94/4"),
+    OakenConfig.from_ratio_string("6/88/6"),
+    OakenConfig.from_ratio_string("4/90/6", outlier_bits=4),
+    OakenConfig.from_ratio_string("4/90/6", outlier_bits=6),
+    OakenConfig.from_ratio_string("1/98/1", outlier_bits=3),
+]
+
+MODES = (EXACT_F64, DEPLOY_F32)
+
+RUN_FIELDS = (
+    "system", "batch", "effective_batch", "oom",
+    "tokens_per_s", "prefill_s", "generation_s",
+)
+BREAKDOWN_FIELDS = (
+    "nonattn_s", "attn_s", "quant_s", "dequant_s",
+    "exposed_overhead_s", "compute_util",
+)
+
+
+def _assert_runs_identical(ref, got, label):
+    for name in RUN_FIELDS:
+        assert getattr(ref, name) == getattr(got, name), (
+            label, name, getattr(ref, name), getattr(got, name)
+        )
+    assert (ref.breakdown is None) == (got.breakdown is None), label
+    if ref.breakdown is not None:
+        for name in BREAKDOWN_FIELDS:
+            assert getattr(ref.breakdown, name) == getattr(
+                got.breakdown, name
+            ), (label, name)
+
+
+class TestGenerationGrid:
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.name)
+    def test_full_fig11_grid_element_identical(self, mode):
+        grid = simulate_generation_grid(FIG11_POINTS, mode=mode)
+        for i, point in enumerate(FIG11_POINTS):
+            ref = simulate_generation_run(
+                get_system(point.system),
+                get_model(point.model).arch,
+                point.batch,
+                mode=mode,
+            )
+            _assert_runs_identical(ref, grid.run(i), point)
+
+    def test_exact_mode_matches_frozen_scalar_default(self):
+        # mode=None is the frozen scalar float64 path; the grid's
+        # exact_f64 must land on it bit for bit.
+        grid = simulate_generation_grid(FIG11_POINTS)
+        assert grid.mode == "exact_f64"
+        for i, point in enumerate(FIG11_POINTS):
+            ref = simulate_generation_run(
+                get_system(point.system),
+                get_model(point.model).arch,
+                point.batch,
+            )
+            _assert_runs_identical(ref, grid.run(i), point)
+
+    def test_deploy_f32_tracks_exact_within_tolerance(self):
+        exact = simulate_generation_grid(FIG11_POINTS, mode=EXACT_F64)
+        deploy = simulate_generation_grid(FIG11_POINTS, mode=DEPLOY_F32)
+        assert np.array_equal(exact.oom, deploy.oom)
+        live = ~exact.oom
+        np.testing.assert_allclose(
+            deploy.tokens_per_s[live],
+            exact.tokens_per_s[live],
+            rtol=1e-5,
+        )
+
+    def test_ragged_grid_matches_scalar(self):
+        points = grid_points(
+            ("llama2-7b", "mistral-7b"),
+            ("vllm", "tender", "oaken-lpddr"),
+            (8, 64),
+        )
+        grid = simulate_generation_grid(points, ragged=True)
+        for i, point in enumerate(points):
+            ref = simulate_generation_run(
+                get_system(point.system),
+                get_model(point.model).arch,
+                point.batch,
+                ragged=True,
+            )
+            _assert_runs_identical(ref, grid.run(i), point)
+
+    def test_runs_materializes_all_points(self):
+        points = FIG11_POINTS[:10]
+        grid = simulate_generation_grid(points)
+        runs = grid.runs()
+        assert len(runs) == len(points)
+        assert [r.batch for r in runs] == [p.batch for p in points]
+
+
+class TestIterationGrid:
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.name)
+    @pytest.mark.parametrize("context", (64, 1024, 4096, 40000))
+    def test_iteration_grid_element_identical(self, context, mode):
+        arrays = iteration_grid(FIG11_POINTS, context, mode=mode)
+        for i, point in enumerate(FIG11_POINTS):
+            ref = generation_iteration(
+                get_system(point.system),
+                get_model(point.model).arch,
+                point.batch,
+                context,
+                mode=mode,
+            )
+            for name in BREAKDOWN_FIELDS:
+                assert arrays[name][i] == getattr(ref, name), (
+                    point, context, name
+                )
+            assert arrays["total_s"][i] == ref.total_s
+
+    def test_prefill_lowp_matches_grid(self):
+        # The scalar deploy_f32 prefill is the one-point grid; pin the
+        # delegation end to end.
+        system = get_system("oaken-lpddr")
+        arch = get_model("llama2-13b").arch
+        exact = prefill_time(system, arch, 16, 1024)
+        lowp = prefill_time(system, arch, 16, 1024, mode="deploy_f32")
+        assert lowp == pytest.approx(exact, rel=1e-5)
+        assert isinstance(lowp, float)
+
+
+class TestCapacityGrid:
+    @pytest.mark.parametrize(
+        "model", ("llama2-7b", "llama2-13b", "mistral-7b", "llama2-70b")
+    )
+    def test_capacity_grid_matches_scalar_planner(self, model):
+        systems = list(SERVING_SYSTEMS)
+        contexts = (128, 512, 1024, 2048, 8192, 32768, 131072)
+        grid = capacity_grid(systems, model, contexts)
+        arch = get_model(model).arch
+        assert grid.shape == (len(systems), len(contexts))
+        for i, name in enumerate(systems):
+            for j, context in enumerate(contexts):
+                ref = max_supported_batch(get_system(name), arch, context)
+                assert int(grid[i, j]) == ref, (name, model, context)
+
+
+class TestAreaGrid:
+    def test_area_grid_element_identical_to_scalar(self):
+        grid = area_grid(TABLE4_CONFIGS)
+        for i, config in enumerate(TABLE4_CONFIGS):
+            model = AreaModel(config)
+            report = model.core_report()
+            assert grid["quant_engine_mm2"][i] == (
+                report.areas_mm2["quant_engine"]
+            )
+            assert grid["dequant_engine_mm2"][i] == (
+                report.areas_mm2["dequant_engine"]
+            )
+            assert grid["core_area_mm2"][i] == report.core_area_mm2
+            assert grid["oaken_overhead_percent"][i] == (
+                report.oaken_overhead_percent
+            )
+            assert grid["accelerator_power_w"][i] == (
+                model.accelerator_power_w()
+            )
+            assert grid["power_saving_vs_gpu_percent"][i] == (
+                model.power_saving_vs_gpu()
+            )
+
+    def test_run_table4_unchanged_by_vectorization(self):
+        labels = [f"cfg{i}" for i in range(len(TABLE4_CONFIGS))]
+        results = run_table4(TABLE4_CONFIGS, labels)
+        for config, result in zip(TABLE4_CONFIGS, results):
+            model = AreaModel(config)
+            ref = model.core_report()
+            assert result.report.areas_mm2 == ref.areas_mm2
+            assert result.oaken_overhead_percent == (
+                ref.oaken_overhead_percent
+            )
+            assert result.accelerator_power_w == model.accelerator_power_w()
+            assert result.power_saving_vs_a100_percent == (
+                model.power_saving_vs_gpu()
+            )
+
+
+class TestFig11Rewire:
+    def test_run_fig11_matches_scalar_loop(self):
+        cells = run_fig11()
+        index = 0
+        for model in FIG11_MODELS:
+            arch = get_model(model).arch
+            for batch in FIG11_BATCHES:
+                for name in systems_for_model(model, FIG11_SYSTEMS):
+                    ref = simulate_generation_run(
+                        get_system(name), arch, batch
+                    )
+                    cell = cells[index]
+                    index += 1
+                    assert (cell.model, cell.system, cell.batch) == (
+                        model, name, batch
+                    )
+                    assert cell.oom == ref.oom
+                    expected = 0.0 if ref.oom else ref.tokens_per_s
+                    assert cell.tokens_per_s == expected
+        assert index == len(cells)
+
+
+class TestEngineBatch:
+    @pytest.mark.parametrize(
+        "engine", (QuantEngine(), DequantEngine()),
+        ids=("quant", "dequant"),
+    )
+    def test_time_s_batch_element_identical(self, engine):
+        counts = np.array(
+            [-16, 0, 1, 31, 32, 4096, 10**7, 3 * 10**9], dtype=np.int64
+        )
+        batched = engine.time_s_batch(counts)
+        for count, got in zip(counts, batched):
+            assert got == engine.time_s(int(count))

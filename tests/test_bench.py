@@ -41,7 +41,7 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     assert set(bench) == {
         "encode_roundtrip", "generation", "bitpack", "pool_read",
         "pool_append", "baseline_read", "datapath", "replay",
-        "cluster", "tiering", "prefix_sharing",
+        "cluster", "tiering", "prefix_sharing", "analytic",
     }
 
     enc = bench["encode_roundtrip"]
@@ -126,6 +126,13 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     assert sharing["shared_bytes_saved"] > 0
     assert sharing["speedup_footprint"] > 1.0
     assert sharing["speedup_admission"] > 1.0
+    analytic = bench["analytic"]
+    # bench_analytic raises if any grid cell diverges from the scalar
+    # run, so runs_identical is an invariant, not a measurement; the
+    # vectorized sweep clears 1x even at the quick grid size.
+    assert analytic["runs_identical"] == 1.0
+    assert analytic["points"] > 0
+    assert analytic["speedup_vectorized"] > 1.0
 
     summary = format_summary(report)
     assert "encode roundtrip" in summary
@@ -142,6 +149,7 @@ def test_harness_runs_quickly_and_writes_json(tmp_path):
     assert "cluster replay" in summary
     assert "tiered KV" in summary
     assert "prefix sharing" in summary
+    assert "analytic sweep" in summary
 
 
 def test_no_output_file_when_disabled(tmp_path, monkeypatch):

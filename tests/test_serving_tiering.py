@@ -33,11 +33,12 @@ TRACE = generate_longcontext_trace(
 
 
 def run_replay(device_budget_mb=None, eviction="lru", trace=TRACE,
-               max_batch=4):
+               max_batch=4, charge_transfer_cycles=False):
     return simulate_trace(
         SYSTEM, ARCH, trace, max_batch,
         replay=CacheReplayConfig(
             device_budget_mb=device_budget_mb, eviction=eviction,
+            charge_transfer_cycles=charge_transfer_cycles,
         ),
     )
 
@@ -107,6 +108,50 @@ class TestSpillReplay:
             > loose.replay["tier_transfer_cycles"]
         )
 
+    def test_charged_transfers_slow_the_makespan(self):
+        # charge_transfer_cycles folds modeled transfer time into
+        # iteration time; with real spill traffic the charged run must
+        # be strictly slower, and tokens must be untouched (charging
+        # reprices time, never changes what the replay computes).
+        free = run_replay(device_budget_mb=0.03)
+        charged = run_replay(
+            device_budget_mb=0.03, charge_transfer_cycles=True
+        )
+        assert charged.generated_tokens == free.generated_tokens
+        assert charged.replay["tier_transfer_cycles"] > 0
+        assert charged.total_time_s > free.total_time_s
+        # The charge equals the cycle counter at the transfer clock.
+        from repro.engine.tiering import DEFAULT_CLOCK_HZ
+
+        expected = (
+            charged.replay["tier_transfer_cycles"] / DEFAULT_CLOCK_HZ
+        )
+        assert charged.total_time_s - free.total_time_s == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_charged_makespan_monotone_in_spill_pressure(self):
+        # More spill pressure (tighter device budget) means more
+        # transfer cycles charged, so the charged makespan can only
+        # grow as the budget shrinks.
+        budgets = (0.10, 0.05, 0.02)
+        makespans = [
+            run_replay(
+                device_budget_mb=budget, charge_transfer_cycles=True
+            ).total_time_s
+            for budget in budgets
+        ]
+        assert makespans == sorted(makespans)
+        # And charging is never faster than not charging.
+        for budget, charged_makespan in zip(budgets, makespans):
+            free = run_replay(device_budget_mb=budget)
+            assert charged_makespan >= free.total_time_s
+
+    def test_charge_flag_noop_without_tiering(self):
+        free = run_replay()
+        charged = run_replay(charge_transfer_cycles=True)
+        assert charged.__dict__ == free.__dict__
+
     def test_untiered_gate_refusals_counted(self):
         # The counter that separates reject/queue backpressure from
         # evict-and-spill: a refusing gate increments it, and it rides
@@ -125,12 +170,14 @@ class TestSpillReplay:
 class TestClusterTiering:
     CONFIG = dict(replicas=2, max_batch=4)
 
-    def run(self, faults=None, eviction="lru"):
+    def run(self, faults=None, eviction="lru",
+            charge_transfer_cycles=False):
         return simulate_cluster(
             SYSTEM, ARCH, TRACE,
             ClusterConfig(
                 replay=CacheReplayConfig(
                     device_budget_mb=0.02, eviction=eviction,
+                    charge_transfer_cycles=charge_transfer_cycles,
                 ),
                 **self.CONFIG,
             ),
@@ -148,6 +195,14 @@ class TestClusterTiering:
     def test_seeded_rerun_bit_identical(self):
         faults = generate_fault_plan(2, 30.0, seed=1)
         assert self.run(faults).as_dict() == self.run(faults).as_dict()
+
+    def test_charged_transfers_slow_the_cluster(self):
+        free = self.run()
+        charged = self.run(charge_transfer_cycles=True)
+        assert charged.completed == free.completed
+        assert charged.generated_tokens == free.generated_tokens
+        assert charged.tier_transfer_cycles > 0
+        assert charged.total_time_s > free.total_time_s
 
     def test_replica_telemetry_sums_to_report(self):
         report = self.run(eviction="plru")
